@@ -1,0 +1,155 @@
+//! EFT (Earliest Finish Time) baseline.
+//!
+//! Per the paper: "For each task, EFT chooses the labor vendor with the
+//! lowest delay for data pre-processing in the marketplace. EFT allocates
+//! the computation of the incoming task to the compute nodes at the time
+//! slots where the task can be finished as soon as possible."
+//!
+//! EFT admits every task it can fit (it is blind to bids, vendor prices,
+//! and operational cost), which is exactly why its social welfare lags:
+//! it happily burns expensive slots on low-value work.
+
+use crate::greedy::greedy_asap;
+use pdftsp_cluster::CapacityLedger;
+use pdftsp_types::{
+    Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task,
+    VendorQuote,
+};
+use std::time::Instant;
+
+/// The EFT scheduler.
+pub struct Eft {
+    ledger: CapacityLedger,
+    scratch: Vec<(usize, usize)>,
+}
+
+impl Eft {
+    /// Creates an EFT scheduler for `scenario`.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        Eft {
+            ledger: CapacityLedger::new(scenario),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn decide(&mut self, task: &Task, scenario: &Scenario) -> Decision {
+        let t0 = Instant::now();
+        let vendor = if task.needs_preprocessing {
+            scenario.quotes[task.id]
+                .iter()
+                .copied()
+                .min_by_key(|q| q.delay)
+                .unwrap_or_else(VendorQuote::none)
+        } else {
+            VendorQuote::none()
+        };
+        let start = task.arrival + vendor.delay;
+        match greedy_asap(task, start, scenario, &self.ledger, None, &mut self.scratch) {
+            Some(placements) => {
+                let schedule = Schedule::new(task.id, vendor, placements);
+                self.ledger
+                    .commit(task, &schedule)
+                    .expect("greedy_asap only uses fitting cells");
+                Decision::admitted(task.id, schedule, 0.0, t0.elapsed().as_secs_f64())
+            }
+            None => Decision::rejected(
+                task.id,
+                Rejection::NoFeasibleSchedule,
+                t0.elapsed().as_secs_f64(),
+            ),
+        }
+    }
+}
+
+impl OnlineScheduler for Eft {
+    fn name(&self) -> &'static str {
+        "EFT"
+    }
+
+    fn on_slot(&mut self, _slot: Slot, arrivals: &[&Task], scenario: &Scenario) -> SlotOutcome {
+        arrivals.iter().map(|t| self.decide(t, scenario)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, TaskBuilder};
+
+    fn scenario(tasks: Vec<Task>, quotes: Vec<Vec<VendorQuote>>) -> Scenario {
+        Scenario {
+            horizon: 8,
+            base_model_gb: 2.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 1000)],
+            tasks,
+            quotes,
+            cost: CostGrid::flat(1, 8, 0.1),
+        }
+    }
+
+    fn t(id: usize, bid: f64) -> Task {
+        TaskBuilder::new(id, 0, 7)
+            .dataset(2000)
+            .memory_gb(5.0)
+            .bid(bid)
+            .rates(vec![1000])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn admits_feasible_tasks_even_unprofitable_ones() {
+        // Bid 0.01 far below the 0.2 energy cost — EFT doesn't care.
+        let sc = scenario(vec![t(0, 0.01)], vec![vec![]]);
+        let mut eft = Eft::new(&sc);
+        let refs: Vec<&Task> = sc.tasks.iter().collect();
+        let out = eft.on_slot(0, &refs, &sc);
+        assert!(out[0].is_admitted());
+    }
+
+    #[test]
+    fn chooses_lowest_delay_vendor() {
+        let mut task = t(0, 10.0);
+        task.needs_preprocessing = true;
+        let quotes = vec![vec![
+            VendorQuote {
+                vendor: 0,
+                price: 0.1,
+                delay: 4,
+            },
+            VendorQuote {
+                vendor: 1,
+                price: 9.0,
+                delay: 1,
+            },
+        ]];
+        let sc = scenario(vec![task], quotes);
+        let mut eft = Eft::new(&sc);
+        let refs: Vec<&Task> = sc.tasks.iter().collect();
+        let out = eft.on_slot(0, &refs, &sc);
+        let s = out[0].schedule().unwrap();
+        // Delay 1 vendor despite its crazy price.
+        assert_eq!(s.vendor.vendor, 1);
+        assert!(s.placements.iter().all(|&(_, tt)| tt >= 1));
+    }
+
+    #[test]
+    fn packs_earliest_slots_and_respects_capacity() {
+        let tasks = vec![t(0, 5.0), t(1, 5.0), t(2, 5.0), t(3, 5.0), t(4, 5.0)];
+        let quotes = vec![vec![]; 5];
+        let sc = scenario(tasks, quotes);
+        let mut eft = Eft::new(&sc);
+        let refs: Vec<&Task> = sc.tasks.iter().collect();
+        let out = eft.on_slot(0, &refs, &sc);
+        // 8 slots, each task takes 2 → exactly 4 admitted.
+        let admitted = out.iter().filter(|d| d.is_admitted()).count();
+        assert_eq!(admitted, 4);
+        assert!(matches!(
+            out[4].outcome,
+            pdftsp_types::AuctionOutcome::Rejected(Rejection::NoFeasibleSchedule)
+        ));
+        // First task got the earliest slots.
+        assert_eq!(out[0].schedule().unwrap().placements, vec![(0, 0), (0, 1)]);
+    }
+}

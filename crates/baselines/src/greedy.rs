@@ -1,0 +1,171 @@
+//! Greedy ASAP packing shared by EFT and NTM.
+
+use pdftsp_cluster::CapacityLedger;
+use pdftsp_types::{NodeId, Scenario, Slot, Task};
+
+/// Per-`(k, t)` exclusive-occupancy grid used by NTM (one task per node
+/// per slot — no multi-LoRA merging).
+#[derive(Debug, Clone)]
+pub struct OccupancyGrid {
+    horizon: usize,
+    busy: Vec<bool>,
+}
+
+impl OccupancyGrid {
+    /// An all-free grid.
+    #[must_use]
+    pub fn new(nodes: usize, horizon: usize) -> Self {
+        OccupancyGrid {
+            horizon,
+            busy: vec![false; nodes * horizon],
+        }
+    }
+
+    /// Whether `(k, t)` already hosts a task.
+    #[must_use]
+    pub fn busy(&self, k: NodeId, t: Slot) -> bool {
+        self.busy[k * self.horizon + t]
+    }
+
+    /// Marks `(k, t)` as hosting a task.
+    pub fn occupy(&mut self, k: NodeId, t: Slot) {
+        self.busy[k * self.horizon + t] = true;
+    }
+}
+
+/// Greedily assigns `task` to the fastest available node at each slot from
+/// `start` until its work completes — the earliest-finish-time heuristic.
+///
+/// `occupancy` (when given) enforces the NTM one-task-per-node rule.
+/// Returns `None` when the work cannot complete by the deadline.
+#[must_use]
+pub fn greedy_asap(
+    task: &Task,
+    start: Slot,
+    scenario: &Scenario,
+    ledger: &CapacityLedger,
+    occupancy: Option<&OccupancyGrid>,
+    committed_here: &mut Vec<(NodeId, Slot)>,
+) -> Option<Vec<(NodeId, Slot)>> {
+    committed_here.clear();
+    let deadline = task.deadline.min(scenario.horizon.saturating_sub(1));
+    let mut remaining = task.work;
+    for t in start..=deadline {
+        // Fastest compatible node with residual capacity at this slot.
+        let mut best: Option<(NodeId, u64)> = None;
+        for k in 0..scenario.nodes.len() {
+            let rate = task.rate(k);
+            if rate == 0 || !ledger.fits(task, k, t) {
+                continue;
+            }
+            if let Some(occ) = occupancy {
+                if occ.busy(k, t) {
+                    continue;
+                }
+            }
+            if best.map_or(true, |(_, r)| rate > r) {
+                best = Some((k, rate));
+            }
+        }
+        if let Some((k, rate)) = best {
+            committed_here.push((k, t));
+            remaining = remaining.saturating_sub(rate);
+            if remaining == 0 {
+                return Some(committed_here.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, Schedule, TaskBuilder, VendorQuote};
+
+    fn scenario() -> Scenario {
+        Scenario {
+            horizon: 6,
+            base_model_gb: 2.0,
+            nodes: vec![
+                NodeSpec::new(0, GpuModel::A100_80, 2000),
+                NodeSpec::new(1, GpuModel::A40_48, 1000),
+            ],
+            tasks: vec![],
+            quotes: vec![],
+            cost: CostGrid::flat(2, 6, 0.0),
+        }
+    }
+
+    fn task(work: u64) -> Task {
+        TaskBuilder::new(0, 0, 5)
+            .dataset(work)
+            .memory_gb(5.0)
+            .bid(10.0)
+            .rates(vec![2000, 1000])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn picks_fastest_node_first() {
+        let sc = scenario();
+        let ledger = CapacityLedger::new(&sc);
+        let mut buf = Vec::new();
+        let t = task(4000);
+        let p = greedy_asap(&t, 0, &sc, &ledger, None, &mut buf).unwrap();
+        assert_eq!(p, vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn falls_back_to_slower_node_when_fast_is_full() {
+        let sc = scenario();
+        let mut ledger = CapacityLedger::new(&sc);
+        // Fill node 0 on slots 0..2.
+        let fat = task(6000);
+        ledger
+            .commit(
+                &fat,
+                &Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 1), (0, 2)]),
+            )
+            .unwrap();
+        let mut buf = Vec::new();
+        let t = task(2000);
+        let p = greedy_asap(&t, 0, &sc, &ledger, None, &mut buf).unwrap();
+        // Node 1 on slots 0-1 finishes at t=1; waiting for node 0 at t=3
+        // would be later. Greedy takes node 1 twice.
+        assert_eq!(p, vec![(1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn occupancy_blocks_shared_slots() {
+        let sc = scenario();
+        let ledger = CapacityLedger::new(&sc);
+        let mut occ = OccupancyGrid::new(2, 6);
+        occ.occupy(0, 0);
+        occ.occupy(1, 0);
+        let mut buf = Vec::new();
+        let t = task(2000);
+        let p = greedy_asap(&t, 0, &sc, &ledger, Some(&occ), &mut buf).unwrap();
+        assert!(p.iter().all(|&(_, tt)| tt >= 1), "{p:?}");
+    }
+
+    #[test]
+    fn misses_deadline_returns_none() {
+        let sc = scenario();
+        let ledger = CapacityLedger::new(&sc);
+        let mut buf = Vec::new();
+        let t = task(20_000); // needs 10 slots on the fast node, window is 6
+        assert!(greedy_asap(&t, 0, &sc, &ledger, None, &mut buf).is_none());
+    }
+
+    #[test]
+    fn start_offset_respected() {
+        let sc = scenario();
+        let ledger = CapacityLedger::new(&sc);
+        let mut buf = Vec::new();
+        let t = task(2000);
+        let p = greedy_asap(&t, 3, &sc, &ledger, None, &mut buf).unwrap();
+        assert!(p.iter().all(|&(_, tt)| tt >= 3));
+    }
+}

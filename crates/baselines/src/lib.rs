@@ -1,0 +1,38 @@
+//! # pdftsp-baselines
+//!
+//! The three comparison algorithms of the paper's evaluation (Section 5.1),
+//! all implementing the same [`pdftsp_types::OnlineScheduler`] trait as
+//! pdFTSP:
+//!
+//! * [`eft::Eft`] — **EFT (Earliest Finish Time)**: picks the
+//!   lowest-delay vendor and greedily packs the task onto the nodes/slots
+//!   that finish it as soon as possible, admitting whenever feasible
+//!   (economics-blind).
+//! * [`ntm::Ntm`] — **NTM (No Task Merging)**: like EFT but with the
+//!   multi-LoRA sharing disabled — at most one task per compute node per
+//!   slot — and a randomly chosen vendor. Shows what pre-trained-model
+//!   sharing buys.
+//! * [`fixed_price::FixedPrice`] — **posted fixed pricing**: the de facto
+//!   mechanism the paper's introduction argues against — a static price
+//!   per unit of work, first-come-first-served service.
+//! * [`titan::TitanLike`] — **Titan**: adapted from the offline
+//!   fine-tuning scheduler of Gao et al. (SoCC'22) exactly as the paper
+//!   adapts it: at the beginning of each slot it solves a MILP over the
+//!   tasks that just arrived (welfare objective, residual capacities),
+//!   with a randomly selected labor vendor per task. Uses the in-house
+//!   branch-and-bound of `pdftsp-solver` in place of Gurobi.
+//!
+//! None of the baselines implements pricing (payments are reported as 0);
+//! social welfare — the paper's comparison metric — does not depend on
+//! payments, which cancel between users and provider.
+
+pub mod eft;
+pub mod fixed_price;
+pub mod greedy;
+pub mod ntm;
+pub mod titan;
+
+pub use eft::Eft;
+pub use fixed_price::{FixedPrice, FixedPriceConfig};
+pub use ntm::Ntm;
+pub use titan::{TitanConfig, TitanLike};

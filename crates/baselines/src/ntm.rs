@@ -1,0 +1,177 @@
+//! NTM (No Task Merging) baseline.
+//!
+//! Per the paper: "For each task, NTM chooses the labor vendor in the
+//! marketplace randomly. In NTM, only one task can be executed on each
+//! compute node at each time. NTM also allocates the computation to the
+//! compute nodes so that the task can be finished as soon as possible."
+//!
+//! NTM quantifies what multi-LoRA sharing buys: without co-location, each
+//! task monopolizes a node-slot even when its batch uses a fraction of the
+//! GPU, so aggregate throughput collapses under load.
+
+use crate::greedy::{greedy_asap, OccupancyGrid};
+use pdftsp_cluster::CapacityLedger;
+use pdftsp_types::{
+    Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task,
+    VendorQuote,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// The NTM scheduler.
+pub struct Ntm {
+    ledger: CapacityLedger,
+    occupancy: OccupancyGrid,
+    rng: StdRng,
+    scratch: Vec<(usize, usize)>,
+}
+
+impl Ntm {
+    /// Creates an NTM scheduler for `scenario` with a seed for its random
+    /// vendor choices.
+    #[must_use]
+    pub fn new(scenario: &Scenario, seed: u64) -> Self {
+        Ntm {
+            ledger: CapacityLedger::new(scenario),
+            occupancy: OccupancyGrid::new(scenario.nodes.len(), scenario.horizon),
+            rng: StdRng::seed_from_u64(seed),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn decide(&mut self, task: &Task, scenario: &Scenario) -> Decision {
+        let t0 = Instant::now();
+        let vendor = if task.needs_preprocessing {
+            let quotes = &scenario.quotes[task.id];
+            quotes[self.rng.gen_range(0..quotes.len())]
+        } else {
+            VendorQuote::none()
+        };
+        let start = task.arrival + vendor.delay;
+        match greedy_asap(
+            task,
+            start,
+            scenario,
+            &self.ledger,
+            Some(&self.occupancy),
+            &mut self.scratch,
+        ) {
+            Some(placements) => {
+                let schedule = Schedule::new(task.id, vendor, placements);
+                self.ledger
+                    .commit(task, &schedule)
+                    .expect("greedy_asap only uses fitting cells");
+                for &(k, t) in &schedule.placements {
+                    self.occupancy.occupy(k, t);
+                }
+                Decision::admitted(task.id, schedule, 0.0, t0.elapsed().as_secs_f64())
+            }
+            None => Decision::rejected(
+                task.id,
+                Rejection::NoFeasibleSchedule,
+                t0.elapsed().as_secs_f64(),
+            ),
+        }
+    }
+}
+
+impl OnlineScheduler for Ntm {
+    fn name(&self) -> &'static str {
+        "NTM"
+    }
+
+    fn on_slot(&mut self, _slot: Slot, arrivals: &[&Task], scenario: &Scenario) -> SlotOutcome {
+        arrivals.iter().map(|t| self.decide(t, scenario)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, TaskBuilder};
+
+    fn scenario(tasks: Vec<Task>, quotes: Vec<Vec<VendorQuote>>) -> Scenario {
+        Scenario {
+            horizon: 8,
+            base_model_gb: 2.0,
+            // Huge capacity: sharing would fit many tasks per slot.
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 100_000)],
+            tasks,
+            quotes,
+            cost: CostGrid::flat(1, 8, 0.1),
+        }
+    }
+
+    fn t(id: usize) -> Task {
+        TaskBuilder::new(id, 0, 7)
+            .dataset(2000)
+            .memory_gb(5.0)
+            .bid(10.0)
+            .rates(vec![1000])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn one_task_per_node_slot_even_with_spare_capacity() {
+        // Node could fit 100 such tasks per slot; NTM allows 1.
+        let tasks = vec![t(0), t(1), t(2), t(3), t(4)];
+        let quotes = vec![vec![]; 5];
+        let sc = scenario(tasks, quotes);
+        let mut ntm = Ntm::new(&sc, 7);
+        let refs: Vec<&Task> = sc.tasks.iter().collect();
+        let out = ntm.on_slot(0, &refs, &sc);
+        // 8 exclusive slots, 2 per task → 4 admitted, 1 rejected.
+        assert_eq!(out.iter().filter(|d| d.is_admitted()).count(), 4);
+        // No slot reused.
+        let mut used = std::collections::HashSet::new();
+        for d in &out {
+            if let Some(s) = d.schedule() {
+                for &(k, tt) in &s.placements {
+                    assert!(used.insert((k, tt)), "slot ({k},{tt}) reused");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vendor_choice_is_random_but_seed_deterministic() {
+        let mk_task = || {
+            let mut task = t(0);
+            task.needs_preprocessing = true;
+            task
+        };
+        let quotes = vec![vec![
+            VendorQuote {
+                vendor: 0,
+                price: 0.1,
+                delay: 1,
+            },
+            VendorQuote {
+                vendor: 1,
+                price: 0.2,
+                delay: 1,
+            },
+            VendorQuote {
+                vendor: 2,
+                price: 0.3,
+                delay: 1,
+            },
+        ]];
+        let sc = scenario(vec![mk_task()], quotes);
+        let run = |seed| {
+            let mut ntm = Ntm::new(&sc, seed);
+            let refs: Vec<&Task> = sc.tasks.iter().collect();
+            ntm.on_slot(0, &refs, &sc)[0]
+                .schedule()
+                .unwrap()
+                .vendor
+                .vendor
+        };
+        assert_eq!(run(1), run(1));
+        // Over several seeds, more than one vendor appears.
+        let picks: std::collections::HashSet<usize> = (0..20).map(run).collect();
+        assert!(picks.len() > 1, "{picks:?}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Criterion microbenchmarks of the algorithmic kernels: the Algorithm-2
+//! DP, the Eq. (7)–(8) dual update, capacity-ledger commits, the simplex
+//! kernel, and workload generation. These back the runtime claims of
+//! DESIGN.md §6 and complement the Fig. 13 latency figure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pdftsp_core::{find_schedule, DpContext, DualState, Pdftsp, PdftspConfig};
+use pdftsp_sim::{run_scheduler, Algo};
+use pdftsp_solver::{solve_lp, solve_lp_presolved, Constraint, LinearProgram};
+use pdftsp_types::{Scenario, Schedule, VendorQuote};
+use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+
+fn mid_scenario() -> Scenario {
+    ScenarioBuilder {
+        horizon: 48,
+        num_nodes: 20,
+        arrivals: ArrivalProcess::Poisson { mean_per_slot: 6.0 },
+        seed: 99,
+        ..ScenarioBuilder::default()
+    }
+    .build()
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let sc = mid_scenario();
+    let duals = DualState::new(&sc, 1000.0);
+    let task = &sc.tasks[sc.tasks.len() / 2];
+    c.bench_function("dp_find_schedule_20nodes", |b| {
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: None,
+            compute_unit: 1000.0,
+        };
+        b.iter(|| find_schedule(&ctx, task, task.arrival));
+    });
+}
+
+fn bench_dual_update(c: &mut Criterion) {
+    let sc = mid_scenario();
+    let task = &sc.tasks[0];
+    let placements: Vec<(usize, usize)> = (task.arrival..task.arrival + 6)
+        .map(|t| (0usize, t))
+        .collect();
+    let schedule = Schedule::new(task.id, VendorQuote::none(), placements);
+    c.bench_function("dual_update_6slots", |b| {
+        b.iter_batched(
+            || DualState::new(&sc, 1000.0),
+            |mut d| d.update(task, &schedule, 1.0, 1.0, 1.0, 1000.0),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_pdftsp_decide(c: &mut Criterion) {
+    let sc = mid_scenario();
+    c.bench_function("pdftsp_decide_per_task", |b| {
+        b.iter_batched(
+            || Pdftsp::new(&sc, PdftspConfig::default()),
+            |mut s| {
+                for task in sc.tasks.iter().take(20) {
+                    let _ = s.decide(task, &sc);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_full_run_eft(c: &mut Criterion) {
+    let sc = mid_scenario();
+    c.bench_function("eft_full_run", |b| {
+        b.iter_batched(
+            || Algo::Eft.build(&sc, 0),
+            |mut s| run_scheduler(&sc, s.as_mut()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    // A dense-ish LP in the size class of a Titan batch after pruning.
+    let n = 120;
+    let m = 80;
+    let mut lp = LinearProgram::new(n);
+    let mut state = 0x1234_5678_9ABC_DEFu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    lp.objective = (0..n).map(|_| next() * 3.0).collect();
+    for _ in 0..m {
+        let coeffs = (0..n).map(|j| (j, next())).collect();
+        lp.constraints.push(Constraint::le(coeffs, 5.0 + next() * 10.0));
+    }
+    lp.bound_rows((0..n).map(|j| (j, 1.0)));
+    c.bench_function("simplex_120v_200r", |b| b.iter(|| solve_lp(&lp)));
+}
+
+fn bench_presolve_vs_direct(c: &mut Criterion) {
+    // A branchy node LP: many binaries already fixed by branch rows —
+    // the shape presolve is built for.
+    let n = 150;
+    let mut lp = LinearProgram::new(n);
+    let mut state = 0xA5A5_5A5A_1234u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    lp.objective = (0..n).map(|_| next() * 3.0).collect();
+    for _ in 0..60 {
+        let coeffs = (0..n).map(|j| (j, next())).collect();
+        lp.constraints.push(Constraint::le(coeffs, 4.0 + next() * 8.0));
+    }
+    lp.bound_rows((0..n).map(|j| (j, 1.0)));
+    // Fix ~60% of the variables as a deep B&B node would.
+    for j in 0..n {
+        let r = next();
+        if r < 0.4 {
+            lp.constraints.push(Constraint::le(vec![(j, 1.0)], 0.0));
+        } else if r < 0.6 {
+            lp.constraints.push(Constraint::ge(vec![(j, 1.0)], 1.0));
+        }
+    }
+    let mut group = c.benchmark_group("node_lp");
+    group.bench_function("direct", |b| b.iter(|| solve_lp(&lp)));
+    group.bench_function("presolved", |b| b.iter(|| solve_lp_presolved(&lp)));
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("scenario_build_smoke", |b| {
+        b.iter(|| ScenarioBuilder::smoke(3).build());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dp,
+    bench_dual_update,
+    bench_pdftsp_decide,
+    bench_full_run_eft,
+    bench_simplex,
+    bench_presolve_vs_direct,
+    bench_workload_generation,
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion counterpart of the paper's Fig. 13: per-task decision
+//! latency of pdFTSP vs the Titan per-slot MILP, on the same warm cluster
+//! state. (The fig13 binary prints the full CDF; this bench tracks the
+//! medians over time.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pdftsp_baselines::{TitanConfig, TitanLike};
+use pdftsp_core::{Pdftsp, PdftspConfig};
+use pdftsp_types::{OnlineScheduler, Scenario, Task};
+use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+
+fn scenario() -> Scenario {
+    ScenarioBuilder {
+        horizon: 36,
+        num_nodes: 20,
+        arrivals: ArrivalProcess::Poisson { mean_per_slot: 6.0 },
+        seed: 4242,
+        ..ScenarioBuilder::default()
+    }
+    .build()
+}
+
+/// Warm a scheduler with the first half of the workload, then measure the
+/// cost of deciding one additional mid-stream batch.
+fn warm_tasks(sc: &Scenario) -> (usize, Vec<&Task>) {
+    let half_slot = sc.horizon / 2;
+    let batch: Vec<&Task> = sc
+        .tasks
+        .iter()
+        .filter(|t| t.arrival == half_slot)
+        .collect();
+    (half_slot, batch)
+}
+
+fn bench_pdftsp_latency(c: &mut Criterion) {
+    let sc = scenario();
+    let (slot, batch) = warm_tasks(&sc);
+    c.bench_function("fig13_pdftsp_batch_decision", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Pdftsp::new(&sc, PdftspConfig::default());
+                for t in sc.tasks.iter().filter(|t| t.arrival < slot) {
+                    let _ = s.decide(t, &sc);
+                }
+                s
+            },
+            |mut s| s.on_slot(slot, &batch, &sc),
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn bench_titan_latency(c: &mut Criterion) {
+    let sc = scenario();
+    let (slot, batch) = warm_tasks(&sc);
+    let mut group = c.benchmark_group("fig13_titan");
+    group.sample_size(10);
+    group.bench_function("titan_batch_decision", |b| {
+        b.iter_batched(
+            || {
+                let mut s = TitanLike::new(&sc, 0, TitanConfig::default());
+                let mut next = 0usize;
+                for sl in 0..slot {
+                    let start = next;
+                    while next < sc.tasks.len() && sc.tasks[next].arrival == sl {
+                        next += 1;
+                    }
+                    let arrivals: Vec<&Task> = sc.tasks[start..next].iter().collect();
+                    let _ = s.on_slot(sl, &arrivals, &sc);
+                }
+                s
+            },
+            |mut s| s.on_slot(slot, &batch, &sc),
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdftsp_latency, bench_titan_latency);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Ablation studies for the design choices documented in DESIGN.md:
+//! capacity policy, price-seeding damping, pricing-unit scaling, and the
+//! energy-inclusive pricing rule.
+fn main() {
+    let scale = pdftsp_bench::scale_from_args();
+    for table in pdftsp_bench::ablations(scale) {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,8 @@
+//! Prints the LoRA calibration table (the software analogue of the
+//! paper's GPU profiling step) used by every experiment.
+use pdftsp_lora::CalibrationTable;
+fn main() {
+    let t = CalibrationTable::default_gpt2();
+    println!("pre-trained model: GPT-2 medium, LoRA rank-8 on Q/V");
+    println!("{}", t.render());
+}

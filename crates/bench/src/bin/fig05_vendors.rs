@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig05 series. Pass `--full` for paper scale.
+fn main() {
+    let scale = pdftsp_bench::scale_from_args();
+    let table = pdftsp_bench::fig05_vendors(scale);
+    println!("{}", table.render());
+    println!("normalized:\n{}", table.normalized().render());
+    println!("csv:\n{}", table.to_csv());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig06 series. Pass `--full` for paper scale.
+fn main() {
+    let scale = pdftsp_bench::scale_from_args();
+    let table = pdftsp_bench::fig06_capacity(scale);
+    println!("{}", table.render());
+    println!("normalized:\n{}", table.normalized().render());
+    println!("csv:\n{}", table.to_csv());
+}

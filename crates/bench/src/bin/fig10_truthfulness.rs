@@ -1,0 +1,8 @@
+//! Regenerates Fig. 10 (truthfulness utility curve). `--full` for paper scale.
+fn main() {
+    let scale = pdftsp_bench::scale_from_args();
+    let (table, valuation) = pdftsp_bench::fig10_truthfulness(scale);
+    println!("{}", table.render());
+    println!("true valuation = {valuation:.2}");
+    println!("csv:\n{}", table.to_csv());
+}

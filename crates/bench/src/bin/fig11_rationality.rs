@@ -1,0 +1,7 @@
+//! Regenerates Fig. 11 (individual rationality). `--full` for paper scale.
+fn main() {
+    let scale = pdftsp_bench::scale_from_args();
+    let table = pdftsp_bench::fig11_rationality(scale);
+    println!("{}", table.render());
+    println!("csv:\n{}", table.to_csv());
+}

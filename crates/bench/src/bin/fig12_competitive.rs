@@ -1,0 +1,8 @@
+//! Regenerates Fig. 12 (empirical competitive ratio). `--full` is slow:
+//! the offline optimum solves a full-horizon MILP per cell.
+fn main() {
+    let scale = pdftsp_bench::scale_from_args();
+    let table = pdftsp_bench::fig12_competitive(scale);
+    println!("{}", table.render());
+    println!("csv:\n{}", table.to_csv());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 13 (per-task scheduling latency CDF). `--full` for
+//! the paper's 100-node setting.
+fn main() {
+    let scale = pdftsp_bench::scale_from_args();
+    let table = pdftsp_bench::fig13_runtime(scale);
+    println!("{}", table.render());
+    println!("csv:\n{}", table.to_csv());
+}

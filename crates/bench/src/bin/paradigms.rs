@@ -1,0 +1,9 @@
+//! Extension experiment: the same marketplace under LoRA, QLoRA,
+//! prefix-tuning, and full fine-tuning calibrations (the paper's stated
+//! future work). Pass `--full` for paper scale.
+fn main() {
+    let scale = pdftsp_bench::scale_from_args();
+    let table = pdftsp_bench::paradigms(scale);
+    println!("{}", table.render());
+    println!("normalized:\n{}", table.normalized().render());
+}

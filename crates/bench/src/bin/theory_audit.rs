@@ -1,0 +1,33 @@
+//! Empirically audits the paper's Theorem-5 analysis chain (Lemmas 1 and
+//! 3) on live runs: committed vs almost-feasible welfare, the dual
+//! objective, and the implied ratio bound, for both capacity policies at
+//! three workloads. `--full` for paper scale.
+use pdftsp_bench::Scale;
+use pdftsp_core::{audit_guarantees, Pdftsp, PdftspConfig};
+use pdftsp_workload::ArrivalProcess;
+
+fn main() {
+    let scale = pdftsp_bench::scale_from_args();
+    for (label, mean) in [("light", 30.0), ("medium", 50.0), ("high", 80.0)] {
+        for (policy, cfg) in [
+            ("mask", PdftspConfig::default()),
+            ("strict", PdftspConfig::default().strict()),
+        ] {
+            let sc = pdftsp_workload::ScenarioBuilder {
+                arrivals: ArrivalProcess::Poisson {
+                    mean_per_slot: scale.arrival_mean(mean),
+                },
+                ..scale.base_builder()
+            }
+            .build();
+            let mut s = Pdftsp::new(&sc, cfg);
+            for t in &sc.tasks {
+                let _ = s.decide(t, &sc);
+            }
+            let audit = audit_guarantees(&s);
+            println!("== workload {label}, policy {policy} ==");
+            println!("{}", audit.render());
+        }
+    }
+    let _ = Scale::Quick;
+}

@@ -1,0 +1,32 @@
+//! # pdftsp-bench
+//!
+//! The benchmark harness that regenerates **every evaluation figure** of
+//! the paper (Figs. 4–13) plus the ablation studies called out in
+//! DESIGN.md. Each figure has:
+//!
+//! * a library function in [`figures`] returning the figure's data table;
+//! * a binary `figNN_*` printing the same rows the paper plots
+//!   (`cargo run -p pdftsp-bench --release --bin fig08_workload`);
+//! * where timing *is* the figure (Fig. 13), a Criterion bench.
+//!
+//! Figures run at [`Scale::Quick`] by default — a proportionally
+//! shrunk cluster/horizon that finishes on a laptop while preserving the
+//! offered load (tasks-per-node-slot) of the paper's setup. Pass `--full`
+//! to a figure binary for the paper-scale parameters (slow: Titan solves
+//! thousands of MILPs).
+
+pub mod figures;
+pub mod scale;
+
+pub use figures::*;
+pub use scale::Scale;
+
+/// Parses the common `--full` flag from a binary's argument list.
+#[must_use]
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    }
+}

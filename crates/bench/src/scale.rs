@@ -1,0 +1,105 @@
+//! Experiment scale: paper-size or proportionally shrunk.
+//!
+//! The paper's setup is 50–200 nodes, 144 slots, Poisson 30–80 tasks per
+//! slot. What drives every comparison is the *offered load* — arriving
+//! work relative to cluster capacity — so the quick scale divides the
+//! cluster, the horizon, and the arrival rate by common factors and keeps
+//! the load (and hence the figures' shape) intact.
+
+use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+
+/// Scale selector for all figure experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop scale: cluster ÷5, horizon ÷2, arrival rate ÷5; 2 seeds.
+    Quick,
+    /// Paper scale: 50–200 nodes, 144 slots, Poisson 30/50/80; 3 seeds.
+    Full,
+}
+
+impl Scale {
+    /// Cluster-size divisor relative to the paper.
+    #[must_use]
+    pub fn node_divisor(self) -> usize {
+        match self {
+            Scale::Quick => 5,
+            Scale::Full => 1,
+        }
+    }
+
+    /// Horizon in slots.
+    #[must_use]
+    pub fn horizon(self) -> usize {
+        match self {
+            Scale::Quick => 72,
+            Scale::Full => 144,
+        }
+    }
+
+    /// Number of seeds each cell is averaged over.
+    #[must_use]
+    pub fn seeds(self) -> u64 {
+        match self {
+            Scale::Quick => 2,
+            Scale::Full => 3,
+        }
+    }
+
+    /// Scales a paper node count (e.g. 100) to this scale.
+    #[must_use]
+    pub fn nodes(self, paper_nodes: usize) -> usize {
+        (paper_nodes / self.node_divisor()).max(2)
+    }
+
+    /// Scales a paper arrival rate, preserving tasks-per-node.
+    #[must_use]
+    pub fn arrival_mean(self, paper_mean: f64) -> f64 {
+        paper_mean / self.node_divisor() as f64
+    }
+
+    /// The baseline scenario builder all figures start from: the paper's
+    /// default of 100 (hybrid) nodes at the medium Poisson(50) workload,
+    /// scaled.
+    #[must_use]
+    pub fn base_builder(self) -> ScenarioBuilder {
+        ScenarioBuilder {
+            horizon: self.horizon(),
+            num_nodes: self.nodes(100),
+            arrivals: ArrivalProcess::Poisson {
+                mean_per_slot: self.arrival_mean(50.0),
+            },
+            ..ScenarioBuilder::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_preserves_offered_load() {
+        let quick = Scale::Quick.base_builder().build();
+        let full_like = ScenarioBuilder {
+            horizon: 36, // shorter horizon just to keep this test fast
+            num_nodes: 100,
+            arrivals: ArrivalProcess::Poisson {
+                mean_per_slot: 50.0,
+            },
+            ..ScenarioBuilder::default()
+        }
+        .build();
+        let lq = quick.stats().offered_load;
+        let lf = full_like.stats().offered_load;
+        assert!(
+            (lq - lf).abs() / lf < 0.2,
+            "quick load {lq} vs paper-ish load {lf}"
+        );
+    }
+
+    #[test]
+    fn nodes_never_degenerate() {
+        assert!(Scale::Quick.nodes(50) >= 2);
+        assert_eq!(Scale::Full.nodes(200), 200);
+    }
+}

@@ -1,0 +1,344 @@
+//! Hand-rolled argument parsing: a subcommand followed by `--key value`
+//! pairs (plus a few boolean flags).
+
+use pdftsp_lora::TuningParadigm;
+use pdftsp_sim::Algo;
+use pdftsp_workload::{ArrivalProcess, DeadlinePolicy, NodeMix, TraceKind};
+use std::fmt;
+
+/// Usage text printed on parse errors and `help`.
+pub const USAGE: &str = "\
+usage: pdftsp <command> [options]
+
+commands:
+  simulate    run one scheduler over a generated day and report economics
+  compare     run all schedulers over the same day
+  audit       truthfulness + individual-rationality audit of the auction
+  ratio       empirical competitive ratio against the offline optimum
+  zones       split the cluster into per-model zones and run each market
+  calibrate   print the LoRA/paradigm calibration table
+  help        show this text
+
+scenario options (simulate / compare / audit / ratio):
+  --nodes N        cluster size                        [default 12; ratio: 2]
+  --slots T        horizon in 10-minute slots          [default 48; ratio: 24]
+  --mean M         mean task arrivals per slot         [default 6;  ratio: 0.4]
+  --seed S         RNG seed                            [default 42]
+  --vendors N      labor vendors in the marketplace    [default 5]
+  --mix MIX        a100 | a40 | hybrid                 [default hybrid]
+  --trace KIND     poisson | mlaas | philly | helios   [default poisson]
+  --deadline D     tight | medium | slack              [default medium]
+  --paradigm P     lora | qlora | prefix | full        [default lora]
+
+simulate options:
+  --algo A         pdftsp | titan | eft | ntm | fixed  [default pdftsp]
+  --timeline       also print per-slot strips and the per-node gantt
+
+scenario persistence (simulate / compare / audit / ratio):
+  --save FILE      write the generated scenario to FILE (text format)
+  --load FILE      replay a scenario from FILE instead of generating one
+
+output options:
+  --csv            emit CSV instead of an aligned table (where applicable)
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+    /// Scenario shape shared by most commands.
+    pub scenario: ScenarioArgs,
+    /// Emit CSV where supported.
+    pub csv: bool,
+    /// Write the generated scenario to this path.
+    pub save: Option<String>,
+    /// Load the scenario from this path instead of generating.
+    pub load: Option<String>,
+    /// Print per-slot strips and the per-node gantt after `simulate`.
+    pub timeline: bool,
+}
+
+/// The selected subcommand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Command {
+    /// Run one algorithm.
+    Simulate {
+        /// Which scheduler.
+        algo: Algo,
+    },
+    /// Run every algorithm on the same scenario.
+    Compare,
+    /// Economic-property audit.
+    Audit,
+    /// Competitive ratio vs the offline optimum.
+    Ratio,
+    /// Multi-model zoned data center.
+    Zones,
+    /// Print the calibration table.
+    Calibrate,
+    /// Print usage.
+    Help,
+}
+
+/// Scenario knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioArgs {
+    /// Cluster size `K`.
+    pub nodes: usize,
+    /// Horizon `T`.
+    pub slots: usize,
+    /// Mean arrivals per slot.
+    pub mean: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Vendor count `N`.
+    pub vendors: usize,
+    /// GPU mix.
+    pub mix: NodeMix,
+    /// Arrival shape (`None` = Poisson).
+    pub trace: Option<TraceKind>,
+    /// Deadline policy.
+    pub deadline: DeadlinePolicy,
+    /// Fine-tuning paradigm.
+    pub paradigm: TuningParadigm,
+}
+
+impl Default for ScenarioArgs {
+    fn default() -> Self {
+        ScenarioArgs {
+            nodes: 12,
+            slots: 48,
+            mean: 6.0,
+            seed: 42,
+            vendors: 5,
+            mix: NodeMix::Hybrid { a100_fraction: 0.5 },
+            trace: None,
+            deadline: DeadlinePolicy::Medium,
+            paradigm: TuningParadigm::Lora { rank: 8 },
+        }
+    }
+}
+
+impl ScenarioArgs {
+    /// The arrival process these arguments describe.
+    #[must_use]
+    pub fn arrivals(&self) -> ArrivalProcess {
+        match self.trace {
+            None => ArrivalProcess::Poisson {
+                mean_per_slot: self.mean,
+            },
+            Some(kind) => ArrivalProcess::Trace {
+                kind,
+                mean_per_slot: self.mean,
+            },
+        }
+    }
+}
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+impl Cli {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Cli, ParseError> {
+        let mut it = argv.iter();
+        let command_word = it.next().map(String::as_str).unwrap_or("help");
+        let mut algo = Algo::Pdftsp;
+        let mut scenario = ScenarioArgs::default();
+        if command_word == "ratio" {
+            // Offline MILPs need tiny instances.
+            scenario.nodes = 2;
+            scenario.slots = 24;
+            scenario.mean = 0.4;
+        }
+        let mut csv = false;
+        let mut save = None;
+        let mut load = None;
+        let mut timeline = false;
+
+        while let Some(arg) = it.next() {
+            let mut value_for = |name: &str| -> Result<&String, ParseError> {
+                it.next().ok_or_else(|| err(format!("{name} needs a value")))
+            };
+            match arg.as_str() {
+                "--csv" => csv = true,
+                "--timeline" => timeline = true,
+                "--save" => save = Some(value_for("--save")?.clone()),
+                "--load" => load = Some(value_for("--load")?.clone()),
+                "--nodes" => scenario.nodes = parse_num(value_for("--nodes")?, "--nodes")?,
+                "--slots" => scenario.slots = parse_num(value_for("--slots")?, "--slots")?,
+                "--seed" => scenario.seed = parse_num(value_for("--seed")?, "--seed")?,
+                "--vendors" => {
+                    scenario.vendors = parse_num(value_for("--vendors")?, "--vendors")?;
+                }
+                "--mean" => {
+                    let v = value_for("--mean")?;
+                    scenario.mean = v
+                        .parse::<f64>()
+                        .map_err(|_| err(format!("--mean: bad number `{v}`")))?;
+                }
+                "--mix" => {
+                    scenario.mix = match value_for("--mix")?.as_str() {
+                        "a100" => NodeMix::A100Only,
+                        "a40" => NodeMix::A40Only,
+                        "hybrid" => NodeMix::Hybrid { a100_fraction: 0.5 },
+                        other => return Err(err(format!("--mix: unknown `{other}`"))),
+                    };
+                }
+                "--trace" => {
+                    scenario.trace = match value_for("--trace")?.as_str() {
+                        "poisson" => None,
+                        "mlaas" => Some(TraceKind::MLaaS),
+                        "philly" => Some(TraceKind::Philly),
+                        "helios" => Some(TraceKind::Helios),
+                        other => return Err(err(format!("--trace: unknown `{other}`"))),
+                    };
+                }
+                "--deadline" => {
+                    scenario.deadline = match value_for("--deadline")?.as_str() {
+                        "tight" => DeadlinePolicy::Tight,
+                        "medium" => DeadlinePolicy::Medium,
+                        "slack" => DeadlinePolicy::Slack,
+                        other => return Err(err(format!("--deadline: unknown `{other}`"))),
+                    };
+                }
+                "--paradigm" => {
+                    scenario.paradigm = match value_for("--paradigm")?.as_str() {
+                        "lora" => TuningParadigm::Lora { rank: 8 },
+                        "qlora" => TuningParadigm::QLora { rank: 8 },
+                        "prefix" => TuningParadigm::PrefixTuning { prefix_len: 64 },
+                        "full" => TuningParadigm::FullFineTune,
+                        other => return Err(err(format!("--paradigm: unknown `{other}`"))),
+                    };
+                }
+                "--algo" => {
+                    algo = match value_for("--algo")?.as_str() {
+                        "pdftsp" => Algo::Pdftsp,
+                        "titan" => Algo::Titan,
+                        "eft" => Algo::Eft,
+                        "ntm" => Algo::Ntm,
+                        "fixed" => Algo::FixedPrice,
+                        other => return Err(err(format!("--algo: unknown `{other}`"))),
+                    };
+                }
+                other => return Err(err(format!("unknown option `{other}`"))),
+            }
+        }
+
+        let command = match command_word {
+            "simulate" => Command::Simulate { algo },
+            "compare" => Command::Compare,
+            "audit" => Command::Audit,
+            "ratio" => Command::Ratio,
+            "zones" => Command::Zones,
+            "calibrate" => Command::Calibrate,
+            "help" | "--help" | "-h" => Command::Help,
+            other => return Err(err(format!("unknown command `{other}`"))),
+        };
+        Ok(Cli {
+            command,
+            scenario,
+            csv,
+            save,
+            load,
+            timeline,
+        })
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, ParseError> {
+    v.parse::<T>()
+        .map_err(|_| err(format!("{flag}: bad number `{v}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &str) -> Result<Cli, ParseError> {
+        let argv: Vec<String> = words.split_whitespace().map(String::from).collect();
+        Cli::parse(&argv)
+    }
+
+    #[test]
+    fn defaults_apply_without_options() {
+        let cli = parse("compare").unwrap();
+        assert_eq!(cli.command, Command::Compare);
+        assert_eq!(cli.scenario, ScenarioArgs::default());
+        assert!(!cli.csv);
+    }
+
+    #[test]
+    fn simulate_parses_algo_and_scenario() {
+        let cli =
+            parse("simulate --algo titan --nodes 20 --slots 72 --mean 10 --seed 9").unwrap();
+        assert_eq!(cli.command, Command::Simulate { algo: Algo::Titan });
+        assert_eq!(cli.scenario.nodes, 20);
+        assert_eq!(cli.scenario.slots, 72);
+        assert_eq!(cli.scenario.mean, 10.0);
+        assert_eq!(cli.scenario.seed, 9);
+    }
+
+    #[test]
+    fn ratio_defaults_are_tiny() {
+        let cli = parse("ratio").unwrap();
+        assert_eq!(cli.scenario.nodes, 2);
+        assert!(cli.scenario.mean < 1.0);
+    }
+
+    #[test]
+    fn enums_parse() {
+        let cli =
+            parse("compare --mix a40 --trace helios --deadline slack --paradigm qlora").unwrap();
+        assert_eq!(cli.scenario.mix, NodeMix::A40Only);
+        assert_eq!(cli.scenario.trace, Some(TraceKind::Helios));
+        assert_eq!(cli.scenario.deadline, DeadlinePolicy::Slack);
+        assert_eq!(cli.scenario.paradigm, TuningParadigm::QLora { rank: 8 });
+    }
+
+    #[test]
+    fn unknown_bits_are_rejected() {
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("simulate --algo sorcery").is_err());
+        assert!(parse("compare --nodes").is_err());
+        assert!(parse("compare --mean banana").is_err());
+        assert!(parse("compare --wat 3").is_err());
+    }
+
+    #[test]
+    fn help_is_the_default() {
+        assert_eq!(parse("").unwrap().command, Command::Help);
+        assert_eq!(parse("help").unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn arrivals_reflect_trace_choice() {
+        let poisson = parse("compare --mean 4").unwrap().scenario.arrivals();
+        assert!(matches!(poisson, ArrivalProcess::Poisson { .. }));
+        let trace = parse("compare --trace mlaas --mean 4")
+            .unwrap()
+            .scenario
+            .arrivals();
+        assert!(matches!(
+            trace,
+            ArrivalProcess::Trace {
+                kind: TraceKind::MLaaS,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,395 @@
+//! Command implementations. Each returns the full output as a `String`
+//! (so the logic is unit-testable without capturing stdout).
+
+use crate::args::{Cli, Command, ScenarioArgs, USAGE};
+use pdftsp_core::{probe_bid, Pdftsp, PdftspConfig};
+use pdftsp_lora::{CalibrationTable, TransformerConfig};
+use pdftsp_sim::{
+    empirical_ratio, parallel_map, partition_zones, render_gantt, render_timeline, run_algo,
+    run_scheduler, run_zoned, Algo, FigureTable,
+};
+use pdftsp_solver::milp::MilpConfig;
+use pdftsp_types::Scenario;
+use pdftsp_workload::ScenarioBuilder;
+
+/// Builds the scenario the shared arguments describe.
+#[must_use]
+pub fn build_scenario(args: &ScenarioArgs) -> Scenario {
+    ScenarioBuilder {
+        horizon: args.slots,
+        num_nodes: args.nodes,
+        node_mix: args.mix,
+        arrivals: args.arrivals(),
+        num_vendors: args.vendors,
+        deadline_policy: args.deadline,
+        paradigm: args.paradigm,
+        seed: args.seed,
+        ..ScenarioBuilder::default()
+    }
+    .build()
+}
+
+/// Builds, loads, and/or persists the scenario per the CLI's
+/// `--load`/`--save` options.
+fn obtain_scenario(cli: &Cli) -> Result<Scenario, String> {
+    let scenario = match &cli.load {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("--load {path}: {e}"))?;
+            pdftsp_types::load_scenario(&text).map_err(|e| format!("--load {path}: {e}"))?
+        }
+        None => build_scenario(&cli.scenario),
+    };
+    if let Some(path) = &cli.save {
+        std::fs::write(path, pdftsp_types::save_scenario(&scenario))
+            .map_err(|e| format!("--save {path}: {e}"))?;
+    }
+    Ok(scenario)
+}
+
+/// Executes `cli`, returning the printable report.
+#[must_use]
+pub fn execute(cli: &Cli) -> String {
+    if matches!(cli.command, Command::Help) {
+        return format!("{USAGE}");
+    }
+    if matches!(cli.command, Command::Calibrate) {
+        return calibrate(&cli.scenario);
+    }
+    let scenario = match obtain_scenario(cli) {
+        Ok(s) => s,
+        Err(e) => return format!("error: {e}
+"),
+    };
+    match cli.command {
+        Command::Simulate { algo } => simulate(&scenario, &cli.scenario, algo, cli.timeline),
+        Command::Compare => compare(&scenario, &cli.scenario, cli.csv),
+        Command::Audit => audit(&scenario),
+        Command::Ratio => ratio(&scenario),
+        Command::Zones => zones(&cli.scenario),
+        Command::Help | Command::Calibrate => unreachable!("handled above"),
+    }
+}
+
+fn zones(args: &ScenarioArgs) -> String {
+    use pdftsp_lora::TransformerConfig;
+    let base = ScenarioBuilder {
+        horizon: args.slots,
+        num_nodes: args.nodes,
+        node_mix: args.mix,
+        arrivals: args.arrivals(),
+        num_vendors: args.vendors,
+        deadline_policy: args.deadline,
+        paradigm: args.paradigm,
+        seed: args.seed,
+        ..ScenarioBuilder::default()
+    };
+    let splits = vec![
+        ("gpt2-small".to_owned(), TransformerConfig::gpt2_small(), 1.0),
+        ("gpt2-medium".to_owned(), TransformerConfig::gpt2_medium(), 1.0),
+        ("gpt2-large".to_owned(), TransformerConfig::gpt2_large(), 1.0),
+    ];
+    let zone_list = partition_zones(&base, &splits);
+    let out = run_zoned(&zone_list, Algo::Pdftsp, args.seed);
+    let mut text = String::from("zone          admitted    welfare
+");
+    for (name, r) in &out.per_zone {
+        text.push_str(&format!(
+            "{:<13} {:>8} {:>10.1}
+",
+            name, r.welfare.admitted, r.welfare.social_welfare
+        ));
+    }
+    text.push_str(&format!(
+        "total: welfare {:.1}, admitted {}/{}
+",
+        out.total_welfare, out.total_admitted, out.total_tasks
+    ));
+    text
+}
+
+fn calibrate(args: &ScenarioArgs) -> String {
+    let table = CalibrationTable::for_paradigm(TransformerConfig::gpt2_medium(), args.paradigm);
+    format!(
+        "pre-trained model: GPT-2 medium; paradigm: {}\n{}",
+        args.paradigm.name(),
+        table.render()
+    )
+}
+
+fn simulate(scenario: &Scenario, args: &ScenarioArgs, algo: Algo, timeline: bool) -> String {
+    let scenario = scenario.clone();
+    let stats = scenario.stats();
+    let r = run_algo(&scenario, algo, args.seed);
+    let w = &r.welfare;
+    let mut out = format!(
+        "scenario: {} tasks / {} nodes / {} slots (offered load {:.2})\n\
+         algorithm: {}\n\
+         social welfare   : {:.2}\n\
+         admitted         : {}/{} ({:.1}%)\n\
+         revenue          : {:.2}\n\
+         vendor cost      : {:.2}\n\
+         energy cost      : {:.2}\n\
+         provider utility : {:.2}\n\
+         users' utility   : {:.2}\n\
+         mean compute util: {:.1}%\n\
+         peak co-location : {} tasks per GPU-slot\n",
+        stats.tasks,
+        stats.nodes,
+        stats.horizon,
+        stats.offered_load,
+        r.algo,
+        w.social_welfare,
+        w.admitted,
+        stats.tasks,
+        100.0 * w.admission_rate(),
+        w.revenue,
+        w.vendor_cost,
+        w.energy_cost,
+        w.provider_utility,
+        w.user_utility,
+        100.0 * r.metrics.mean_compute_utilization,
+        r.metrics.peak_colocation,
+    );
+    if timeline {
+        out.push_str(&format!(
+            "
+{}
+gantt (digits = co-located tasks):
+{}",
+            render_timeline(&scenario, &r),
+            render_gantt(&scenario, &r)
+        ));
+    }
+    out
+}
+
+fn compare(scenario: &Scenario, args: &ScenarioArgs, csv: bool) -> String {
+    let algos = [
+        Algo::Pdftsp,
+        Algo::Titan,
+        Algo::Eft,
+        Algo::Ntm,
+        Algo::FixedPrice,
+    ];
+    let results = parallel_map(&algos, |&a| run_algo(scenario, a, args.seed));
+    let mut table = FigureTable::new(
+        format!(
+            "compare: {} tasks / {} nodes / {} slots (seed {})",
+            scenario.num_tasks(),
+            scenario.num_nodes(),
+            scenario.horizon,
+            args.seed
+        ),
+        "metric",
+        algos.iter().map(|a| a.name().to_owned()).collect(),
+    );
+    table.push_row(
+        "social welfare",
+        results.iter().map(|r| r.welfare.social_welfare).collect(),
+    );
+    table.push_row(
+        "admitted",
+        results.iter().map(|r| r.welfare.admitted as f64).collect(),
+    );
+    table.push_row(
+        "revenue",
+        results.iter().map(|r| r.welfare.revenue).collect(),
+    );
+    table.push_row(
+        "energy cost",
+        results.iter().map(|r| r.welfare.energy_cost).collect(),
+    );
+    table.push_row(
+        "mean util",
+        results
+            .iter()
+            .map(|r| r.metrics.mean_compute_utilization)
+            .collect(),
+    );
+    if csv {
+        table.to_csv()
+    } else {
+        table.render()
+    }
+}
+
+fn audit(scenario: &Scenario) -> String {
+    let scenario = scenario.clone();
+    let mut auctioneer = Pdftsp::new(&scenario, PdftspConfig::default());
+    let result = run_scheduler(&scenario, &mut auctioneer);
+
+    // Individual rationality over every winner.
+    let mut winners = 0usize;
+    let mut ir_violations = 0usize;
+    let mut max_payment_ratio: f64 = 0.0;
+    for d in &result.decisions {
+        if d.is_admitted() {
+            winners += 1;
+            let bid = scenario.tasks[d.task].bid;
+            if d.payment() > bid + 1e-9 {
+                ir_violations += 1;
+            }
+            max_payment_ratio = max_payment_ratio.max(d.payment() / bid);
+        }
+    }
+
+    // Truthfulness probes against the final market state.
+    let mut probes = 0usize;
+    let mut gains = 0usize;
+    for task in scenario.tasks.iter().rev().take(20) {
+        let truthful = probe_bid(&auctioneer, task, task.valuation, &scenario);
+        for factor in [0.5, 0.9, 1.1, 2.0] {
+            let lie = probe_bid(&auctioneer, task, task.valuation * factor, &scenario);
+            probes += 1;
+            if lie.utility > truthful.utility + 1e-9 {
+                gains += 1;
+            }
+        }
+    }
+
+    format!(
+        "auction audit over {} tasks ({} winners)\n\
+         individual rationality: {} violations; max payment/bid = {:.3}\n\
+         truthfulness: {} lie-probes, {} profitable lies\n\
+         verdict: {}\n",
+        scenario.num_tasks(),
+        winners,
+        ir_violations,
+        max_payment_ratio,
+        probes,
+        gains,
+        if ir_violations == 0 && gains == 0 {
+            "PASS — truthful and individually rational"
+        } else {
+            "FAIL"
+        }
+    )
+}
+
+fn ratio(scenario: &Scenario) -> String {
+    let r = empirical_ratio(
+        &scenario,
+        &MilpConfig {
+            node_limit: 300,
+            time_limit_secs: 60.0,
+            ..MilpConfig::default()
+        },
+    );
+    format!(
+        "instance: {} tasks / {} nodes / {} slots\n\
+         online welfare (pdFTSP) : {:.2}\n\
+         offline welfare found   : {:.2} ({})\n\
+         offline upper bound     : {:.2}\n\
+         empirical ratio         : {:.3}\n\
+         conservative ratio      : {:.3} (vs upper bound)\n",
+        scenario.num_tasks(),
+        scenario.num_nodes(),
+        scenario.horizon,
+        r.online_welfare,
+        r.offline_welfare,
+        if r.certified { "certified optimal" } else { "incumbent" },
+        r.offline_bound,
+        r.ratio,
+        r.ratio_vs_bound,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn run_words(words: &str) -> String {
+        let argv: Vec<String> = words.split_whitespace().map(String::from).collect();
+        execute(&Cli::parse(&argv).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_words("help");
+        assert!(out.contains("usage: pdftsp"));
+    }
+
+    #[test]
+    fn calibrate_prints_gpu_rows() {
+        let out = run_words("calibrate --paradigm qlora");
+        assert!(out.contains("QLoRA"));
+        assert!(out.contains("A100-80GB"));
+    }
+
+    #[test]
+    fn simulate_reports_welfare() {
+        let out = run_words("simulate --nodes 4 --slots 16 --mean 2 --seed 1");
+        assert!(out.contains("social welfare"), "{out}");
+        assert!(out.contains("pdFTSP"));
+    }
+
+    #[test]
+    fn compare_lists_all_algorithms() {
+        let out = run_words("compare --nodes 4 --slots 12 --mean 1.5 --seed 1");
+        for name in ["pdFTSP", "Titan", "EFT", "NTM", "FixedPrice"] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn compare_csv_emits_commas() {
+        let out = run_words("compare --nodes 4 --slots 12 --mean 1.5 --csv");
+        assert!(out.lines().next().unwrap().contains(','));
+    }
+
+    #[test]
+    fn audit_passes_on_default_config() {
+        let out = run_words("audit --nodes 4 --slots 20 --mean 2 --seed 3");
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn save_then_load_reproduces_the_run() {
+        let dir = std::env::temp_dir().join("pdftsp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.txt");
+        let path = path.to_str().unwrap();
+        let a = run_words(&format!(
+            "simulate --nodes 4 --slots 16 --mean 2 --seed 5 --save {path}"
+        ));
+        let b = run_words(&format!("simulate --load {path}"));
+        // Same scenario -> identical economics (latency lines may differ).
+        let key = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains("social welfare") || l.contains("admitted"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(key(&a), key(&b));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_reports_error() {
+        let out = run_words("simulate --load /nonexistent/path/xyz.txt");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn zones_reports_three_markets() {
+        let out = run_words("zones --nodes 6 --slots 16 --mean 2 --seed 1");
+        for z in ["gpt2-small", "gpt2-medium", "gpt2-large", "total"] {
+            assert!(out.contains(z), "missing {z}: {out}");
+        }
+    }
+
+    #[test]
+    fn timeline_flag_adds_strips_and_gantt() {
+        let out = run_words("simulate --nodes 4 --slots 16 --mean 2 --timeline");
+        assert!(out.contains("arrivals"), "{out}");
+        assert!(out.contains("gantt"), "{out}");
+    }
+
+    #[test]
+    fn ratio_reports_at_least_one() {
+        let out = run_words("ratio --slots 12 --mean 0.3 --seed 2");
+        assert!(out.contains("empirical ratio"), "{out}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # pdftsp-cli
+//!
+//! Command-line front end for the `pdftsp` workspace: run simulated
+//! marketplace days, compare schedulers, audit the auction's economic
+//! properties, measure competitive ratios, and print the LoRA
+//! calibration — all without writing Rust.
+//!
+//! ```text
+//! pdftsp simulate --nodes 12 --slots 48 --mean 6 --algo pdftsp
+//! pdftsp compare  --nodes 12 --slots 48 --mean 8 --seed 3
+//! pdftsp audit    --nodes 8  --slots 36 --mean 5
+//! pdftsp ratio    --slots 24 --mean 0.4
+//! pdftsp calibrate --paradigm qlora
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs after a
+//! subcommand) to stay inside the workspace's dependency budget.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Cli, Command, ParseError};
+
+/// Parses arguments and runs the selected command, returning the exit
+/// code (0 on success).
+#[must_use]
+pub fn run(argv: &[String]) -> i32 {
+    match Cli::parse(argv) {
+        Ok(cli) => {
+            let out = commands::execute(&cli);
+            print!("{out}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::USAGE);
+            2
+        }
+    }
+}

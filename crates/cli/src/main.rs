@@ -1,0 +1,6 @@
+//! The `pdftsp` command-line binary; all logic lives in the library.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(pdftsp_cli::run(&argv));
+}

@@ -1,0 +1,185 @@
+//! Time-varying operational-cost (energy price) signals.
+//!
+//! The paper stresses that the data center's operational cost is "constantly
+//! changing" (citing electricity-market work). We provide three signal
+//! shapes; the experiments default to the diurnal one:
+//!
+//! * [`PriceModel::Flat`] — constant price (ablation control);
+//! * [`PriceModel::Diurnal`] — a day-shaped sinusoid peaking in the
+//!   afternoon, the classic electricity-market profile;
+//! * [`PriceModel::Spiky`] — diurnal plus random demand-charge spikes.
+
+use pdftsp_types::CostGrid;
+use rand::Rng;
+
+/// Price-signal shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PriceModel {
+    /// Constant `base` at every slot.
+    Flat,
+    /// `base · (1 + amplitude · sin(2π(t/T − 0.25)))`: trough at t=0
+    /// (midnight), peak mid-day. `amplitude ∈ [0, 1)`.
+    Diurnal { amplitude: f64 },
+    /// Diurnal plus spikes: with probability `spike_prob` per slot the
+    /// price is multiplied by `spike_factor`.
+    Spiky {
+        amplitude: f64,
+        spike_prob: f64,
+        spike_factor: f64,
+    },
+}
+
+/// Generator of per-node per-slot energy prices.
+#[derive(Debug, Clone)]
+pub struct EnergySignal {
+    /// Baseline price per slot of full-weight execution.
+    pub base: f64,
+    /// Signal shape.
+    pub model: PriceModel,
+    /// Relative power draw per node (1.0 = baseline; an A100 node draws
+    /// more power than an A40 node).
+    pub node_power: Vec<f64>,
+}
+
+impl EnergySignal {
+    /// Uniform node power.
+    #[must_use]
+    pub fn uniform(base: f64, model: PriceModel, nodes: usize) -> Self {
+        EnergySignal {
+            base,
+            model,
+            node_power: vec![1.0; nodes],
+        }
+    }
+
+    /// Builds the `K × T` [`CostGrid`], sampling spikes from `rng`.
+    ///
+    /// # Panics
+    /// Panics if the generated grid is invalid (programming error: the
+    /// generator only emits non-negative finite prices).
+    pub fn grid<R: Rng>(&self, horizon: usize, rng: &mut R) -> CostGrid {
+        let nodes = self.node_power.len();
+        let mut price = Vec::with_capacity(nodes * horizon);
+        // Pre-draw spike pattern per slot so all nodes spike together
+        // (grid-wide demand charges).
+        let spikes: Vec<f64> = (0..horizon)
+            .map(|_| match self.model {
+                PriceModel::Spiky {
+                    spike_prob,
+                    spike_factor,
+                    ..
+                } => {
+                    if rng.gen::<f64>() < spike_prob {
+                        spike_factor
+                    } else {
+                        1.0
+                    }
+                }
+                _ => 1.0,
+            })
+            .collect();
+        for k in 0..nodes {
+            for (t, spike) in spikes.iter().enumerate() {
+                let shape = match self.model {
+                    PriceModel::Flat => 1.0,
+                    PriceModel::Diurnal { amplitude }
+                    | PriceModel::Spiky { amplitude, .. } => {
+                        let phase = t as f64 / horizon.max(1) as f64;
+                        1.0 + amplitude * (std::f64::consts::TAU * (phase - 0.25)).sin()
+                    }
+                };
+                price.push(self.base * self.node_power[k] * shape * spike);
+            }
+        }
+        CostGrid::from_vec(nodes, horizon, price).expect("generated grid is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flat_signal_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = EnergySignal::uniform(0.4, PriceModel::Flat, 3).grid(10, &mut rng);
+        for k in 0..3 {
+            for t in 0..10 {
+                assert!((g.price(k, t) - 0.4).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_signal_peaks_midday_and_troughs_at_night() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let horizon = 144;
+        let g = EnergySignal::uniform(1.0, PriceModel::Diurnal { amplitude: 0.5 }, 1)
+            .grid(horizon, &mut rng);
+        // Peak near 3/4 into... phase-0.25 sine peaks at phase=0.5 (t=72).
+        let peak = g.price(0, 72);
+        let trough = g.price(0, 0);
+        assert!(peak > 1.4, "peak {peak}");
+        assert!(trough < 0.7, "trough {trough}");
+        // Never negative with amplitude < 1.
+        for t in 0..horizon {
+            assert!(g.price(0, t) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn node_power_scales_prices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sig = EnergySignal {
+            base: 1.0,
+            model: PriceModel::Flat,
+            node_power: vec![1.0, 2.5],
+        };
+        let g = sig.grid(4, &mut rng);
+        assert!((g.price(1, 0) / g.price(0, 0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spiky_signal_spikes_all_nodes_together() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sig = EnergySignal {
+            base: 1.0,
+            model: PriceModel::Spiky {
+                amplitude: 0.0,
+                spike_prob: 0.5,
+                spike_factor: 3.0,
+            },
+            node_power: vec![1.0, 1.0],
+        };
+        let g = sig.grid(40, &mut rng);
+        let mut spiked = 0;
+        for t in 0..40 {
+            let p0 = g.price(0, t);
+            let p1 = g.price(1, t);
+            assert!((p0 - p1).abs() < 1e-12, "nodes must spike together");
+            if p0 > 2.0 {
+                spiked += 1;
+            }
+        }
+        // With prob 0.5 over 40 slots, expect some spikes and some calm.
+        assert!(spiked > 5 && spiked < 35, "spiked {spiked}");
+    }
+
+    #[test]
+    fn same_seed_same_grid() {
+        let sig = EnergySignal::uniform(
+            1.0,
+            PriceModel::Spiky {
+                amplitude: 0.3,
+                spike_prob: 0.2,
+                spike_factor: 2.0,
+            },
+            2,
+        );
+        let g1 = sig.grid(20, &mut StdRng::seed_from_u64(7));
+        let g2 = sig.grid(20, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,382 @@
+//! Execution engine: replays committed schedules over the slotted horizon.
+//!
+//! Given a scenario and the set of admitted decisions, the engine simulates
+//! the cluster slot by slot, producing:
+//!
+//! * a task-lifecycle event log (admitted tasks start, may suspend and
+//!   resume — the paper's "suspend and resume execution alternately" — and
+//!   complete);
+//! * verified accounting: every placement respects capacity (via a fresh
+//!   [`CapacityLedger`]), every admitted task completes its `M_i` work by
+//!   its deadline;
+//! * the realized operational cost per slot (the `Σ e_ikt x_ikt` term of
+//!   the objective).
+//!
+//! The engine is the ground truth the simulation reports welfare from; a
+//! scheduler cannot overstate its result by mis-reporting, because the
+//! engine recomputes everything from the committed schedules.
+
+use crate::ledger::{CapacityLedger, LedgerError};
+use pdftsp_types::{Decision, Scenario, Slot, TaskId};
+
+/// What happened to a task at a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskEventKind {
+    /// First execution slot.
+    Started,
+    /// Executed this slot after a gap (resume).
+    Resumed,
+    /// Stopped executing with work remaining (suspend, effective after the
+    /// given slot).
+    Suspended,
+    /// Finished its cumulative work `M_i` at this slot.
+    Completed,
+}
+
+/// One lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskEvent {
+    /// Task concerned.
+    pub task: TaskId,
+    /// Slot at which the event takes effect.
+    pub slot: Slot,
+    /// Event kind.
+    pub kind: TaskEventKind,
+}
+
+/// Replay outcome.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Lifecycle events ordered by slot then task id.
+    pub events: Vec<TaskEvent>,
+    /// Tasks that completed (all admitted tasks must, by construction).
+    pub completed: Vec<TaskId>,
+    /// Realized operational cost per slot (`Σ_i Σ_k e_ikt x_ikt`).
+    pub energy_per_slot: Vec<f64>,
+    /// Total realized operational cost.
+    pub total_energy: f64,
+    /// Final ledger (for utilization metrics).
+    pub ledger: CapacityLedger,
+}
+
+/// Errors detected during replay — any of these means the scheduler under
+/// test produced an invalid outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// A committed schedule violated capacity.
+    Capacity(LedgerError),
+    /// An admitted task did not reach `M_i` by its deadline, or violated a
+    /// schedule constraint.
+    InvalidSchedule { task: TaskId, reason: String },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Capacity(e) => write!(f, "capacity violation: {e}"),
+            ReplayError::InvalidSchedule { task, reason } => {
+                write!(f, "task {task}: invalid schedule: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// One task's lifecycle summary distilled from the event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskLifetime {
+    /// Task id.
+    pub task: TaskId,
+    /// First execution slot.
+    pub started: Slot,
+    /// Completion slot (inclusive).
+    pub completed: Slot,
+    /// Number of suspend/resume cycles (the paper's "suspend and resume
+    /// execution alternately").
+    pub suspensions: usize,
+}
+
+impl ExecutionReport {
+    /// Distills per-task lifecycle summaries from the event log.
+    #[must_use]
+    pub fn lifetimes(&self) -> Vec<TaskLifetime> {
+        use std::collections::BTreeMap;
+        let mut acc: BTreeMap<TaskId, (Option<Slot>, Option<Slot>, usize)> = BTreeMap::new();
+        for e in &self.events {
+            let entry = acc.entry(e.task).or_insert((None, None, 0));
+            match e.kind {
+                TaskEventKind::Started => entry.0 = Some(e.slot),
+                TaskEventKind::Completed => entry.1 = Some(e.slot),
+                TaskEventKind::Suspended => entry.2 += 1,
+                TaskEventKind::Resumed => {}
+            }
+        }
+        acc.into_iter()
+            .filter_map(|(task, (s, c, susp))| {
+                Some(TaskLifetime {
+                    task,
+                    started: s?,
+                    completed: c?,
+                    suspensions: susp,
+                })
+            })
+            .collect()
+    }
+
+    /// Mean turnaround (completion − start + 1) in slots over completed
+    /// tasks; 0 when nothing completed.
+    #[must_use]
+    pub fn mean_turnaround_slots(&self) -> f64 {
+        let lt = self.lifetimes();
+        if lt.is_empty() {
+            return 0.0;
+        }
+        lt.iter()
+            .map(|l| (l.completed - l.started + 1) as f64)
+            .sum::<f64>()
+            / lt.len() as f64
+    }
+}
+
+/// The execution engine.
+#[derive(Debug)]
+pub struct ExecutionEngine;
+
+impl ExecutionEngine {
+    /// Replays `decisions` against `scenario`.
+    ///
+    /// # Errors
+    /// Returns the first capacity or schedule violation found.
+    pub fn replay(scenario: &Scenario, decisions: &[Decision]) -> Result<ExecutionReport, ReplayError> {
+        let mut ledger = CapacityLedger::new(scenario);
+        let mut events = Vec::new();
+        let mut completed = Vec::new();
+        let mut energy_per_slot = vec![0.0; scenario.horizon];
+
+        for d in decisions {
+            let Some(schedule) = d.schedule() else {
+                continue;
+            };
+            let task = &scenario.tasks[d.task];
+            schedule
+                .validate(task)
+                .map_err(|v| ReplayError::InvalidSchedule {
+                    task: d.task,
+                    reason: format!("{v:?}"),
+                })?;
+            ledger.commit(task, schedule).map_err(ReplayError::Capacity)?;
+
+            // Lifecycle events from the (slot-sorted) placements.
+            let mut prev_slot: Option<Slot> = None;
+            let mut done: u64 = 0;
+            for (j, &(k, t)) in schedule.placements.iter().enumerate() {
+                match prev_slot {
+                    None => events.push(TaskEvent {
+                        task: d.task,
+                        slot: t,
+                        kind: TaskEventKind::Started,
+                    }),
+                    Some(p) if t > p + 1 => {
+                        events.push(TaskEvent {
+                            task: d.task,
+                            slot: p,
+                            kind: TaskEventKind::Suspended,
+                        });
+                        events.push(TaskEvent {
+                            task: d.task,
+                            slot: t,
+                            kind: TaskEventKind::Resumed,
+                        });
+                    }
+                    _ => {}
+                }
+                prev_slot = Some(t);
+                done += task.rate(k);
+                energy_per_slot[t] += scenario.cost.e(task, k, t);
+                if done >= task.work && j == schedule.placements.len() - 1 {
+                    events.push(TaskEvent {
+                        task: d.task,
+                        slot: t,
+                        kind: TaskEventKind::Completed,
+                    });
+                    completed.push(d.task);
+                }
+            }
+            if done < task.work {
+                return Err(ReplayError::InvalidSchedule {
+                    task: d.task,
+                    reason: format!("work {done} < required {}", task.work),
+                });
+            }
+        }
+
+        events.sort_by_key(|e| (e.slot, e.task));
+        let total_energy = energy_per_slot.iter().sum();
+        Ok(ExecutionReport {
+            events,
+            completed,
+            energy_per_slot,
+            total_energy,
+            ledger,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{
+        CostGrid, Decision, GpuModel, NodeSpec, Schedule, TaskBuilder, VendorQuote,
+    };
+
+    fn scenario() -> Scenario {
+        let tasks = vec![
+            TaskBuilder::new(0, 0, 7)
+                .dataset(300)
+                .memory_gb(4.0)
+                .bid(10.0)
+                .rates(vec![100])
+                .build()
+                .unwrap(),
+            TaskBuilder::new(1, 1, 7)
+                .dataset(200)
+                .memory_gb(4.0)
+                .bid(8.0)
+                .rates(vec![100])
+                .build()
+                .unwrap(),
+        ];
+        Scenario {
+            horizon: 8,
+            base_model_gb: 2.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 250)],
+            quotes: vec![vec![], vec![]],
+            cost: CostGrid::flat(1, 8, 0.5),
+            tasks,
+        }
+    }
+
+    #[test]
+    fn contiguous_schedule_starts_and_completes() {
+        let sc = scenario();
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 1), (0, 2)]);
+        let d = vec![Decision::admitted(0, s, 5.0, 0.0)];
+        let r = ExecutionEngine::replay(&sc, &d).unwrap();
+        assert_eq!(r.completed, vec![0]);
+        assert_eq!(
+            r.events,
+            vec![
+                TaskEvent {
+                    task: 0,
+                    slot: 0,
+                    kind: TaskEventKind::Started
+                },
+                TaskEvent {
+                    task: 0,
+                    slot: 2,
+                    kind: TaskEventKind::Completed
+                },
+            ]
+        );
+        assert!((r.total_energy - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_produces_suspend_resume() {
+        let sc = scenario();
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 1), (0, 4)]);
+        let d = vec![Decision::admitted(0, s, 5.0, 0.0)];
+        let r = ExecutionEngine::replay(&sc, &d).unwrap();
+        let kinds: Vec<_> = r.events.iter().map(|e| (e.slot, e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (0, TaskEventKind::Started),
+                (1, TaskEventKind::Suspended),
+                (4, TaskEventKind::Resumed),
+                (4, TaskEventKind::Completed),
+            ]
+        );
+    }
+
+    #[test]
+    fn capacity_violation_is_detected() {
+        let sc = scenario();
+        // Node capacity 250; three 100-rate tasks on the same slot is fine,
+        // but we only have two tasks — craft overlap instead: both tasks
+        // plus a duplicate decision for task 0 on slot 2 → 300 > 250.
+        let s0 = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 1), (0, 2)]);
+        let s1 = Schedule::new(1, VendorQuote::none(), vec![(0, 1), (0, 2)]);
+        let s0b = Schedule::new(0, VendorQuote::none(), vec![(0, 2), (0, 3), (0, 4)]);
+        let d = vec![
+            Decision::admitted(0, s0, 5.0, 0.0),
+            Decision::admitted(1, s1, 4.0, 0.0),
+            Decision::admitted(0, s0b, 5.0, 0.0),
+        ];
+        let err = ExecutionEngine::replay(&sc, &d).unwrap_err();
+        assert!(matches!(err, ReplayError::Capacity(_)), "{err:?}");
+    }
+
+    #[test]
+    fn insufficient_work_is_detected() {
+        let sc = scenario();
+        // Task 0 needs 300 samples; 2 slots × 100 = 200.
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 1)]);
+        let d = vec![Decision::admitted(0, s, 5.0, 0.0)];
+        let err = ExecutionEngine::replay(&sc, &d).unwrap_err();
+        assert!(matches!(err, ReplayError::InvalidSchedule { task: 0, .. }));
+    }
+
+    #[test]
+    fn rejected_decisions_cost_nothing() {
+        let sc = scenario();
+        let d = vec![Decision::rejected(
+            0,
+            pdftsp_types::Rejection::NonPositiveSurplus,
+            0.0,
+        )];
+        let r = ExecutionEngine::replay(&sc, &d).unwrap();
+        assert!(r.completed.is_empty());
+        assert_eq!(r.total_energy, 0.0);
+    }
+
+    #[test]
+    fn lifetimes_summarize_the_event_log() {
+        let sc = scenario();
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1), (0, 2), (0, 5)]);
+        let d = vec![Decision::admitted(0, s, 5.0, 0.0)];
+        let r = ExecutionEngine::replay(&sc, &d).unwrap();
+        let lt = r.lifetimes();
+        assert_eq!(lt.len(), 1);
+        assert_eq!(lt[0].task, 0);
+        assert_eq!(lt[0].started, 1);
+        assert_eq!(lt[0].completed, 5);
+        assert_eq!(lt[0].suspensions, 1);
+        assert!((r.mean_turnaround_slots() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_has_zero_turnaround() {
+        let sc = scenario();
+        let r = ExecutionEngine::replay(&sc, &[]).unwrap();
+        assert!(r.lifetimes().is_empty());
+        assert_eq!(r.mean_turnaround_slots(), 0.0);
+    }
+
+    #[test]
+    fn two_tasks_share_a_slot_within_capacity() {
+        let sc = scenario();
+        let s0 = Schedule::new(0, VendorQuote::none(), vec![(0, 1), (0, 2), (0, 3)]);
+        let s1 = Schedule::new(1, VendorQuote::none(), vec![(0, 1), (0, 2)]);
+        let d = vec![
+            Decision::admitted(0, s0, 5.0, 0.0),
+            Decision::admitted(1, s1, 4.0, 0.0),
+        ];
+        let r = ExecutionEngine::replay(&sc, &d).unwrap();
+        assert_eq!(r.completed.len(), 2);
+        // Slot 1 runs both tasks: energy 2 × 0.5.
+        assert!((r.energy_per_slot[1] - 1.0).abs() < 1e-12);
+        assert_eq!(r.ledger.compute_used(0, 1), 200);
+    }
+}

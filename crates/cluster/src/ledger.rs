@@ -1,0 +1,365 @@
+//! Capacity accounting for constraints (4f) and (4g).
+//!
+//! The ledger tracks, per `(node, slot)` cell, the computation already
+//! committed (`Σ s_ik x_ikt`, in samples) and the adapter memory already
+//! committed (`Σ r_i x_ikt`, in GB). Memory is compared against
+//! `C_km − r_b`: one base-model replica is always reserved per node, the
+//! conservative reading of (4g) used throughout the paper (up to one
+//! replica per node, shared by all co-located LoRA tasks).
+
+use pdftsp_types::{NodeId, Scenario, Schedule, Slot, Task};
+
+/// Why a commit was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// Computation capacity would be exceeded on `(node, slot)`.
+    ComputeOverflow {
+        node: NodeId,
+        slot: Slot,
+        used: u64,
+        adding: u64,
+        capacity: u64,
+    },
+    /// Adapter memory would be exceeded on `(node, slot)`.
+    MemoryOverflow {
+        node: NodeId,
+        slot: Slot,
+        used_gb: f64,
+        adding_gb: f64,
+        capacity_gb: f64,
+    },
+    /// The schedule references an out-of-range node or slot.
+    OutOfRange { node: NodeId, slot: Slot },
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::ComputeOverflow {
+                node,
+                slot,
+                used,
+                adding,
+                capacity,
+            } => write!(
+                f,
+                "compute overflow on node {node} slot {slot}: {used}+{adding} > {capacity}"
+            ),
+            LedgerError::MemoryOverflow {
+                node,
+                slot,
+                used_gb,
+                adding_gb,
+                capacity_gb,
+            } => write!(
+                f,
+                "memory overflow on node {node} slot {slot}: {used_gb}+{adding_gb} > {capacity_gb} GB"
+            ),
+            LedgerError::OutOfRange { node, slot } => {
+                write!(f, "placement (node {node}, slot {slot}) out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Tolerance for floating-point memory accumulation.
+const MEM_EPS: f64 = 1e-9;
+
+/// Per-`(k, t)` residual-capacity tracker.
+#[derive(Debug, Clone)]
+pub struct CapacityLedger {
+    nodes: usize,
+    horizon: usize,
+    /// `C_kp` per node.
+    compute_cap: Vec<u64>,
+    /// `C_km − r_b` per node.
+    adapter_mem_cap: Vec<f64>,
+    /// Committed samples per `(k, t)`, row-major `k * horizon + t`.
+    compute_used: Vec<u64>,
+    /// Committed adapter GB per `(k, t)`.
+    mem_used: Vec<f64>,
+}
+
+impl CapacityLedger {
+    /// Builds an empty ledger matching `scenario`'s cluster.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        let nodes = scenario.nodes.len();
+        let horizon = scenario.horizon;
+        CapacityLedger {
+            nodes,
+            horizon,
+            compute_cap: scenario.nodes.iter().map(|n| n.compute_capacity).collect(),
+            adapter_mem_cap: (0..nodes).map(|k| scenario.adapter_memory(k)).collect(),
+            compute_used: vec![0; nodes * horizon],
+            mem_used: vec![0.0; nodes * horizon],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, k: NodeId, t: Slot) -> usize {
+        k * self.horizon + t
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Horizon in slots.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Residual computation capacity on `(k, t)` in samples.
+    #[must_use]
+    pub fn residual_compute(&self, k: NodeId, t: Slot) -> u64 {
+        self.compute_cap[k] - self.compute_used[self.idx(k, t)]
+    }
+
+    /// Residual adapter memory on `(k, t)` in GB.
+    #[must_use]
+    pub fn residual_memory(&self, k: NodeId, t: Slot) -> f64 {
+        self.adapter_mem_cap[k] - self.mem_used[self.idx(k, t)]
+    }
+
+    /// Committed computation on `(k, t)`.
+    #[must_use]
+    pub fn compute_used(&self, k: NodeId, t: Slot) -> u64 {
+        self.compute_used[self.idx(k, t)]
+    }
+
+    /// Committed adapter memory on `(k, t)`.
+    #[must_use]
+    pub fn memory_used(&self, k: NodeId, t: Slot) -> f64 {
+        self.mem_used[self.idx(k, t)]
+    }
+
+    /// Compute capacity `C_kp` of node `k`.
+    #[must_use]
+    pub fn compute_capacity(&self, k: NodeId) -> u64 {
+        self.compute_cap[k]
+    }
+
+    /// Adapter memory capacity `C_km − r_b` of node `k`.
+    #[must_use]
+    pub fn adapter_capacity(&self, k: NodeId) -> f64 {
+        self.adapter_mem_cap[k]
+    }
+
+    /// Whether placing `task` on `(k, t)` fits the residual capacity.
+    #[must_use]
+    pub fn fits(&self, task: &Task, k: NodeId, t: Slot) -> bool {
+        if k >= self.nodes || t >= self.horizon {
+            return false;
+        }
+        task.rate(k) <= self.residual_compute(k, t)
+            && task.memory_gb <= self.residual_memory(k, t) + MEM_EPS
+    }
+
+    /// Whether an entire schedule fits — the Algorithm 1 line 8
+    /// "enough resources" check.
+    #[must_use]
+    pub fn fits_schedule(&self, task: &Task, schedule: &Schedule) -> bool {
+        schedule.placements.iter().all(|&(k, t)| self.fits(task, k, t))
+    }
+
+    /// Commits a schedule, consuming capacity on every placement.
+    ///
+    /// # Errors
+    /// Fails atomically (no partial commit) if any placement overflows.
+    pub fn commit(&mut self, task: &Task, schedule: &Schedule) -> Result<(), LedgerError> {
+        // Validate first so the commit is atomic.
+        for &(k, t) in &schedule.placements {
+            if k >= self.nodes || t >= self.horizon {
+                return Err(LedgerError::OutOfRange { node: k, slot: t });
+            }
+            let i = self.idx(k, t);
+            let rate = task.rate(k);
+            if self.compute_used[i] + rate > self.compute_cap[k] {
+                return Err(LedgerError::ComputeOverflow {
+                    node: k,
+                    slot: t,
+                    used: self.compute_used[i],
+                    adding: rate,
+                    capacity: self.compute_cap[k],
+                });
+            }
+            if self.mem_used[i] + task.memory_gb > self.adapter_mem_cap[k] + MEM_EPS {
+                return Err(LedgerError::MemoryOverflow {
+                    node: k,
+                    slot: t,
+                    used_gb: self.mem_used[i],
+                    adding_gb: task.memory_gb,
+                    capacity_gb: self.adapter_mem_cap[k],
+                });
+            }
+        }
+        for &(k, t) in &schedule.placements {
+            let i = self.idx(k, t);
+            self.compute_used[i] += task.rate(k);
+            self.mem_used[i] += task.memory_gb;
+        }
+        Ok(())
+    }
+
+    /// Mean compute utilization across all `(k, t)` cells, in `[0, 1]`.
+    #[must_use]
+    pub fn mean_compute_utilization(&self) -> f64 {
+        if self.nodes == 0 || self.horizon == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for k in 0..self.nodes {
+            let cap = self.compute_cap[k] as f64;
+            if cap == 0.0 {
+                continue;
+            }
+            for t in 0..self.horizon {
+                total += self.compute_used[self.idx(k, t)] as f64 / cap;
+            }
+        }
+        total / (self.nodes * self.horizon) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, TaskBuilder, VendorQuote};
+
+    fn scenario() -> Scenario {
+        Scenario {
+            horizon: 6,
+            base_model_gb: 2.0,
+            nodes: vec![
+                NodeSpec::new(0, GpuModel::A100_80, 1000),
+                NodeSpec::new(1, GpuModel::A40_48, 400),
+            ],
+            tasks: vec![],
+            quotes: vec![],
+            cost: CostGrid::flat(2, 6, 0.1),
+        }
+    }
+
+    fn task(rate0: u64, rate1: u64, mem: f64) -> Task {
+        TaskBuilder::new(0, 0, 5)
+            .dataset(10_000)
+            .memory_gb(mem)
+            .rates(vec![rate0, rate1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fresh_ledger_has_full_residuals() {
+        let l = CapacityLedger::new(&scenario());
+        assert_eq!(l.residual_compute(0, 0), 1000);
+        assert_eq!(l.residual_compute(1, 5), 400);
+        assert!((l.residual_memory(0, 0) - 78.0).abs() < 1e-9);
+        assert!((l.residual_memory(1, 0) - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commit_consumes_capacity() {
+        let mut l = CapacityLedger::new(&scenario());
+        let t = task(600, 200, 10.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1), (0, 2)]);
+        l.commit(&t, &s).unwrap();
+        assert_eq!(l.residual_compute(0, 1), 400);
+        assert_eq!(l.residual_compute(0, 2), 400);
+        assert_eq!(l.residual_compute(0, 0), 1000);
+        assert!((l.residual_memory(0, 1) - 68.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_overflow_is_atomic() {
+        let mut l = CapacityLedger::new(&scenario());
+        let t = task(600, 200, 1.0);
+        l.commit(&t, &Schedule::new(0, VendorQuote::none(), vec![(0, 1)]))
+            .unwrap();
+        // Second commit: slot 0 fits (600), slot 1 would overflow (1200).
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 1)]);
+        let err = l.commit(&t, &s).unwrap_err();
+        assert!(matches!(err, LedgerError::ComputeOverflow { slot: 1, .. }));
+        // Atomicity: slot 0 must not have been charged.
+        assert_eq!(l.residual_compute(0, 0), 1000);
+    }
+
+    #[test]
+    fn memory_overflow_detected() {
+        let mut l = CapacityLedger::new(&scenario());
+        // Node 1: 48 - 2 = 46 GB adapter space.
+        let t = task(100, 100, 30.0);
+        l.commit(&t, &Schedule::new(0, VendorQuote::none(), vec![(1, 0)]))
+            .unwrap();
+        let err = l
+            .commit(&t, &Schedule::new(0, VendorQuote::none(), vec![(1, 0)]))
+            .unwrap_err();
+        assert!(matches!(err, LedgerError::MemoryOverflow { .. }));
+    }
+
+    #[test]
+    fn out_of_range_placement_rejected() {
+        let mut l = CapacityLedger::new(&scenario());
+        let t = task(1, 1, 1.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 6)]);
+        assert!(matches!(
+            l.commit(&t, &s),
+            Err(LedgerError::OutOfRange { slot: 6, .. })
+        ));
+        let s = Schedule::new(0, VendorQuote::none(), vec![(2, 0)]);
+        assert!(matches!(
+            l.commit(&t, &s),
+            Err(LedgerError::OutOfRange { node: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn fits_matches_commit_success() {
+        let mut l = CapacityLedger::new(&scenario());
+        let big = task(1000, 400, 46.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(1, 3)]);
+        assert!(l.fits_schedule(&big, &s));
+        l.commit(&big, &s).unwrap();
+        assert!(!l.fits_schedule(&big, &s));
+        assert!(!l.fits(&big, 1, 3));
+        // Exact-fill is allowed (constraints are ≤).
+        assert_eq!(l.residual_compute(1, 3), 0);
+    }
+
+    #[test]
+    fn mean_utilization_reflects_committed_work() {
+        let mut l = CapacityLedger::new(&scenario());
+        assert_eq!(l.mean_compute_utilization(), 0.0);
+        let t = task(1000, 400, 1.0);
+        // Fill node 0 completely for all 6 slots.
+        let s = Schedule::new(
+            0,
+            VendorQuote::none(),
+            (0..6).map(|t| (0usize, t)).collect(),
+        );
+        l.commit(&t, &s).unwrap();
+        // Node 0 fully used, node 1 idle → 0.5 mean.
+        assert!((l.mean_compute_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_small_tasks_share_a_node_slot() {
+        // Multi-LoRA co-location: several tasks on the same (k, t).
+        let mut l = CapacityLedger::new(&scenario());
+        let t = task(250, 100, 5.0);
+        for _ in 0..4 {
+            l.commit(&t, &Schedule::new(0, VendorQuote::none(), vec![(0, 2)]))
+                .unwrap();
+        }
+        assert_eq!(l.residual_compute(0, 2), 0);
+        assert!((l.memory_used(0, 2) - 20.0).abs() < 1e-9);
+        // A fifth does not fit.
+        assert!(!l.fits(&t, 0, 2));
+    }
+}

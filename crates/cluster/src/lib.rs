@@ -1,0 +1,24 @@
+//! # pdftsp-cluster
+//!
+//! The slotted-time GPU-cluster simulator the schedulers run against.
+//!
+//! * [`ledger`] — per-`(k, t)` capacity accounting for the computation
+//!   constraint (4f) `Σ_i s_ik x_ikt ≤ C_kp` and the multi-LoRA memory
+//!   constraint (4g) `Σ_i r_i x_ikt + r_b ≤ C_km`. Every scheduler owns a
+//!   ledger and commits winning schedules to it irrevocably.
+//! * [`energy`] — time-varying operational-cost signals (flat, diurnal,
+//!   spiky) producing the `e_ikt` surface of the objective.
+//! * [`engine`] — an execution engine that replays all committed schedules
+//!   slot by slot, tracking task lifecycles (start / suspend / resume /
+//!   complete), verifying deadlines and capacities, and accounting energy.
+//! * [`metrics`] — utilization and co-location statistics.
+
+pub mod energy;
+pub mod engine;
+pub mod ledger;
+pub mod metrics;
+
+pub use energy::{EnergySignal, PriceModel};
+pub use engine::{ExecutionEngine, ExecutionReport, TaskEvent, TaskEventKind, TaskLifetime};
+pub use ledger::{CapacityLedger, LedgerError};
+pub use metrics::ClusterMetrics;

@@ -1,0 +1,156 @@
+//! Cluster utilization and co-location metrics.
+
+use crate::ledger::CapacityLedger;
+use pdftsp_types::{Decision, Scenario};
+
+/// Aggregate cluster statistics computed after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterMetrics {
+    /// Mean compute utilization over all `(k, t)` cells, `[0, 1]`.
+    pub mean_compute_utilization: f64,
+    /// Peak compute utilization over cells.
+    pub peak_compute_utilization: f64,
+    /// Mean adapter-memory utilization over cells, `[0, 1]`.
+    pub mean_memory_utilization: f64,
+    /// Maximum number of tasks co-located on one `(k, t)` cell — the
+    /// multi-LoRA sharing degree.
+    pub peak_colocation: usize,
+    /// Mean number of co-located tasks over busy cells.
+    pub mean_colocation_busy: f64,
+    /// Number of admitted tasks.
+    pub admitted: usize,
+    /// Number of rejected tasks.
+    pub rejected: usize,
+}
+
+impl ClusterMetrics {
+    /// Computes metrics from the final ledger plus the decision list.
+    #[must_use]
+    pub fn compute(scenario: &Scenario, ledger: &CapacityLedger, decisions: &[Decision]) -> Self {
+        let nodes = ledger.nodes();
+        let horizon = ledger.horizon();
+        let mut peak_u = 0.0f64;
+        let mut sum_u = 0.0f64;
+        let mut sum_m = 0.0f64;
+        for k in 0..nodes {
+            let cap = ledger.compute_capacity(k) as f64;
+            let mcap = ledger.adapter_capacity(k);
+            for t in 0..horizon {
+                let u = if cap > 0.0 {
+                    ledger.compute_used(k, t) as f64 / cap
+                } else {
+                    0.0
+                };
+                peak_u = peak_u.max(u);
+                sum_u += u;
+                sum_m += if mcap > 0.0 {
+                    ledger.memory_used(k, t) / mcap
+                } else {
+                    0.0
+                };
+            }
+        }
+        let cells = (nodes * horizon).max(1) as f64;
+
+        // Co-location from the committed schedules.
+        let mut colocated = vec![0usize; nodes * horizon];
+        for d in decisions {
+            if let Some(s) = d.schedule() {
+                for &(k, t) in &s.placements {
+                    colocated[k * horizon + t] += 1;
+                }
+            }
+        }
+        let peak_colocation = colocated.iter().copied().max().unwrap_or(0);
+        let busy: Vec<usize> = colocated.iter().copied().filter(|&c| c > 0).collect();
+        let mean_colocation_busy = if busy.is_empty() {
+            0.0
+        } else {
+            busy.iter().sum::<usize>() as f64 / busy.len() as f64
+        };
+
+        let admitted = decisions.iter().filter(|d| d.is_admitted()).count();
+        ClusterMetrics {
+            mean_compute_utilization: sum_u / cells,
+            peak_compute_utilization: peak_u,
+            mean_memory_utilization: sum_m / cells,
+            peak_colocation,
+            mean_colocation_busy,
+            admitted,
+            rejected: decisions.len() - admitted,
+        }
+        .validate(scenario)
+    }
+
+    fn validate(self, _scenario: &Scenario) -> Self {
+        debug_assert!(self.mean_compute_utilization <= 1.0 + 1e-9);
+        debug_assert!(self.peak_compute_utilization <= 1.0 + 1e-9);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{
+        CostGrid, Decision, GpuModel, NodeSpec, Schedule, TaskBuilder, VendorQuote,
+    };
+
+    fn scenario() -> Scenario {
+        Scenario {
+            horizon: 4,
+            base_model_gb: 2.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 200)],
+            tasks: vec![
+                TaskBuilder::new(0, 0, 3)
+                    .dataset(100)
+                    .memory_gb(39.0)
+                    .rates(vec![100])
+                    .build()
+                    .unwrap(),
+                TaskBuilder::new(1, 0, 3)
+                    .dataset(100)
+                    .memory_gb(39.0)
+                    .rates(vec![100])
+                    .build()
+                    .unwrap(),
+            ],
+            quotes: vec![vec![], vec![]],
+            cost: CostGrid::flat(1, 4, 0.0),
+        }
+    }
+
+    #[test]
+    fn metrics_capture_colocation_and_utilization() {
+        let sc = scenario();
+        let mut ledger = CapacityLedger::new(&sc);
+        let s0 = Schedule::new(0, VendorQuote::none(), vec![(0, 0)]);
+        let s1 = Schedule::new(1, VendorQuote::none(), vec![(0, 0)]);
+        ledger.commit(&sc.tasks[0], &s0).unwrap();
+        ledger.commit(&sc.tasks[1], &s1).unwrap();
+        let decisions = vec![
+            Decision::admitted(0, s0, 1.0, 0.0),
+            Decision::admitted(1, s1, 1.0, 0.0),
+        ];
+        let m = ClusterMetrics::compute(&sc, &ledger, &decisions);
+        assert_eq!(m.peak_colocation, 2);
+        assert_eq!(m.admitted, 2);
+        assert_eq!(m.rejected, 0);
+        // One of 4 slots fully used → mean 0.25, peak 1.0.
+        assert!((m.mean_compute_utilization - 0.25).abs() < 1e-9);
+        assert!((m.peak_compute_utilization - 1.0).abs() < 1e-9);
+        // Memory: 78 GB used of 78 on one slot of four.
+        assert!((m.mean_memory_utilization - 0.25).abs() < 1e-9);
+        assert!((m.mean_colocation_busy - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_has_zero_metrics() {
+        let sc = scenario();
+        let ledger = CapacityLedger::new(&sc);
+        let m = ClusterMetrics::compute(&sc, &ledger, &[]);
+        assert_eq!(m.peak_colocation, 0);
+        assert_eq!(m.mean_compute_utilization, 0.0);
+        assert_eq!(m.mean_colocation_busy, 0.0);
+    }
+}

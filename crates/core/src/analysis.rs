@@ -1,0 +1,215 @@
+//! Theory instrumentation: empirical verification of the paper's
+//! performance-analysis chain (Section 4.4 / Appendix).
+//!
+//! Theorem 5 bounds the competitive ratio through the chain
+//!
+//! ```text
+//! P^I = P1^I  ≥  (1/ρ) · P̃1^I  ≥  (1/ρ) · D1^I / (1 + max{α, β})  ≥  OPT / (ρ (1 + max{α, β}))
+//! ```
+//!
+//! where `P̃1` is the *almost-feasible* welfare (tasks passing the
+//! `F(il) > 0` test, before the capacity check), `ρ` is Lemma 3's
+//! conversion loss, and the middle inequality is Lemma 1. This module
+//! recomputes every quantity from an actual run's auction records and
+//! dual state, so each inequality can be asserted on real executions —
+//! which is how the repository caught that the η-damped updates tighten
+//! Lemma 1's constant to `1 + η·max{α, β}`.
+
+use crate::scheduler::Pdftsp;
+
+/// All the quantities of the Theorem-5 chain, measured on one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuaranteeAudit {
+    /// Committed (feasible) welfare `P1^I = Σ_{i ∈ S_c} b_il`.
+    pub primal_welfare: f64,
+    /// Almost-feasible welfare `P̃1^I = Σ_{i ∈ S_a} b_il` (includes tasks
+    /// whose schedule was refused at the capacity check).
+    pub almost_feasible_welfare: f64,
+    /// Dual objective `D1^I` (Eq. 6) at the final dual prices.
+    pub dual_objective: f64,
+    /// Empirical `ρ = P̃1^I / P1^I` (1.0 under the masking policy, which
+    /// empties `S_a \ S_c` by construction).
+    pub rho_empirical: f64,
+    /// Lemma 1's constant for this run: `1 + η·max{α, β}` with the final
+    /// (running-max) `α`, `β` and the configured damping `η`.
+    pub lemma1_constant: f64,
+    /// `D1^I / P̃1^I` — must stay at or below [`GuaranteeAudit::lemma1_constant`].
+    pub duality_gap_ratio: f64,
+    /// Whether Lemma 1's inequality `P̃1 ≥ D1 / (1+η·max{α,β})` held.
+    pub lemma1_holds: bool,
+    /// Number of tasks in `S_a` (positive surplus).
+    pub almost_feasible_tasks: usize,
+    /// Number of tasks in `S_c` (committed).
+    pub committed_tasks: usize,
+}
+
+/// Audits a **finished** run: call after every task has been decided.
+#[must_use]
+pub fn audit_guarantees(scheduler: &Pdftsp) -> GuaranteeAudit {
+    let mut primal = 0.0;
+    let mut almost = 0.0;
+    let mut committed_tasks = 0usize;
+    let mut almost_feasible_tasks = 0usize;
+    for rec in scheduler.records() {
+        let Some(b_il) = rec.welfare_increment else {
+            continue;
+        };
+        let positive = rec.f_value.is_some_and(|f| f > 0.0);
+        if positive {
+            almost_feasible_tasks += 1;
+            almost += b_il;
+            if rec.admitted {
+                committed_tasks += 1;
+                primal += b_il;
+            } else {
+                debug_assert!(rec.capacity_rejected, "F>0 but neither admitted nor capacity-rejected");
+            }
+        }
+    }
+    let dual_objective = scheduler.duals().dual_objective();
+    let eta = scheduler.config().seed_damping;
+    let lemma1_constant = 1.0 + eta * scheduler.alpha().max(scheduler.beta());
+    let duality_gap_ratio = if almost > 0.0 {
+        dual_objective / almost
+    } else if dual_objective <= 1e-9 {
+        1.0
+    } else {
+        f64::INFINITY
+    };
+    GuaranteeAudit {
+        primal_welfare: primal,
+        almost_feasible_welfare: almost,
+        dual_objective,
+        rho_empirical: if primal > 0.0 { almost / primal } else { 1.0 },
+        lemma1_constant,
+        duality_gap_ratio,
+        lemma1_holds: duality_gap_ratio <= lemma1_constant + 1e-9,
+        almost_feasible_tasks,
+        committed_tasks,
+    }
+}
+
+impl GuaranteeAudit {
+    /// The end-to-end empirical guarantee this run achieved:
+    /// `ρ_emp · (1 + η·max{α,β})` — by Theorem 5's chain, the offline
+    /// optimum of the schedule-selection problem is within this factor of
+    /// the committed welfare *if* the final duals are feasible (Lemma 4).
+    #[must_use]
+    pub fn implied_ratio_bound(&self) -> f64 {
+        self.rho_empirical * self.lemma1_constant
+    }
+
+    /// Renders a short human-readable report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "primal (committed) welfare P1  : {:.2} ({} tasks)\n\
+             almost-feasible welfare  P~1   : {:.2} ({} tasks)\n\
+             dual objective           D1    : {:.2}\n\
+             rho (P~1/P1)                   : {:.4}\n\
+             Lemma-1 constant 1+eta*max(a,b): {:.4}\n\
+             D1/P~1                         : {:.4}  (Lemma 1 {})\n\
+             implied ratio bound            : {:.4}\n",
+            self.primal_welfare,
+            self.committed_tasks,
+            self.almost_feasible_welfare,
+            self.almost_feasible_tasks,
+            self.dual_objective,
+            self.rho_empirical,
+            self.lemma1_constant,
+            self.duality_gap_ratio,
+            if self.lemma1_holds { "HOLDS" } else { "VIOLATED" },
+            self.implied_ratio_bound(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PdftspConfig;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, Scenario, Task, TaskBuilder};
+
+    fn scenario(n_tasks: usize, capacity: u64) -> Scenario {
+        let tasks: Vec<Task> = (0..n_tasks)
+            .map(|i| {
+                TaskBuilder::new(i, 0, 11)
+                    .dataset(1000 + 500 * (i as u64 % 4))
+                    .memory_gb(4.0 + (i % 3) as f64)
+                    .bid(6.0 + i as f64)
+                    .rates(vec![1000])
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let quotes = vec![vec![]; n_tasks];
+        Scenario {
+            horizon: 12,
+            base_model_gb: 2.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, capacity)],
+            tasks,
+            quotes,
+            cost: CostGrid::flat(1, 12, 0.1),
+        }
+    }
+
+    fn run(config: PdftspConfig, n_tasks: usize, capacity: u64) -> (Pdftsp, GuaranteeAudit) {
+        let sc = scenario(n_tasks, capacity);
+        let mut s = Pdftsp::new(&sc, config);
+        for t in &sc.tasks {
+            let _ = s.decide(t, &sc);
+        }
+        let audit = audit_guarantees(&s);
+        (s, audit)
+    }
+
+    #[test]
+    fn lemma1_holds_on_a_congested_run() {
+        let (_, audit) = run(PdftspConfig::default(), 24, 2000);
+        assert!(audit.lemma1_holds, "{}", audit.render());
+        assert!(audit.dual_objective >= audit.primal_welfare - 1e-9);
+    }
+
+    #[test]
+    fn masked_policy_has_unit_rho() {
+        let (_, audit) = run(PdftspConfig::default(), 24, 2000);
+        assert!((audit.rho_empirical - 1.0).abs() < 1e-12);
+        assert_eq!(audit.almost_feasible_tasks, audit.committed_tasks);
+    }
+
+    #[test]
+    fn strict_policy_can_have_rho_above_one() {
+        // Tight capacity in strict mode: some F>0 tasks collide.
+        let (_, audit) = run(PdftspConfig::default().strict(), 30, 1000);
+        assert!(audit.rho_empirical >= 1.0);
+        assert!(audit.almost_feasible_tasks >= audit.committed_tasks);
+        assert!(audit.lemma1_holds, "{}", audit.render());
+    }
+
+    #[test]
+    fn lemma1_holds_even_at_full_maxima() {
+        let cfg = PdftspConfig {
+            seed_damping: 1.0,
+            ..PdftspConfig::default()
+        };
+        let (_, audit) = run(cfg, 24, 2000);
+        assert!(audit.lemma1_holds, "{}", audit.render());
+    }
+
+    #[test]
+    fn empty_run_audits_cleanly() {
+        let (_, audit) = run(PdftspConfig::default(), 0, 2000);
+        assert_eq!(audit.primal_welfare, 0.0);
+        assert_eq!(audit.rho_empirical, 1.0);
+        assert!(audit.lemma1_holds);
+    }
+
+    #[test]
+    fn render_mentions_all_quantities() {
+        let (_, audit) = run(PdftspConfig::default(), 10, 2000);
+        let text = audit.render();
+        for needle in ["P1", "P~1", "D1", "rho", "Lemma-1", "HOLDS"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Algorithm 2's `findSchedule`: the dynamic program of Eqs. (12)–(13).
+//!
+//! For one task and one candidate start slot (`a_i + h_in` for a vendor
+//! `n`), find the set of `(node, slot)` placements minimizing the
+//! dual-priced cost
+//!
+//! ```text
+//! Σ_(k,t)∈l ( s_ik·λ_kt + r_i·φ_kt + e_ikt )
+//! ```
+//!
+//! subject to: total work ≥ `M_i`, at most one node per slot, all slots in
+//! `[start, d_i]`. Following the paper's pseudocode (Algorithm 2 line 11)
+//! the DP prices each slot with the *current per-slot* duals; the
+//! admission value `F(il)` (Eq. 10) is then computed exactly with the
+//! max-dual form by the caller.
+//!
+//! **Work quantization.** The DP's work axis is quantized to units of the
+//! task's slowest compatible node rate (`u = min_k s_ik`), so the table
+//! stays `O(window × slots-needed)`. Rates are rounded *down* to unit
+//! multiples, which can only over-provision — a returned schedule always
+//! delivers at least `M_i` true samples (checked in tests).
+
+use crate::duals::DualState;
+use pdftsp_cluster::CapacityLedger;
+use pdftsp_types::{NodeId, Scenario, Slot, Task};
+
+/// Everything `find_schedule` consults.
+#[derive(Clone, Copy)]
+pub struct DpContext<'a> {
+    /// The scenario (nodes, cost surface, base model size).
+    pub scenario: &'a Scenario,
+    /// Current dual prices `λ^{(i-1)}`, `φ^{(i-1)}`.
+    pub duals: &'a DualState,
+    /// When `Some`, `(k, t)` cells without residual capacity for the task
+    /// are masked out of the DP ([`crate::config::CapacityPolicy::MaskSaturated`]).
+    pub ledger: Option<&'a CapacityLedger>,
+    /// Samples per compute pricing unit.
+    pub compute_unit: f64,
+}
+
+/// A schedule candidate produced by the DP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpResult {
+    /// Chosen `(node, slot)` placements, sorted by slot.
+    pub placements: Vec<(NodeId, Slot)>,
+    /// The DP objective: `Σ (s·λ + r·φ + e)` with `s` in pricing units.
+    pub dp_cost: f64,
+    /// The operational-cost component `Σ e_ikt` alone.
+    pub energy: f64,
+}
+
+/// Runs `findSchedule` for `task` with execution window `[start, d_i]`.
+///
+/// Returns `None` when no placement set can deliver `M_i` by the deadline
+/// (for the given capacity mask). Tries a coarse work quantization first
+/// and escalates to a fine one only when the coarse rounding loss makes a
+/// tight task look infeasible — rare, so the common path stays cheap.
+#[must_use]
+pub fn find_schedule(ctx: &DpContext<'_>, task: &Task, start: Slot) -> Option<DpResult> {
+    for refinement in [8u64, 64] {
+        if let Some(r) = find_schedule_quantized(ctx, task, start, refinement) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+fn find_schedule_quantized(
+    ctx: &DpContext<'_>,
+    task: &Task,
+    start: Slot,
+    refinement: u64,
+) -> Option<DpResult> {
+    let scenario = ctx.scenario;
+    let deadline = task.deadline.min(scenario.horizon.saturating_sub(1));
+    if start > deadline {
+        return None;
+    }
+    let window = deadline - start + 1;
+
+    // Compatible nodes: positive rate and the adapter fits at all.
+    let compatible: Vec<NodeId> = (0..scenario.nodes.len())
+        .filter(|&k| task.rate(k) > 0 && task.memory_gb <= scenario.adapter_memory(k))
+        .collect();
+    if compatible.is_empty() {
+        return None;
+    }
+
+    // Work quantization: refine below the slowest rate so that rounding
+    // rates down to unit multiples loses at most 1/refinement of any
+    // node's throughput (unit = min rate would lose up to half of a
+    // faster node's rate and declare tight tasks infeasible).
+    let min_rate = compatible
+        .iter()
+        .map(|&k| task.rate(k))
+        .min()
+        .expect("non-empty");
+    let unit = (min_rate / refinement).max(1);
+    let s_units: Vec<u64> = compatible.iter().map(|&k| task.rate(k) / unit).collect();
+    let w_target = task.work.div_ceil(unit) as usize;
+    let max_per_slot = *s_units.iter().max().expect("non-empty") as usize;
+    if max_per_slot * window < w_target {
+        return None; // even running flat-out cannot finish
+    }
+
+    // dp[t][w]: min cost to accumulate ≥ w units using slots start..start+t.
+    let cols = w_target + 1;
+    let mut dp = vec![f64::INFINITY; (window + 1) * cols];
+    // choice[t][w]: 0 = idle this slot, c+1 = run on compatible[c].
+    let mut choice = vec![0u16; (window + 1) * cols];
+    dp[0] = 0.0; // dp[0][0]
+    for w in 1..cols {
+        dp[w] = f64::INFINITY;
+    }
+
+    for t_rel in 1..=window {
+        let tt = start + t_rel - 1;
+        let row = t_rel * cols;
+        let prev = (t_rel - 1) * cols;
+        // Per-node slot cost Δ_kt, masked where capacity is absent.
+        // Smallvec-free: iterate compatible nodes inline per cell.
+        let mut deltas = [0.0f64; 0].to_vec();
+        deltas.reserve(compatible.len());
+        let mut usable = Vec::with_capacity(compatible.len());
+        for (c, &k) in compatible.iter().enumerate() {
+            if let Some(ledger) = ctx.ledger {
+                if !ledger.fits(task, k, tt) {
+                    continue;
+                }
+            }
+            let s_price = task.rate(k) as f64 / ctx.compute_unit;
+            let delta = s_price * ctx.duals.lambda(k, tt)
+                + task.memory_gb * ctx.duals.phi(k, tt)
+                + scenario.cost.e(task, k, tt);
+            usable.push(c);
+            deltas.push(delta);
+        }
+        for w in 0..cols {
+            let mut best = dp[prev + w];
+            let mut best_choice = 0u16;
+            for (ui, &c) in usable.iter().enumerate() {
+                let gain = s_units[c] as usize;
+                let from = w.saturating_sub(gain);
+                let cand = dp[prev + from] + deltas[ui];
+                if cand < best {
+                    best = cand;
+                    best_choice = c as u16 + 1;
+                }
+            }
+            dp[row + w] = best;
+            choice[row + w] = best_choice;
+        }
+    }
+
+    let final_cost = dp[window * cols + w_target];
+    if !final_cost.is_finite() {
+        return None;
+    }
+
+    // Reconstruct.
+    let mut placements = Vec::new();
+    let mut w = w_target;
+    for t_rel in (1..=window).rev() {
+        let c = choice[t_rel * cols + w];
+        if c > 0 {
+            let node_pos = (c - 1) as usize;
+            let k = compatible[node_pos];
+            placements.push((k, start + t_rel - 1));
+            w = w.saturating_sub(s_units[node_pos] as usize);
+        }
+    }
+    placements.reverse();
+
+    let energy = scenario.cost.total_e(task, placements.iter());
+    Some(DpResult {
+        placements,
+        dp_cost: final_cost,
+        energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, Schedule, TaskBuilder, VendorQuote};
+
+    fn scenario_with_cost(prices: Vec<f64>, nodes: usize, horizon: usize) -> Scenario {
+        let node_list = (0..nodes)
+            .map(|k| NodeSpec::new(k, GpuModel::A100_80, 4000))
+            .collect();
+        Scenario {
+            horizon,
+            base_model_gb: 2.0,
+            nodes: node_list,
+            tasks: vec![],
+            quotes: vec![],
+            cost: CostGrid::from_vec(nodes, horizon, prices).unwrap(),
+        }
+    }
+
+    fn task(work: u64, rates: Vec<u64>, deadline: usize) -> Task {
+        TaskBuilder::new(0, 0, deadline)
+            .dataset(work)
+            .memory_gb(10.0)
+            .bid(100.0)
+            .rates(rates)
+            .build()
+            .unwrap()
+    }
+
+    fn ctx_parts(sc: &Scenario) -> DualState {
+        DualState::new(sc, 1000.0)
+    }
+
+    #[test]
+    fn picks_cheapest_slots() {
+        // 1 node, 6 slots, needs 2 slots of work; slots 2 and 4 are cheap.
+        let sc = scenario_with_cost(vec![5.0, 5.0, 1.0, 5.0, 1.0, 5.0], 1, 6);
+        let t = task(2000, vec![1000], 5);
+        let duals = ctx_parts(&sc);
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: None,
+            compute_unit: 1000.0,
+        };
+        let r = find_schedule(&ctx, &t, 0).unwrap();
+        assert_eq!(r.placements, vec![(0, 2), (0, 4)]);
+        assert!((r.energy - 2.0).abs() < 1e-12);
+        assert!((r.dp_cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_start_offset() {
+        let sc = scenario_with_cost(vec![0.0; 6], 1, 6);
+        let t = task(3000, vec![1000], 5);
+        let duals = ctx_parts(&sc);
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: None,
+            compute_unit: 1000.0,
+        };
+        let r = find_schedule(&ctx, &t, 3).unwrap();
+        assert!(r.placements.iter().all(|&(_, tt)| tt >= 3));
+        assert_eq!(r.placements.len(), 3);
+        // Start too late to finish → None.
+        assert!(find_schedule(&ctx, &t, 4).is_none());
+    }
+
+    #[test]
+    fn infeasible_when_window_too_small() {
+        let sc = scenario_with_cost(vec![0.0; 4], 1, 4);
+        let t = task(10_000, vec![1000], 3);
+        let duals = ctx_parts(&sc);
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: None,
+            compute_unit: 1000.0,
+        };
+        assert!(find_schedule(&ctx, &t, 0).is_none());
+    }
+
+    #[test]
+    fn prefers_fast_node_when_prices_are_equal() {
+        // Node 1 twice as fast: finishing needs fewer slots → less energy.
+        let sc = scenario_with_cost(vec![1.0; 12], 2, 6);
+        let t = task(4000, vec![1000, 2000], 5);
+        let duals = ctx_parts(&sc);
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: None,
+            compute_unit: 1000.0,
+        };
+        let r = find_schedule(&ctx, &t, 0).unwrap();
+        assert_eq!(r.placements.len(), 2);
+        assert!(r.placements.iter().all(|&(k, _)| k == 1));
+    }
+
+    #[test]
+    fn avoids_highly_priced_cells() {
+        let sc = scenario_with_cost(vec![0.0; 6], 1, 6);
+        let t = task(2000, vec![1000], 5);
+        let mut duals = ctx_parts(&sc);
+        // Price slots 0 and 1 via a dummy update.
+        let dummy = task(2000, vec![4000], 5);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 1)]);
+        duals.update(&dummy, &s, 1.0, 5.0, 5.0, 1000.0);
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: None,
+            compute_unit: 1000.0,
+        };
+        let r = find_schedule(&ctx, &t, 0).unwrap();
+        assert!(
+            r.placements.iter().all(|&(_, tt)| tt >= 2),
+            "{:?}",
+            r.placements
+        );
+    }
+
+    #[test]
+    fn masking_skips_saturated_cells() {
+        let sc = scenario_with_cost(vec![0.0; 6], 1, 6);
+        let t = task(2000, vec![1000], 5);
+        let duals = ctx_parts(&sc);
+        let mut ledger = CapacityLedger::new(&sc);
+        // Saturate compute on slots 0..4 with a fat dummy task.
+        let fat = task(4000, vec![4000], 5);
+        let s = Schedule::new(
+            0,
+            VendorQuote::none(),
+            vec![(0, 0), (0, 1), (0, 2), (0, 3)],
+        );
+        ledger.commit(&fat, &s).unwrap();
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: Some(&ledger),
+            compute_unit: 1000.0,
+        };
+        // Only slots 4, 5 remain → exactly fits the 2-slot task.
+        let r = find_schedule(&ctx, &t, 0).unwrap();
+        assert_eq!(r.placements, vec![(0, 4), (0, 5)]);
+        // A 3-slot task no longer fits.
+        let t3 = task(3000, vec![1000], 5);
+        assert!(find_schedule(&ctx, &t3, 0).is_none());
+    }
+
+    #[test]
+    fn delivered_work_always_meets_requirement() {
+        // Heterogeneous rates not multiples of each other: quantization
+        // must stay conservative.
+        let sc = scenario_with_cost(vec![1.0; 24], 2, 12);
+        for work in [1000u64, 1500, 2700, 5300, 9999] {
+            let t = task(work, vec![700, 1900], 11);
+            let duals = ctx_parts(&sc);
+            let ctx = DpContext {
+                scenario: &sc,
+                duals: &duals,
+                ledger: None,
+                compute_unit: 1000.0,
+            };
+            if let Some(r) = find_schedule(&ctx, &t, 0) {
+                let delivered: u64 = r.placements.iter().map(|&(k, _)| t.rate(k)).sum();
+                assert!(
+                    delivered >= t.work,
+                    "work {work}: delivered {delivered} < {}",
+                    t.work
+                );
+            }
+        }
+    }
+
+    /// Brute-force cross-check: enumerate every placement assignment on a
+    /// tiny instance and compare optimal dp_cost.
+    #[test]
+    fn matches_brute_force_on_tiny_instances() {
+        let prices = vec![3.0, 1.0, 2.0, 4.0, 2.0, 1.0, 1.5, 0.5]; // 2 nodes × 4 slots
+        let sc = scenario_with_cost(prices, 2, 4);
+        let t = task(2000, vec![1000, 1000], 3);
+        let mut duals = ctx_parts(&sc);
+        // Make duals non-trivial.
+        let dummy = task(2000, vec![2000, 2000], 3);
+        duals.update(
+            &dummy,
+            &Schedule::new(0, VendorQuote::none(), vec![(0, 1), (1, 2)]),
+            1.3,
+            2.0,
+            2.0,
+            1000.0,
+        );
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: None,
+            compute_unit: 1000.0,
+        };
+        let got = find_schedule(&ctx, &t, 0).unwrap();
+
+        // Brute force: per slot choose node 0, node 1, or idle (3^4).
+        let mut best = f64::INFINITY;
+        for mask in 0..81u32 {
+            let mut m = mask;
+            let mut work = 0u64;
+            let mut cost = 0.0;
+            for tt in 0..4usize {
+                let c = m % 3;
+                m /= 3;
+                if c > 0 {
+                    let k = (c - 1) as usize;
+                    work += t.rate(k);
+                    cost += t.rate(k) as f64 / 1000.0 * duals.lambda(k, tt)
+                        + t.memory_gb * duals.phi(k, tt)
+                        + sc.cost.e(&t, k, tt);
+                }
+            }
+            if work >= t.work {
+                best = best.min(cost);
+            }
+        }
+        assert!(
+            (got.dp_cost - best).abs() < 1e-9,
+            "dp {} vs brute {best}",
+            got.dp_cost
+        );
+    }
+
+    #[test]
+    fn incompatible_memory_rules_out_node() {
+        let mut sc = scenario_with_cost(vec![0.0; 8], 2, 4);
+        // Node 1 too small for the task's 10 GB adapter demand.
+        sc.nodes[1].memory_gb = 11.0; // adapter space 11 − 2 = 9 < 10
+        let t = task(2000, vec![1000, 1000], 3);
+        let duals = DualState::new(&sc, 1000.0);
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: None,
+            compute_unit: 1000.0,
+        };
+        let r = find_schedule(&ctx, &t, 0).unwrap();
+        assert!(r.placements.iter().all(|&(k, _)| k == 0));
+    }
+}

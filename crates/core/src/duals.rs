@@ -1,0 +1,318 @@
+//! Dual-price state: `λ_kt` (compute) and `φ_kt` (memory).
+//!
+//! The duals act as posted resource prices. They start at zero and grow
+//! multiplicatively with committed load per Eqs. (7)–(8):
+//!
+//! ```text
+//! λ_kt ← λ_kt (1 + s_kt(il)/C_kp)        + α · b̄_il · s_kt(il)/C_kp
+//! φ_kt ← φ_kt (1 + r_kt(il)/(C_km−r_b))  + β · b̄_il · r_kt(il)/(C_km−r_b)
+//! ```
+//!
+//! Compute quantities are expressed in the pricing unit of
+//! [`crate::config::PdftspConfig::compute_unit`] so `b̄_il` is O(1)
+//! (Lemma 2's unit-scaling assumption).
+
+use crate::config::DualRule;
+use pdftsp_types::{NodeId, Scenario, Schedule, Slot, Task};
+
+/// Dense `K × T` grids of dual prices plus the capacity denominators.
+#[derive(Debug, Clone)]
+pub struct DualState {
+    nodes: usize,
+    horizon: usize,
+    lambda: Vec<f64>,
+    phi: Vec<f64>,
+    /// `C_kp` per node, in pricing units.
+    compute_cap_units: Vec<f64>,
+    /// `C_km − r_b` per node, GB.
+    adapter_cap: Vec<f64>,
+    /// Accumulated `Σ_i μ_i` (for dual-objective instrumentation).
+    mu_sum: f64,
+}
+
+impl DualState {
+    /// Zero-initialized duals for `scenario` (Algorithm 1 line 1).
+    #[must_use]
+    pub fn new(scenario: &Scenario, compute_unit: f64) -> Self {
+        let nodes = scenario.nodes.len();
+        let horizon = scenario.horizon;
+        DualState {
+            nodes,
+            horizon,
+            lambda: vec![0.0; nodes * horizon],
+            phi: vec![0.0; nodes * horizon],
+            compute_cap_units: scenario
+                .nodes
+                .iter()
+                .map(|n| n.compute_capacity as f64 / compute_unit)
+                .collect(),
+            adapter_cap: (0..nodes).map(|k| scenario.adapter_memory(k)).collect(),
+            mu_sum: 0.0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, k: NodeId, t: Slot) -> usize {
+        debug_assert!(k < self.nodes && t < self.horizon);
+        k * self.horizon + t
+    }
+
+    /// Compute price `λ_kt`.
+    #[must_use]
+    pub fn lambda(&self, k: NodeId, t: Slot) -> f64 {
+        self.lambda[self.idx(k, t)]
+    }
+
+    /// Memory price `φ_kt`.
+    #[must_use]
+    pub fn phi(&self, k: NodeId, t: Slot) -> f64 {
+        self.phi[self.idx(k, t)]
+    }
+
+    /// `max_{(k,t)∈l} λ_kt` over a schedule's placements (0 for empty).
+    #[must_use]
+    pub fn max_lambda(&self, placements: &[(NodeId, Slot)]) -> f64 {
+        placements
+            .iter()
+            .map(|&(k, t)| self.lambda(k, t))
+            .fold(0.0, f64::max)
+    }
+
+    /// `max_{(k,t)∈l} φ_kt` over a schedule's placements (0 for empty).
+    #[must_use]
+    pub fn max_phi(&self, placements: &[(NodeId, Slot)]) -> f64 {
+        placements
+            .iter()
+            .map(|&(k, t)| self.phi(k, t))
+            .fold(0.0, f64::max)
+    }
+
+    /// Applies the Eq. (7)–(8) updates for an admitted schedule.
+    ///
+    /// `s_units(k)` must give `s_kt(il)` in pricing units; `b_bar` is the
+    /// welfare density `b̄_il` (also in pricing units).
+    pub fn update(
+        &mut self,
+        task: &Task,
+        schedule: &Schedule,
+        b_bar: f64,
+        alpha: f64,
+        beta: f64,
+        compute_unit: f64,
+    ) {
+        self.update_with_rule(
+            task,
+            schedule,
+            b_bar,
+            alpha,
+            beta,
+            compute_unit,
+            DualRule::Multiplicative,
+        );
+    }
+
+    /// [`DualState::update`] with an explicit functional form (ablations).
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_with_rule(
+        &mut self,
+        task: &Task,
+        schedule: &Schedule,
+        b_bar: f64,
+        alpha: f64,
+        beta: f64,
+        compute_unit: f64,
+        rule: DualRule,
+    ) {
+        if rule == DualRule::Off {
+            return;
+        }
+        for &(k, t) in &schedule.placements {
+            let i = self.idx(k, t);
+            let s = task.rate(k) as f64 / compute_unit;
+            let cp = self.compute_cap_units[k];
+            if cp > 0.0 {
+                let frac = s / cp;
+                let compounded = match rule {
+                    DualRule::Multiplicative => self.lambda[i] * (1.0 + frac),
+                    DualRule::Linear => self.lambda[i],
+                    DualRule::Off => unreachable!(),
+                };
+                self.lambda[i] = compounded + alpha * b_bar * frac;
+            }
+            let cm = self.adapter_cap[k];
+            if cm > 0.0 {
+                let frac = task.memory_gb / cm;
+                let compounded = match rule {
+                    DualRule::Multiplicative => self.phi[i] * (1.0 + frac),
+                    DualRule::Linear => self.phi[i],
+                    DualRule::Off => unreachable!(),
+                };
+                self.phi[i] = compounded + beta * b_bar * frac;
+            }
+        }
+    }
+
+    /// Accumulates `μ_i` (Eq. 11) for dual-objective instrumentation.
+    pub fn add_mu(&mut self, mu: f64) {
+        debug_assert!(mu >= 0.0);
+        self.mu_sum += mu;
+    }
+
+    /// The dual objective `D1` of Eq. (6):
+    /// `Σ_i μ_i + Σ_kt C_kp λ_kt + Σ_kt (C_km − r_b) φ_kt`.
+    ///
+    /// By weak duality this upper-bounds the offline optimum of the
+    /// (unit-scaled) schedule-selection problem; the competitive-ratio
+    /// experiment logs it alongside the primal welfare.
+    #[must_use]
+    pub fn dual_objective(&self) -> f64 {
+        let mut total = self.mu_sum;
+        for k in 0..self.nodes {
+            for t in 0..self.horizon {
+                let i = k * self.horizon + t;
+                total += self.compute_cap_units[k] * self.lambda[i];
+                total += self.adapter_cap[k] * self.phi[i];
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, TaskBuilder, VendorQuote};
+
+    fn scenario() -> Scenario {
+        Scenario {
+            horizon: 4,
+            base_model_gb: 2.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 4000)],
+            tasks: vec![],
+            quotes: vec![],
+            cost: CostGrid::flat(1, 4, 0.0),
+        }
+    }
+
+    fn task() -> Task {
+        TaskBuilder::new(0, 0, 3)
+            .dataset(2000)
+            .memory_gb(39.0)
+            .bid(10.0)
+            .rates(vec![2000])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn duals_start_at_zero() {
+        let d = DualState::new(&scenario(), 1000.0);
+        assert_eq!(d.lambda(0, 0), 0.0);
+        assert_eq!(d.phi(0, 3), 0.0);
+        assert_eq!(d.dual_objective(), 0.0);
+    }
+
+    #[test]
+    fn update_matches_hand_calculation() {
+        let sc = scenario();
+        let t = task();
+        let mut d = DualState::new(&sc, 1000.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1)]);
+        // s = 2 units, C = 4 units → frac 0.5; r = 39, C_m = 78 → frac 0.5.
+        d.update(&t, &s, 2.0, 1.5, 1.2, 1000.0);
+        // λ = 0·1.5 + 1.5·2·0.5 = 1.5 ; φ = 0 + 1.2·2·0.5 = 1.2.
+        assert!((d.lambda(0, 1) - 1.5).abs() < 1e-12);
+        assert!((d.phi(0, 1) - 1.2).abs() < 1e-12);
+        // Second identical update: λ = 1.5·1.5 + 1.5 = 3.75.
+        d.update(&t, &s, 2.0, 1.5, 1.2, 1000.0);
+        assert!((d.lambda(0, 1) - 3.75).abs() < 1e-12);
+        // Untouched cells stay zero.
+        assert_eq!(d.lambda(0, 0), 0.0);
+    }
+
+    #[test]
+    fn duals_are_monotone_nondecreasing() {
+        let sc = scenario();
+        let t = task();
+        let mut d = DualState::new(&sc, 1000.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 2)]);
+        let mut prev_l = 0.0;
+        let mut prev_p = 0.0;
+        for _ in 0..10 {
+            d.update(&t, &s, 1.0, 1.0, 1.0, 1000.0);
+            assert!(d.lambda(0, 0) >= prev_l);
+            assert!(d.phi(0, 2) >= prev_p);
+            prev_l = d.lambda(0, 0);
+            prev_p = d.phi(0, 2);
+        }
+    }
+
+    #[test]
+    fn lemma2_price_exceeds_alpha_once_capacity_is_hit() {
+        // With b̄ ≥ 1, once cumulative committed compute reaches C_kp the
+        // price satisfies λ ≥ α (Lemma 2's capacity-control mechanism).
+        let sc = scenario();
+        let t = task(); // 2 units per commit, C = 4 units.
+        let mut d = DualState::new(&sc, 1000.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1)]);
+        let alpha = 3.0;
+        d.update(&t, &s, 1.0, alpha, 1.0, 1000.0); // cumulative 2/4
+        d.update(&t, &s, 1.0, alpha, 1.0, 1000.0); // cumulative 4/4 = C
+        assert!(
+            d.lambda(0, 1) >= alpha,
+            "λ = {} < α = {alpha}",
+            d.lambda(0, 1)
+        );
+    }
+
+    #[test]
+    fn max_over_placements() {
+        let sc = scenario();
+        let t = task();
+        let mut d = DualState::new(&sc, 1000.0);
+        let s1 = Schedule::new(0, VendorQuote::none(), vec![(0, 1)]);
+        d.update(&t, &s1, 2.0, 1.0, 1.0, 1000.0);
+        assert!(d.max_lambda(&[(0, 0), (0, 1)]) > 0.0);
+        assert_eq!(d.max_lambda(&[(0, 0)]), 0.0);
+        assert_eq!(d.max_lambda(&[]), 0.0);
+    }
+
+    #[test]
+    fn linear_rule_skips_the_compounding_term() {
+        let sc = scenario();
+        let t = task();
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1)]);
+        let mut mult = DualState::new(&sc, 1000.0);
+        let mut lin = DualState::new(&sc, 1000.0);
+        for _ in 0..3 {
+            mult.update_with_rule(&t, &s, 1.0, 1.0, 1.0, 1000.0, DualRule::Multiplicative);
+            lin.update_with_rule(&t, &s, 1.0, 1.0, 1.0, 1000.0, DualRule::Linear);
+        }
+        // Linear: 3 × 0.5 = 1.5 exactly; multiplicative compounds higher.
+        assert!((lin.lambda(0, 1) - 1.5).abs() < 1e-12);
+        assert!(mult.lambda(0, 1) > lin.lambda(0, 1));
+    }
+
+    #[test]
+    fn off_rule_keeps_prices_at_zero() {
+        let sc = scenario();
+        let t = task();
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1)]);
+        let mut d = DualState::new(&sc, 1000.0);
+        d.update_with_rule(&t, &s, 5.0, 9.0, 9.0, 1000.0, DualRule::Off);
+        assert_eq!(d.lambda(0, 1), 0.0);
+        assert_eq!(d.phi(0, 1), 0.0);
+    }
+
+    #[test]
+    fn dual_objective_accumulates_all_terms() {
+        let sc = scenario();
+        let t = task();
+        let mut d = DualState::new(&sc, 1000.0);
+        d.add_mu(5.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1)]);
+        d.update(&t, &s, 2.0, 1.5, 1.2, 1000.0);
+        // μ 5 + C_p·λ = 4·1.5 + C_m·φ = 78·1.2 = 5 + 6 + 93.6.
+        assert!((d.dual_objective() - 104.6).abs() < 1e-9);
+    }
+}

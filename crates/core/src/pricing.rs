@@ -1,0 +1,98 @@
+//! The payment rule of Eq. (14).
+//!
+//! A winning bid pays the vendor's price plus the *marginal* resource
+//! prices — the maxima of the pre-update duals `λ^{(i-1)}`, `φ^{(i-1)}`
+//! over the schedule's cells — times its total resource consumption:
+//!
+//! ```text
+//! p_i = Σ_n z_in q_in + max λ · Σ s_ik x_ikt + max φ · Σ r_i x_ikt
+//! ```
+//!
+//! The payment does not depend on the bid itself (only on consumed
+//! resources), which is what makes the auction truthful (Theorem 3).
+
+use crate::config::PricingRule;
+use pdftsp_types::{Schedule, Task};
+
+/// Computes the payment `p_i` for an admitted task.
+///
+/// `max_lambda`/`max_phi` must be the maxima over the schedule's cells of
+/// the duals **before** the Eq. (7)–(8) update for this task; `energy` is
+/// the schedule's `Σ e_ikt` (used only by [`PricingRule::WithEnergy`]).
+#[must_use]
+pub fn payment(
+    rule: PricingRule,
+    task: &Task,
+    schedule: &Schedule,
+    max_lambda: f64,
+    max_phi: f64,
+    compute_unit: f64,
+    energy: f64,
+) -> f64 {
+    let compute_units = schedule.total_compute(task) as f64 / compute_unit;
+    let memory = schedule.total_memory(task);
+    let base = schedule.vendor.price + max_lambda * compute_units + max_phi * memory;
+    match rule {
+        PricingRule::PaperEq14 => base,
+        PricingRule::WithEnergy => base + energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{TaskBuilder, VendorQuote};
+
+    fn setup() -> (Task, Schedule) {
+        let t = TaskBuilder::new(0, 0, 9)
+            .dataset(2000)
+            .memory_gb(5.0)
+            .bid(50.0)
+            .rates(vec![1000])
+            .build()
+            .unwrap();
+        let s = Schedule::new(
+            0,
+            VendorQuote {
+                vendor: 1,
+                price: 2.0,
+                delay: 1,
+            },
+            vec![(0, 2), (0, 3)],
+        );
+        (t, s)
+    }
+
+    #[test]
+    fn eq14_payment_matches_hand_calculation() {
+        let (t, s) = setup();
+        // compute = 2000 samples = 2 units; memory = 5 × 2 slots = 10.
+        let p = payment(PricingRule::PaperEq14, &t, &s, 3.0, 0.5, 1000.0, 4.0);
+        // 2 (vendor) + 3·2 + 0.5·10 = 13.
+        assert!((p - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_energy_adds_operational_cost() {
+        let (t, s) = setup();
+        let p14 = payment(PricingRule::PaperEq14, &t, &s, 3.0, 0.5, 1000.0, 4.0);
+        let pe = payment(PricingRule::WithEnergy, &t, &s, 3.0, 0.5, 1000.0, 4.0);
+        assert!((pe - p14 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duals_charge_only_the_vendor() {
+        let (t, s) = setup();
+        let p = payment(PricingRule::PaperEq14, &t, &s, 0.0, 0.0, 1000.0, 4.0);
+        assert!((p - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payment_is_independent_of_the_bid() {
+        let (t, s) = setup();
+        let p1 = payment(PricingRule::PaperEq14, &t, &s, 1.0, 1.0, 1000.0, 0.0);
+        let cheap = t.with_declared_bid(1.0);
+        let p2 = payment(PricingRule::PaperEq14, &cheap, &s, 1.0, 1.0, 1000.0, 0.0);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Side-effect-free auction probes.
+//!
+//! The truthfulness experiment (paper Fig. 10) asks: for a fixed task and a
+//! fixed auction state, how does the bidder's *utility* change as the
+//! declared bid sweeps away from the true valuation? [`probe_bid`] answers
+//! without mutating the scheduler: it re-evaluates the schedule search and
+//! the admission test `F(il) > 0` at the declared bid and prices the
+//! hypothetical win with Eq. (14).
+
+use crate::pricing::payment;
+use crate::scheduler::Pdftsp;
+use pdftsp_types::{Scenario, Task};
+
+/// Outcome of a hypothetical bid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BidProbe {
+    /// The declared bid probed.
+    pub declared_bid: f64,
+    /// Whether the bid would win.
+    pub admitted: bool,
+    /// Payment if it won (0 otherwise).
+    pub payment: f64,
+    /// Utility `v_i − p_i` if it won, else 0 (Definition 1), evaluated at
+    /// the task's *true* valuation.
+    pub utility: f64,
+}
+
+/// Probes the auction outcome for `task` if it declared `bid` instead of
+/// its true valuation, against `scheduler`'s current state. The scheduler
+/// is not modified.
+#[must_use]
+pub fn probe_bid(scheduler: &Pdftsp, task: &Task, bid: f64, scenario: &Scenario) -> BidProbe {
+    let probe_task = task.with_declared_bid(bid);
+    let Some(cand) = scheduler.evaluate(&probe_task, scenario) else {
+        return BidProbe {
+            declared_bid: bid,
+            admitted: false,
+            payment: 0.0,
+            utility: 0.0,
+        };
+    };
+    let wins = cand.f_value > 0.0
+        && scheduler
+            .ledger()
+            .fits_schedule(&probe_task, &cand.schedule);
+    if !wins {
+        return BidProbe {
+            declared_bid: bid,
+            admitted: false,
+            payment: 0.0,
+            utility: 0.0,
+        };
+    }
+    let p = payment(
+        scheduler_config_pricing(scheduler),
+        &probe_task,
+        &cand.schedule,
+        cand.max_lambda,
+        cand.max_phi,
+        scheduler_config_unit(scheduler),
+        cand.energy,
+    );
+    BidProbe {
+        declared_bid: bid,
+        admitted: true,
+        payment: p,
+        utility: task.valuation - p,
+    }
+}
+
+// Narrow accessors so `probe_bid` stays a free function with a clean
+// signature while `PdftspConfig` stays private to the scheduler.
+fn scheduler_config_pricing(s: &Pdftsp) -> crate::config::PricingRule {
+    s.config().pricing
+}
+
+fn scheduler_config_unit(s: &Pdftsp) -> f64 {
+    s.config().compute_unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PdftspConfig;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, TaskBuilder};
+
+    fn scenario() -> Scenario {
+        let tasks = vec![TaskBuilder::new(0, 0, 7)
+            .dataset(2000)
+            .memory_gb(5.0)
+            .bid(10.0)
+            .valuation(10.0)
+            .rates(vec![1000])
+            .build()
+            .unwrap()];
+        Scenario {
+            horizon: 8,
+            base_model_gb: 2.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 4000)],
+            quotes: vec![vec![]],
+            cost: CostGrid::flat(1, 8, 0.5),
+            tasks,
+        }
+    }
+
+    #[test]
+    fn probe_does_not_mutate_state() {
+        let sc = scenario();
+        let p = Pdftsp::new(&sc, PdftspConfig::default());
+        let before = p.duals().dual_objective();
+        let _ = probe_bid(&p, &sc.tasks[0], 50.0, &sc);
+        let _ = probe_bid(&p, &sc.tasks[0], 0.1, &sc);
+        assert_eq!(p.duals().dual_objective(), before);
+        assert_eq!(p.records().len(), 0);
+    }
+
+    #[test]
+    fn low_bids_lose_high_bids_win_with_same_payment() {
+        // Energy cost = 2 slots × 0.5 = 1.0; F = bid − 1 under zero duals.
+        let sc = scenario();
+        let p = Pdftsp::new(&sc, PdftspConfig::default());
+        let lose = probe_bid(&p, &sc.tasks[0], 0.5, &sc);
+        assert!(!lose.admitted);
+        assert_eq!(lose.utility, 0.0);
+        let win_a = probe_bid(&p, &sc.tasks[0], 5.0, &sc);
+        let win_b = probe_bid(&p, &sc.tasks[0], 500.0, &sc);
+        assert!(win_a.admitted && win_b.admitted);
+        // Payment independent of the declared bid.
+        assert!((win_a.payment - win_b.payment).abs() < 1e-12);
+        // Utility evaluated at the true valuation, so both are equal too.
+        assert!((win_a.utility - win_b.utility).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truthful_bid_maximizes_utility_on_a_sweep() {
+        let sc = scenario();
+        let p = Pdftsp::new(&sc, PdftspConfig::default());
+        let task = &sc.tasks[0];
+        let truthful = probe_bid(&p, task, task.valuation, &sc);
+        for declared in [0.1, 0.5, 1.0, 3.0, 8.0, 10.0, 12.0, 20.0, 100.0] {
+            let probe = probe_bid(&p, task, declared, &sc);
+            assert!(
+                probe.utility <= truthful.utility + 1e-9,
+                "bid {declared} gives utility {} > truthful {}",
+                probe.utility,
+                truthful.utility
+            );
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Algorithm 1: the online task scheduling and pricing loop.
+//!
+//! Per arriving task `i`:
+//!
+//! 1. collect the vendor quotes `{q_in, h_in}` when `f_i = 1`;
+//! 2. run Algorithm 2 ([`crate::dp::find_schedule`]) once per candidate
+//!    vendor (or once with no vendor) and keep the schedule maximizing the
+//!    surplus `F(il)` of Eq. (10);
+//! 3. if `F(il) > 0`, update the duals per Eqs. (7)–(8) and set
+//!    `μ_i = F(il)` (Eq. 11);
+//! 4. check residual capacity (line 8): admit and commit when every chosen
+//!    `(k, t)` still fits, otherwise reject (the Almost-Feasible →
+//!    Feasible conversion of Lemma 1);
+//! 5. charge the payment of Eq. (14) computed with the *pre-update* duals.
+
+use crate::config::{AlphaBeta, CapacityPolicy, PdftspConfig};
+use crate::dp::{find_schedule, DpContext};
+use crate::duals::DualState;
+use crate::pricing::payment;
+use pdftsp_cluster::CapacityLedger;
+use pdftsp_types::{
+    Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task, TaskId,
+    VendorQuote,
+};
+use std::time::Instant;
+
+/// Per-task auction bookkeeping (drives Figs. 10–11, welfare reports,
+/// and the theory audit of [`crate::analysis`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuctionRecord {
+    /// Task id.
+    pub task: TaskId,
+    /// Declared bid `b_i`.
+    pub bid: f64,
+    /// Best surplus `F(il)` found (`None` when no feasible schedule).
+    pub f_value: Option<f64>,
+    /// Welfare increment `b_il` of the selected schedule (`None` when no
+    /// feasible schedule).
+    pub welfare_increment: Option<f64>,
+    /// Payment `p_i` (0 unless admitted).
+    pub payment: f64,
+    /// Whether the bid won.
+    pub admitted: bool,
+    /// `F(il) > 0` but residual capacity refused the schedule — the task
+    /// is in Lemma 1's almost-feasible set `S_a` but not in `S_c`.
+    pub capacity_rejected: bool,
+}
+
+/// A schedule candidate with its admission economics.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub schedule: Schedule,
+    /// `b_il = b_i − q_in − Σ e`.
+    pub b_il: f64,
+    /// `F(il)` per Eq. (10).
+    pub f_value: f64,
+    /// `max λ^{(i-1)}` over the schedule (for pricing).
+    pub max_lambda: f64,
+    /// `max φ^{(i-1)}` over the schedule (for pricing).
+    pub max_phi: f64,
+    /// `Σ e_ikt`.
+    pub energy: f64,
+}
+
+/// The pdFTSP online scheduler (auctioneer).
+///
+/// ```
+/// use pdftsp_core::{Pdftsp, PdftspConfig};
+/// use pdftsp_types::{CostGrid, GpuModel, NodeSpec, Scenario, TaskBuilder};
+///
+/// let scenario = Scenario {
+///     horizon: 8,
+///     base_model_gb: 1.3,
+///     nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 10_000)],
+///     tasks: vec![TaskBuilder::new(0, 0, 7)
+///         .dataset(6_000)
+///         .bid(20.0)
+///         .memory_gb(4.0)
+///         .rates(vec![3_000])
+///         .build()
+///         .unwrap()],
+///     quotes: vec![vec![]],
+///     cost: CostGrid::flat(1, 8, 0.2),
+/// };
+/// let mut auctioneer = Pdftsp::new(&scenario, PdftspConfig::default());
+/// let decision = auctioneer.decide(&scenario.tasks[0], &scenario);
+/// assert!(decision.is_admitted());
+/// // The winner pays at most its bid (individual rationality).
+/// assert!(decision.payment() <= 20.0);
+/// ```
+pub struct Pdftsp {
+    config: PdftspConfig,
+    duals: DualState,
+    ledger: CapacityLedger,
+    alpha: f64,
+    beta: f64,
+    records: Vec<AuctionRecord>,
+}
+
+impl Pdftsp {
+    /// Creates a scheduler for `scenario`.
+    #[must_use]
+    pub fn new(scenario: &Scenario, config: PdftspConfig) -> Self {
+        let (alpha, beta) = match config.alpha_beta {
+            AlphaBeta::Fixed { alpha, beta } => (alpha, beta),
+            AlphaBeta::RunningMax {
+                floor_alpha,
+                floor_beta,
+            } => (floor_alpha, floor_beta),
+        };
+        Pdftsp {
+            config,
+            duals: DualState::new(scenario, config.compute_unit),
+            ledger: CapacityLedger::new(scenario),
+            alpha,
+            beta,
+            records: Vec::new(),
+        }
+    }
+
+    /// The configuration this scheduler runs with.
+    #[must_use]
+    pub fn config(&self) -> &PdftspConfig {
+        &self.config
+    }
+
+    /// Current `α` (after running-max updates so far).
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Current `β`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Read access to the dual prices (instrumentation).
+    #[must_use]
+    pub fn duals(&self) -> &DualState {
+        &self.duals
+    }
+
+    /// Read access to the capacity ledger (instrumentation).
+    #[must_use]
+    pub fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    /// The auction log so far.
+    #[must_use]
+    pub fn records(&self) -> &[AuctionRecord] {
+        &self.records
+    }
+
+    /// Evaluates the best schedule for `task` against the current prices
+    /// without mutating any state. Returns `None` when no vendor/start
+    /// admits a feasible schedule.
+    pub(crate) fn evaluate(&self, task: &Task, scenario: &Scenario) -> Option<Candidate> {
+        let ctx = DpContext {
+            scenario,
+            duals: &self.duals,
+            ledger: match self.config.capacity_policy {
+                CapacityPolicy::RejectOnOverflow => None,
+                CapacityPolicy::MaskSaturated => Some(&self.ledger),
+            },
+            compute_unit: self.config.compute_unit,
+        };
+        let candidates: Vec<VendorQuote> = if task.needs_preprocessing {
+            scenario.quotes[task.id].clone()
+        } else {
+            vec![VendorQuote::none()]
+        };
+        let mut best: Option<Candidate> = None;
+        for quote in candidates {
+            let start = task.arrival + quote.delay;
+            let Some(dp) = find_schedule(&ctx, task, start) else {
+                continue;
+            };
+            let schedule = Schedule::new(task.id, quote, dp.placements);
+            let b_il = task.bid - quote.price - dp.energy;
+            let max_lambda = self.duals.max_lambda(&schedule.placements);
+            let max_phi = self.duals.max_phi(&schedule.placements);
+            let compute_units =
+                schedule.total_compute(task) as f64 / self.config.compute_unit;
+            let memory = schedule.total_memory(task);
+            let f_value = b_il - max_lambda * compute_units - max_phi * memory;
+            if best.as_ref().map_or(true, |b| f_value > b.f_value) {
+                best = Some(Candidate {
+                    schedule,
+                    b_il,
+                    f_value,
+                    max_lambda,
+                    max_phi,
+                    energy: dp.energy,
+                });
+            }
+        }
+        best
+    }
+
+    /// Handles one arriving task: the body of Algorithm 1's loop.
+    pub fn decide(&mut self, task: &Task, scenario: &Scenario) -> Decision {
+        let t0 = Instant::now();
+
+        // Running-max α/β estimation, updated on every arrival:
+        // α = max b_i/M_i (Lemma 2, in pricing units); β is normalized by
+        // the task's full memory footprint r_i·ℓ_i rather than Lemma 2's
+        // single-slot r_i — see `AlphaBeta::RunningMax` for why.
+        if let AlphaBeta::RunningMax { .. } = self.config.alpha_beta {
+            let m_units = task.work as f64 / self.config.compute_unit;
+            if m_units > 0.0 {
+                self.alpha = self.alpha.max(task.bid / m_units);
+            }
+            let min_slots = task
+                .rates
+                .iter()
+                .filter(|&&s| s > 0)
+                .map(|&s| task.work.div_ceil(s))
+                .min()
+                .unwrap_or(1)
+                .max(1);
+            let footprint = task.memory_gb * min_slots as f64;
+            if footprint > 0.0 {
+                self.beta = self.beta.max(task.bid / footprint);
+            }
+        }
+
+        let Some(cand) = self.evaluate(task, scenario) else {
+            let secs = t0.elapsed().as_secs_f64();
+            self.records.push(AuctionRecord {
+                task: task.id,
+                bid: task.bid,
+                f_value: None,
+                welfare_increment: None,
+                payment: 0.0,
+                admitted: false,
+                capacity_rejected: false,
+            });
+            return Decision::rejected(task.id, Rejection::NoFeasibleSchedule, secs);
+        };
+
+        if cand.f_value <= 0.0 {
+            let secs = t0.elapsed().as_secs_f64();
+            self.records.push(AuctionRecord {
+                task: task.id,
+                bid: task.bid,
+                f_value: Some(cand.f_value),
+                welfare_increment: Some(cand.b_il),
+                payment: 0.0,
+                admitted: false,
+                capacity_rejected: false,
+            });
+            return Decision::rejected(task.id, Rejection::NonPositiveSurplus, secs);
+        }
+
+        // F(il) > 0: dual update happens before the capacity check
+        // (Algorithm 1 lines 6–8). Payment uses the pre-update duals.
+        let p = payment(
+            self.config.pricing,
+            task,
+            &cand.schedule,
+            cand.max_lambda,
+            cand.max_phi,
+            self.config.compute_unit,
+            cand.energy,
+        );
+        let b_bar = cand.schedule.welfare_density(task, &scenario.cost);
+        // welfare_density divides by raw samples; re-derive in pricing
+        // units so b̄ matches the scaled arithmetic of Eqs. (7)-(8).
+        let denom = cand.schedule.total_compute(task) as f64 / self.config.compute_unit
+            + cand.schedule.total_memory(task);
+        let b_bar = if denom > 0.0 { cand.b_il / denom } else { b_bar };
+        self.duals.add_mu(cand.f_value.max(0.0));
+        self.duals.update_with_rule(
+            task,
+            &cand.schedule,
+            b_bar,
+            self.config.seed_damping * self.alpha,
+            self.config.seed_damping * self.beta,
+            self.config.compute_unit,
+            self.config.dual_rule,
+        );
+
+        if self.ledger.fits_schedule(task, &cand.schedule) {
+            self.ledger
+                .commit(task, &cand.schedule)
+                .expect("fits_schedule checked");
+            let secs = t0.elapsed().as_secs_f64();
+            self.records.push(AuctionRecord {
+                task: task.id,
+                bid: task.bid,
+                f_value: Some(cand.f_value),
+                welfare_increment: Some(cand.b_il),
+                payment: p,
+                admitted: true,
+                capacity_rejected: false,
+            });
+            Decision::admitted(task.id, cand.schedule, p, secs)
+        } else {
+            let secs = t0.elapsed().as_secs_f64();
+            self.records.push(AuctionRecord {
+                task: task.id,
+                bid: task.bid,
+                f_value: Some(cand.f_value),
+                welfare_increment: Some(cand.b_il),
+                payment: 0.0,
+                admitted: false,
+                capacity_rejected: true,
+            });
+            Decision::rejected(task.id, Rejection::InsufficientCapacity, secs)
+        }
+    }
+}
+
+impl OnlineScheduler for Pdftsp {
+    fn name(&self) -> &'static str {
+        "pdFTSP"
+    }
+
+    fn on_slot(&mut self, _slot: Slot, arrivals: &[&Task], scenario: &Scenario) -> SlotOutcome {
+        arrivals.iter().map(|t| self.decide(t, scenario)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, TaskBuilder};
+
+    fn scenario(tasks: Vec<Task>, quotes: Vec<Vec<VendorQuote>>, capacity: u64) -> Scenario {
+        Scenario {
+            horizon: 8,
+            base_model_gb: 2.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, capacity)],
+            tasks,
+            quotes,
+            cost: CostGrid::flat(1, 8, 0.1),
+        }
+    }
+
+    fn simple_task(id: usize, bid: f64) -> Task {
+        TaskBuilder::new(id, 0, 7)
+            .dataset(2000)
+            .memory_gb(5.0)
+            .bid(bid)
+            .rates(vec![1000])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn first_task_on_empty_cluster_is_admitted_cheaply() {
+        let sc = scenario(vec![simple_task(0, 10.0)], vec![vec![]], 4000);
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        let d = p.decide(&sc.tasks[0], &sc);
+        assert!(d.is_admitted());
+        // Duals are zero and no vendor → the winner pays exactly the
+        // operational cost of its 2 slots (0.1 each).
+        assert!((d.payment() - 0.2).abs() < 1e-9);
+        let s = d.schedule().unwrap();
+        assert!(s.validate(&sc.tasks[0]).is_ok());
+        assert_eq!(s.placements.len(), 2);
+    }
+
+    #[test]
+    fn unprofitable_task_is_rejected() {
+        // Energy cost 2 slots × 0.1 = 0.2 > bid.
+        let sc = scenario(vec![simple_task(0, 0.15)], vec![vec![]], 4000);
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        let d = p.decide(&sc.tasks[0], &sc);
+        assert_eq!(
+            d.outcome,
+            pdftsp_types::AuctionOutcome::Rejected(Rejection::NonPositiveSurplus)
+        );
+    }
+
+    #[test]
+    fn impossible_deadline_yields_no_feasible_schedule() {
+        let t = TaskBuilder::new(0, 0, 0)
+            .dataset(5000)
+            .memory_gb(5.0)
+            .bid(10.0)
+            .rates(vec![1000])
+            .build()
+            .unwrap();
+        let sc = scenario(vec![t], vec![vec![]], 4000);
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        let d = p.decide(&sc.tasks[0], &sc);
+        assert_eq!(
+            d.outcome,
+            pdftsp_types::AuctionOutcome::Rejected(Rejection::NoFeasibleSchedule)
+        );
+    }
+
+    #[test]
+    fn prices_rise_with_load_and_eventually_reject() {
+        // Node fits exactly one task per slot (capacity = task rate); the
+        // window has 8 slots so 4 two-slot tasks fill it; later tasks must
+        // be priced out or capacity-rejected.
+        let tasks: Vec<Task> = (0..8).map(|i| simple_task(i, 10.0)).collect();
+        let quotes = vec![vec![]; 8];
+        let sc = scenario(tasks, quotes, 1000);
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        let mut admitted = 0;
+        let mut rejected = 0;
+        for t in &sc.tasks {
+            if p.decide(t, &sc).is_admitted() {
+                admitted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        assert!(admitted >= 3, "admitted {admitted}");
+        assert!(rejected >= 3, "rejected {rejected}");
+        // Committed capacity never exceeded (constraints 4f/4g).
+        for t in 0..8 {
+            assert!(p.ledger().compute_used(0, t) <= 1000);
+        }
+    }
+
+    #[test]
+    fn payments_never_exceed_bids_individual_rationality() {
+        let tasks: Vec<Task> = (0..20)
+            .map(|i| simple_task(i, 5.0 + i as f64))
+            .collect();
+        let quotes = vec![vec![]; 20];
+        let sc = scenario(tasks, quotes, 3000);
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        for t in &sc.tasks {
+            let d = p.decide(t, &sc);
+            if d.is_admitted() {
+                assert!(
+                    d.payment() <= t.bid + 1e-9,
+                    "payment {} > bid {}",
+                    d.payment(),
+                    t.bid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vendor_with_best_surplus_is_selected() {
+        // Tight deadline: the slow vendor (delay 5) leaves too little
+        // room; the fast one (delay 1) must be chosen despite its price.
+        let t = TaskBuilder::new(0, 0, 3)
+            .dataset(2000)
+            .memory_gb(5.0)
+            .bid(20.0)
+            .needs_preprocessing(true)
+            .rates(vec![1000])
+            .build()
+            .unwrap();
+        let quotes = vec![vec![
+            VendorQuote {
+                vendor: 0,
+                price: 0.5,
+                delay: 5,
+            },
+            VendorQuote {
+                vendor: 1,
+                price: 2.0,
+                delay: 1,
+            },
+        ]];
+        let sc = scenario(vec![t], quotes, 4000);
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        let d = p.decide(&sc.tasks[0], &sc);
+        assert!(d.is_admitted());
+        assert_eq!(d.schedule().unwrap().vendor.vendor, 1);
+        // Payment covers the vendor price plus 2 slots of energy even at
+        // zero duals.
+        assert!((d.payment() - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheap_vendor_wins_when_deadline_is_slack() {
+        let t = TaskBuilder::new(0, 0, 7)
+            .dataset(2000)
+            .memory_gb(5.0)
+            .bid(20.0)
+            .needs_preprocessing(true)
+            .rates(vec![1000])
+            .build()
+            .unwrap();
+        let quotes = vec![vec![
+            VendorQuote {
+                vendor: 0,
+                price: 0.5,
+                delay: 3,
+            },
+            VendorQuote {
+                vendor: 1,
+                price: 2.0,
+                delay: 1,
+            },
+        ]];
+        let sc = scenario(vec![t], quotes, 4000);
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        let d = p.decide(&sc.tasks[0], &sc);
+        assert!(d.is_admitted());
+        assert_eq!(d.schedule().unwrap().vendor.vendor, 0);
+    }
+
+    #[test]
+    fn masking_policy_avoids_capacity_rejections() {
+        let tasks: Vec<Task> = (0..8).map(|i| simple_task(i, 10.0)).collect();
+        let quotes = vec![vec![]; 8];
+        let sc = scenario(tasks, quotes, 1000);
+        let cfg = PdftspConfig::default().with_masking();
+        let mut p = Pdftsp::new(&sc, cfg);
+        for t in &sc.tasks {
+            let d = p.decide(t, &sc);
+            // Masked DP never produces capacity-infeasible schedules.
+            assert_ne!(
+                d.outcome,
+                pdftsp_types::AuctionOutcome::Rejected(Rejection::InsufficientCapacity)
+            );
+        }
+    }
+
+    #[test]
+    fn records_mirror_decisions() {
+        let sc = scenario(
+            vec![simple_task(0, 10.0), simple_task(1, 0.05)],
+            vec![vec![], vec![]],
+            4000,
+        );
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        let refs: Vec<&Task> = sc.tasks.iter().collect();
+        let out = p.on_slot(0, &refs, &sc);
+        assert_eq!(out.len(), 2);
+        let recs = p.records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].admitted && !recs[1].admitted);
+        assert_eq!(recs[0].payment, out[0].payment());
+    }
+
+    #[test]
+    fn running_max_alpha_beta_grow() {
+        let sc = scenario(
+            vec![simple_task(0, 1.0), simple_task(1, 500.0)],
+            vec![vec![], vec![]],
+            4000,
+        );
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        p.decide(&sc.tasks[0], &sc);
+        let a0 = p.alpha();
+        p.decide(&sc.tasks[1], &sc);
+        assert!(p.alpha() > a0);
+        // β normalized by footprint r_i·ℓ_i = 5 GB × 2 slots = 10.
+        assert!(p.beta() >= 500.0 / 10.0);
+    }
+}

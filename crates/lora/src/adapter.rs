@@ -1,0 +1,121 @@
+//! LoRA adapter sizing.
+//!
+//! LoRA (paper Fig. 1) approximates the fine-tuning update of a dense layer
+//! `W_0 ∈ R^{d×k}` by `ΔW = B·A` with `B ∈ R^{d×r}`, `A ∈ R^{r×k}`,
+//! `r ≪ min(d, k)`. Only `A` and `B` are trained. Following the original
+//! LoRA paper (Hu et al., 2021) we inject adapters into the attention
+//! query and value projections by default; "all linear" targeting is also
+//! supported.
+
+use crate::transformer::TransformerConfig;
+
+/// Which dense matrices inside each transformer block receive an adapter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoraTarget {
+    /// Query and value projections only (the LoRA-paper default).
+    QueryValue,
+    /// Every dense matrix in the block (QKV fused, output, both MLP mats).
+    AllLinear,
+}
+
+/// LoRA hyper-parameters for one fine-tuning task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoraConfig {
+    /// Rank `r` of the low-rank factors.
+    pub rank: usize,
+    /// Which matrices are adapted.
+    pub target: LoraTarget,
+}
+
+impl LoraConfig {
+    /// The common default: rank-8 adapters on Q and V.
+    #[must_use]
+    pub fn rank8_qv() -> Self {
+        LoraConfig {
+            rank: 8,
+            target: LoraTarget::QueryValue,
+        }
+    }
+
+    /// Trainable parameters added to one transformer block.
+    ///
+    /// Each adapted `d_in × d_out` matrix contributes `r · (d_in + d_out)`.
+    #[must_use]
+    pub fn params_per_layer(&self, model: &TransformerConfig) -> u64 {
+        let d = model.d_model as u64;
+        let r = self.rank as u64;
+        match self.target {
+            // Q: d×d and V: d×d → 2 · r · (d + d)
+            LoraTarget::QueryValue => 2 * r * (d + d),
+            LoraTarget::AllLinear => {
+                let h = d * model.ffn_mult as u64;
+                // QKV fused d×3d, output d×d, MLP d×h and h×d.
+                r * ((d + 3 * d) + (d + d) + (d + h) + (h + d))
+            }
+        }
+    }
+
+    /// Total trainable parameters for the whole model.
+    #[must_use]
+    pub fn total_params(&self, model: &TransformerConfig) -> u64 {
+        model.layers as u64 * self.params_per_layer(model)
+    }
+
+    /// Ratio of trainable parameters to full fine-tuning — the headline
+    /// LoRA saving (the paper quotes 175 B → 37 M ≈ 4700× for GPT-3).
+    #[must_use]
+    pub fn reduction_factor(&self, model: &TransformerConfig) -> f64 {
+        model.total_params() as f64 / self.total_params(model) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank8_qv_on_gpt2_small_is_tiny() {
+        let cfg = LoraConfig::rank8_qv();
+        let model = TransformerConfig::gpt2_small();
+        let p = cfg.total_params(&model);
+        // 12 layers * 2 matrices * 8 * (768 + 768) = 294_912.
+        assert_eq!(p, 294_912);
+    }
+
+    #[test]
+    fn reduction_factor_is_large() {
+        let cfg = LoraConfig::rank8_qv();
+        let model = TransformerConfig::gpt2_small();
+        // ~124M / ~0.3M ≈ 420×.
+        let f = cfg.reduction_factor(&model);
+        assert!(f > 300.0 && f < 600.0, "factor {f}");
+    }
+
+    #[test]
+    fn all_linear_is_bigger_than_qv() {
+        let model = TransformerConfig::gpt2_small();
+        let qv = LoraConfig {
+            rank: 8,
+            target: LoraTarget::QueryValue,
+        };
+        let all = LoraConfig {
+            rank: 8,
+            target: LoraTarget::AllLinear,
+        };
+        assert!(all.total_params(&model) > qv.total_params(&model));
+    }
+
+    #[test]
+    fn params_scale_linearly_with_rank() {
+        let model = TransformerConfig::gpt2_small();
+        let r8 = LoraConfig {
+            rank: 8,
+            target: LoraTarget::QueryValue,
+        };
+        let r16 = LoraConfig {
+            rank: 16,
+            target: LoraTarget::QueryValue,
+        };
+        assert_eq!(2 * r8.total_params(&model), r16.total_params(&model));
+    }
+}

@@ -1,0 +1,217 @@
+//! The calibration table the workload generators consume.
+//!
+//! This is the software analogue of the paper's profiling table: for each
+//! GPU model and batch size, the achievable per-task samples-per-slot rate
+//! and the task's memory footprint; plus per-GPU node capacities and the
+//! shared base-replica size `r_b`.
+
+use crate::adapter::LoraConfig;
+use crate::gpu::GpuSpec;
+use crate::paradigm::TuningParadigm;
+use crate::throughput::node_capacity_per_slot;
+use crate::transformer::TransformerConfig;
+use pdftsp_types::GpuModel;
+
+/// Batch sizes profiled, as in the paper's "different batch size values".
+pub const BATCH_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// One profiled configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationRow {
+    /// GPU model profiled.
+    pub gpu: GpuModel,
+    /// Fine-tuning batch size.
+    pub batch_size: usize,
+    /// Per-task samples per slot (`s_ik` when task `i` uses this batch on a
+    /// node of this GPU model).
+    pub samples_per_slot: u64,
+    /// Per-task memory demand `r_i` in GB.
+    pub task_memory_gb: f64,
+}
+
+/// Complete calibration for one (pre-trained model, paradigm) pair.
+///
+/// ```
+/// use pdftsp_lora::{CalibrationTable, TuningParadigm, TransformerConfig};
+/// use pdftsp_types::GpuModel;
+///
+/// let table = CalibrationTable::for_paradigm(
+///     TransformerConfig::gpt2_medium(),
+///     TuningParadigm::Lora { rank: 8 },
+/// );
+/// // A batch-8 LoRA task processes thousands of samples per 10-min slot
+/// // on an A100 and needs a few GB beside the shared base replica.
+/// assert!(table.task_rate(GpuModel::A100_80, 8) > 1_000);
+/// assert!(table.task_memory(8) < 10.0);
+/// assert!(table.base_gb > 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalibrationTable {
+    /// The pre-trained model all tasks fine-tune.
+    pub model: TransformerConfig,
+    /// The tuning paradigm assumed for profiling.
+    pub paradigm: TuningParadigm,
+    /// Shared base-replica size `r_b` (GB); 0 when the paradigm cannot
+    /// share (full fine-tuning).
+    pub base_gb: f64,
+    /// Profiled rows for every (GPU, batch) combination.
+    pub rows: Vec<CalibrationRow>,
+}
+
+impl CalibrationTable {
+    /// Profiles `model` with a LoRA config on all supported GPUs and
+    /// batch sizes (shorthand for [`CalibrationTable::for_paradigm`]).
+    #[must_use]
+    pub fn new(model: TransformerConfig, lora: LoraConfig) -> Self {
+        CalibrationTable::for_paradigm(model, TuningParadigm::Lora { rank: lora.rank })
+    }
+
+    /// Profiles `model` under any [`TuningParadigm`] — the "beyond LoRA"
+    /// extension the paper leaves as future work.
+    #[must_use]
+    pub fn for_paradigm(model: TransformerConfig, paradigm: TuningParadigm) -> Self {
+        let mut rows = Vec::with_capacity(GpuModel::ALL.len() * BATCH_SIZES.len());
+        for gpu in GpuModel::ALL {
+            let spec = GpuSpec::of(gpu);
+            for &b in &BATCH_SIZES {
+                rows.push(CalibrationRow {
+                    gpu,
+                    batch_size: b,
+                    samples_per_slot: paradigm.task_rate_per_slot(&spec, &model, b),
+                    task_memory_gb: paradigm.task_memory_gb(&model, b),
+                });
+            }
+        }
+        CalibrationTable {
+            model,
+            paradigm,
+            base_gb: paradigm.base_replica_gb(&model),
+            rows,
+        }
+    }
+
+    /// The default calibration used by the experiments: GPT-2 medium with
+    /// rank-8 Q/V adapters. (GPT-2 medium gives multi-slot task durations
+    /// at the paper's dataset sizes, matching the contention the paper's
+    /// figures exhibit.)
+    #[must_use]
+    pub fn default_gpt2() -> Self {
+        CalibrationTable::new(TransformerConfig::gpt2_medium(), LoraConfig::rank8_qv())
+    }
+
+    /// Node compute capacity `C_kp` (samples/slot) for a GPU model.
+    #[must_use]
+    pub fn node_capacity(&self, gpu: GpuModel) -> u64 {
+        node_capacity_per_slot(&GpuSpec::of(gpu), &self.model)
+    }
+
+    /// Per-task rate `s_ik` for a GPU model and batch size.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` was not profiled (see [`BATCH_SIZES`]).
+    #[must_use]
+    pub fn task_rate(&self, gpu: GpuModel, batch_size: usize) -> u64 {
+        self.row(gpu, batch_size).samples_per_slot
+    }
+
+    /// Per-task memory `r_i` for a batch size (identical across GPUs).
+    ///
+    /// # Panics
+    /// Panics if `batch_size` was not profiled.
+    #[must_use]
+    pub fn task_memory(&self, batch_size: usize) -> f64 {
+        self.row(GpuModel::A100_80, batch_size).task_memory_gb
+    }
+
+    fn row(&self, gpu: GpuModel, batch_size: usize) -> &CalibrationRow {
+        self.rows
+            .iter()
+            .find(|r| r.gpu == gpu && r.batch_size == batch_size)
+            .unwrap_or_else(|| panic!("batch size {batch_size} not profiled for {}", gpu.name()))
+    }
+
+    /// Renders the table as aligned text (mirrors the measurement table a
+    /// profiling run would print).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "base replica r_b = {:.2} GB; node capacity C_kp: {}\n",
+            self.base_gb,
+            GpuModel::ALL
+                .iter()
+                .map(|&g| format!("{} = {}", g.name(), self.node_capacity(g)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("gpu         batch  samples/slot  task_mem_gb\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<11} {:>5} {:>13} {:>12.2}\n",
+                r.gpu.name(),
+                r.batch_size,
+                r.samples_per_slot,
+                r.task_memory_gb
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_has_all_rows() {
+        let t = CalibrationTable::default_gpt2();
+        assert_eq!(t.rows.len(), GpuModel::ALL.len() * BATCH_SIZES.len());
+    }
+
+    #[test]
+    fn rates_fit_under_node_capacity() {
+        let t = CalibrationTable::default_gpt2();
+        for r in &t.rows {
+            assert!(r.samples_per_slot < t.node_capacity(r.gpu));
+        }
+    }
+
+    #[test]
+    fn typical_task_spans_multiple_slots() {
+        // Paper: datasets U[5k, 20k] samples, 1–5 epochs. A mid task
+        // (12.5k × 3) at batch 8 should need multiple slots but finish
+        // well inside a day (144 slots).
+        let t = CalibrationTable::default_gpt2();
+        let work = 12_500u64 * 3;
+        for gpu in GpuModel::ALL {
+            let rate = t.task_rate(gpu, 8);
+            let slots = work.div_ceil(rate);
+            assert!(
+                (2..=80).contains(&slots),
+                "{}: {slots} slots (rate {rate})",
+                gpu.name()
+            );
+        }
+    }
+
+    #[test]
+    fn several_tasks_fit_in_memory_next_to_base() {
+        let t = CalibrationTable::default_gpt2();
+        let r_i = t.task_memory(8);
+        // A40 48 GB: at least 5 batch-8 tasks beside the base replica.
+        assert!(t.base_gb + 5.0 * r_i < 48.0, "r_b={} r_i={r_i}", t.base_gb);
+    }
+
+    #[test]
+    fn unknown_batch_panics() {
+        let t = CalibrationTable::default_gpt2();
+        let r = std::panic::catch_unwind(|| t.task_rate(GpuModel::A100_80, 7));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn render_mentions_every_gpu() {
+        let s = CalibrationTable::default_gpt2().render();
+        assert!(s.contains("A100-80GB") && s.contains("A40-48GB"));
+    }
+}

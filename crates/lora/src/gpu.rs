@@ -1,0 +1,73 @@
+//! Published throughput specs for the GPU models used in the paper's
+//! evaluation.
+
+use pdftsp_types::GpuModel;
+
+/// Peak-throughput characteristics of one GPU model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// The model this spec describes.
+    pub model: GpuModel,
+    /// Peak dense fp16/bf16 tensor throughput in TFLOP/s.
+    pub peak_tflops: f64,
+    /// Memory bandwidth in GB/s (drives the MFU discount for the
+    /// bandwidth-bound A40).
+    pub mem_bandwidth_gbs: f64,
+    /// Achievable model-FLOPs utilization for LoRA fine-tuning of
+    /// GPT-2-scale models (empirically 25–40% for small models; the A40's
+    /// GDDR6 keeps it lower than the HBM A100).
+    pub mfu: f64,
+}
+
+impl GpuSpec {
+    /// Spec lookup for a [`GpuModel`].
+    #[must_use]
+    pub fn of(model: GpuModel) -> GpuSpec {
+        match model {
+            // A100 80GB SXM: 312 TFLOP/s bf16 dense, 2039 GB/s HBM2e.
+            GpuModel::A100_80 => GpuSpec {
+                model,
+                peak_tflops: 312.0,
+                mem_bandwidth_gbs: 2039.0,
+                mfu: 0.32,
+            },
+            // A40: 149.7 TFLOP/s bf16 dense (with FP16 accumulate),
+            // 696 GB/s GDDR6.
+            GpuModel::A40_48 => GpuSpec {
+                model,
+                peak_tflops: 149.7,
+                mem_bandwidth_gbs: 696.0,
+                mfu: 0.26,
+            },
+        }
+    }
+
+    /// Effective sustained TFLOP/s for fine-tuning.
+    #[must_use]
+    pub fn effective_tflops(&self) -> f64 {
+        self.peak_tflops * self.mfu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_is_faster_than_a40() {
+        let a100 = GpuSpec::of(GpuModel::A100_80);
+        let a40 = GpuSpec::of(GpuModel::A40_48);
+        assert!(a100.effective_tflops() > a40.effective_tflops());
+        // And by a plausible factor (2–4× for fine-tuning workloads).
+        let ratio = a100.effective_tflops() / a40.effective_tflops();
+        assert!(ratio > 2.0 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mfu_is_a_fraction() {
+        for m in GpuModel::ALL {
+            let s = GpuSpec::of(m);
+            assert!(s.mfu > 0.0 && s.mfu < 1.0);
+        }
+    }
+}

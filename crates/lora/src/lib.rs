@@ -1,0 +1,49 @@
+//! # pdftsp-lora
+//!
+//! Analytic LoRA fine-tuning cost model — the substrate that replaces the
+//! paper's hardware profiling step.
+//!
+//! The paper obtains the experimental parameters `r_i`, `r_b`, `s_ik`,
+//! `C_kp`, `C_km` by fine-tuning GPT-2 with LoRA on real NVIDIA A100-80GB
+//! and A40-48GB GPUs and recording the number of samples processed per
+//! 10-minute slot under different batch sizes. We have no GPUs here, so this
+//! crate computes the same quantities from first principles:
+//!
+//! * [`transformer`] — parameter counting for GPT-2-family transformer
+//!   configurations;
+//! * [`adapter`] — LoRA adapter sizing (`ΔW = B·A`, rank `r ≪ min(d,k)`)
+//!   and the trainable-parameter reduction the paper quotes (175 B → 37 M
+//!   for GPT-3);
+//! * [`memory`] — fine-tuning memory footprints: the shared frozen base
+//!   replica `r_b` (fp16 weights, no optimizer state) and the per-task
+//!   demand `r_i` (adapter weights + gradients + Adam moments in fp32,
+//!   plus batch activations);
+//! * [`gpu`] — published peak-throughput specs for the two GPU models;
+//! * [`throughput`] — a FLOPs-based samples-per-slot model with a
+//!   model-FLOPs-utilization (MFU) factor, giving the node capacity `C_kp`
+//!   and per-task rates `s_ik` as a function of batch size;
+//! * [`calibration`] — the end-to-end table the generators in
+//!   `pdftsp-workload` consume, mirroring the measurement table the paper
+//!   records.
+//!
+//! The scheduler itself only ever sees the resulting scalars, so any
+//! calibration with the right orders of magnitude preserves the paper's
+//! capacity-pressure behaviour; this one lands GPT-2 at ≈ 124 M parameters,
+//! base replicas around 1.6 GB, adapters in the tens of MB, and thousands
+//! of samples per slot — consistent with the published hardware numbers.
+
+pub mod adapter;
+pub mod calibration;
+pub mod gpu;
+pub mod memory;
+pub mod paradigm;
+pub mod throughput;
+pub mod transformer;
+
+pub use adapter::LoraConfig;
+pub use calibration::{CalibrationRow, CalibrationTable};
+pub use gpu::GpuSpec;
+pub use memory::{base_replica_gb, task_memory_gb, FinetuneMemory};
+pub use paradigm::TuningParadigm;
+pub use throughput::{node_capacity_per_slot, task_rate_per_slot, SLOT_SECONDS};
+pub use transformer::TransformerConfig;

@@ -1,0 +1,127 @@
+//! GPU-memory footprints of multi-LoRA fine-tuning.
+//!
+//! Two quantities feed the scheduler:
+//!
+//! * `r_b` ([`base_replica_gb`]) — the shared frozen base-model replica.
+//!   Weights are held in fp16/bf16; because they are frozen there are no
+//!   gradients or optimizer moments for them (the whole point of LoRA).
+//! * `r_i` ([`task_memory_gb`]) — the per-task demand: adapter weights,
+//!   adapter gradients, Adam first/second moments (all fp32, as in mixed-
+//!   precision training), plus the activation memory of the task's batch,
+//!   which dominates in practice and scales linearly with batch size.
+
+use crate::adapter::LoraConfig;
+use crate::transformer::TransformerConfig;
+
+const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+/// Bytes per fp16/bf16 value.
+const BYTES_FP16: f64 = 2.0;
+/// Bytes per fp32 value.
+const BYTES_FP32: f64 = 4.0;
+/// Activation bytes retained per token per layer per `d_model` unit under
+/// standard (non-checkpointed) training with fp16 activations. The widely
+/// used estimate for a GPT block is ≈ 17–34 bytes · seq · d per layer
+/// depending on implementation; we use a mid value that reproduces the
+/// common "a few GB per batch element for GPT-2-scale models" observation.
+const ACT_BYTES_PER_TOKEN_DIM: f64 = 20.0;
+/// Fixed CUDA/framework overhead per resident model replica (allocator,
+/// kernels, workspaces), in GB.
+const FRAMEWORK_OVERHEAD_GB: f64 = 0.6;
+
+/// Breakdown of a fine-tuning task's memory demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FinetuneMemory {
+    /// Adapter weights + gradients + Adam moments, GB.
+    pub adapter_state_gb: f64,
+    /// Activation memory for the task's batch, GB.
+    pub activations_gb: f64,
+    /// Total `r_i` in GB.
+    pub total_gb: f64,
+}
+
+/// Size `r_b` of the shared frozen base replica in GB (fp16 weights plus
+/// framework overhead; no optimizer state because the base is frozen).
+#[must_use]
+pub fn base_replica_gb(model: &TransformerConfig) -> f64 {
+    (model.total_params() as f64 * BYTES_FP16) / GB + FRAMEWORK_OVERHEAD_GB
+}
+
+/// Per-task memory demand `r_i` in GB for a given LoRA config and batch
+/// size, with the standard Adam-moment accounting:
+/// weights (fp32) + gradients (fp32) + two moments (fp32) = 16 bytes/param.
+#[must_use]
+pub fn task_memory_gb(model: &TransformerConfig, lora: &LoraConfig, batch_size: usize) -> FinetuneMemory {
+    let adapter_params = lora.total_params(model) as f64;
+    let adapter_state_gb = adapter_params * 4.0 * BYTES_FP32 / GB;
+    let activations_gb = batch_size as f64
+        * model.seq_len as f64
+        * model.layers as f64
+        * model.d_model as f64
+        * ACT_BYTES_PER_TOKEN_DIM
+        / GB;
+    FinetuneMemory {
+        adapter_state_gb,
+        activations_gb,
+        total_gb: adapter_state_gb + activations_gb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_replica_is_small_relative_to_gpu_memory() {
+        let r_b = base_replica_gb(&TransformerConfig::gpt2_small());
+        // fp16 GPT-2 small ≈ 0.24 GB + overhead ≈ 0.85 GB; well under 48 GB.
+        assert!(r_b > 0.5 && r_b < 2.0, "r_b = {r_b}");
+    }
+
+    #[test]
+    fn adapter_state_is_megabytes_not_gigabytes() {
+        let m = task_memory_gb(
+            &TransformerConfig::gpt2_small(),
+            &LoraConfig::rank8_qv(),
+            1,
+        );
+        // 294_912 params * 16 B ≈ 4.7 MB.
+        assert!(m.adapter_state_gb < 0.01, "{}", m.adapter_state_gb);
+    }
+
+    #[test]
+    fn activations_scale_linearly_with_batch() {
+        let model = TransformerConfig::gpt2_small();
+        let lora = LoraConfig::rank8_qv();
+        let b1 = task_memory_gb(&model, &lora, 1).activations_gb;
+        let b8 = task_memory_gb(&model, &lora, 8).activations_gb;
+        assert!((b8 / b1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_memory_is_plausible_for_gpt2_batches() {
+        let model = TransformerConfig::gpt2_small();
+        let lora = LoraConfig::rank8_qv();
+        let m = task_memory_gb(&model, &lora, 16);
+        // Batch 16, seq 1024 on GPT-2 small: a few GB.
+        assert!(m.total_gb > 1.0 && m.total_gb < 10.0, "{}", m.total_gb);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let model = TransformerConfig::gpt2_medium();
+        let lora = LoraConfig::rank8_qv();
+        let m = task_memory_gb(&model, &lora, 4);
+        assert!((m.total_gb - (m.adapter_state_gb + m.activations_gb)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_lora_tasks_fit_beside_one_base_replica() {
+        // The multi-LoRA claim (paper Fig. 2): one shared base, many
+        // adapters. Check ~10 batch-8 tasks fit on an 80 GB A100.
+        let model = TransformerConfig::gpt2_small();
+        let lora = LoraConfig::rank8_qv();
+        let r_b = base_replica_gb(&model);
+        let r_i = task_memory_gb(&model, &lora, 8).total_gb;
+        assert!(r_b + 10.0 * r_i < 80.0, "r_b={r_b} r_i={r_i}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Fine-tuning paradigms beyond LoRA — the paper's stated future work
+//! ("we intend to extend our study to serving fine-tuning tasks with
+//! paradigms beyond LoRA").
+//!
+//! Each paradigm changes the three quantities the scheduler consumes:
+//!
+//! | paradigm | shared base `r_b` | per-task `r_i` | throughput |
+//! |---|---|---|---|
+//! | LoRA | fp16 weights | adapter states + activations | baseline |
+//! | QLoRA | 4-bit weights (≈ ¼) | same adapter + activations | ×0.7 (dequant) |
+//! | Prefix-tuning | fp16 weights | prefix KV states + activations | ×seq/(seq+p) |
+//! | Full fine-tune | **none** (no sharing) | whole model in mixed precision + activations | ×0.75 (full backward) |
+//!
+//! Because the scheduler is paradigm-agnostic (it only sees `r_b`, `r_i`,
+//! `s_ik`), plugging a paradigm in is a calibration swap — which is
+//! exactly the experiment the `paradigms` bench binary runs.
+
+use crate::adapter::{LoraConfig, LoraTarget};
+use crate::gpu::GpuSpec;
+use crate::memory::{base_replica_gb, task_memory_gb};
+use crate::throughput::task_rate_per_slot;
+use crate::transformer::TransformerConfig;
+
+const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// How a task adapts the pre-trained model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TuningParadigm {
+    /// Low-rank adapters (the paper's setting).
+    Lora {
+        /// Adapter rank `r`.
+        rank: usize,
+    },
+    /// LoRA over a 4-bit-quantized frozen base (Dettmers et al., 2023).
+    QLora {
+        /// Adapter rank `r`.
+        rank: usize,
+    },
+    /// Trainable prefix key/value states prepended at every layer
+    /// (Li & Liang, 2021).
+    PrefixTuning {
+        /// Number of prefix positions.
+        prefix_len: usize,
+    },
+    /// Update every parameter; no cross-task sharing possible.
+    FullFineTune,
+}
+
+impl TuningParadigm {
+    /// Display name for tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TuningParadigm::Lora { .. } => "LoRA",
+            TuningParadigm::QLora { .. } => "QLoRA",
+            TuningParadigm::PrefixTuning { .. } => "prefix",
+            TuningParadigm::FullFineTune => "full-FT",
+        }
+    }
+
+    /// Whether co-located tasks can share one base replica (paper Fig. 2).
+    #[must_use]
+    pub fn shares_base(self) -> bool {
+        !matches!(self, TuningParadigm::FullFineTune)
+    }
+
+    /// Trainable parameters per task.
+    #[must_use]
+    pub fn trainable_params(self, model: &TransformerConfig) -> u64 {
+        match self {
+            TuningParadigm::Lora { rank } | TuningParadigm::QLora { rank } => LoraConfig {
+                rank,
+                target: LoraTarget::QueryValue,
+            }
+            .total_params(model),
+            TuningParadigm::PrefixTuning { prefix_len } => {
+                // Per layer: prefix_len key vectors + value vectors of
+                // width d.
+                (model.layers * prefix_len * 2 * model.d_model) as u64
+            }
+            TuningParadigm::FullFineTune => model.total_params(),
+        }
+    }
+
+    /// Size of the shared base replica `r_b` in GB (0 when nothing can be
+    /// shared).
+    #[must_use]
+    pub fn base_replica_gb(self, model: &TransformerConfig) -> f64 {
+        match self {
+            TuningParadigm::Lora { .. } | TuningParadigm::PrefixTuning { .. } => {
+                base_replica_gb(model)
+            }
+            TuningParadigm::QLora { .. } => {
+                // 4-bit weights + quantization constants ≈ 0.55 byte/param,
+                // plus the same framework overhead as fp16 serving.
+                model.total_params() as f64 * 0.55 / GB + 0.6
+            }
+            TuningParadigm::FullFineTune => 0.0,
+        }
+    }
+
+    /// Per-task memory demand `r_i` in GB at a batch size.
+    #[must_use]
+    pub fn task_memory_gb(self, model: &TransformerConfig, batch_size: usize) -> f64 {
+        let lora_like = |rank| {
+            task_memory_gb(
+                model,
+                &LoraConfig {
+                    rank,
+                    target: LoraTarget::QueryValue,
+                },
+                batch_size,
+            )
+        };
+        match self {
+            TuningParadigm::Lora { rank } | TuningParadigm::QLora { rank } => {
+                lora_like(rank).total_gb
+            }
+            TuningParadigm::PrefixTuning { prefix_len } => {
+                let base = lora_like(8);
+                // Trainable prefix states in fp32 with grads + Adam
+                // moments (16 B/param), activations stretched by the
+                // longer effective sequence.
+                let prefix_params = self.trainable_params(model) as f64;
+                let stretch =
+                    (model.seq_len + prefix_len) as f64 / model.seq_len as f64;
+                prefix_params * 16.0 / GB + base.activations_gb * stretch
+            }
+            TuningParadigm::FullFineTune => {
+                // Mixed-precision full training: fp16 weights + fp32
+                // master + fp32 grads + two Adam moments = 18 B/param.
+                let weights = model.total_params() as f64 * 18.0 / GB;
+                weights + lora_like(8).activations_gb + 0.6
+            }
+        }
+    }
+
+    /// Per-task samples-per-slot rate `s_ik` at a batch size.
+    #[must_use]
+    pub fn task_rate_per_slot(
+        self,
+        gpu: &GpuSpec,
+        model: &TransformerConfig,
+        batch_size: usize,
+    ) -> u64 {
+        let base = task_rate_per_slot(gpu, model, batch_size) as f64;
+        let factor = match self {
+            TuningParadigm::Lora { .. } => 1.0,
+            // Dequantization on every matmul costs throughput.
+            TuningParadigm::QLora { .. } => 0.7,
+            // Longer effective sequence per token of payload.
+            TuningParadigm::PrefixTuning { prefix_len } => {
+                model.seq_len as f64 / (model.seq_len + prefix_len) as f64
+            }
+            // Full backward pass: ≈ 6P vs LoRA's ≈ 4.5P per token.
+            TuningParadigm::FullFineTune => 0.75,
+        };
+        (base * factor).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::GpuModel;
+
+    fn model() -> TransformerConfig {
+        TransformerConfig::gpt2_medium()
+    }
+
+    #[test]
+    fn trainable_param_ordering() {
+        let m = model();
+        let lora = TuningParadigm::Lora { rank: 8 }.trainable_params(&m);
+        let prefix = TuningParadigm::PrefixTuning { prefix_len: 32 }.trainable_params(&m);
+        let full = TuningParadigm::FullFineTune.trainable_params(&m);
+        assert!(lora < full && prefix < full);
+        assert_eq!(full, m.total_params());
+    }
+
+    #[test]
+    fn qlora_base_is_much_smaller_than_fp16() {
+        let m = model();
+        let fp16 = TuningParadigm::Lora { rank: 8 }.base_replica_gb(&m);
+        let q4 = TuningParadigm::QLora { rank: 8 }.base_replica_gb(&m);
+        // Weight bytes shrink ~3.6×; the shared framework overhead keeps
+        // the end-to-end replica ratio nearer 0.6 at GPT-2-medium size.
+        assert!(q4 < 0.75 * fp16, "q4 {q4} vs fp16 {fp16}");
+        assert!(q4 > 0.0);
+    }
+
+    #[test]
+    fn full_ft_shares_nothing_and_needs_the_most_memory() {
+        let m = model();
+        assert!(!TuningParadigm::FullFineTune.shares_base());
+        assert_eq!(TuningParadigm::FullFineTune.base_replica_gb(&m), 0.0);
+        let full = TuningParadigm::FullFineTune.task_memory_gb(&m, 8);
+        let lora = TuningParadigm::Lora { rank: 8 }.task_memory_gb(&m, 8);
+        // Full FT carries 18 B/param of model state that LoRA doesn't.
+        assert!(full > lora + 4.0, "full {full} vs lora {lora}");
+    }
+
+    #[test]
+    fn throughput_ordering_matches_overheads() {
+        let m = model();
+        let gpu = GpuSpec::of(GpuModel::A100_80);
+        let lora = TuningParadigm::Lora { rank: 8 }.task_rate_per_slot(&gpu, &m, 8);
+        let qlora = TuningParadigm::QLora { rank: 8 }.task_rate_per_slot(&gpu, &m, 8);
+        let prefix =
+            TuningParadigm::PrefixTuning { prefix_len: 64 }.task_rate_per_slot(&gpu, &m, 8);
+        let full = TuningParadigm::FullFineTune.task_rate_per_slot(&gpu, &m, 8);
+        assert!(lora > qlora);
+        assert!(lora > prefix);
+        assert!(lora > full);
+        // Prefix-64 on seq-1024 costs ~6%, far less than QLoRA's 30%.
+        assert!(prefix > qlora);
+    }
+
+    #[test]
+    fn prefix_memory_grows_with_prefix_length() {
+        let m = model();
+        let short = TuningParadigm::PrefixTuning { prefix_len: 16 }.task_memory_gb(&m, 8);
+        let long = TuningParadigm::PrefixTuning { prefix_len: 256 }.task_memory_gb(&m, 8);
+        assert!(long > short);
+    }
+}

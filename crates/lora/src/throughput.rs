@@ -1,0 +1,103 @@
+//! Samples-per-slot throughput model.
+//!
+//! The paper records "the amount of computation (number of data samples)
+//! within a time slot that the GPU can process under different batch size
+//! values". We reproduce that measurement analytically:
+//!
+//! * node capacity `C_kp` = sustained FLOP/s ÷ FLOPs-per-sample × slot
+//!   length — the samples/slot the GPU delivers at full utilization, i.e.
+//!   the budget that co-located multi-LoRA tasks share (constraint 4f);
+//! * per-task rate `s_ik` = `C_kp` discounted by a saturating
+//!   batch-efficiency curve `b / (b + b_half)` — a task training with a
+//!   small per-device batch cannot drive the GPU at full rate, which is
+//!   exactly why multi-LoRA co-location (paper Fig. 2) raises aggregate
+//!   utilization.
+
+use crate::gpu::GpuSpec;
+use crate::transformer::TransformerConfig;
+
+/// Slot length used throughout the paper's evaluation: 10 minutes.
+pub const SLOT_SECONDS: f64 = 600.0;
+
+/// Training FLOPs-per-token multiplier for LoRA fine-tuning: full forward
+/// (2·P) + backward through activations (2·P) + adapter weight gradients
+/// (≪ P, folded into the 0.5 slack). Full fine-tuning would be ≈ 6·P.
+pub const LORA_FLOP_MULTIPLIER: f64 = 4.5;
+
+/// Batch size at which a single task reaches 50% of node capacity.
+pub const BATCH_HALF_SAT: f64 = 32.0;
+
+/// FLOPs to process one training sample (one full sequence).
+#[must_use]
+pub fn flops_per_sample(model: &TransformerConfig) -> f64 {
+    model.flops_per_token(LORA_FLOP_MULTIPLIER) * model.seq_len as f64
+}
+
+/// Node computation capacity `C_kp`: samples per slot at full utilization.
+#[must_use]
+pub fn node_capacity_per_slot(gpu: &GpuSpec, model: &TransformerConfig) -> u64 {
+    let samples_per_sec = gpu.effective_tflops() * 1e12 / flops_per_sample(model);
+    (samples_per_sec * SLOT_SECONDS).floor() as u64
+}
+
+/// Per-task rate `s_ik`: samples per slot achieved by a single task
+/// fine-tuning with `batch_size`, on a node of the given GPU.
+#[must_use]
+pub fn task_rate_per_slot(gpu: &GpuSpec, model: &TransformerConfig, batch_size: usize) -> u64 {
+    let cap = node_capacity_per_slot(gpu, model) as f64;
+    let eff = batch_size as f64 / (batch_size as f64 + BATCH_HALF_SAT);
+    (cap * eff).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::GpuModel;
+
+    #[test]
+    fn capacity_is_thousands_of_samples_per_slot() {
+        let gpu = GpuSpec::of(GpuModel::A100_80);
+        let cap = node_capacity_per_slot(&gpu, &TransformerConfig::gpt2_medium());
+        // Orders of magnitude: 10^4–10^5 samples per 10-minute slot.
+        assert!(cap > 10_000 && cap < 200_000, "cap = {cap}");
+    }
+
+    #[test]
+    fn a100_capacity_exceeds_a40() {
+        let model = TransformerConfig::gpt2_medium();
+        let a100 = node_capacity_per_slot(&GpuSpec::of(GpuModel::A100_80), &model);
+        let a40 = node_capacity_per_slot(&GpuSpec::of(GpuModel::A40_48), &model);
+        assert!(a100 > a40);
+    }
+
+    #[test]
+    fn task_rate_is_below_capacity_and_monotone_in_batch() {
+        let gpu = GpuSpec::of(GpuModel::A100_80);
+        let model = TransformerConfig::gpt2_medium();
+        let cap = node_capacity_per_slot(&gpu, &model);
+        let mut prev = 0;
+        for b in [1usize, 2, 4, 8, 16, 32, 64] {
+            let r = task_rate_per_slot(&gpu, &model, b);
+            assert!(r < cap, "batch {b}: rate {r} >= cap {cap}");
+            assert!(r >= prev, "rate not monotone at batch {b}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn batch_32_reaches_half_capacity() {
+        let gpu = GpuSpec::of(GpuModel::A40_48);
+        let model = TransformerConfig::gpt2_small();
+        let cap = node_capacity_per_slot(&gpu, &model) as f64;
+        let r = task_rate_per_slot(&gpu, &model, 32) as f64;
+        assert!((r / cap - 0.5).abs() < 0.01, "ratio {}", r / cap);
+    }
+
+    #[test]
+    fn bigger_model_means_fewer_samples_per_slot() {
+        let gpu = GpuSpec::of(GpuModel::A100_80);
+        let small = node_capacity_per_slot(&gpu, &TransformerConfig::gpt2_small());
+        let large = node_capacity_per_slot(&gpu, &TransformerConfig::gpt2_large());
+        assert!(small > large);
+    }
+}

@@ -1,0 +1,157 @@
+//! Parameter counting for GPT-2-family decoder-only transformers.
+//!
+//! The counts follow the standard GPT-2 architecture: learned token and
+//! position embeddings, `L` pre-norm blocks each containing a fused-QKV
+//! self-attention (`W_qkv ∈ R^{d×3d}`, `W_o ∈ R^{d×d}`) and a 2-layer MLP
+//! with hidden width `ffn_mult · d`, LayerNorms with scale+shift, and a
+//! final LayerNorm. The LM head is tied to the token embedding (GPT-2
+//! convention), so it adds no parameters.
+
+/// Architecture of the pre-trained model every task fine-tunes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Number of transformer blocks `L`.
+    pub layers: usize,
+    /// Model (embedding) dimension `d`.
+    pub d_model: usize,
+    /// Attention heads (must divide `d_model`).
+    pub n_heads: usize,
+    /// MLP hidden multiplier (GPT-2 uses 4).
+    pub ffn_mult: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum (and assumed training) sequence length.
+    pub seq_len: usize,
+}
+
+impl TransformerConfig {
+    /// GPT-2 small (117–124 M parameters).
+    #[must_use]
+    pub fn gpt2_small() -> Self {
+        TransformerConfig {
+            layers: 12,
+            d_model: 768,
+            n_heads: 12,
+            ffn_mult: 4,
+            vocab: 50257,
+            seq_len: 1024,
+        }
+    }
+
+    /// GPT-2 medium (≈ 350 M parameters).
+    #[must_use]
+    pub fn gpt2_medium() -> Self {
+        TransformerConfig {
+            layers: 24,
+            d_model: 1024,
+            n_heads: 16,
+            ffn_mult: 4,
+            vocab: 50257,
+            seq_len: 1024,
+        }
+    }
+
+    /// GPT-2 large (≈ 774 M parameters).
+    #[must_use]
+    pub fn gpt2_large() -> Self {
+        TransformerConfig {
+            layers: 36,
+            d_model: 1280,
+            n_heads: 20,
+            ffn_mult: 4,
+            vocab: 50257,
+            seq_len: 1024,
+        }
+    }
+
+    /// Parameters in one attention sub-block: fused QKV projection
+    /// (`d × 3d` + bias) and output projection (`d × d` + bias).
+    #[must_use]
+    pub fn attn_params_per_layer(&self) -> u64 {
+        let d = self.d_model as u64;
+        (d * 3 * d + 3 * d) + (d * d + d)
+    }
+
+    /// Parameters in one MLP sub-block: `d × 4d` and `4d × d` plus biases.
+    #[must_use]
+    pub fn mlp_params_per_layer(&self) -> u64 {
+        let d = self.d_model as u64;
+        let h = d * self.ffn_mult as u64;
+        (d * h + h) + (h * d + d)
+    }
+
+    /// LayerNorm parameters in one block (two LayerNorms, scale + shift).
+    #[must_use]
+    pub fn ln_params_per_layer(&self) -> u64 {
+        4 * self.d_model as u64
+    }
+
+    /// Embedding parameters: token table + learned position table.
+    #[must_use]
+    pub fn embedding_params(&self) -> u64 {
+        (self.vocab as u64 + self.seq_len as u64) * self.d_model as u64
+    }
+
+    /// Total parameter count of the frozen pre-trained model.
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        let per_layer =
+            self.attn_params_per_layer() + self.mlp_params_per_layer() + self.ln_params_per_layer();
+        self.embedding_params() + self.layers as u64 * per_layer + 2 * self.d_model as u64
+    }
+
+    /// Training FLOPs per token for a full forward + backward pass,
+    /// using the standard `≈ 6 · params` estimate (2 forward + 4 backward).
+    /// LoRA freezes the base weights, which removes the weight-gradient
+    /// third of the backward pass for the base model, so the effective
+    /// multiplier drops to ≈ 4 for the base plus a negligible adapter term;
+    /// callers pick the multiplier via [`crate::throughput`].
+    #[must_use]
+    pub fn flops_per_token(&self, multiplier: f64) -> f64 {
+        multiplier * self.total_params() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt2_small_lands_near_124m() {
+        let p = TransformerConfig::gpt2_small().total_params();
+        // Published GPT-2 small is 124.4 M; our count should be within 5%.
+        let published = 124_400_000f64;
+        let rel = (p as f64 - published).abs() / published;
+        assert!(rel < 0.05, "got {p} params, rel err {rel}");
+    }
+
+    #[test]
+    fn gpt2_medium_lands_near_350m() {
+        let p = TransformerConfig::gpt2_medium().total_params();
+        let published = 354_800_000f64;
+        let rel = (p as f64 - published).abs() / published;
+        assert!(rel < 0.05, "got {p} params, rel err {rel}");
+    }
+
+    #[test]
+    fn gpt2_large_lands_near_774m() {
+        let p = TransformerConfig::gpt2_large().total_params();
+        let published = 774_000_000f64;
+        let rel = (p as f64 - published).abs() / published;
+        assert!(rel < 0.05, "got {p} params, rel err {rel}");
+    }
+
+    #[test]
+    fn params_grow_with_depth_and_width() {
+        let s = TransformerConfig::gpt2_small().total_params();
+        let m = TransformerConfig::gpt2_medium().total_params();
+        let l = TransformerConfig::gpt2_large().total_params();
+        assert!(s < m && m < l);
+    }
+
+    #[test]
+    fn flops_per_token_scales_with_multiplier() {
+        let c = TransformerConfig::gpt2_small();
+        assert!((c.flops_per_token(6.0) / c.flops_per_token(2.0) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Empirical competitive-ratio measurement (paper Fig. 12).
+//!
+//! Ratio = offline optimum ÷ online welfare. The paper computes the
+//! offline optimum with Gurobi; we use `pdftsp-solver`. When the
+//! branch-and-bound cannot certify the optimum within its limits we report
+//! the ratio against the solver's *upper bound* as well — that can only
+//! over-state the ratio, never flatter the online algorithm.
+
+use crate::driver::{run_algo, Algo};
+use pdftsp_solver::milp::MilpConfig;
+use pdftsp_solver::offline::offline_optimum;
+use pdftsp_types::Scenario;
+
+/// One competitive-ratio measurement.
+#[derive(Debug, Clone)]
+pub struct RatioReport {
+    /// Online welfare of pdFTSP.
+    pub online_welfare: f64,
+    /// Best offline integral welfare found.
+    pub offline_welfare: f64,
+    /// Valid upper bound on the offline optimum.
+    pub offline_bound: f64,
+    /// `offline_welfare / online_welfare` (∞ when online ≤ 0 < offline).
+    pub ratio: f64,
+    /// `offline_bound / online_welfare` — a conservative ratio that is
+    /// valid even when the optimum is not certified.
+    pub ratio_vs_bound: f64,
+    /// Whether the offline optimum was certified.
+    pub certified: bool,
+}
+
+/// Measures the empirical competitive ratio of pdFTSP on `scenario`.
+#[must_use]
+pub fn empirical_ratio(scenario: &Scenario, milp: &MilpConfig) -> RatioReport {
+    let online = run_algo(scenario, Algo::Pdftsp, 0).welfare.social_welfare;
+    let off = offline_optimum(scenario, milp);
+    let offline_welfare = off.welfare.unwrap_or(0.0);
+    let ratio = safe_ratio(offline_welfare, online);
+    let ratio_vs_bound = safe_ratio(off.upper_bound, online);
+    RatioReport {
+        online_welfare: online,
+        offline_welfare,
+        offline_bound: off.upper_bound,
+        ratio,
+        ratio_vs_bound,
+        certified: off.certified,
+    }
+}
+
+fn safe_ratio(offline: f64, online: f64) -> f64 {
+    if offline <= 0.0 {
+        // Nothing profitable exists offline either: the online algorithm
+        // trivially matches.
+        1.0
+    } else if online <= 0.0 {
+        f64::INFINITY
+    } else {
+        offline / online
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, TaskBuilder};
+
+    fn scenario(bids: &[f64]) -> Scenario {
+        let tasks = bids
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                TaskBuilder::new(i, 0, 5)
+                    .dataset(1000)
+                    .bid(b)
+                    .memory_gb(4.0)
+                    .rates(vec![1000])
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        Scenario {
+            horizon: 6,
+            base_model_gb: 1.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 1000)],
+            quotes: vec![vec![]; bids.len()],
+            cost: CostGrid::flat(1, 6, 0.01),
+            tasks,
+        }
+    }
+
+    #[test]
+    fn ratio_is_at_least_one_against_certified_optimum() {
+        let sc = scenario(&[4.0, 7.0, 2.0, 9.0]);
+        let r = empirical_ratio(&sc, &MilpConfig::default());
+        assert!(r.certified);
+        assert!(
+            r.ratio >= 1.0 - 1e-9,
+            "online beat the offline optimum: {r:?}"
+        );
+        assert!(r.ratio_vs_bound >= r.ratio - 1e-9);
+        assert!(r.ratio.is_finite());
+    }
+
+    #[test]
+    fn empty_scenario_yields_unit_ratio() {
+        let sc = scenario(&[]);
+        let r = empirical_ratio(&sc, &MilpConfig::default());
+        assert_eq!(r.ratio, 1.0);
+    }
+
+    #[test]
+    fn safe_ratio_edge_cases() {
+        assert_eq!(safe_ratio(0.0, 5.0), 1.0);
+        assert_eq!(safe_ratio(-1.0, 0.0), 1.0);
+        assert_eq!(safe_ratio(3.0, 0.0), f64::INFINITY);
+        assert!((safe_ratio(6.0, 3.0) - 2.0).abs() < 1e-12);
+    }
+}

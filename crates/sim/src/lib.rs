@@ -1,0 +1,34 @@
+//! # pdftsp-sim
+//!
+//! The experiment harness: runs any [`pdftsp_types::OnlineScheduler`] over
+//! a scenario, verifies the outcome against the execution engine, accounts
+//! social welfare, and packages results into the figure tables the paper's
+//! evaluation reports.
+//!
+//! * [`driver`] — the slot-by-slot simulation loop plus the algorithm
+//!   registry ([`driver::Algo`]);
+//! * [`welfare`] — welfare/revenue/utility accounting (Eqs. 1–3) computed
+//!   from the ground-truth replay, never from scheduler self-reports;
+//! * [`competitive`] — empirical competitive-ratio measurement against
+//!   the offline optimum from `pdftsp-solver` (paper Fig. 12);
+//! * [`parallel`] — a crossbeam-scoped parallel map for sweeps (one
+//!   scheduler instance per scenario; no shared mutable state);
+//! * [`zones`] — multi-model data-center zones (one independent market
+//!   per pre-trained model, as the paper's Section 2.1 sketches);
+//! * [`report`] — figure tables with normalization and text/CSV rendering.
+
+pub mod competitive;
+pub mod driver;
+pub mod parallel;
+pub mod report;
+pub mod timeline;
+pub mod welfare;
+pub mod zones;
+
+pub use competitive::{empirical_ratio, RatioReport};
+pub use driver::{run_algo, run_scheduler, Algo, RunResult};
+pub use parallel::parallel_map;
+pub use report::FigureTable;
+pub use timeline::{render_gantt, render_timeline};
+pub use welfare::WelfareReport;
+pub use zones::{partition_zones, run_zoned, Zone, ZonedOutcome};

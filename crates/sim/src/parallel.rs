@@ -1,0 +1,90 @@
+//! Crossbeam-scoped parallel map for experiment sweeps.
+//!
+//! Each work item (typically "build scenario, run scheduler") is
+//! independent: one scheduler instance per item, no shared mutable state —
+//! data-race freedom by construction, as the hpc-parallel guides
+//! prescribe. Work is pulled from an atomic counter so uneven item costs
+//! (Titan's MILPs vs. EFT's greedy) balance automatically.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, in parallel, preserving order of results.
+///
+/// Spawns at most `min(items, available_parallelism)` workers. Falls back
+/// to a sequential loop for 0/1 items.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len());
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..57).collect();
+        let out = parallel_map(&items, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(counter.load(Ordering::SeqCst), 57);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_sequential_for_stateless_work() {
+        let items: Vec<u64> = (0..40).collect();
+        let par = parallel_map(&items, |&x| x * x % 17);
+        let seq: Vec<u64> = items.iter().map(|&x| x * x % 17).collect();
+        assert_eq!(par, seq);
+    }
+}

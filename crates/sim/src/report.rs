@@ -1,0 +1,182 @@
+//! Figure tables: the rows/series the paper's bar charts plot.
+
+/// A figure as a table: one row per x-axis setting, one column per series
+/// (usually the four algorithms), values are social welfare (or any
+/// metric).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTable {
+    /// Figure title (e.g. "Fig. 4 — Impact of Data Center Scale").
+    pub title: String,
+    /// X-axis label (e.g. "Number of Compute Nodes").
+    pub x_label: String,
+    /// Series (column) names.
+    pub series: Vec<String>,
+    /// `(x label, value per series)` rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        series: Vec<String>,
+    ) -> Self {
+        FigureTable {
+            title: title.into(),
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the series count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Divides every value by the global maximum — the paper's
+    /// "normalized social welfare" axis (best cell = 1.0).
+    #[must_use]
+    pub fn normalized(&self) -> FigureTable {
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let scale = if max > 0.0 { 1.0 / max } else { 1.0 };
+        FigureTable {
+            title: self.title.clone(),
+            x_label: self.x_label.clone(),
+            series: self.series.clone(),
+            rows: self
+                .rows
+                .iter()
+                .map(|(l, v)| (l.clone(), v.iter().map(|x| x * scale).collect()))
+                .collect(),
+        }
+    }
+
+    /// Renders an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        out.push_str(&format!("{:<label_w$}", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" {s:>12}"));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("{label:<label_w$}"));
+            for v in values {
+                out.push_str(&format!(" {v:>12.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (header row, then data rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_escape(&self.x_label));
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&csv_escape(s));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&csv_escape(label));
+            for v in values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FigureTable {
+        let mut t = FigureTable::new(
+            "Fig. X",
+            "Workload",
+            vec!["pdFTSP".into(), "Titan".into()],
+        );
+        t.push_row("light", vec![10.0, 8.0]);
+        t.push_row("high", vec![20.0, 10.0]);
+        t
+    }
+
+    #[test]
+    fn normalization_sets_best_cell_to_one() {
+        let n = table().normalized();
+        assert!((n.rows[1].1[0] - 1.0).abs() < 1e-12);
+        assert!((n.rows[0].1[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = table();
+        t.push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let s = table().render();
+        assert!(s.contains("pdFTSP") && s.contains("Titan"));
+        assert!(s.contains("light") && s.contains("high"));
+        assert!(s.contains("20.0000"));
+    }
+
+    #[test]
+    fn csv_round_trips_simple_values() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "Workload,pdFTSP,Titan");
+        assert_eq!(lines[2], "high,20,10");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn normalization_of_all_negative_table_is_identity() {
+        let mut t = FigureTable::new("t", "x", vec!["a".into()]);
+        t.push_row("r", vec![-5.0]);
+        let n = t.normalized();
+        assert_eq!(n.rows[0].1[0], -5.0);
+    }
+}

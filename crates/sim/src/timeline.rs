@@ -1,0 +1,204 @@
+//! Per-slot observability: text timelines of cluster load, admissions,
+//! and energy prices over the horizon.
+//!
+//! The paper's story is temporal — diurnal prices, bursty arrivals,
+//! suspend/resume schedules — and a welfare scalar hides all of it. This
+//! module renders compact per-slot strips (one character per slot, 10
+//! levels) so a run can be eyeballed in a terminal:
+//!
+//! ```text
+//! util  ▁▂▃▅▇██▇▅▃▂▁...
+//! price ▂▂▃▄▅▆▇█▇▆▅▄...
+//! ```
+
+use crate::driver::RunResult;
+use pdftsp_types::Scenario;
+
+/// Characters for 9 intensity levels (space = zero).
+const LEVELS: [char; 9] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█', '█'];
+
+/// Renders a `[0, 1]` series as one character per entry.
+#[must_use]
+pub fn spark(series: &[f64]) -> String {
+    series
+        .iter()
+        .map(|&v| {
+            if v <= 0.0 {
+                ' '
+            } else {
+                let idx = ((v.min(1.0)) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Per-slot cluster compute utilization in `[0, 1]`, recomputed from the
+/// committed schedules.
+#[must_use]
+pub fn utilization_series(scenario: &Scenario, result: &RunResult) -> Vec<f64> {
+    let horizon = scenario.horizon;
+    let mut used = vec![0.0f64; horizon];
+    for d in &result.decisions {
+        if let Some(s) = d.schedule() {
+            let task = &scenario.tasks[d.task];
+            for &(k, t) in &s.placements {
+                used[t] += task.rate(k) as f64;
+            }
+        }
+    }
+    let capacity: f64 = scenario
+        .nodes
+        .iter()
+        .map(|n| n.compute_capacity as f64)
+        .sum();
+    used.iter()
+        .map(|&u| if capacity > 0.0 { u / capacity } else { 0.0 })
+        .collect()
+}
+
+/// Per-slot arrivals, normalized by the maximum slot.
+#[must_use]
+pub fn arrival_series(scenario: &Scenario) -> Vec<f64> {
+    let mut counts = vec![0.0f64; scenario.horizon];
+    for t in &scenario.tasks {
+        counts[t.arrival] += 1.0;
+    }
+    let max = counts.iter().copied().fold(0.0, f64::max).max(1.0);
+    counts.iter().map(|&c| c / max).collect()
+}
+
+/// Mean per-slot energy price across nodes, normalized by the peak.
+#[must_use]
+pub fn price_series(scenario: &Scenario) -> Vec<f64> {
+    let k_count = scenario.nodes.len().max(1);
+    let mut mean = vec![0.0f64; scenario.horizon];
+    for (t, m) in mean.iter_mut().enumerate() {
+        for k in 0..scenario.nodes.len() {
+            *m += scenario.cost.price(k, t) / k_count as f64;
+        }
+    }
+    let max = mean.iter().copied().fold(0.0, f64::max).max(1e-12);
+    mean.iter().map(|&m| m / max).collect()
+}
+
+/// Full timeline report for one run.
+#[must_use]
+pub fn render_timeline(scenario: &Scenario, result: &RunResult) -> String {
+    format!(
+        "slots 0..{} (one char per slot)\n\
+         arrivals {}\n\
+         price    {}\n\
+         util     {}\n",
+        scenario.horizon - 1,
+        spark(&arrival_series(scenario)),
+        spark(&price_series(scenario)),
+        spark(&utilization_series(scenario, result)),
+    )
+}
+
+/// Per-node occupancy gantt: one line per node, one char per slot,
+/// digit = number of co-located tasks (capped at 9), `.` = idle.
+#[must_use]
+pub fn render_gantt(scenario: &Scenario, result: &RunResult) -> String {
+    let horizon = scenario.horizon;
+    let k_count = scenario.nodes.len();
+    let mut counts = vec![0u32; k_count * horizon];
+    for d in &result.decisions {
+        if let Some(s) = d.schedule() {
+            for &(k, t) in &s.placements {
+                counts[k * horizon + t] += 1;
+            }
+        }
+    }
+    let mut out = String::new();
+    for (k, node) in scenario.nodes.iter().enumerate() {
+        out.push_str(&format!("{:>4} {:<10} ", k, node.gpu.name()));
+        for t in 0..horizon {
+            let c = counts[k * horizon + t];
+            out.push(match c {
+                0 => '.',
+                1..=9 => char::from_digit(c, 10).expect("digit"),
+                _ => '+',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_algo, Algo};
+    use pdftsp_workload::ScenarioBuilder;
+
+    #[test]
+    fn spark_maps_extremes() {
+        let s = spark(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[2], '█');
+        assert_ne!(chars[1], ' ');
+        assert_ne!(chars[1], '█');
+    }
+
+    #[test]
+    fn spark_clamps_out_of_range() {
+        let s = spark(&[-0.5, 2.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_nonzero_under_load() {
+        let sc = ScenarioBuilder::smoke(5).build();
+        let r = run_algo(&sc, Algo::Pdftsp, 0);
+        let u = utilization_series(&sc, &r);
+        assert_eq!(u.len(), sc.horizon);
+        assert!(u.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+        assert!(u.iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn price_series_tracks_the_diurnal_shape() {
+        let sc = ScenarioBuilder::smoke(5).build();
+        let p = price_series(&sc);
+        // Diurnal: mid-day peak above the midnight trough.
+        let mid = p[sc.horizon / 2];
+        assert!(mid > p[0], "mid {mid} vs start {}", p[0]);
+        assert!((p.iter().copied().fold(0.0, f64::max) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_node_with_horizon_cells() {
+        let sc = ScenarioBuilder::smoke(7).build();
+        let r = run_algo(&sc, Algo::Pdftsp, 0);
+        let g = render_gantt(&sc, &r);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), sc.nodes.len());
+        for line in &lines {
+            let cells: String = line.chars().skip(16).collect();
+            assert_eq!(cells.chars().count(), sc.horizon, "{line}");
+        }
+        // Under load at least one cell hosts >= 2 co-located tasks.
+        assert!(g.chars().any(|c| ('2'..='9').contains(&c)), "{g}");
+    }
+
+    #[test]
+    fn timeline_renders_all_three_strips() {
+        let sc = ScenarioBuilder::smoke(6).build();
+        let r = run_algo(&sc, Algo::Pdftsp, 0);
+        let text = render_timeline(&sc, &r);
+        assert!(text.contains("arrivals"));
+        assert!(text.contains("price"));
+        assert!(text.contains("util"));
+        // Each strip is horizon chars long.
+        for line in text.lines().skip(1) {
+            let strip: String = line.chars().skip(9).collect();
+            assert_eq!(strip.chars().count(), sc.horizon, "{line}");
+        }
+    }
+}

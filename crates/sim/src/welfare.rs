@@ -1,0 +1,171 @@
+//! Social-welfare accounting (paper Eqs. 1–3).
+//!
+//! All quantities are recomputed from the scenario and the decision list —
+//! schedulers cannot influence their reported welfare except through the
+//! schedules they commit.
+
+use pdftsp_types::{Decision, Scenario};
+
+/// Economic outcome of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WelfareReport {
+    /// Social welfare `U = Σ b_i u_i − Σ q_in z_in − Σ e_ikt x_ikt` (Eq. 3).
+    pub social_welfare: f64,
+    /// `Σ b_i u_i`: total admitted bid value.
+    pub admitted_bid_value: f64,
+    /// `Σ q_in z_in`: total vendor payments.
+    pub vendor_cost: f64,
+    /// `Σ e_ikt x_ikt`: total operational cost.
+    pub energy_cost: f64,
+    /// `Σ p_i u_i`: total payments collected (0 for baselines without
+    /// pricing).
+    pub revenue: f64,
+    /// Provider utility `U_c = revenue − vendor_cost − energy_cost` (Eq. 2).
+    pub provider_utility: f64,
+    /// Users' utility `U_r = Σ (b_i − p_i) u_i` (Eq. 1).
+    pub user_utility: f64,
+    /// Number of admitted tasks.
+    pub admitted: usize,
+    /// Number of rejected tasks.
+    pub rejected: usize,
+    /// Per-task decision latencies in seconds (drives Fig. 13).
+    pub decide_seconds: Vec<f64>,
+}
+
+impl WelfareReport {
+    /// Computes the report from ground truth.
+    #[must_use]
+    pub fn compute(scenario: &Scenario, decisions: &[Decision]) -> Self {
+        let mut admitted_bid_value = 0.0;
+        let mut vendor_cost = 0.0;
+        let mut energy_cost = 0.0;
+        let mut revenue = 0.0;
+        let mut admitted = 0;
+        let mut decide_seconds = Vec::with_capacity(decisions.len());
+        for d in decisions {
+            decide_seconds.push(d.decide_seconds);
+            let Some(schedule) = d.schedule() else {
+                continue;
+            };
+            let task = &scenario.tasks[d.task];
+            admitted += 1;
+            admitted_bid_value += task.bid;
+            vendor_cost += schedule.vendor.price;
+            energy_cost += schedule.energy_cost(task, &scenario.cost);
+            revenue += d.payment();
+        }
+        let social_welfare = admitted_bid_value - vendor_cost - energy_cost;
+        let provider_utility = revenue - vendor_cost - energy_cost;
+        let user_utility = admitted_bid_value - revenue;
+        WelfareReport {
+            social_welfare,
+            admitted_bid_value,
+            vendor_cost,
+            energy_cost,
+            revenue,
+            provider_utility,
+            user_utility,
+            admitted,
+            rejected: decisions.len() - admitted,
+            decide_seconds,
+        }
+    }
+
+    /// Admission rate in `[0, 1]`.
+    #[must_use]
+    pub fn admission_rate(&self) -> f64 {
+        let total = self.admitted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.admitted as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{
+        CostGrid, Decision, GpuModel, NodeSpec, Rejection, Schedule, TaskBuilder, VendorQuote,
+    };
+
+    fn scenario() -> Scenario {
+        let tasks = vec![
+            TaskBuilder::new(0, 0, 5)
+                .dataset(1000)
+                .bid(10.0)
+                .memory_gb(4.0)
+                .rates(vec![1000])
+                .build()
+                .unwrap(),
+            TaskBuilder::new(1, 0, 5)
+                .dataset(1000)
+                .bid(8.0)
+                .memory_gb(4.0)
+                .rates(vec![1000])
+                .build()
+                .unwrap(),
+        ];
+        Scenario {
+            horizon: 6,
+            base_model_gb: 1.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 2000)],
+            quotes: vec![vec![], vec![]],
+            cost: CostGrid::flat(1, 6, 0.5),
+            tasks,
+        }
+    }
+
+    #[test]
+    fn welfare_identity_holds() {
+        let sc = scenario();
+        let s0 = Schedule::new(
+            0,
+            VendorQuote {
+                vendor: 0,
+                price: 1.0,
+                delay: 0,
+            },
+            vec![(0, 0)],
+        );
+        let s1 = Schedule::new(1, VendorQuote::none(), vec![(0, 1)]);
+        let ds = vec![
+            Decision::admitted(0, s0, 3.0, 0.01),
+            Decision::admitted(1, s1, 2.0, 0.02),
+        ];
+        let r = WelfareReport::compute(&sc, &ds);
+        // bids 18, vendor 1, energy 2 × 0.5 = 1 → welfare 16.
+        assert!((r.social_welfare - 16.0).abs() < 1e-12);
+        // U = U_r + U_c (Eq. 3: payments cancel).
+        assert!((r.social_welfare - (r.user_utility + r.provider_utility)).abs() < 1e-12);
+        assert!((r.revenue - 5.0).abs() < 1e-12);
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.decide_seconds, vec![0.01, 0.02]);
+    }
+
+    #[test]
+    fn rejected_tasks_contribute_nothing() {
+        let sc = scenario();
+        let ds = vec![
+            Decision::rejected(0, Rejection::NonPositiveSurplus, 0.0),
+            Decision::rejected(1, Rejection::NoFeasibleSchedule, 0.0),
+        ];
+        let r = WelfareReport::compute(&sc, &ds);
+        assert_eq!(r.social_welfare, 0.0);
+        assert_eq!(r.admission_rate(), 0.0);
+        assert_eq!(r.rejected, 2);
+    }
+
+    #[test]
+    fn admission_rate_is_fractional() {
+        let sc = scenario();
+        let s0 = Schedule::new(0, VendorQuote::none(), vec![(0, 0)]);
+        let ds = vec![
+            Decision::admitted(0, s0, 0.0, 0.0),
+            Decision::rejected(1, Rejection::NonPositiveSurplus, 0.0),
+        ];
+        let r = WelfareReport::compute(&sc, &ds);
+        assert!((r.admission_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,542 @@
+//! MILP encodings of the paper's problem `P` (Eq. 4).
+//!
+//! Two encoders:
+//!
+//! * [`encode_offline`] — the full offline problem over all tasks, used to
+//!   compute the offline optimum for the empirical competitive ratio
+//!   (paper Fig. 12). The nonlinear vendor-delay coupling (4c)
+//!   `(a_i + f_i Σ_n h_in z_in) x_ikt ≤ x_ikt t` is linearized as
+//!   `Σ_k x_ikt ≤ Σ_{n: a_i + h_in ≤ t} z_in` for slots before every
+//!   vendor qualifies, which is exact for binary `z`.
+//! * [`encode_titan_slot`] — the per-slot batch problem the Titan baseline
+//!   solves: tasks arriving "now" with a pre-chosen vendor (Titan selects
+//!   vendors randomly, per the paper) against *residual* capacities.
+//!
+//! Variables are created only where they can be 1: `x_ikt` exists only for
+//! compatible nodes (`s_ik > 0`, adapter fits) and slots inside
+//! `[a_i + min_n h_in, d_i]`, which keeps instances small.
+
+use crate::lp::{Constraint, LinearProgram};
+use crate::milp::Milp;
+use pdftsp_types::{
+    Decision, NodeId, Scenario, Schedule, Slot, Task, VendorQuote,
+};
+
+/// Index bookkeeping for one encoded task.
+#[derive(Debug, Clone)]
+struct TaskVars {
+    /// Position of the task in the encoding's task list.
+    u: usize,
+    /// `(vendor position in quotes, var)` for each `z_in`.
+    z: Vec<(usize, usize)>,
+    /// `(node, slot, var)` for each `x_ikt`.
+    x: Vec<(NodeId, Slot, usize)>,
+}
+
+/// The offline problem `P` as a MILP plus solution-extraction maps.
+#[derive(Debug, Clone)]
+pub struct OfflineEncoding {
+    /// The MILP (maximize social welfare).
+    pub milp: Milp,
+    vars: Vec<TaskVars>,
+}
+
+/// Builds the offline MILP for every task in `scenario`.
+#[must_use]
+pub fn encode_offline(scenario: &Scenario) -> OfflineEncoding {
+    let k_count = scenario.nodes.len();
+    let horizon = scenario.horizon;
+    let mut lp = LinearProgram::new(0);
+    let mut vars = Vec::with_capacity(scenario.tasks.len());
+    let mut objective: Vec<f64> = Vec::new();
+    let alloc = |objective: &mut Vec<f64>, c: f64| {
+        objective.push(c);
+        objective.len() - 1
+    };
+
+    // Per-(k, t) accumulation for the capacity rows (4f)/(4g).
+    let mut compute_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k_count * horizon];
+    let mut memory_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k_count * horizon];
+
+    for (i, task) in scenario.tasks.iter().enumerate() {
+        let quotes = &scenario.quotes[i];
+        let u = alloc(&mut objective, task.bid);
+        let mut z = Vec::new();
+        if task.needs_preprocessing {
+            for (qpos, q) in quotes.iter().enumerate() {
+                z.push((qpos, alloc(&mut objective, -q.price)));
+            }
+        }
+        let min_delay = if task.needs_preprocessing {
+            quotes.iter().map(|q| q.delay).min().unwrap_or(0)
+        } else {
+            0
+        };
+        let max_delay = if task.needs_preprocessing {
+            quotes.iter().map(|q| q.delay).max().unwrap_or(0)
+        } else {
+            0
+        };
+        let start = task.arrival + min_delay;
+        let mut x = Vec::new();
+        for t in start..=task.deadline.min(horizon.saturating_sub(1)) {
+            for (k, node) in scenario.nodes.iter().enumerate() {
+                if task.rate(k) == 0
+                    || task.memory_gb > node.adapter_memory_gb(scenario.base_model_gb)
+                {
+                    continue;
+                }
+                let var = alloc(&mut objective, -scenario.cost.e(task, k, t));
+                x.push((k, t, var));
+                compute_rows[k * horizon + t].push((var, task.rate(k) as f64));
+                memory_rows[k * horizon + t].push((var, task.memory_gb));
+            }
+        }
+
+        // (4a) as an equality when f_i = 1: exactly one vendor iff admitted.
+        if task.needs_preprocessing {
+            let mut row: Vec<(usize, f64)> = z.iter().map(|&(_, v)| (v, 1.0)).collect();
+            row.push((u, -1.0));
+            lp.constraints.push(Constraint::eq(row, 0.0));
+        }
+
+        // (4b)+(4c): per slot, at most one node, gated on admission and —
+        // before every vendor qualifies — on a qualifying vendor choice.
+        for t in start..=task.deadline.min(horizon.saturating_sub(1)) {
+            let xs: Vec<(usize, f64)> = x
+                .iter()
+                .filter(|&&(_, tt, _)| tt == t)
+                .map(|&(_, _, v)| (v, 1.0))
+                .collect();
+            if xs.is_empty() {
+                continue;
+            }
+            let mut row = xs;
+            if task.needs_preprocessing && t < task.arrival + max_delay {
+                for &(qpos, zv) in &z {
+                    if task.arrival + quotes[qpos].delay <= t {
+                        row.push((zv, -1.0));
+                    }
+                }
+                lp.constraints.push(Constraint::le(row, 0.0));
+            } else {
+                row.push((u, -1.0));
+                lp.constraints.push(Constraint::le(row, 0.0));
+            }
+        }
+
+        // (4e): Σ s_ik x_ikt ≥ M_i u_i.
+        let mut row: Vec<(usize, f64)> = x
+            .iter()
+            .map(|&(k, _, v)| (v, task.rate(k) as f64))
+            .collect();
+        row.push((u, -(task.work as f64)));
+        lp.constraints.push(Constraint::ge(row, 0.0));
+
+        vars.push(TaskVars { u, z, x });
+    }
+
+    // (4f)/(4g): node capacities per (k, t).
+    for k in 0..k_count {
+        for t in 0..horizon {
+            let cr = std::mem::take(&mut compute_rows[k * horizon + t]);
+            if !cr.is_empty() {
+                lp.constraints
+                    .push(Constraint::le(cr, scenario.nodes[k].compute_capacity as f64));
+            }
+            let mr = std::mem::take(&mut memory_rows[k * horizon + t]);
+            if !mr.is_empty() {
+                lp.constraints
+                    .push(Constraint::le(mr, scenario.adapter_memory(k)));
+            }
+        }
+    }
+
+    let n = objective.len();
+    lp.num_vars = n;
+    lp.objective = objective;
+    lp.bound_rows((0..n).map(|j| (j, 1.0)));
+
+    // Branch on admissions and vendor choices first; placements are
+    // near-integral once those are fixed.
+    let mut branch_priority: Vec<usize> = Vec::new();
+    for tv in &vars {
+        branch_priority.push(tv.u);
+        branch_priority.extend(tv.z.iter().map(|&(_, zv)| zv));
+    }
+    OfflineEncoding {
+        milp: Milp {
+            lp,
+            integer_vars: (0..n).collect(),
+            branch_priority,
+        },
+        vars,
+    }
+}
+
+impl OfflineEncoding {
+    /// Social-welfare value of a solution vector (same as the MILP
+    /// objective; exposed for reporting).
+    #[must_use]
+    pub fn welfare(&self, x: &[f64]) -> f64 {
+        self.milp.lp.objective_value(x)
+    }
+
+    /// Converts a (near-)integral solution back into per-task decisions.
+    #[must_use]
+    pub fn extract_decisions(&self, x: &[f64], scenario: &Scenario) -> Vec<Decision> {
+        let mut out = Vec::with_capacity(self.vars.len());
+        for (i, tv) in self.vars.iter().enumerate() {
+            if x[tv.u] < 0.5 {
+                out.push(Decision::rejected(
+                    i,
+                    pdftsp_types::Rejection::NonPositiveSurplus,
+                    0.0,
+                ));
+                continue;
+            }
+            let vendor = tv
+                .z
+                .iter()
+                .find(|&&(_, zv)| x[zv] > 0.5)
+                .map(|&(qpos, _)| scenario.quotes[i][qpos])
+                .unwrap_or_else(VendorQuote::none);
+            let placements: Vec<(NodeId, Slot)> = tv
+                .x
+                .iter()
+                .filter(|&&(_, _, v)| x[v] > 0.5)
+                .map(|&(k, t, _)| (k, t))
+                .collect();
+            let schedule = Schedule::new(i, vendor, placements);
+            out.push(Decision::admitted(i, schedule, 0.0, 0.0));
+        }
+        out
+    }
+}
+
+/// The Titan per-slot MILP plus extraction maps.
+#[derive(Debug, Clone)]
+pub struct TitanEncoding {
+    /// The MILP over the slot's arriving batch.
+    pub milp: Milp,
+    /// `(u var, x vars)` per batch task, in input order.
+    vars: Vec<(usize, Vec<(NodeId, Slot, usize)>)>,
+}
+
+/// Builds the Titan per-slot MILP.
+///
+/// * `tasks` — the batch arriving at `now`;
+/// * `chosen` — the (randomly pre-selected) vendor quote per task,
+///   [`VendorQuote::none()`] when no pre-processing;
+/// * `residual_compute` / `residual_memory` — remaining capacity per
+///   `(k, t)`, row-major `k * horizon + t`;
+/// * `allowed_nodes` — optional per-task candidate node lists. The
+///   cluster's nodes are symmetric within a GPU model, which makes the
+///   full MILP hugely redundant; callers prune each task to a small slice
+///   of nodes (different slices for different tasks) to keep the dense
+///   simplex tractable at cluster scale. `None` or an empty list = all
+///   nodes.
+#[must_use]
+pub fn encode_titan_slot(
+    scenario: &Scenario,
+    now: Slot,
+    tasks: &[&Task],
+    chosen: &[VendorQuote],
+    residual_compute: &[u64],
+    residual_memory: &[f64],
+    allowed_nodes: Option<&[Vec<usize>]>,
+) -> TitanEncoding {
+    assert_eq!(tasks.len(), chosen.len());
+    let k_count = scenario.nodes.len();
+    let horizon = scenario.horizon;
+    let mut lp = LinearProgram::new(0);
+    let mut objective: Vec<f64> = Vec::new();
+    let alloc = |objective: &mut Vec<f64>, c: f64| {
+        objective.push(c);
+        objective.len() - 1
+    };
+    let mut compute_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k_count * horizon];
+    let mut memory_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k_count * horizon];
+    let mut vars = Vec::with_capacity(tasks.len());
+
+    for (pos, task) in tasks.iter().enumerate() {
+        let quote = chosen[pos];
+        let net_bid = task.bid - quote.price;
+        let u = alloc(&mut objective, net_bid);
+        let start = (now + quote.delay).max(task.arrival);
+        let allowed = allowed_nodes.and_then(|a| a.get(pos)).filter(|v| !v.is_empty());
+        let mut x = Vec::new();
+        for t in start..=task.deadline.min(horizon.saturating_sub(1)) {
+            for (k, node) in scenario.nodes.iter().enumerate() {
+                if let Some(allowed) = allowed {
+                    if !allowed.contains(&k) {
+                        continue;
+                    }
+                }
+                if task.rate(k) == 0
+                    || task.memory_gb > node.adapter_memory_gb(scenario.base_model_gb)
+                    || task.rate(k) > residual_compute[k * horizon + t]
+                    || task.memory_gb > residual_memory[k * horizon + t] + 1e-9
+                {
+                    continue;
+                }
+                let var = alloc(&mut objective, -scenario.cost.e(task, k, t));
+                x.push((k, t, var));
+                compute_rows[k * horizon + t].push((var, task.rate(k) as f64));
+                memory_rows[k * horizon + t].push((var, task.memory_gb));
+            }
+        }
+        // Per slot: at most one node, gated on admission.
+        for t in start..=task.deadline.min(horizon.saturating_sub(1)) {
+            let mut row: Vec<(usize, f64)> = x
+                .iter()
+                .filter(|&&(_, tt, _)| tt == t)
+                .map(|&(_, _, v)| (v, 1.0))
+                .collect();
+            if row.is_empty() {
+                continue;
+            }
+            row.push((u, -1.0));
+            lp.constraints.push(Constraint::le(row, 0.0));
+        }
+        // (4e).
+        let mut row: Vec<(usize, f64)> = x
+            .iter()
+            .map(|&(k, _, v)| (v, task.rate(k) as f64))
+            .collect();
+        row.push((u, -(task.work as f64)));
+        lp.constraints.push(Constraint::ge(row, 0.0));
+        vars.push((u, x));
+    }
+
+    for k in 0..k_count {
+        for t in 0..horizon {
+            let cr = std::mem::take(&mut compute_rows[k * horizon + t]);
+            if !cr.is_empty() {
+                lp.constraints
+                    .push(Constraint::le(cr, residual_compute[k * horizon + t] as f64));
+            }
+            let mr = std::mem::take(&mut memory_rows[k * horizon + t]);
+            if !mr.is_empty() {
+                lp.constraints
+                    .push(Constraint::le(mr, residual_memory[k * horizon + t]));
+            }
+        }
+    }
+
+    let n = objective.len();
+    lp.num_vars = n;
+    lp.objective = objective;
+    lp.bound_rows((0..n).map(|j| (j, 1.0)));
+    let branch_priority: Vec<usize> = vars.iter().map(|&(u, _)| u).collect();
+    TitanEncoding {
+        milp: Milp {
+            lp,
+            integer_vars: (0..n).collect(),
+            branch_priority,
+        },
+        vars,
+    }
+}
+
+impl TitanEncoding {
+    /// Variable index of `u_i` for the batch task at `pos` (instrumentation).
+    #[must_use]
+    pub fn u_var(&self, pos: usize) -> usize {
+        self.vars[pos].0
+    }
+
+    /// Extracts `(admitted, placements)` per batch task from a solution.
+    #[must_use]
+    pub fn extract(&self, x: &[f64]) -> Vec<(bool, Vec<(NodeId, Slot)>)> {
+        self.vars
+            .iter()
+            .map(|(u, xs)| {
+                let admitted = x[*u] > 0.5;
+                let placements = if admitted {
+                    xs.iter()
+                        .filter(|&&(_, _, v)| x[v] > 0.5)
+                        .map(|&(k, t, _)| (k, t))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                (admitted, placements)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::milp::{MilpConfig, MilpOutcome};
+    use pdftsp_types::{CostGrid, GpuModel, NodeSpec, TaskBuilder};
+
+    /// Two tasks, one node with room for only one of them overall.
+    fn tight_scenario() -> Scenario {
+        let tasks = vec![
+            TaskBuilder::new(0, 0, 3)
+                .dataset(400)
+                .bid(10.0)
+                .memory_gb(4.0)
+                .rates(vec![100])
+                .build()
+                .unwrap(),
+            TaskBuilder::new(1, 0, 3)
+                .dataset(400)
+                .bid(6.0)
+                .memory_gb(4.0)
+                .rates(vec![100])
+                .build()
+                .unwrap(),
+        ];
+        Scenario {
+            horizon: 4,
+            base_model_gb: 1.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 100)],
+            quotes: vec![vec![], vec![]],
+            cost: CostGrid::flat(1, 4, 0.1),
+            tasks,
+        }
+    }
+
+    #[test]
+    fn offline_picks_the_higher_bid_when_only_one_fits() {
+        let sc = tight_scenario();
+        let enc = encode_offline(&sc);
+        let out = enc.milp.solve(&MilpConfig::default());
+        match out {
+            MilpOutcome::Optimal { x, objective } => {
+                // Task 0 admitted: welfare = 10 − 4 slots × 0.1 = 9.6.
+                assert!((objective - 9.6).abs() < 1e-6, "objective {objective}");
+                let ds = enc.extract_decisions(&x, &sc);
+                assert!(ds[0].is_admitted());
+                assert!(!ds[1].is_admitted());
+                let sched = ds[0].schedule().unwrap();
+                assert_eq!(sched.placements.len(), 4);
+                assert!(sched.validate(&sc.tasks[0]).is_ok());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn offline_admits_both_when_capacity_allows() {
+        let mut sc = tight_scenario();
+        sc.nodes[0].compute_capacity = 200;
+        sc.cost = CostGrid::flat(1, 4, 0.1);
+        let enc = encode_offline(&sc);
+        let out = enc.milp.solve(&MilpConfig::default());
+        // Welfare = 10 + 6 − 8 × 0.1 = 15.2.
+        assert!((out.objective().unwrap() - 15.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offline_respects_vendor_delay() {
+        // One pp task: vendor delay 2 leaves slots 2..=3; needs both.
+        let tasks = vec![TaskBuilder::new(0, 0, 3)
+            .dataset(200)
+            .bid(10.0)
+            .memory_gb(4.0)
+            .needs_preprocessing(true)
+            .rates(vec![100])
+            .build()
+            .unwrap()];
+        let quotes = vec![vec![
+            VendorQuote {
+                vendor: 0,
+                price: 1.0,
+                delay: 2,
+            },
+            VendorQuote {
+                vendor: 1,
+                price: 0.5,
+                delay: 3,
+            },
+        ]];
+        let sc = Scenario {
+            horizon: 4,
+            base_model_gb: 1.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 100)],
+            quotes,
+            cost: CostGrid::flat(1, 4, 0.0),
+            tasks,
+        };
+        let enc = encode_offline(&sc);
+        let out = enc.milp.solve(&MilpConfig::default());
+        match out {
+            MilpOutcome::Optimal { x, objective } => {
+                // Only vendor 0 (delay 2) leaves enough slots; welfare 9.
+                assert!((objective - 9.0).abs() < 1e-6, "objective {objective}");
+                let ds = enc.extract_decisions(&x, &sc);
+                let sched = ds[0].schedule().unwrap();
+                assert_eq!(sched.vendor.vendor, 0);
+                assert!(sched.validate(&sc.tasks[0]).is_ok());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn offline_rejects_welfare_negative_tasks() {
+        let mut sc = tight_scenario();
+        // Make energy so expensive both tasks lose money.
+        sc.cost = CostGrid::flat(1, 4, 5.0);
+        let enc = encode_offline(&sc);
+        let out = enc.milp.solve(&MilpConfig::default());
+        assert!((out.objective().unwrap() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn titan_slot_respects_residual_capacity() {
+        let sc = tight_scenario();
+        let refs: Vec<&Task> = sc.tasks.iter().collect();
+        let chosen = vec![VendorQuote::none(), VendorQuote::none()];
+        // Slots 0 and 1 already fully consumed.
+        let mut residual_compute = vec![100u64; 4];
+        residual_compute[0] = 0;
+        residual_compute[1] = 0;
+        let residual_memory = vec![79.0; 4];
+        let enc = encode_titan_slot(&sc, 0, &refs, &chosen, &residual_compute, &residual_memory, None);
+        let out = enc.milp.solve(&MilpConfig::default());
+        // Only 2 slots remain; each task needs 4 → both rejected.
+        assert!((out.objective().unwrap() - 0.0).abs() < 1e-9);
+        let ext = enc.extract(out.solution().unwrap());
+        assert!(!ext[0].0 && !ext[1].0);
+    }
+
+    #[test]
+    fn titan_slot_admits_within_residuals() {
+        let sc = tight_scenario();
+        let refs: Vec<&Task> = sc.tasks.iter().collect();
+        let chosen = vec![VendorQuote::none(), VendorQuote::none()];
+        let residual_compute = vec![100u64; 4];
+        let residual_memory = vec![79.0; 4];
+        let enc = encode_titan_slot(&sc, 0, &refs, &chosen, &residual_compute, &residual_memory, None);
+        let out = enc.milp.solve(&MilpConfig::default());
+        // One of the two fits (capacity 100 = one task per slot): pick bid 10.
+        assert!((out.objective().unwrap() - 9.6).abs() < 1e-6);
+        let ext = enc.extract(out.solution().unwrap());
+        assert!(ext[0].0);
+        assert_eq!(ext[0].1.len(), 4);
+        assert!(!ext[1].0);
+    }
+
+    #[test]
+    fn titan_vendor_price_reduces_net_bid() {
+        let sc = tight_scenario();
+        let refs: Vec<&Task> = vec![&sc.tasks[0]];
+        // Expensive vendor makes the task unprofitable: 10 − 9.7 − 0.4 < 0.
+        let chosen = vec![VendorQuote {
+            vendor: 0,
+            price: 9.7,
+            delay: 0,
+        }];
+        let residual_compute = vec![100u64; 4];
+        let residual_memory = vec![79.0; 4];
+        let enc = encode_titan_slot(&sc, 0, &refs, &chosen, &residual_compute, &residual_memory, None);
+        let out = enc.milp.solve(&MilpConfig::default());
+        assert!((out.objective().unwrap() - 0.0).abs() < 1e-9);
+    }
+}

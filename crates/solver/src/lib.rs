@@ -1,0 +1,40 @@
+//! # pdftsp-solver
+//!
+//! An in-house linear/mixed-integer optimization toolkit — the substitute
+//! for the Gurobi solver the paper uses for (a) the Titan baseline's
+//! per-slot MILPs and (b) the offline optimum in the empirical
+//! competitive-ratio experiment (Fig. 12).
+//!
+//! * [`lp`] — problem description: sparse-row linear programs with `≤ / ≥ /
+//!   =` constraints and non-negative variables (upper bounds are encoded as
+//!   rows by the callers that need them).
+//! * [`simplex`] — a dense two-phase primal simplex with Dantzig pricing
+//!   and a Bland's-rule anti-cycling fallback.
+//! * [`presolve`] — bound tightening and fixed-variable elimination, run
+//!   on every branch-and-bound node LP (branch rows fix binaries, so deep
+//!   nodes shrink dramatically);
+//! * [`milp`] — branch-and-bound over the LP relaxation: best-bound node
+//!   selection, most-fractional branching, node/gap limits, and incumbent
+//!   extraction. Returns certified optima on small instances and
+//!   (incumbent, bound) pairs when limits bind.
+//! * [`encode`] — encoders producing the paper's problem `P` (Eq. 4) as a
+//!   MILP: the full offline formulation (with the vendor-delay coupling
+//!   (4c) linearized) and the per-slot Titan variant.
+//! * [`offline`] — the offline-optimum entry point used by Fig. 12: exact
+//!   welfare on small instances, LP-relaxation upper bound otherwise
+//!   (which can only over-state the optimum, making reported competitive
+//!   ratios conservative).
+
+pub mod encode;
+pub mod lp;
+pub mod milp;
+pub mod offline;
+pub mod presolve;
+pub mod simplex;
+
+pub use encode::{encode_offline, encode_titan_slot, OfflineEncoding, TitanEncoding};
+pub use lp::{Constraint, LinearProgram, LpOutcome, Sense};
+pub use milp::{Milp, MilpConfig, MilpOutcome};
+pub use offline::{offline_optimum, OfflineResult};
+pub use presolve::{presolve, solve_lp_presolved, Presolved, PresolveOutcome};
+pub use simplex::solve_lp;

@@ -1,0 +1,187 @@
+//! Linear-program description.
+//!
+//! Variables are non-negative reals `x_j ≥ 0`; the objective is always
+//! **maximize** `c'x`. Upper bounds (e.g. binaries relaxed to `[0, 1]`)
+//! are added as explicit `x_j ≤ u_j` rows by [`LinearProgram::bound_rows`].
+
+/// Direction of one constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `a'x ≤ b`.
+    Le,
+    /// `a'x ≥ b`.
+    Ge,
+    /// `a'x = b`.
+    Eq,
+}
+
+/// One sparse constraint row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices need not be sorted
+    /// but must be unique.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Row direction.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Builds a `≤` row.
+    #[must_use]
+    pub fn le(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            sense: Sense::Le,
+            rhs,
+        }
+    }
+
+    /// Builds a `≥` row.
+    #[must_use]
+    pub fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            sense: Sense::Ge,
+            rhs,
+        }
+    }
+
+    /// Builds an `=` row.
+    #[must_use]
+    pub fn eq(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            sense: Sense::Eq,
+            rhs,
+        }
+    }
+
+    /// Evaluates `a'x`.
+    #[must_use]
+    pub fn lhs(&self, x: &[f64]) -> f64 {
+        self.coeffs.iter().map(|&(j, c)| c * x[j]).sum()
+    }
+
+    /// Whether `x` satisfies this row within `eps`.
+    #[must_use]
+    pub fn satisfied(&self, x: &[f64], eps: f64) -> bool {
+        let lhs = self.lhs(x);
+        match self.sense {
+            Sense::Le => lhs <= self.rhs + eps,
+            Sense::Ge => lhs >= self.rhs - eps,
+            Sense::Eq => (lhs - self.rhs).abs() <= eps,
+        }
+    }
+}
+
+/// A maximize-`c'x` linear program over non-negative variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Dense objective coefficients (length `num_vars`).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates a program with a zero objective.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        LinearProgram {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Appends `x_j ≤ u_j` rows for every `(j, u_j)` pair.
+    pub fn bound_rows(&mut self, bounds: impl IntoIterator<Item = (usize, f64)>) {
+        for (j, u) in bounds {
+            self.constraints.push(Constraint::le(vec![(j, 1.0)], u));
+        }
+    }
+
+    /// Evaluates the objective at `x`.
+    #[must_use]
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Whether `x ≥ 0` satisfies every row within `eps`.
+    #[must_use]
+    pub fn feasible(&self, x: &[f64], eps: f64) -> bool {
+        x.iter().all(|&v| v >= -eps) && self.constraints.iter().all(|c| c.satisfied(x, eps))
+    }
+}
+
+/// Result of solving a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal basic solution was found.
+    Optimal {
+        /// Optimal primal point.
+        x: Vec<f64>,
+        /// Optimal objective value.
+        objective: f64,
+    },
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+    /// The iteration limit was hit before convergence (numerical trouble).
+    IterationLimit,
+}
+
+impl LpOutcome {
+    /// Objective value if optimal.
+    #[must_use]
+    pub fn objective(&self) -> Option<f64> {
+        match self {
+            LpOutcome::Optimal { objective, .. } => Some(*objective),
+            _ => None,
+        }
+    }
+
+    /// Solution vector if optimal.
+    #[must_use]
+    pub fn solution(&self) -> Option<&[f64]> {
+        match self {
+            LpOutcome::Optimal { x, .. } => Some(x),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_satisfaction() {
+        let c = Constraint::le(vec![(0, 1.0), (1, 2.0)], 4.0);
+        assert!(c.satisfied(&[1.0, 1.0], 1e-9)); // 3 <= 4
+        assert!(!c.satisfied(&[1.0, 2.0], 1e-9)); // 5 > 4
+        let g = Constraint::ge(vec![(0, 1.0)], 2.0);
+        assert!(g.satisfied(&[2.0, 0.0], 1e-9));
+        assert!(!g.satisfied(&[1.0, 0.0], 1e-9));
+        let e = Constraint::eq(vec![(1, 3.0)], 6.0);
+        assert!(e.satisfied(&[0.0, 2.0], 1e-9));
+        assert!(!e.satisfied(&[0.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn lp_feasibility_and_objective() {
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![3.0, 1.0];
+        lp.constraints.push(Constraint::le(vec![(0, 1.0), (1, 1.0)], 2.0));
+        lp.bound_rows([(0, 1.0), (1, 1.0)]);
+        assert!(lp.feasible(&[1.0, 1.0], 1e-9));
+        assert!(!lp.feasible(&[2.0, 1.0], 1e-9)); // violates both rows
+        assert!(!lp.feasible(&[-0.1, 0.0], 1e-9)); // negativity
+        assert!((lp.objective_value(&[1.0, 0.5]) - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,588 @@
+//! Branch-and-bound mixed-integer solver over the simplex relaxation.
+//!
+//! Best-bound node selection (ties broken deepest-first so incumbents are
+//! found early), most-fractional branching, node/time limits, and a
+//! certified-optimality flag: if any node could not be resolved (LP
+//! iteration limit) or a limit was hit, the outcome degrades from
+//! [`MilpOutcome::Optimal`] to [`MilpOutcome::Feasible`] /
+//! [`MilpOutcome::BoundOnly`] with a valid upper bound — bounds are never
+//! under-stated, so competitive ratios computed from them are conservative.
+
+use crate::lp::{Constraint, LinearProgram, LpOutcome};
+use crate::presolve::solve_lp_presolved;
+use crate::simplex::solve_lp;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// A maximize MILP: an LP plus integrality requirements.
+#[derive(Debug, Clone)]
+pub struct Milp {
+    /// The relaxation (upper bounds on integer variables must already be
+    /// present as rows, e.g. `x ≤ 1` for binaries).
+    pub lp: LinearProgram,
+    /// Indices of variables required to be integral.
+    pub integer_vars: Vec<usize>,
+    /// Variables to branch on first (e.g. the admission decisions `u_i`,
+    /// whose fixing collapses whole groups of placement variables).
+    /// Branching on the most-fractional variable *overall* stalls on the
+    /// hundreds of near-symmetric placement variables; with priorities the
+    /// search decides "which tasks win" first and lets the LP lay out the
+    /// near-integral placements. Empty = no priorities.
+    pub branch_priority: Vec<usize>,
+}
+
+/// Search limits and tolerances.
+#[derive(Debug, Clone, Copy)]
+pub struct MilpConfig {
+    /// Maximum number of branch-and-bound nodes to process.
+    pub node_limit: usize,
+    /// Wall-clock limit in seconds.
+    pub time_limit_secs: f64,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Relative optimality gap at which search stops.
+    pub gap_tol: f64,
+}
+
+impl Default for MilpConfig {
+    fn default() -> Self {
+        MilpConfig {
+            node_limit: 10_000,
+            time_limit_secs: 30.0,
+            int_tol: 1e-6,
+            gap_tol: 1e-6,
+        }
+    }
+}
+
+/// Solve outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpOutcome {
+    /// Certified optimum.
+    Optimal {
+        /// Optimal integral point.
+        x: Vec<f64>,
+        /// Optimal objective.
+        objective: f64,
+    },
+    /// Limits hit with an incumbent; `bound` is a valid upper bound on the
+    /// true optimum.
+    Feasible {
+        /// Best integral point found.
+        x: Vec<f64>,
+        /// Its objective value.
+        objective: f64,
+        /// Upper bound on the optimum.
+        bound: f64,
+    },
+    /// Limits hit before any integral point was found.
+    BoundOnly {
+        /// Upper bound on the optimum.
+        bound: f64,
+    },
+    /// The relaxation itself is infeasible.
+    Infeasible,
+    /// The relaxation is unbounded (modelling error for our encodings).
+    Unbounded,
+}
+
+impl MilpOutcome {
+    /// Best objective value of an integral solution, if any.
+    #[must_use]
+    pub fn objective(&self) -> Option<f64> {
+        match self {
+            MilpOutcome::Optimal { objective, .. }
+            | MilpOutcome::Feasible { objective, .. } => Some(*objective),
+            _ => None,
+        }
+    }
+
+    /// A valid upper bound on the optimum, if known.
+    #[must_use]
+    pub fn upper_bound(&self) -> Option<f64> {
+        match self {
+            MilpOutcome::Optimal { objective, .. } => Some(*objective),
+            MilpOutcome::Feasible { bound, .. } | MilpOutcome::BoundOnly { bound } => Some(*bound),
+            _ => None,
+        }
+    }
+
+    /// The integral solution, if any.
+    #[must_use]
+    pub fn solution(&self) -> Option<&[f64]> {
+        match self {
+            MilpOutcome::Optimal { x, .. } | MilpOutcome::Feasible { x, .. } => Some(x),
+            _ => None,
+        }
+    }
+}
+
+/// One open node: branching decisions stacked on the root LP.
+#[derive(Debug, Clone)]
+struct Node {
+    /// `(var, upper?, value)`: `x_var ≤ value` if upper else `x_var ≥ value`.
+    branches: Vec<(usize, bool, f64)>,
+    /// LP bound inherited from the parent (valid upper bound).
+    bound: f64,
+    depth: usize,
+}
+
+struct HeapEntry {
+    node: Node,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.node.bound == other.node.bound && self.node.depth == other.node.depth
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on bound, then on depth (deeper first).
+        self.node
+            .bound
+            .partial_cmp(&other.node.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.node.depth.cmp(&other.node.depth))
+    }
+}
+
+impl Milp {
+    /// Picks the branching variable: the most fractional among
+    /// `branch_priority`, falling back to the most fractional among all
+    /// integer variables. `usize::MAX` when integral.
+    fn pick_branch_var(&self, x: &[f64], int_tol: f64) -> usize {
+        let most_fractional = |vars: &[usize]| {
+            let mut var = usize::MAX;
+            let mut frac = int_tol;
+            for &j in vars {
+                let f = (x[j] - x[j].round()).abs();
+                if f > frac {
+                    frac = f;
+                    var = j;
+                }
+            }
+            var
+        };
+        let v = most_fractional(&self.branch_priority);
+        if v != usize::MAX {
+            return v;
+        }
+        most_fractional(&self.integer_vars)
+    }
+
+    /// Rounds the integer coordinates of `x` to the nearest integers and
+    /// returns the point if it is feasible — a cheap incumbent heuristic
+    /// run at every node.
+    fn rounded_candidate(&self, x: &[f64]) -> Option<(Vec<f64>, f64)> {
+        let mut xi = x.to_vec();
+        for &j in &self.integer_vars {
+            xi[j] = xi[j].round();
+        }
+        if self.lp.feasible(&xi, 1e-6) {
+            let obj = self.lp.objective_value(&xi);
+            Some((xi, obj))
+        } else {
+            None
+        }
+    }
+
+    /// Greedy dive: repeatedly solve the LP and fix the most-fractional
+    /// integer variable to its rounded value. Usually reaches an integral
+    /// feasible point in ≤ #fractional-vars LP solves — the incumbent that
+    /// lets best-bound search prune.
+    fn dive(&self, config: &MilpConfig) -> Option<(Vec<f64>, f64)> {
+        let mut lp = self.lp.clone();
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        // Each dive step is an LP solve; cap the depth so diving stays a
+        // constant-factor overhead on large encodings.
+        let max_steps = self.integer_vars.len().min(40);
+        for _ in 0..=max_steps {
+            let (x, _) = match solve_lp_presolved(&lp) {
+                LpOutcome::Optimal { x, objective } => (x, objective),
+                _ => break,
+            };
+            if let Some((xi, obj)) = self.rounded_candidate(&x) {
+                if best.as_ref().map_or(true, |(_, b)| obj > *b) {
+                    best = Some((xi, obj));
+                }
+            }
+            // Most fractional variable, priority vars first.
+            let var = self.pick_branch_var(&x, config.int_tol);
+            if var == usize::MAX {
+                // Integral already; `rounded_candidate` above recorded it.
+                break;
+            }
+            let v = x[var];
+            lp.constraints.push(if v - v.floor() < 0.5 {
+                Constraint::le(vec![(var, 1.0)], v.floor())
+            } else {
+                Constraint::ge(vec![(var, 1.0)], v.ceil())
+            });
+        }
+        best
+    }
+
+    /// Runs branch-and-bound with the given limits.
+    #[must_use]
+    pub fn solve(&self, config: &MilpConfig) -> MilpOutcome {
+        let start = Instant::now();
+
+        // Root relaxation.
+        let root = match solve_lp(&self.lp) {
+            LpOutcome::Optimal { x, objective } => (x, objective),
+            LpOutcome::Infeasible => return MilpOutcome::Infeasible,
+            LpOutcome::Unbounded => return MilpOutcome::Unbounded,
+            LpOutcome::IterationLimit => {
+                return MilpOutcome::BoundOnly {
+                    bound: f64::INFINITY,
+                }
+            }
+        };
+
+        let mut incumbent: Option<(Vec<f64>, f64)> = self.rounded_candidate(&root.0);
+        drop(root.0);
+        // Dive for a strong initial incumbent before best-bound search.
+        if let Some((xd, od)) = self.dive(config) {
+            if incumbent.as_ref().map_or(true, |(_, b)| od > *b) {
+                incumbent = Some((xd, od));
+            }
+        }
+        let mut exact = true;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            node: Node {
+                branches: Vec::new(),
+                bound: root.1,
+                depth: 0,
+            },
+        });
+
+        let mut nodes = 0usize;
+        while let Some(HeapEntry { node }) = heap.pop() {
+            if nodes >= config.node_limit
+                || start.elapsed().as_secs_f64() > config.time_limit_secs
+            {
+                // The popped node's bound still counts toward the gap.
+                heap.push(HeapEntry { node });
+                exact = false;
+                break;
+            }
+            nodes += 1;
+
+            if let Some((_, inc)) = &incumbent {
+                if node.bound <= inc + gap_slack(*inc, config.gap_tol) {
+                    continue;
+                }
+            }
+
+            // Solve the node LP: root LP + branching rows.
+            let mut lp = self.lp.clone();
+            for &(var, upper, value) in &node.branches {
+                lp.constraints.push(if upper {
+                    Constraint::le(vec![(var, 1.0)], value)
+                } else {
+                    Constraint::ge(vec![(var, 1.0)], value)
+                });
+            }
+            let (x, obj) = match solve_lp_presolved(&lp) {
+                LpOutcome::Optimal { x, objective } => (x, objective),
+                LpOutcome::Infeasible => continue,
+                LpOutcome::Unbounded => return MilpOutcome::Unbounded,
+                LpOutcome::IterationLimit => {
+                    exact = false;
+                    continue;
+                }
+            };
+            if let Some((_, inc)) = &incumbent {
+                if obj <= inc + gap_slack(*inc, config.gap_tol) {
+                    continue;
+                }
+            }
+
+            // Cheap incumbent heuristic on the node solution.
+            if let Some((xi, obj_i)) = self.rounded_candidate(&x) {
+                if incumbent.as_ref().map_or(true, |(_, inc)| obj_i > *inc) {
+                    incumbent = Some((xi, obj_i));
+                }
+            }
+
+            // Most-fractional integer variable, priority vars first.
+            let branch_var = self.pick_branch_var(&x, config.int_tol);
+
+            if branch_var == usize::MAX {
+                // Integral: candidate incumbent.
+                let mut xi = x.clone();
+                for &j in &self.integer_vars {
+                    xi[j] = xi[j].round();
+                }
+                let obj_i = self.lp.objective_value(&xi);
+                if incumbent.as_ref().map_or(true, |(_, inc)| obj_i > *inc) {
+                    incumbent = Some((xi, obj_i));
+                }
+                continue;
+            }
+
+            let floor = x[branch_var].floor();
+            for (upper, value) in [(true, floor), (false, floor + 1.0)] {
+                let mut branches = node.branches.clone();
+                branches.push((branch_var, upper, value));
+                heap.push(HeapEntry {
+                    node: Node {
+                        branches,
+                        bound: obj,
+                        depth: node.depth + 1,
+                    },
+                });
+            }
+        }
+
+        // Global upper bound = max(open node bounds, incumbent).
+        let open_bound = heap
+            .iter()
+            .map(|e| e.node.bound)
+            .fold(f64::NEG_INFINITY, f64::max);
+        match incumbent {
+            Some((x, objective)) => {
+                let bound = open_bound.max(objective);
+                let closed =
+                    heap.is_empty() || bound <= objective + gap_slack(objective, config.gap_tol);
+                if exact && closed {
+                    MilpOutcome::Optimal { x, objective }
+                } else {
+                    MilpOutcome::Feasible {
+                        x,
+                        objective,
+                        bound,
+                    }
+                }
+            }
+            None => {
+                if exact && heap.is_empty() {
+                    // Every branch was infeasible in integers.
+                    MilpOutcome::Infeasible
+                } else {
+                    MilpOutcome::BoundOnly {
+                        bound: open_bound.max(root.1),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn gap_slack(incumbent: f64, gap_tol: f64) -> f64 {
+    gap_tol * (1.0 + incumbent.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knapsack(values: &[f64], weights: &[f64], capacity: f64) -> Milp {
+        let n = values.len();
+        let mut lp = LinearProgram::new(n);
+        lp.objective = values.to_vec();
+        lp.constraints.push(Constraint::le(
+            weights.iter().copied().enumerate().collect(),
+            capacity,
+        ));
+        lp.bound_rows((0..n).map(|j| (j, 1.0)));
+        Milp {
+            lp,
+            integer_vars: (0..n).collect(),
+            branch_priority: Vec::new(),
+        }
+    }
+
+    fn brute_knapsack(values: &[f64], weights: &[f64], capacity: f64) -> f64 {
+        let n = values.len();
+        let mut best = 0.0f64;
+        for mask in 0..(1u32 << n) {
+            let mut v = 0.0;
+            let mut w = 0.0;
+            for j in 0..n {
+                if mask & (1 << j) != 0 {
+                    v += values[j];
+                    w += weights[j];
+                }
+            }
+            if w <= capacity {
+                best = best.max(v);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn knapsack_matches_brute_force() {
+        let cases: Vec<(Vec<f64>, Vec<f64>, f64)> = vec![
+            (vec![10.0, 6.0, 4.0], vec![1.0, 1.0, 1.0], 1.5),
+            (vec![6.0, 10.0, 12.0, 13.0], vec![1.0, 2.0, 3.0, 4.0], 5.0),
+            (
+                vec![3.0, 7.0, 2.0, 9.0, 5.0, 4.0],
+                vec![2.0, 3.0, 1.0, 5.0, 4.0, 2.0],
+                8.0,
+            ),
+        ];
+        for (v, w, c) in cases {
+            let out = knapsack(&v, &w, c).solve(&MilpConfig::default());
+            let expect = brute_knapsack(&v, &w, c);
+            match out {
+                MilpOutcome::Optimal { objective, x } => {
+                    assert!(
+                        (objective - expect).abs() < 1e-6,
+                        "got {objective}, want {expect}"
+                    );
+                    for xi in &x {
+                        assert!((xi - xi.round()).abs() < 1e-6);
+                    }
+                }
+                other => panic!("expected optimal, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn already_integral_relaxation_is_accepted_immediately() {
+        // Assignment-like LP (totally unimodular → integral LP optimum).
+        let mut lp = LinearProgram::new(4); // x00 x01 x10 x11
+        lp.objective = vec![5.0, 1.0, 2.0, 4.0];
+        lp.constraints = vec![
+            Constraint::le(vec![(0, 1.0), (1, 1.0)], 1.0),
+            Constraint::le(vec![(2, 1.0), (3, 1.0)], 1.0),
+            Constraint::le(vec![(0, 1.0), (2, 1.0)], 1.0),
+            Constraint::le(vec![(1, 1.0), (3, 1.0)], 1.0),
+        ];
+        lp.bound_rows((0..4).map(|j| (j, 1.0)));
+        let m = Milp {
+            lp,
+            integer_vars: (0..4).collect(),
+            branch_priority: Vec::new(),
+        };
+        match m.solve(&MilpConfig::default()) {
+            MilpOutcome::Optimal { objective, .. } => {
+                assert!((objective - 9.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_milp_reported() {
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![1.0];
+        lp.constraints = vec![
+            Constraint::ge(vec![(0, 1.0)], 2.0),
+            Constraint::le(vec![(0, 1.0)], 1.0),
+        ];
+        let m = Milp {
+            lp,
+            integer_vars: vec![0],
+            branch_priority: Vec::new(),
+        };
+        assert_eq!(m.solve(&MilpConfig::default()), MilpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn integrality_cuts_fractional_optimum() {
+        // LP optimum is fractional (x = 1.5); MILP must settle at 1.0.
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![1.0];
+        lp.constraints = vec![Constraint::le(vec![(0, 2.0)], 3.0)];
+        let m = Milp {
+            lp,
+            integer_vars: vec![0],
+            branch_priority: Vec::new(),
+        };
+        match m.solve(&MilpConfig::default()) {
+            MilpOutcome::Optimal { objective, x } => {
+                assert!((objective - 1.0).abs() < 1e-9);
+                assert!((x[0] - 1.0).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_limit_degrades_to_feasible_with_valid_bound() {
+        let v = vec![3.0, 7.0, 2.0, 9.0, 5.0, 4.0, 8.0, 6.0];
+        let w = vec![2.0, 3.0, 1.0, 5.0, 4.0, 2.0, 6.0, 3.0];
+        let m = knapsack(&v, &w, 10.0);
+        let cfg = MilpConfig {
+            node_limit: 2,
+            ..MilpConfig::default()
+        };
+        let out = m.solve(&cfg);
+        let exact = brute_knapsack(&v, &w, 10.0);
+        match out {
+            MilpOutcome::Optimal { objective, .. } => {
+                assert!((objective - exact).abs() < 1e-6);
+            }
+            MilpOutcome::Feasible {
+                objective, bound, ..
+            } => {
+                assert!(objective <= exact + 1e-6);
+                assert!(bound >= exact - 1e-6, "bound {bound} < exact {exact}");
+            }
+            MilpOutcome::BoundOnly { bound } => {
+                assert!(bound >= exact - 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_integer_keeps_continuous_vars_fractional() {
+        // max x + y, x integer, x + y ≤ 2.5, x ≤ 1.7 ⇒ x = 1, y = 1.5.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.constraints = vec![
+            Constraint::le(vec![(0, 1.0), (1, 1.0)], 2.5),
+            Constraint::le(vec![(0, 1.0)], 1.7),
+        ];
+        let m = Milp {
+            lp,
+            integer_vars: vec![0],
+            branch_priority: Vec::new(),
+        };
+        match m.solve(&MilpConfig::default()) {
+            MilpOutcome::Optimal { objective, x } => {
+                assert!((objective - 2.5).abs() < 1e-6);
+                assert!((x[0] - x[0].round()).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn larger_random_knapsacks_match_brute_force() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _case in 0..20 {
+            let n = 8 + (next() * 5.0) as usize;
+            let v: Vec<f64> = (0..n).map(|_| 1.0 + next() * 9.0).collect();
+            let w: Vec<f64> = (0..n).map(|_| 1.0 + next() * 5.0).collect();
+            let cap = w.iter().sum::<f64>() * 0.4;
+            let out = knapsack(&v, &w, cap).solve(&MilpConfig::default());
+            let expect = brute_knapsack(&v, &w, cap);
+            assert!(
+                (out.objective().unwrap() - expect).abs() < 1e-6,
+                "n={n}: got {:?}, want {expect}",
+                out.objective()
+            );
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Presolve: bound tightening and fixed-variable elimination.
+//!
+//! Branch-and-bound adds singleton rows (`x_j ≤ 0`, `x_j ≥ 1`) as it
+//! fixes binaries, and the encoders add `x_j ≤ 1` bounds for every
+//! variable — so a node LP deep in the tree carries many variables whose
+//! value is already decided. Presolve folds those away before the dense
+//! simplex sees the tableau:
+//!
+//! 1. collect per-variable implied bounds `[lb_j, ub_j]` from singleton
+//!    rows (the implicit `x ≥ 0` included);
+//! 2. detect infeasibility (`lb > ub`) without touching the simplex;
+//! 3. substitute fixed variables (`lb = ub`) into every row and into the
+//!    objective (constant offset);
+//! 4. drop singleton rows that became redundant and rows with no
+//!    remaining variables (checking their residual feasibility).
+//!
+//! The reduced LP preserves the optimum; [`Presolved::restore`] maps a
+//! reduced solution back to the original variable space.
+
+use crate::lp::{Constraint, LinearProgram, Sense};
+
+/// Outcome of presolving.
+#[derive(Debug, Clone)]
+pub enum PresolveOutcome {
+    /// The reduced problem plus reconstruction data.
+    Reduced(Presolved),
+    /// Bounds alone prove infeasibility.
+    Infeasible,
+}
+
+/// A reduced LP with the bookkeeping to undo the reduction.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced LP (over the surviving variables).
+    pub lp: LinearProgram,
+    /// For each original variable: `Ok(new_index)` if it survived,
+    /// `Err(value)` if it was fixed.
+    pub vars: Vec<Result<usize, f64>>,
+    /// Objective contribution of the fixed variables.
+    pub objective_offset: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Presolves `lp`.
+#[must_use]
+pub fn presolve(lp: &LinearProgram) -> PresolveOutcome {
+    let n = lp.num_vars;
+    let mut lb = vec![0.0f64; n];
+    let mut ub = vec![f64::INFINITY; n];
+
+    // Pass 1: singleton rows tighten bounds.
+    for c in &lp.constraints {
+        if c.coeffs.len() != 1 {
+            continue;
+        }
+        let (j, a) = c.coeffs[0];
+        if a.abs() < EPS {
+            continue;
+        }
+        let v = c.rhs / a;
+        match (c.sense, a > 0.0) {
+            (Sense::Le, true) | (Sense::Ge, false) => ub[j] = ub[j].min(v),
+            (Sense::Ge, true) | (Sense::Le, false) => lb[j] = lb[j].max(v),
+            (Sense::Eq, _) => {
+                lb[j] = lb[j].max(v);
+                ub[j] = ub[j].min(v);
+            }
+        }
+    }
+    for j in 0..n {
+        if lb[j] > ub[j] + EPS {
+            return PresolveOutcome::Infeasible;
+        }
+    }
+
+    // Which variables are fixed?
+    let fixed: Vec<Option<f64>> = (0..n)
+        .map(|j| {
+            if (ub[j] - lb[j]).abs() <= EPS {
+                Some(lb[j])
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    // New variable numbering. Survivors keep their original domain: any
+    // non-fixing singleton bound rows (e.g. `x ≥ 0.5` in a general LP)
+    // are carried through verbatim in pass 2, so no bound shifting is
+    // needed here.
+    let mut vars: Vec<Result<usize, f64>> = Vec::with_capacity(n);
+    let mut next = 0usize;
+    for j in 0..n {
+        match fixed[j] {
+            Some(v) => vars.push(Err(v)),
+            None => {
+                vars.push(Ok(next));
+                next += 1;
+            }
+        }
+    }
+
+    // Pass 2: rebuild rows with fixed variables substituted.
+    let mut reduced = LinearProgram::new(next);
+    for (j, v) in vars.iter().enumerate() {
+        if let Ok(nj) = v {
+            reduced.objective[*nj] = lp.objective[j];
+        }
+    }
+    let objective_offset: f64 = vars
+        .iter()
+        .enumerate()
+        .filter_map(|(j, v)| v.as_ref().err().map(|&val| lp.objective[j] * val))
+        .sum();
+
+    for c in &lp.constraints {
+        let mut coeffs = Vec::with_capacity(c.coeffs.len());
+        let mut rhs = c.rhs;
+        for &(j, a) in &c.coeffs {
+            match vars[j] {
+                Ok(nj) => coeffs.push((nj, a)),
+                Err(val) => rhs -= a * val,
+            }
+        }
+        if coeffs.is_empty() {
+            // Constant row: verify it holds.
+            let holds = match c.sense {
+                Sense::Le => 0.0 <= rhs + EPS,
+                Sense::Ge => 0.0 >= rhs - EPS,
+                Sense::Eq => rhs.abs() <= EPS,
+            };
+            if !holds {
+                return PresolveOutcome::Infeasible;
+            }
+            continue;
+        }
+        // Singleton ≤ rows that merely restate x ≥ 0 are dropped.
+        if coeffs.len() == 1 {
+            let (_, a) = coeffs[0];
+            let trivially_true = match c.sense {
+                Sense::Ge => a > 0.0 && rhs <= EPS,
+                Sense::Le => a < 0.0 && rhs >= -EPS,
+                Sense::Eq => false,
+            };
+            if trivially_true {
+                continue;
+            }
+        }
+        reduced.constraints.push(Constraint {
+            coeffs,
+            sense: c.sense,
+            rhs,
+        });
+    }
+
+    PresolveOutcome::Reduced(Presolved {
+        lp: reduced,
+        vars,
+        objective_offset,
+    })
+}
+
+/// Presolve + simplex in one call: the drop-in replacement for
+/// [`solve_lp`](crate::simplex::solve_lp) used on branch-and-bound node
+/// LPs, returning solutions in the *original* variable space.
+#[must_use]
+pub fn solve_lp_presolved(lp: &LinearProgram) -> crate::lp::LpOutcome {
+    use crate::lp::LpOutcome;
+    match presolve(lp) {
+        PresolveOutcome::Infeasible => LpOutcome::Infeasible,
+        PresolveOutcome::Reduced(p) => match crate::simplex::solve_lp(&p.lp) {
+            LpOutcome::Optimal { x, objective } => LpOutcome::Optimal {
+                x: p.restore(&x),
+                objective: objective + p.objective_offset,
+            },
+            other => other,
+        },
+    }
+}
+
+impl Presolved {
+    /// Maps a reduced-space solution back to the original variables.
+    #[must_use]
+    pub fn restore(&self, x_reduced: &[f64]) -> Vec<f64> {
+        self.vars
+            .iter()
+            .map(|v| match v {
+                Ok(nj) => x_reduced[*nj],
+                Err(val) => *val,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::LpOutcome;
+    use crate::simplex::solve_lp;
+
+    fn assert_same_optimum(lp: &LinearProgram) {
+        let direct = solve_lp(lp);
+        match presolve(lp) {
+            PresolveOutcome::Infeasible => {
+                assert_eq!(direct, LpOutcome::Infeasible, "presolve wrongly infeasible");
+            }
+            PresolveOutcome::Reduced(p) => {
+                let reduced = solve_lp(&p.lp);
+                match (direct, reduced) {
+                    (
+                        LpOutcome::Optimal { objective: a, .. },
+                        LpOutcome::Optimal { x, objective: b },
+                    ) => {
+                        assert!(
+                            (a - (b + p.objective_offset)).abs() < 1e-6,
+                            "direct {a} vs presolved {}",
+                            b + p.objective_offset
+                        );
+                        let full = p.restore(&x);
+                        assert!(lp.feasible(&full, 1e-6), "restored point infeasible");
+                    }
+                    (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+                    (d, r) => panic!("outcome mismatch: direct {d:?} vs reduced {r:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixing_via_branch_rows_is_eliminated() {
+        // max 3x + 2y + z, x+y+z ≤ 2, bounds ≤ 1, branch rows x ≥ 1, z ≤ 0.
+        let mut lp = LinearProgram::new(3);
+        lp.objective = vec![3.0, 2.0, 1.0];
+        lp.constraints = vec![Constraint::le(
+            vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+            2.0,
+        )];
+        lp.bound_rows([(0, 1.0), (1, 1.0), (2, 1.0)]);
+        lp.constraints.push(Constraint::ge(vec![(0, 1.0)], 1.0));
+        lp.constraints.push(Constraint::le(vec![(2, 1.0)], 0.0));
+        match presolve(&lp) {
+            PresolveOutcome::Reduced(p) => {
+                assert_eq!(p.lp.num_vars, 1, "only y should survive");
+                assert!((p.objective_offset - 3.0).abs() < 1e-12);
+                assert_same_optimum(&lp);
+            }
+            PresolveOutcome::Infeasible => panic!("feasible instance"),
+        }
+    }
+
+    #[test]
+    fn contradictory_branches_detected_without_simplex() {
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![1.0];
+        lp.bound_rows([(0, 1.0)]);
+        lp.constraints.push(Constraint::ge(vec![(0, 1.0)], 1.0));
+        lp.constraints.push(Constraint::le(vec![(0, 1.0)], 0.0));
+        assert!(matches!(presolve(&lp), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn constant_rows_are_checked() {
+        // Fix x = 1, then a row x ≤ 0.5 becomes the constant 1 ≤ 0.5.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.constraints.push(Constraint::eq(vec![(0, 1.0)], 1.0));
+        lp.constraints.push(Constraint::le(vec![(0, 2.0)], 1.0));
+        lp.bound_rows([(1, 1.0)]);
+        assert!(matches!(presolve(&lp), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn multi_var_rows_get_rhs_adjusted() {
+        // Fix x = 1 via equality; row x + y ≤ 1.5 must become y ≤ 0.5.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![0.0, 1.0];
+        lp.constraints = vec![
+            Constraint::eq(vec![(0, 1.0)], 1.0),
+            Constraint::le(vec![(0, 1.0), (1, 1.0)], 1.5),
+        ];
+        lp.bound_rows([(1, 1.0)]);
+        match presolve(&lp) {
+            PresolveOutcome::Reduced(p) => {
+                let out = solve_lp(&p.lp);
+                assert!((out.objective().unwrap() - 0.5).abs() < 1e-9);
+            }
+            PresolveOutcome::Infeasible => panic!("feasible"),
+        }
+        assert_same_optimum(&lp);
+    }
+
+    #[test]
+    fn randomized_differential_against_direct_solve() {
+        let mut state = 0xDEADBEEFCAFEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _case in 0..60 {
+            let n = 3 + (next() * 5.0) as usize;
+            let m = 2 + (next() * 4.0) as usize;
+            let mut lp = LinearProgram::new(n);
+            lp.objective = (0..n).map(|_| next() * 4.0 - 0.5).collect();
+            for _ in 0..m {
+                let coeffs = (0..n).map(|j| (j, next() * 2.0)).collect();
+                lp.constraints
+                    .push(Constraint::le(coeffs, 1.0 + next() * 4.0));
+            }
+            lp.bound_rows((0..n).map(|j| (j, 1.0)));
+            // Random branch-style fixings on a few vars.
+            for j in 0..n {
+                let r = next();
+                if r < 0.25 {
+                    lp.constraints.push(Constraint::le(vec![(j, 1.0)], 0.0));
+                } else if r < 0.4 {
+                    lp.constraints.push(Constraint::ge(vec![(j, 1.0)], 1.0));
+                }
+            }
+            assert_same_optimum(&lp);
+        }
+    }
+
+    #[test]
+    fn no_fixings_is_a_cheap_near_noop() {
+        let mut lp = LinearProgram::new(3);
+        lp.objective = vec![1.0, 2.0, 3.0];
+        lp.constraints = vec![Constraint::le(
+            vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+            2.0,
+        )];
+        lp.bound_rows([(0, 1.0), (1, 1.0), (2, 1.0)]);
+        match presolve(&lp) {
+            PresolveOutcome::Reduced(p) => {
+                assert_eq!(p.lp.num_vars, 3);
+                assert_eq!(p.objective_offset, 0.0);
+                assert_same_optimum(&lp);
+            }
+            PresolveOutcome::Infeasible => panic!(),
+        }
+    }
+}

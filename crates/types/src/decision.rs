@@ -1,0 +1,115 @@
+//! Auction decisions: admit/reject, the committed schedule, and the payment.
+
+use crate::ids::TaskId;
+use crate::schedule::Schedule;
+
+/// Why a task was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// No feasible schedule exists inside `[a_i + h_in, d_i]` at all
+    /// (deadline too tight for any node / vendor combination).
+    NoFeasibleSchedule,
+    /// The best schedule had non-positive surplus `F(il) ≤ 0`
+    /// (Algorithm 1, line 13).
+    NonPositiveSurplus,
+    /// `F(il) > 0` but residual capacity was insufficient on some chosen
+    /// `(k, t)` (Algorithm 1, line 12 — the Almost-Feasible → Feasible
+    /// filter of Lemma 1).
+    InsufficientCapacity,
+}
+
+/// The provider's response to one arriving bid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Which task this decision is for.
+    pub task: TaskId,
+    /// The auction outcome.
+    pub outcome: AuctionOutcome,
+    /// Wall-clock seconds the scheduler spent deciding this task (drives the
+    /// paper's Fig. 13 runtime CDF).
+    pub decide_seconds: f64,
+}
+
+/// Admit (win) with a committed schedule and payment, or reject (lose).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuctionOutcome {
+    /// `u_i = 1`: the bid wins; the task executes per `schedule` and the
+    /// user pays `payment` (Eq. 14).
+    Admitted {
+        /// Committed execution plan.
+        schedule: Schedule,
+        /// Payment `p_i` charged to the user.
+        payment: f64,
+    },
+    /// `u_i = 0`: the bid loses; no payment.
+    Rejected(Rejection),
+}
+
+impl Decision {
+    /// Convenience constructor for a rejection.
+    #[must_use]
+    pub fn rejected(task: TaskId, why: Rejection, decide_seconds: f64) -> Self {
+        Decision {
+            task,
+            outcome: AuctionOutcome::Rejected(why),
+            decide_seconds,
+        }
+    }
+
+    /// Convenience constructor for an admission.
+    #[must_use]
+    pub fn admitted(task: TaskId, schedule: Schedule, payment: f64, decide_seconds: f64) -> Self {
+        Decision {
+            task,
+            outcome: AuctionOutcome::Admitted { schedule, payment },
+            decide_seconds,
+        }
+    }
+
+    /// `u_i` as a boolean.
+    #[must_use]
+    pub fn is_admitted(&self) -> bool {
+        matches!(self.outcome, AuctionOutcome::Admitted { .. })
+    }
+
+    /// The committed schedule if admitted.
+    #[must_use]
+    pub fn schedule(&self) -> Option<&Schedule> {
+        match &self.outcome {
+            AuctionOutcome::Admitted { schedule, .. } => Some(schedule),
+            AuctionOutcome::Rejected(_) => None,
+        }
+    }
+
+    /// The payment `p_i` (0 when rejected).
+    #[must_use]
+    pub fn payment(&self) -> f64 {
+        match &self.outcome {
+            AuctionOutcome::Admitted { payment, .. } => *payment,
+            AuctionOutcome::Rejected(_) => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendor::VendorQuote;
+
+    #[test]
+    fn rejected_decision_has_zero_payment() {
+        let d = Decision::rejected(3, Rejection::NonPositiveSurplus, 0.01);
+        assert!(!d.is_admitted());
+        assert_eq!(d.payment(), 0.0);
+        assert!(d.schedule().is_none());
+    }
+
+    #[test]
+    fn admitted_decision_exposes_schedule_and_payment() {
+        let s = Schedule::new(3, VendorQuote::none(), vec![(0, 1)]);
+        let d = Decision::admitted(3, s.clone(), 4.5, 0.02);
+        assert!(d.is_admitted());
+        assert_eq!(d.payment(), 4.5);
+        assert_eq!(d.schedule(), Some(&s));
+    }
+}

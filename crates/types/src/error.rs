@@ -1,0 +1,72 @@
+//! Error type for construction/validation of the shared data model.
+
+use std::fmt;
+
+/// Errors raised when building or validating tasks, schedules, and
+/// scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypesError {
+    /// A task's deadline precedes its arrival slot.
+    DeadlineBeforeArrival { arrival: usize, deadline: usize },
+    /// A task field must be strictly positive but was not.
+    NonPositiveField { field: &'static str },
+    /// The per-node throughput vector length does not match the node count.
+    RateLenMismatch { rates: usize, nodes: usize },
+    /// A scenario invariant was violated (message explains which).
+    InvalidScenario(String),
+    /// A grid lookup was out of range.
+    IndexOutOfRange {
+        what: &'static str,
+        index: usize,
+        len: usize,
+    },
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::DeadlineBeforeArrival { arrival, deadline } => write!(
+                f,
+                "deadline {deadline} precedes arrival {arrival} (need a_i <= d_i)"
+            ),
+            TypesError::NonPositiveField { field } => {
+                write!(f, "field `{field}` must be strictly positive")
+            }
+            TypesError::RateLenMismatch { rates, nodes } => write!(
+                f,
+                "throughput vector has {rates} entries but the scenario has {nodes} nodes"
+            ),
+            TypesError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            TypesError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TypesError::DeadlineBeforeArrival {
+            arrival: 5,
+            deadline: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('3'));
+
+        let e = TypesError::RateLenMismatch { rates: 2, nodes: 4 };
+        assert!(e.to_string().contains("2"));
+
+        let e = TypesError::IndexOutOfRange {
+            what: "node",
+            index: 9,
+            len: 3,
+        };
+        assert!(e.to_string().contains("node"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Index types for the paper's index sets `[I]`, `[K]`, `[T]`, `[N]`.
+//!
+//! The paper indexes from 1; this codebase indexes from 0 everywhere (so a
+//! horizon of `T` slots is `0..T`). A task's deadline `d_i` is the **last
+//! slot (inclusive)** in which it may execute, matching constraint (4d)
+//! `x_ikt · t ≤ d_i`.
+
+/// Identifier of a fine-tuning task (bid) `i ∈ [I]`.
+pub type TaskId = usize;
+
+/// Identifier of a GPU compute node `k ∈ [K]`.
+pub type NodeId = usize;
+
+/// Identifier of a labor vendor `n ∈ [N]`.
+pub type VendorId = usize;
+
+/// A time slot `t ∈ [T]` (0-based; the experiments use 144 slots of 10
+/// minutes each, one day).
+pub type Slot = usize;

@@ -1,0 +1,53 @@
+//! # pdftsp-types
+//!
+//! Shared vocabulary for the `pdftsp` workspace — a from-scratch Rust
+//! reproduction of *"Online Scheduling and Pricing for Multi-LoRA
+//! Fine-Tuning Tasks"* (Zheng et al., ICPP 2024).
+//!
+//! This crate defines the data model of the paper's Section 2:
+//!
+//! * [`NodeSpec`] — a GPU compute node `k ∈ [K]` with per-slot computation
+//!   capacity `C_kp` (samples per slot) and memory capacity `C_km` (GB);
+//! * [`Task`] — a LoRA fine-tuning task/bid
+//!   `{a_i, d_i, D_i, r_i, M_i, f_i, b_i}` plus per-node throughput `s_ik`
+//!   and an energy weight that scales the operational cost `e_ikt`;
+//! * [`VendorQuote`] — a data pre-processing labor vendor's price `q_in`
+//!   and delay `h_in` for a given task;
+//! * [`CostGrid`] — the time-varying operational (energy) cost surface
+//!   producing `e_ikt`;
+//! * [`Schedule`] — a concrete execution plan `l` for one task (the unit of
+//!   the paper's reformulated problem `P1`);
+//! * [`Scenario`] — a full problem instance (horizon, nodes, tasks, vendor
+//!   quotes, cost surface, shared base-model size `r_b`);
+//! * [`OnlineScheduler`] — the trait implemented by pdFTSP and by every
+//!   baseline (Titan, EFT, NTM), consumed by the simulation driver.
+//!
+//! All quantities use the paper's units: time is slotted (`Slot`, 10 minutes
+//! per slot in the experiments), computation is counted in data samples
+//! processed, memory in GB, money in abstract currency units.
+
+pub mod costgrid;
+pub mod decision;
+pub mod error;
+pub mod ids;
+pub mod io;
+pub mod node;
+pub mod scenario;
+pub mod schedule;
+pub mod scheduler;
+pub mod task;
+pub mod units;
+pub mod vendor;
+
+pub use costgrid::CostGrid;
+pub use decision::{AuctionOutcome, Decision, Rejection};
+pub use error::TypesError;
+pub use io::{load as load_scenario, save as save_scenario};
+pub use ids::{NodeId, Slot, TaskId, VendorId};
+pub use node::{GpuModel, NodeSpec};
+pub use scenario::{Scenario, ScenarioStats};
+pub use schedule::{Placement, Schedule, ScheduleViolation};
+pub use scheduler::{OnlineScheduler, SlotOutcome};
+pub use task::{Task, TaskBuilder};
+pub use units::approx_eq;
+pub use vendor::VendorQuote;

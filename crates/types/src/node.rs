@@ -1,0 +1,107 @@
+//! GPU compute nodes (`k ∈ [K]`) and GPU models.
+//!
+//! The paper's experiments use NVIDIA A100 (80 GB) and A40 (48 GB) nodes and
+//! a hybrid mix of both. Capacities `C_kp` (samples per slot) come from the
+//! LoRA calibration model in `pdftsp-lora`; `C_km` is the GPU memory.
+
+use crate::ids::NodeId;
+
+/// GPU model of a compute node. Determines memory capacity and (through the
+/// calibration tables in `pdftsp-lora`) per-slot sample throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuModel {
+    /// NVIDIA A100, 80 GB HBM2e.
+    A100_80,
+    /// NVIDIA A40, 48 GB GDDR6.
+    A40_48,
+}
+
+impl GpuModel {
+    /// Memory capacity `C_km` in GB.
+    #[must_use]
+    pub fn memory_gb(self) -> f64 {
+        match self {
+            GpuModel::A100_80 => 80.0,
+            GpuModel::A40_48 => 48.0,
+        }
+    }
+
+    /// Short human-readable name (used in figure output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuModel::A100_80 => "A100-80GB",
+            GpuModel::A40_48 => "A40-48GB",
+        }
+    }
+
+    /// All supported models.
+    pub const ALL: [GpuModel; 2] = [GpuModel::A100_80, GpuModel::A40_48];
+}
+
+/// A compute node `k` with computation capacity `C_kp` (maximum number of
+/// data samples processed per slot across all co-located LoRA tasks) and
+/// memory capacity `C_km` in GB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Node index `k`.
+    pub id: NodeId,
+    /// GPU model installed on this node.
+    pub gpu: GpuModel,
+    /// `C_kp`: samples processed per slot at full utilization.
+    pub compute_capacity: u64,
+    /// `C_km`: GPU memory in GB.
+    pub memory_gb: f64,
+}
+
+impl NodeSpec {
+    /// Builds a node of the given model with an explicit compute capacity
+    /// (samples/slot) and the model's stock memory size.
+    #[must_use]
+    pub fn new(id: NodeId, gpu: GpuModel, compute_capacity: u64) -> Self {
+        NodeSpec {
+            id,
+            gpu,
+            compute_capacity,
+            memory_gb: gpu.memory_gb(),
+        }
+    }
+
+    /// Memory left for LoRA adapters once the shared base-model replica of
+    /// size `base_model_gb` (`r_b`) is resident: `C_km − r_b` of constraint
+    /// (4g).
+    #[must_use]
+    pub fn adapter_memory_gb(&self, base_model_gb: f64) -> f64 {
+        (self.memory_gb - base_model_gb).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_memory_matches_model() {
+        let n = NodeSpec::new(0, GpuModel::A100_80, 5000);
+        assert_eq!(n.memory_gb, 80.0);
+        let n = NodeSpec::new(1, GpuModel::A40_48, 2500);
+        assert_eq!(n.memory_gb, 48.0);
+    }
+
+    #[test]
+    fn adapter_memory_subtracts_base_model() {
+        let n = NodeSpec::new(0, GpuModel::A40_48, 2500);
+        assert!((n.adapter_memory_gb(1.5) - 46.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adapter_memory_clamps_at_zero() {
+        let n = NodeSpec::new(0, GpuModel::A40_48, 2500);
+        assert_eq!(n.adapter_memory_gb(100.0), 0.0);
+    }
+
+    #[test]
+    fn model_names_are_distinct() {
+        assert_ne!(GpuModel::A100_80.name(), GpuModel::A40_48.name());
+    }
+}

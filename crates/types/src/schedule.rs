@@ -1,0 +1,312 @@
+//! Schedules — the decision unit of the reformulated problem `P1`.
+//!
+//! A schedule `l` for task `i` assigns concrete values to
+//! `{u_i, {x_ikt}, {z_in}}` satisfying constraints (4a)–(4e): which vendor
+//! pre-processes (if any) and exactly which `(node, slot)` pairs execute the
+//! task. Slots need not be consecutive (suspend/resume is allowed); at most
+//! one node per slot (4b); all slots inside `[a_i + h_in, d_i]` (4c)–(4d);
+//! and cumulative work `Σ s_ik x_ikt ≥ M_i` (4e).
+
+use crate::costgrid::CostGrid;
+use crate::ids::{NodeId, Slot, TaskId};
+use crate::task::Task;
+use crate::vendor::VendorQuote;
+
+/// One `(k, t)` execution assignment (`x_ikt = 1`).
+pub type Placement = (NodeId, Slot);
+
+/// A concrete execution plan for one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// The task this plan executes.
+    pub task: TaskId,
+    /// Chosen vendor quote; [`VendorQuote::none()`] when `f_i = 0`.
+    pub vendor: VendorQuote,
+    /// All `(k, t)` with `x_ikt = 1`, sorted by slot (strictly increasing —
+    /// constraint (4b) allows at most one node per slot).
+    pub placements: Vec<Placement>,
+}
+
+/// Why a schedule fails validation against constraints (4a)–(4e).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// Two placements share a slot — violates (4b).
+    DuplicateSlot(Slot),
+    /// Placements are not sorted by slot (representation invariant).
+    UnsortedPlacements,
+    /// A slot precedes `a_i + h_in` — violates (4c).
+    StartsTooEarly { slot: Slot, earliest: Slot },
+    /// A slot exceeds `d_i` — violates (4d).
+    MissesDeadline { slot: Slot, deadline: Slot },
+    /// Cumulative work is below `M_i` — violates (4e).
+    InsufficientWork { done: u64, required: u64 },
+    /// The task requires pre-processing but no vendor was selected —
+    /// violates (4a).
+    MissingVendor,
+    /// A placement references a node where `s_ik = 0`.
+    IncompatibleNode(NodeId),
+}
+
+impl Schedule {
+    /// Builds a schedule, sorting placements by slot.
+    #[must_use]
+    pub fn new(task: TaskId, vendor: VendorQuote, mut placements: Vec<Placement>) -> Self {
+        placements.sort_by_key(|&(_, t)| t);
+        Schedule {
+            task,
+            vendor,
+            placements,
+        }
+    }
+
+    /// The first slot at which execution may start: `a_i + f_i·h_in`.
+    #[must_use]
+    pub fn earliest_start(&self, task: &Task) -> Slot {
+        if task.needs_preprocessing {
+            task.arrival + self.vendor.delay
+        } else {
+            task.arrival
+        }
+    }
+
+    /// Total computation delivered: `Σ_(k,t)∈l s_ik`.
+    #[must_use]
+    pub fn work_done(&self, task: &Task) -> u64 {
+        self.placements.iter().map(|&(k, _)| task.rate(k)).sum()
+    }
+
+    /// Total compute-resource consumption `Σ_k Σ_t s_kt(il)` (same as
+    /// [`Schedule::work_done`], kept for symmetry with the paper notation).
+    #[must_use]
+    pub fn total_compute(&self, task: &Task) -> u64 {
+        self.work_done(task)
+    }
+
+    /// Total memory-slot consumption `Σ_k Σ_t r_kt(il) = r_i · |l|`.
+    #[must_use]
+    pub fn total_memory(&self, task: &Task) -> f64 {
+        task.memory_gb * self.placements.len() as f64
+    }
+
+    /// Total operational cost `Σ_k Σ_t e_ikt x_ikt` under `grid`.
+    #[must_use]
+    pub fn energy_cost(&self, task: &Task, grid: &CostGrid) -> f64 {
+        grid.total_e(task, self.placements.iter())
+    }
+
+    /// Welfare increment `b_il = b_i − Σ_n q_in z_in − Σ_k Σ_t e_ikt x_ikt`
+    /// of admitting the task with this schedule (Section 3.2).
+    #[must_use]
+    pub fn welfare_increment(&self, task: &Task, grid: &CostGrid) -> f64 {
+        task.bid - self.vendor.price - self.energy_cost(task, grid)
+    }
+
+    /// Per-unit-resource welfare density `b̄_il = b_il / (Σ s + Σ r)` used by
+    /// the dual updates (Eqs. 7–8).
+    #[must_use]
+    pub fn welfare_density(&self, task: &Task, grid: &CostGrid) -> f64 {
+        let denom = self.total_compute(task) as f64 + self.total_memory(task);
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.welfare_increment(task, grid) / denom
+        }
+    }
+
+    /// Slot of the last placement (completion slot), if any.
+    #[must_use]
+    pub fn completion_slot(&self) -> Option<Slot> {
+        self.placements.last().map(|&(_, t)| t)
+    }
+
+    /// Validates this schedule against constraints (4a)–(4e) for `task`.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self, task: &Task) -> Result<(), ScheduleViolation> {
+        if task.needs_preprocessing && self.vendor.is_none() {
+            return Err(ScheduleViolation::MissingVendor);
+        }
+        let earliest = self.earliest_start(task);
+        let mut prev: Option<Slot> = None;
+        for &(k, t) in &self.placements {
+            if let Some(p) = prev {
+                if t == p {
+                    return Err(ScheduleViolation::DuplicateSlot(t));
+                }
+                if t < p {
+                    return Err(ScheduleViolation::UnsortedPlacements);
+                }
+            }
+            prev = Some(t);
+            if t < earliest {
+                return Err(ScheduleViolation::StartsTooEarly { slot: t, earliest });
+            }
+            if t > task.deadline {
+                return Err(ScheduleViolation::MissesDeadline {
+                    slot: t,
+                    deadline: task.deadline,
+                });
+            }
+            if task.rate(k) == 0 {
+                return Err(ScheduleViolation::IncompatibleNode(k));
+            }
+        }
+        let done = self.work_done(task);
+        if done < task.work {
+            return Err(ScheduleViolation::InsufficientWork {
+                done,
+                required: task.work,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskBuilder;
+
+    fn task() -> Task {
+        TaskBuilder::new(7, 2, 8)
+            .dataset(100)
+            .epochs(2) // work = 200
+            .memory_gb(3.0)
+            .bid(10.0)
+            .rates(vec![50, 100])
+            .build()
+            .unwrap()
+    }
+
+    fn pp_task() -> Task {
+        TaskBuilder::new(7, 2, 8)
+            .dataset(100)
+            .epochs(2)
+            .memory_gb(3.0)
+            .bid(10.0)
+            .rates(vec![50, 100])
+            .needs_preprocessing(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn new_sorts_placements() {
+        let s = Schedule::new(7, VendorQuote::none(), vec![(0, 5), (1, 3)]);
+        assert_eq!(s.placements, vec![(1, 3), (0, 5)]);
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let t = task();
+        let s = Schedule::new(7, VendorQuote::none(), vec![(1, 3), (1, 4)]);
+        assert_eq!(s.validate(&t), Ok(()));
+        assert_eq!(s.work_done(&t), 200);
+    }
+
+    #[test]
+    fn duplicate_slot_rejected() {
+        let t = task();
+        let s = Schedule::new(7, VendorQuote::none(), vec![(0, 3), (1, 3), (1, 4)]);
+        assert_eq!(s.validate(&t), Err(ScheduleViolation::DuplicateSlot(3)));
+    }
+
+    #[test]
+    fn early_slot_rejected() {
+        let t = task();
+        let s = Schedule::new(7, VendorQuote::none(), vec![(1, 1), (1, 4)]);
+        assert!(matches!(
+            s.validate(&t),
+            Err(ScheduleViolation::StartsTooEarly { slot: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn preprocessing_delay_shifts_earliest_start() {
+        let t = pp_task();
+        let quote = VendorQuote {
+            vendor: 0,
+            price: 1.0,
+            delay: 3,
+        };
+        // earliest start = 2 + 3 = 5; slot 4 is too early.
+        let s = Schedule::new(7, quote, vec![(1, 4), (1, 5)]);
+        assert!(matches!(
+            s.validate(&t),
+            Err(ScheduleViolation::StartsTooEarly { slot: 4, earliest: 5 })
+        ));
+        let s = Schedule::new(7, quote, vec![(1, 5), (1, 6)]);
+        assert_eq!(s.validate(&t), Ok(()));
+    }
+
+    #[test]
+    fn missing_vendor_rejected_when_required() {
+        let t = pp_task();
+        let s = Schedule::new(7, VendorQuote::none(), vec![(1, 5), (1, 6)]);
+        assert_eq!(s.validate(&t), Err(ScheduleViolation::MissingVendor));
+    }
+
+    #[test]
+    fn deadline_violation_rejected() {
+        let t = task();
+        let s = Schedule::new(7, VendorQuote::none(), vec![(1, 8), (1, 9)]);
+        assert!(matches!(
+            s.validate(&t),
+            Err(ScheduleViolation::MissesDeadline { slot: 9, deadline: 8 })
+        ));
+    }
+
+    #[test]
+    fn insufficient_work_rejected() {
+        let t = task();
+        let s = Schedule::new(7, VendorQuote::none(), vec![(0, 3), (0, 4)]);
+        assert_eq!(
+            s.validate(&t),
+            Err(ScheduleViolation::InsufficientWork {
+                done: 100,
+                required: 200
+            })
+        );
+    }
+
+    #[test]
+    fn incompatible_node_rejected() {
+        let mut t = task();
+        t.rates = vec![0, 100];
+        let s = Schedule::new(7, VendorQuote::none(), vec![(0, 3), (1, 4), (1, 5)]);
+        assert_eq!(s.validate(&t), Err(ScheduleViolation::IncompatibleNode(0)));
+    }
+
+    #[test]
+    fn welfare_increment_subtracts_vendor_and_energy() {
+        let t = pp_task();
+        let quote = VendorQuote {
+            vendor: 1,
+            price: 2.0,
+            delay: 1,
+        };
+        let grid = CostGrid::flat(2, 10, 0.5);
+        let s = Schedule::new(7, quote, vec![(1, 4), (1, 5)]);
+        // b=10, vendor=2, energy = 2 slots * 0.5 * weight 1 = 1.
+        assert!((s.welfare_increment(&t, &grid) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welfare_density_divides_by_resource_footprint() {
+        let t = task();
+        let grid = CostGrid::flat(2, 10, 0.0);
+        let s = Schedule::new(7, VendorQuote::none(), vec![(1, 3), (1, 4)]);
+        // b_il = 10; compute = 200; memory = 3.0 * 2 = 6.
+        let density = s.welfare_density(&t, &grid);
+        assert!((density - 10.0 / 206.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_slot_is_last_placement() {
+        let s = Schedule::new(7, VendorQuote::none(), vec![(1, 3), (0, 6)]);
+        assert_eq!(s.completion_slot(), Some(6));
+        let s = Schedule::new(7, VendorQuote::none(), vec![]);
+        assert_eq!(s.completion_slot(), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! The scheduler interface shared by pdFTSP and all baselines.
+//!
+//! The simulation driver walks slots `0..T`; at each slot it hands the
+//! scheduler the batch of tasks arriving in that slot. Per-task online
+//! algorithms (pdFTSP, EFT, NTM) decide one task at a time in arrival
+//! order; Titan solves one MILP over the whole batch — both fit this
+//! interface.
+
+use crate::decision::Decision;
+use crate::ids::Slot;
+use crate::scenario::Scenario;
+use crate::task::Task;
+
+/// Per-slot output of a scheduler: one decision per arriving task, in the
+/// same order as the input batch.
+pub type SlotOutcome = Vec<Decision>;
+
+/// An online fine-tuning task scheduler (auctioneer).
+///
+/// Implementations own all of their internal state (dual prices, capacity
+/// ledgers, …). The driver guarantees `on_slot` is called for every slot in
+/// increasing order exactly once, with `arrivals` containing precisely the
+/// tasks whose `a_i == slot`, sorted by id.
+pub trait OnlineScheduler {
+    /// Human-readable algorithm name (used in figure output).
+    fn name(&self) -> &'static str;
+
+    /// Handles all tasks arriving at `slot`, returning one [`Decision`] per
+    /// task in input order. The scheduler may consult any field of
+    /// `scenario` except tasks that arrive after `slot` (the driver's
+    /// determinism test enforces this by permuting future tasks).
+    fn on_slot(&mut self, slot: Slot, arrivals: &[&Task], scenario: &Scenario) -> SlotOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costgrid::CostGrid;
+    use crate::decision::{Decision, Rejection};
+    use crate::node::{GpuModel, NodeSpec};
+    use crate::task::TaskBuilder;
+
+    /// A scheduler that rejects everything — checks the trait is usable as
+    /// `dyn` and that the batch contract is workable.
+    struct RejectAll;
+
+    impl OnlineScheduler for RejectAll {
+        fn name(&self) -> &'static str {
+            "reject-all"
+        }
+
+        fn on_slot(&mut self, _slot: Slot, arrivals: &[&Task], _sc: &Scenario) -> SlotOutcome {
+            arrivals
+                .iter()
+                .map(|t| Decision::rejected(t.id, Rejection::NonPositiveSurplus, 0.0))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_batch_order_is_preserved() {
+        let scenario = Scenario {
+            horizon: 4,
+            base_model_gb: 1.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 100)],
+            tasks: vec![],
+            quotes: vec![],
+            cost: CostGrid::flat(1, 4, 0.0),
+        };
+        let t0 = TaskBuilder::new(0, 1, 3).rates(vec![10]).build().unwrap();
+        let t1 = TaskBuilder::new(1, 1, 3).rates(vec![10]).build().unwrap();
+        let mut s: Box<dyn OnlineScheduler> = Box::new(RejectAll);
+        let out = s.on_slot(1, &[&t0, &t1], &scenario);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].task, 0);
+        assert_eq!(out[1].task, 1);
+        assert_eq!(s.name(), "reject-all");
+    }
+}

@@ -1,0 +1,335 @@
+//! Fine-tuning tasks (bids) `i = {a_i, d_i, D_i, r_i, M_i, f_i, b_i}`.
+
+use crate::error::TypesError;
+use crate::ids::{NodeId, Slot, TaskId};
+
+/// A LoRA fine-tuning task submitted as a bid to the auction.
+///
+/// Mirrors the paper's tuple `{a_i, d_i, D_i, r_i, M_i, f_i, b_i}` plus the
+/// execution-profile quantities the scheduler consumes:
+///
+/// * `rates[k]` is `s_ik`, the number of samples processed per slot when the
+///   task runs on node `k` (0 means the task cannot run on `k`, e.g. its
+///   adapter would not fit);
+/// * `energy_weight` scales the cost surface: `e_ikt = grid(k,t) ·
+///   energy_weight` (see [`crate::CostGrid`]).
+///
+/// `valuation` is the user's true valuation `v_i`. Under truthful bidding
+/// (which Theorem 3 shows is a dominant strategy) `bid == valuation`; the
+/// truthfulness experiment (paper Fig. 10) perturbs `bid` away from
+/// `valuation` to measure utility.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Task/bid index `i`.
+    pub id: TaskId,
+    /// Arrival slot `a_i`: the first slot in which the task may run
+    /// (pre-processing, if any, also starts here).
+    pub arrival: Slot,
+    /// Deadline `d_i`, inclusive: the last slot in which the task may run.
+    pub deadline: Slot,
+    /// `|D_i|`: number of training samples in the task's dataset.
+    pub dataset_samples: u64,
+    /// Number of fine-tuning epochs (paper: uniform in 1..=5).
+    pub epochs: u32,
+    /// `r_i`: GPU memory demand in GB (adapter + optimizer state +
+    /// activations for this task's batch).
+    pub memory_gb: f64,
+    /// `M_i = |D_i| · epochs`: total computation in samples.
+    pub work: u64,
+    /// `f_i`: whether the dataset needs third-party pre-processing before
+    /// fine-tuning may start.
+    pub needs_preprocessing: bool,
+    /// `b_i`: declared bidding price.
+    pub bid: f64,
+    /// `v_i`: true valuation (equals `bid` for truthful bidders).
+    pub valuation: f64,
+    /// `s_ik` for every node `k` in the scenario (samples per slot).
+    pub rates: Vec<u64>,
+    /// Multiplier applied to the scenario cost surface to obtain `e_ikt`.
+    pub energy_weight: f64,
+}
+
+impl Task {
+    /// Throughput `s_ik` on node `k`.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range for the scenario this task was built
+    /// for; scenario validation checks lengths up front.
+    #[must_use]
+    pub fn rate(&self, k: NodeId) -> u64 {
+        self.rates[k]
+    }
+
+    /// Number of slots in the execution window `[a_i, d_i]`.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.deadline - self.arrival + 1
+    }
+
+    /// Minimum number of slots needed to finish on node `k` (∞ → `None` if
+    /// the task cannot run there).
+    #[must_use]
+    pub fn min_slots_on(&self, k: NodeId) -> Option<u64> {
+        let s = self.rates[k];
+        if s == 0 {
+            None
+        } else {
+            Some(self.work.div_ceil(s))
+        }
+    }
+
+    /// A cheap feasibility pre-check: can the task finish by its deadline on
+    /// its fastest node, ignoring contention and pre-processing delay?
+    #[must_use]
+    pub fn individually_feasible(&self) -> bool {
+        self.rates
+            .iter()
+            .filter(|&&s| s > 0)
+            .any(|&s| self.work.div_ceil(s) <= self.window_len() as u64)
+    }
+
+    /// Returns a copy of this task with a different declared bid (used by
+    /// the truthfulness probe; the valuation stays fixed).
+    #[must_use]
+    pub fn with_declared_bid(&self, bid: f64) -> Task {
+        Task { bid, ..self.clone() }
+    }
+}
+
+/// Builder for [`Task`] enforcing the model invariants at construction.
+///
+/// ```
+/// use pdftsp_types::TaskBuilder;
+///
+/// let task = TaskBuilder::new(0, 2, 10)   // id, arrival, deadline
+///     .dataset(12_500)
+///     .epochs(3)
+///     .memory_gb(3.8)
+///     .bid(42.0)
+///     .rates(vec![7_300, 2_800])          // s_ik per node
+///     .build()
+///     .unwrap();
+/// assert_eq!(task.work, 37_500);          // M_i = |D_i| · epochs
+/// assert_eq!(task.min_slots_on(0), Some(6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    id: TaskId,
+    arrival: Slot,
+    deadline: Slot,
+    dataset_samples: u64,
+    epochs: u32,
+    memory_gb: f64,
+    needs_preprocessing: bool,
+    bid: f64,
+    valuation: Option<f64>,
+    rates: Vec<u64>,
+    energy_weight: f64,
+}
+
+impl TaskBuilder {
+    /// Starts a builder with required identity and timing fields.
+    #[must_use]
+    pub fn new(id: TaskId, arrival: Slot, deadline: Slot) -> Self {
+        TaskBuilder {
+            id,
+            arrival,
+            deadline,
+            dataset_samples: 1,
+            epochs: 1,
+            memory_gb: 1.0,
+            needs_preprocessing: false,
+            bid: 1.0,
+            valuation: None,
+            rates: Vec::new(),
+            energy_weight: 1.0,
+        }
+    }
+
+    /// Sets the dataset size `|D_i|` in samples.
+    #[must_use]
+    pub fn dataset(mut self, samples: u64) -> Self {
+        self.dataset_samples = samples;
+        self
+    }
+
+    /// Sets the number of epochs.
+    #[must_use]
+    pub fn epochs(mut self, epochs: u32) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the memory demand `r_i` in GB.
+    #[must_use]
+    pub fn memory_gb(mut self, gb: f64) -> Self {
+        self.memory_gb = gb;
+        self
+    }
+
+    /// Marks the task as requiring third-party data pre-processing.
+    #[must_use]
+    pub fn needs_preprocessing(mut self, yes: bool) -> Self {
+        self.needs_preprocessing = yes;
+        self
+    }
+
+    /// Sets the declared bid `b_i` (and, unless overridden, the valuation).
+    #[must_use]
+    pub fn bid(mut self, bid: f64) -> Self {
+        self.bid = bid;
+        self
+    }
+
+    /// Overrides the true valuation `v_i` (defaults to the bid).
+    #[must_use]
+    pub fn valuation(mut self, v: f64) -> Self {
+        self.valuation = Some(v);
+        self
+    }
+
+    /// Sets the per-node throughput vector `s_ik`.
+    #[must_use]
+    pub fn rates(mut self, rates: Vec<u64>) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Sets the energy-cost multiplier.
+    #[must_use]
+    pub fn energy_weight(mut self, w: f64) -> Self {
+        self.energy_weight = w;
+        self
+    }
+
+    /// Validates invariants and produces the [`Task`].
+    ///
+    /// # Errors
+    /// Returns [`TypesError`] when `d_i < a_i`, when a strictly positive
+    /// field is zero/negative, or when no throughput vector was provided.
+    pub fn build(self) -> Result<Task, TypesError> {
+        if self.deadline < self.arrival {
+            return Err(TypesError::DeadlineBeforeArrival {
+                arrival: self.arrival,
+                deadline: self.deadline,
+            });
+        }
+        if self.dataset_samples == 0 {
+            return Err(TypesError::NonPositiveField {
+                field: "dataset_samples",
+            });
+        }
+        if self.epochs == 0 {
+            return Err(TypesError::NonPositiveField { field: "epochs" });
+        }
+        if !(self.memory_gb > 0.0) {
+            return Err(TypesError::NonPositiveField { field: "memory_gb" });
+        }
+        if !(self.bid > 0.0) {
+            return Err(TypesError::NonPositiveField { field: "bid" });
+        }
+        if !(self.energy_weight >= 0.0) {
+            return Err(TypesError::NonPositiveField {
+                field: "energy_weight",
+            });
+        }
+        if self.rates.is_empty() {
+            return Err(TypesError::NonPositiveField { field: "rates" });
+        }
+        let work = self.dataset_samples * u64::from(self.epochs);
+        Ok(Task {
+            id: self.id,
+            arrival: self.arrival,
+            deadline: self.deadline,
+            dataset_samples: self.dataset_samples,
+            epochs: self.epochs,
+            memory_gb: self.memory_gb,
+            work,
+            needs_preprocessing: self.needs_preprocessing,
+            bid: self.bid,
+            valuation: self.valuation.unwrap_or(self.bid),
+            rates: self.rates,
+            energy_weight: self.energy_weight,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> TaskBuilder {
+        TaskBuilder::new(0, 2, 10)
+            .dataset(1000)
+            .epochs(3)
+            .memory_gb(2.0)
+            .bid(5.0)
+            .rates(vec![100, 200])
+    }
+
+    #[test]
+    fn build_computes_work_as_dataset_times_epochs() {
+        let t = base().build().unwrap();
+        assert_eq!(t.work, 3000);
+        assert_eq!(t.valuation, 5.0);
+    }
+
+    #[test]
+    fn deadline_before_arrival_is_rejected() {
+        let err = TaskBuilder::new(0, 5, 3).rates(vec![1]).build().unwrap_err();
+        assert!(matches!(err, TypesError::DeadlineBeforeArrival { .. }));
+    }
+
+    #[test]
+    fn zero_fields_are_rejected() {
+        assert!(base().dataset(0).build().is_err());
+        assert!(base().epochs(0).build().is_err());
+        assert!(base().memory_gb(0.0).build().is_err());
+        assert!(base().bid(0.0).build().is_err());
+        assert!(base().rates(vec![]).build().is_err());
+    }
+
+    #[test]
+    fn min_slots_rounds_up() {
+        let t = base().build().unwrap();
+        // work 3000, rate 100 -> 30 slots; rate 200 -> 15 slots.
+        assert_eq!(t.min_slots_on(0), Some(30));
+        assert_eq!(t.min_slots_on(1), Some(15));
+    }
+
+    #[test]
+    fn min_slots_none_on_incompatible_node() {
+        let t = base().rates(vec![0, 200]).build().unwrap();
+        assert_eq!(t.min_slots_on(0), None);
+    }
+
+    #[test]
+    fn individually_feasible_checks_fastest_node() {
+        // window = 9 slots (2..=10); needs 15 slots on the fast node.
+        let t = base().build().unwrap();
+        assert!(!t.individually_feasible());
+        let t = base().dataset(300).build().unwrap(); // 900 work -> 5 slots on node 1
+        assert!(t.individually_feasible());
+    }
+
+    #[test]
+    fn window_len_is_inclusive() {
+        let t = TaskBuilder::new(0, 3, 3).rates(vec![1]).build().unwrap();
+        assert_eq!(t.window_len(), 1);
+    }
+
+    #[test]
+    fn with_declared_bid_keeps_valuation() {
+        let t = base().valuation(7.0).build().unwrap();
+        let probe = t.with_declared_bid(1.0);
+        assert_eq!(probe.bid, 1.0);
+        assert_eq!(probe.valuation, 7.0);
+        assert_eq!(probe.work, t.work);
+    }
+
+    #[test]
+    fn valuation_defaults_to_bid() {
+        let t = base().bid(9.5).build().unwrap();
+        assert_eq!(t.valuation, 9.5);
+    }
+}

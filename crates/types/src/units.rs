@@ -1,0 +1,70 @@
+//! Floating-point comparison helpers used across the workspace.
+//!
+//! Money, memory (GB), and dual prices are `f64`; the simulation and the
+//! solvers compare them with explicit tolerances rather than `==`.
+
+/// Default absolute tolerance for money/welfare comparisons in tests and in
+/// solution validation. Welfare values in the experiments are O(1)–O(10^4),
+/// so 1e-6 absolute is far below any meaningful difference.
+pub const EPS: f64 = 1e-6;
+
+/// Returns `true` when `a` and `b` are equal within a mixed
+/// absolute/relative tolerance of [`EPS`].
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, EPS)
+}
+
+/// [`approx_eq`] with an explicit tolerance.
+#[must_use]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= eps {
+        return true;
+    }
+    diff <= eps * a.abs().max(b.abs())
+}
+
+/// Returns `true` when `a ≤ b` up to [`EPS`] slack (used when validating
+/// capacity constraints evaluated in floating point).
+#[must_use]
+pub fn leq_eps(a: f64, b: f64) -> bool {
+    a <= b + EPS * (1.0 + a.abs().max(b.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_accepts_exact_and_tiny_differences() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-9));
+        assert!(approx_eq(0.0, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_rejects_real_differences() {
+        assert!(!approx_eq(1.0, 1.001));
+        assert!(!approx_eq(100.0, 101.0));
+    }
+
+    #[test]
+    fn approx_eq_is_relative_for_large_magnitudes() {
+        // 1e12 vs 1e12 + 1 differ by 1 absolute but are relatively equal.
+        assert!(approx_eq(1.0e12, 1.0e12 + 1.0));
+    }
+
+    #[test]
+    fn leq_eps_tolerates_float_noise() {
+        assert!(leq_eps(1.0, 1.0));
+        assert!(leq_eps(1.0 + 1e-12, 1.0));
+        assert!(!leq_eps(1.01, 1.0));
+    }
+
+    #[test]
+    fn approx_eq_eps_custom_tolerance() {
+        assert!(approx_eq_eps(1.0, 1.05, 0.1));
+        assert!(!approx_eq_eps(1.0, 1.05, 0.01));
+    }
+}

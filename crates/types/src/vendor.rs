@@ -1,0 +1,63 @@
+//! Labor-vendor quotes for data pre-processing.
+//!
+//! When task `i` is admitted and `f_i = 1`, exactly one vendor `n` is
+//! selected (constraint 4a). Vendor `n` charges `q_in` and takes `h_in`
+//! slots, so fine-tuning can start no earlier than `a_i + h_in`
+//! (constraint 4c).
+
+use crate::ids::VendorId;
+
+/// One vendor's offer for pre-processing one specific task's dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VendorQuote {
+    /// Vendor index `n`.
+    pub vendor: VendorId,
+    /// `q_in`: price the provider pays the vendor.
+    pub price: f64,
+    /// `h_in`: pre-processing delay in slots, counted from the task's
+    /// arrival; execution may start at `a_i + h_in`.
+    pub delay: usize,
+}
+
+impl VendorQuote {
+    /// A "no pre-processing" pseudo-quote: zero price, zero delay. Used
+    /// internally for tasks with `f_i = 0` so schedule search has a uniform
+    /// shape.
+    #[must_use]
+    pub fn none() -> Self {
+        VendorQuote {
+            vendor: usize::MAX,
+            price: 0.0,
+            delay: 0,
+        }
+    }
+
+    /// Whether this is the pseudo-quote produced by [`VendorQuote::none`].
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.vendor == usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_quote_is_free_and_instant() {
+        let q = VendorQuote::none();
+        assert!(q.is_none());
+        assert_eq!(q.price, 0.0);
+        assert_eq!(q.delay, 0);
+    }
+
+    #[test]
+    fn real_quote_is_not_none() {
+        let q = VendorQuote {
+            vendor: 2,
+            price: 1.5,
+            delay: 3,
+        };
+        assert!(!q.is_none());
+    }
+}

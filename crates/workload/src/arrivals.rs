@@ -1,0 +1,266 @@
+//! Arrival processes: how many tasks arrive at the beginning of each slot.
+//!
+//! The paper drives Figure 8 with homogeneous Poisson processes (mean 30 /
+//! 50 / 80 tasks per slot for light / medium / high workload) and Figure 7
+//! with three public production traces. The raw traces are not
+//! redistributable, so we emulate each with the shape statistics its
+//! publication reports:
+//!
+//! * **MLaaS** (Weng et al., NSDI'22 — Alibaba GPU cluster): very strong
+//!   diurnal pattern (deep night trough, broad daytime plateau) with mild
+//!   over-dispersion. Emulated as a diurnally modulated Poisson with
+//!   log-normal rate noise (σ = 0.25).
+//! * **Philly** (Jeon et al., ATC'19 — Microsoft): business-hours double
+//!   hump (morning and afternoon peaks) and noticeably burstier
+//!   submissions. Emulated with a two-peak profile and σ = 0.45.
+//! * **Helios** (Hu et al., SC'21 — SenseTime): heavy burstiness — batch
+//!   submission spikes on top of a moderate diurnal base. Emulated with a
+//!   diurnal base, σ = 0.35, plus Bernoulli spike slots that multiply the
+//!   rate several-fold.
+//!
+//! Each emulator is normalized so the *average* arrivals per slot equals
+//! the requested mean — the knob the paper's experiments turn.
+
+use crate::sampling::{lognormal, poisson};
+use rand::Rng;
+
+/// Which real-world trace shape to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Alibaba MLaaS trace shape.
+    MLaaS,
+    /// Microsoft Philly trace shape.
+    Philly,
+    /// SenseTime Helios trace shape.
+    Helios,
+}
+
+impl TraceKind {
+    /// Display name used in figure output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::MLaaS => "MLaaS",
+            TraceKind::Philly => "Philly",
+            TraceKind::Helios => "Helios",
+        }
+    }
+}
+
+/// An arrival process over a slotted horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson with the given mean per slot (paper Fig. 8).
+    Poisson { mean_per_slot: f64 },
+    /// Emulated production trace normalized to a mean per slot (Fig. 7).
+    Trace {
+        kind: TraceKind,
+        mean_per_slot: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The paper's light workload: Poisson(30).
+    #[must_use]
+    pub fn light() -> Self {
+        ArrivalProcess::Poisson { mean_per_slot: 30.0 }
+    }
+
+    /// The paper's medium workload: Poisson(50).
+    #[must_use]
+    pub fn medium() -> Self {
+        ArrivalProcess::Poisson { mean_per_slot: 50.0 }
+    }
+
+    /// The paper's high workload: Poisson(80).
+    #[must_use]
+    pub fn high() -> Self {
+        ArrivalProcess::Poisson { mean_per_slot: 80.0 }
+    }
+
+    /// Mean arrivals per slot this process is normalized to.
+    #[must_use]
+    pub fn mean_per_slot(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { mean_per_slot }
+            | ArrivalProcess::Trace { mean_per_slot, .. } => mean_per_slot,
+        }
+    }
+
+    /// Generates the arrival counts for `horizon` slots.
+    pub fn generate<R: Rng>(&self, horizon: usize, rng: &mut R) -> Vec<u64> {
+        match *self {
+            ArrivalProcess::Poisson { mean_per_slot } => (0..horizon)
+                .map(|_| poisson(rng, mean_per_slot))
+                .collect(),
+            ArrivalProcess::Trace {
+                kind,
+                mean_per_slot,
+            } => {
+                let profile = Self::profile(kind, horizon);
+                let mean_profile: f64 = profile.iter().sum::<f64>() / horizon.max(1) as f64;
+                let (sigma, spike_prob, spike_mult) = match kind {
+                    TraceKind::MLaaS => (0.25, 0.0, 1.0),
+                    TraceKind::Philly => (0.45, 0.0, 1.0),
+                    TraceKind::Helios => (0.35, 0.05, 4.0),
+                };
+                // E[lognormal(-sigma^2/2, sigma)] = 1, keeping the mean.
+                let mu = -sigma * sigma / 2.0;
+                // Spikes inflate the mean by (1 + p(m-1)); renormalize.
+                let spike_norm = 1.0 + spike_prob * (spike_mult - 1.0);
+                profile
+                    .iter()
+                    .map(|&shape| {
+                        let noise = lognormal(rng, mu, sigma);
+                        let spike = if spike_prob > 0.0 && rng.gen::<f64>() < spike_prob {
+                            spike_mult
+                        } else {
+                            1.0
+                        };
+                        let rate = mean_per_slot * (shape / mean_profile) * noise * spike
+                            / spike_norm;
+                        poisson(rng, rate.max(0.0))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Deterministic diurnal shape of each trace (relative rate per slot,
+    /// slot 0 = midnight).
+    fn profile(kind: TraceKind, horizon: usize) -> Vec<f64> {
+        let h = horizon.max(1) as f64;
+        (0..horizon)
+            .map(|t| {
+                let x = t as f64 / h; // fraction of the day
+                match kind {
+                    // Deep night trough, broad day plateau.
+                    TraceKind::MLaaS => {
+                        0.35 + 0.65 * day_bump(x, 0.55, 0.22).max(day_bump(x, 0.40, 0.18))
+                    }
+                    // Morning and afternoon peaks.
+                    TraceKind::Philly => {
+                        0.45 + 0.55 * (day_bump(x, 0.42, 0.07) + day_bump(x, 0.65, 0.09)).min(1.0)
+                    }
+                    // Moderate diurnal swell.
+                    TraceKind::Helios => 0.55 + 0.45 * day_bump(x, 0.5, 0.2),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A Gaussian bump centered at `c` with width `w`, in [0, 1].
+fn day_bump(x: f64, c: f64, w: f64) -> f64 {
+    let d = (x - c) / w;
+    (-0.5 * d * d).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean(xs: &[u64]) -> f64 {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+
+    fn cv2(xs: &[u64]) -> f64 {
+        let m = mean(xs);
+        let v = xs
+            .iter()
+            .map(|&x| (x as f64 - m) * (x as f64 - m))
+            .sum::<f64>()
+            / xs.len() as f64;
+        v / (m * m)
+    }
+
+    #[test]
+    fn poisson_process_hits_requested_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = ArrivalProcess::high().generate(2000, &mut rng);
+        assert!((mean(&xs) - 80.0).abs() < 2.0, "mean {}", mean(&xs));
+    }
+
+    #[test]
+    fn trace_emulators_hit_requested_mean() {
+        for kind in [TraceKind::MLaaS, TraceKind::Philly, TraceKind::Helios] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let p = ArrivalProcess::Trace {
+                kind,
+                mean_per_slot: 50.0,
+            };
+            // Generate several "days" to average out the diurnal shape.
+            let xs = p.generate(144 * 30, &mut rng);
+            let m = mean(&xs);
+            assert!((m - 50.0).abs() < 4.0, "{}: mean {m}", kind.name());
+        }
+    }
+
+    #[test]
+    fn traces_are_overdispersed_relative_to_poisson() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pois = ArrivalProcess::medium().generate(144 * 20, &mut rng);
+        for kind in [TraceKind::MLaaS, TraceKind::Philly, TraceKind::Helios] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let tr = ArrivalProcess::Trace {
+                kind,
+                mean_per_slot: 50.0,
+            }
+            .generate(144 * 20, &mut rng);
+            assert!(
+                cv2(&tr) > cv2(&pois),
+                "{} CV² {} should exceed Poisson {}",
+                kind.name(),
+                cv2(&tr),
+                cv2(&pois)
+            );
+        }
+    }
+
+    #[test]
+    fn helios_is_burstier_than_mlaas() {
+        let run = |kind| {
+            let mut rng = StdRng::seed_from_u64(9);
+            ArrivalProcess::Trace {
+                kind,
+                mean_per_slot: 50.0,
+            }
+            .generate(144 * 20, &mut rng)
+        };
+        assert!(cv2(&run(TraceKind::Helios)) > cv2(&run(TraceKind::MLaaS)));
+    }
+
+    #[test]
+    fn mlaas_has_diurnal_structure() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = ArrivalProcess::Trace {
+            kind: TraceKind::MLaaS,
+            mean_per_slot: 50.0,
+        };
+        // Average 40 days slot-wise.
+        let days = 40;
+        let mut per_slot = vec![0.0f64; 144];
+        for _ in 0..days {
+            let xs = p.generate(144, &mut rng);
+            for (s, &x) in per_slot.iter_mut().zip(xs.iter()) {
+                *s += x as f64 / days as f64;
+            }
+        }
+        let night = per_slot[..24].iter().sum::<f64>() / 24.0; // 00:00–04:00
+        let day: f64 = per_slot[60..84].iter().sum::<f64>() / 24.0; // 10:00–14:00
+        assert!(day > 1.5 * night, "day {day} vs night {night}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = ArrivalProcess::Trace {
+            kind: TraceKind::Philly,
+            mean_per_slot: 30.0,
+        };
+        let a = p.generate(144, &mut StdRng::seed_from_u64(1));
+        let b = p.generate(144, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

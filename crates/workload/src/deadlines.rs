@@ -1,0 +1,114 @@
+//! Deadline generation (paper Fig. 9: tight / medium / slack).
+//!
+//! A task's minimum service time is `ceil(M_i / s_i,fast)` slots on the
+//! fastest compatible node. The policy multiplies that by a slack factor
+//! (plus room for the best-case pre-processing delay when `f_i = 1`) and
+//! clamps to the horizon.
+
+use rand::Rng;
+
+/// How generous deadlines are relative to minimum service time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeadlinePolicy {
+    /// Window ≈ 1.2–1.8× minimum service time.
+    Tight,
+    /// Window ≈ 2–3.5× minimum service time.
+    Medium,
+    /// Window ≈ 4–7× minimum service time.
+    Slack,
+}
+
+impl DeadlinePolicy {
+    /// Display name used in figure output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadlinePolicy::Tight => "tight",
+            DeadlinePolicy::Medium => "medium",
+            DeadlinePolicy::Slack => "slack",
+        }
+    }
+
+    /// Slack-factor range for this policy.
+    #[must_use]
+    pub fn factor_range(self) -> (f64, f64) {
+        match self {
+            DeadlinePolicy::Tight => (1.2, 1.8),
+            DeadlinePolicy::Medium => (2.0, 3.5),
+            DeadlinePolicy::Slack => (4.0, 7.0),
+        }
+    }
+
+    /// Draws a deadline (inclusive last slot) for a task arriving at
+    /// `arrival` with `min_service_slots` minimum service time and
+    /// `preprocessing_slots` best-case vendor delay, inside `horizon`.
+    pub fn deadline<R: Rng>(
+        self,
+        rng: &mut R,
+        arrival: usize,
+        min_service_slots: u64,
+        preprocessing_slots: u64,
+        horizon: usize,
+    ) -> usize {
+        let (lo, hi) = self.factor_range();
+        let f = rng.gen_range(lo..hi);
+        let window = (min_service_slots as f64 * f).ceil() as usize + preprocessing_slots as usize;
+        (arrival + window.max(1)).min(horizon.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tighter_policies_give_earlier_deadlines_on_average() {
+        let mut means = Vec::new();
+        for p in [
+            DeadlinePolicy::Tight,
+            DeadlinePolicy::Medium,
+            DeadlinePolicy::Slack,
+        ] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let m: f64 = (0..2000)
+                .map(|_| p.deadline(&mut rng, 10, 8, 0, 10_000) as f64)
+                .sum::<f64>()
+                / 2000.0;
+            means.push(m);
+        }
+        assert!(means[0] < means[1] && means[1] < means[2], "{means:?}");
+    }
+
+    #[test]
+    fn deadline_always_after_arrival_and_inside_horizon() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for p in [
+            DeadlinePolicy::Tight,
+            DeadlinePolicy::Medium,
+            DeadlinePolicy::Slack,
+        ] {
+            for _ in 0..500 {
+                let d = p.deadline(&mut rng, 140, 20, 3, 144);
+                assert!(d >= 140 && d <= 143, "d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn preprocessing_extends_the_window() {
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let without = DeadlinePolicy::Tight.deadline(&mut r1, 0, 10, 0, 1000);
+        let with = DeadlinePolicy::Tight.deadline(&mut r2, 0, 10, 5, 1000);
+        assert_eq!(with, without + 5);
+    }
+
+    #[test]
+    fn window_is_at_least_one_slot() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = DeadlinePolicy::Tight.deadline(&mut rng, 5, 0, 0, 1000);
+        assert!(d >= 6);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pdftsp-workload
+//!
+//! Workload generation for the paper's evaluation (Section 5.1):
+//!
+//! * [`sampling`] — seeded samplers (Poisson via Knuth / normal
+//!   approximation, Box-Muller normal, log-normal) built on `rand` without
+//!   extra distribution crates;
+//! * [`arrivals`] — arrival processes: the paper's synthetic Poisson
+//!   traces (light/medium/high = mean 30/50/80 tasks per slot) and
+//!   statistical emulators of the three public traces it replays (MLaaS,
+//!   Philly, Helios — we do not have the raw traces, so each emulator
+//!   reproduces the published shape characteristics; see module docs);
+//! * [`deadlines`] — deadline policies (tight / medium / slack);
+//! * [`tasks`] — the task generator: datasets uniform in [5k, 20k] samples,
+//!   1–5 epochs, batch sizes and memory/throughput from the
+//!   `pdftsp-lora` calibration, valuations/bids, pre-processing flags;
+//! * [`marketplace`] — labor-vendor profiles and per-task quotes
+//!   `{q_in, h_in}`;
+//! * [`scenario`] — the end-to-end [`scenario::ScenarioBuilder`] plus the
+//!   named presets used by each figure's experiment.
+
+pub mod arrivals;
+pub mod deadlines;
+pub mod marketplace;
+pub mod sampling;
+pub mod scenario;
+pub mod stats;
+pub mod tasks;
+
+pub use arrivals::{ArrivalProcess, TraceKind};
+pub use deadlines::DeadlinePolicy;
+pub use marketplace::{Marketplace, VendorProfile};
+pub use scenario::{NodeMix, ScenarioBuilder};
+pub use tasks::TaskGenerator;

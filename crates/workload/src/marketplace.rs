@@ -1,0 +1,157 @@
+//! The labor-vendor marketplace for data pre-processing.
+//!
+//! Each vendor has a pricing/speed profile; for a given task the vendor
+//! quotes a price `q_in` (scaling with dataset size) and a delay `h_in`
+//! (slots to label/clean the dataset). Cheaper vendors are slower —
+//! otherwise vendor selection would be trivial and Figure 5 (impact of the
+//! number of vendors) would be flat.
+
+use crate::sampling::lognormal;
+use pdftsp_types::{Task, VendorQuote};
+use rand::Rng;
+
+/// A labor vendor's pricing/speed profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VendorProfile {
+    /// Price per 1000 samples pre-processed.
+    pub price_per_ksample: f64,
+    /// Samples pre-processed per slot (throughput of the vendor's labor
+    /// pool).
+    pub samples_per_slot: f64,
+    /// Fixed handoff delay in slots (contract/transfer overhead).
+    pub base_delay: usize,
+}
+
+/// A marketplace of `N` vendors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marketplace {
+    /// The vendor profiles, indexed by `VendorId`.
+    pub vendors: Vec<VendorProfile>,
+}
+
+impl Marketplace {
+    /// Generates `n` vendors on a price/speed trade-off curve: vendor
+    /// throughputs are log-spaced, and price scales sub-linearly with
+    /// speed, with per-vendor noise.
+    pub fn generate<R: Rng>(n: usize, rng: &mut R) -> Self {
+        let vendors = (0..n)
+            .map(|j| {
+                // Spread speeds over roughly 4× between slowest and fastest.
+                let frac = if n == 1 { 0.5 } else { j as f64 / (n - 1) as f64 };
+                let speed = 2_000.0 * 4.0f64.powf(frac) * lognormal(rng, 0.0, 0.15);
+                // Faster labor costs more per sample (speed^0.6 premium).
+                let price = 0.35 * (speed / 2_000.0).powf(0.6) * lognormal(rng, 0.0, 0.2);
+                VendorProfile {
+                    price_per_ksample: price,
+                    samples_per_slot: speed,
+                    base_delay: 1 + (rng.gen_range(0..2) as usize),
+                }
+            })
+            .collect();
+        Marketplace { vendors }
+    }
+
+    /// Number of vendors `N`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vendors.len()
+    }
+
+    /// Whether the marketplace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vendors.is_empty()
+    }
+
+    /// Quotes `{q_in, h_in}` from every vendor for `task`'s dataset.
+    #[must_use]
+    pub fn quotes_for(&self, task: &Task) -> Vec<VendorQuote> {
+        let ksamples = task.dataset_samples as f64 / 1000.0;
+        self.vendors
+            .iter()
+            .enumerate()
+            .map(|(n, v)| VendorQuote {
+                vendor: n,
+                price: v.price_per_ksample * ksamples,
+                delay: v.base_delay
+                    + (task.dataset_samples as f64 / v.samples_per_slot).ceil() as usize,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::TaskBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn task(samples: u64) -> Task {
+        TaskBuilder::new(0, 0, 100)
+            .dataset(samples)
+            .rates(vec![100])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generate_produces_n_vendors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Marketplace::generate(5, &mut rng);
+        assert_eq!(m.len(), 5);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn quotes_scale_with_dataset_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Marketplace::generate(3, &mut rng);
+        let small = m.quotes_for(&task(5_000));
+        let large = m.quotes_for(&task(20_000));
+        for (s, l) in small.iter().zip(large.iter()) {
+            assert!(l.price > s.price);
+            assert!(l.delay >= s.delay);
+        }
+    }
+
+    #[test]
+    fn faster_vendors_cost_more_on_average() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Average over many marketplaces to wash out noise.
+        let mut slow_price = 0.0;
+        let mut fast_price = 0.0;
+        let mut slow_delay = 0.0;
+        let mut fast_delay = 0.0;
+        for _ in 0..200 {
+            let m = Marketplace::generate(4, &mut rng);
+            let q = m.quotes_for(&task(10_000));
+            slow_price += q[0].price;
+            fast_price += q[3].price;
+            slow_delay += q[0].delay as f64;
+            fast_delay += q[3].delay as f64;
+        }
+        assert!(fast_price > slow_price);
+        assert!(fast_delay < slow_delay);
+    }
+
+    #[test]
+    fn quotes_have_positive_price_and_delay() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Marketplace::generate(10, &mut rng);
+        for q in m.quotes_for(&task(12_000)) {
+            assert!(q.price > 0.0);
+            assert!(q.delay >= 1);
+        }
+    }
+
+    #[test]
+    fn vendor_ids_are_positional() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Marketplace::generate(4, &mut rng);
+        let q = m.quotes_for(&task(8_000));
+        for (i, quote) in q.iter().enumerate() {
+            assert_eq!(quote.vendor, i);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Seeded samplers built on `rand`'s uniform source.
+//!
+//! We deliberately avoid a distributions crate: the handful of laws needed
+//! (Poisson, normal, log-normal, discrete uniform) are a few lines each and
+//! keep the dependency set to the pre-approved list.
+
+use rand::Rng;
+
+/// Samples a Poisson(λ) variate.
+///
+/// Uses Knuth's product-of-uniforms method for λ ≤ 60 and a rounded
+/// normal approximation `N(λ, λ)` (clamped at 0) above — the classic
+/// recipe; λ in this workspace is an arrival rate per slot, at most a few
+/// hundred, where the approximation error is negligible for scheduling
+/// purposes.
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda <= 60.0 {
+        let l = (-lambda).exp();
+        let mut k: u64 = 0;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = lambda + lambda.sqrt() * normal(rng);
+        if x < 0.0 {
+            0
+        } else {
+            x.round() as u64
+        }
+    }
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `exp(N(mu, sigma²))`.
+pub fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Uniform integer in `[lo, hi]` inclusive.
+pub fn uniform_inclusive<R: Rng>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    rng.gen_range(lo..=hi)
+}
+
+/// Picks an element uniformly from a non-empty slice.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn choose<'a, R: Rng, T>(rng: &mut R, items: &'a [T]) -> &'a T {
+    assert!(!items.is_empty(), "choose from empty slice");
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_and_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n;
+        (m, v)
+    }
+
+    #[test]
+    fn poisson_small_lambda_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut rng, 5.0) as f64).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 5.0).abs() < 0.15, "mean {m}");
+        assert!((v - 5.0).abs() < 0.4, "var {v}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| poisson(&mut rng, 80.0) as f64)
+            .collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 80.0).abs() < 0.5, "mean {m}");
+        assert!((v - 80.0).abs() < 4.0, "var {v}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut rng)).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut xs: Vec<f64> = (0..20_001).map(|_| lognormal(&mut rng, 1.0, 0.5)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        // Median of lognormal(mu, sigma) is e^mu ≈ 2.718.
+        assert!((median - std::f64::consts::E).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            match uniform_inclusive(&mut rng, 1, 5) {
+                1 => seen_lo = true,
+                5 => seen_hi = true,
+                x => assert!((1..=5).contains(&x)),
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn choose_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let items = [0usize, 1, 2];
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[*choose(&mut rng, &items)] += 1;
+        }
+        for c in counts {
+            assert!(c > 800 && c < 1200, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_seed() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| poisson(&mut rng, 12.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| poisson(&mut rng, 12.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,137 @@
+//! Small descriptive-statistics toolkit used by the trace emulators'
+//! shape checks and the experiment reports.
+
+/// Arithmetic mean (0 for an empty slice).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance (0 for fewer than 2 samples).
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Squared coefficient of variation `Var/Mean²` — the burstiness measure
+/// used to compare trace emulators (CV² = 1/mean for Poisson counts).
+#[must_use]
+pub fn cv2(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m.abs() < 1e-12 {
+        0.0
+    } else {
+        variance(xs) / (m * m)
+    }
+}
+
+/// `p`-quantile (nearest-rank on a sorted copy), `p ∈ [0, 1]`.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((v.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+    v[idx]
+}
+
+/// Mean ± a ~95% normal-approximation confidence half-width
+/// (`1.96·σ/√n`). Returns `(mean, half_width)`.
+#[must_use]
+pub fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    // Sample (n−1) variance for the CI.
+    let s2 = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    (m, 1.96 * (s2 / xs.len() as f64).sqrt())
+}
+
+/// Index of dispersion `Var/Mean` for count data (1 for Poisson; > 1 =
+/// over-dispersed/bursty).
+#[must_use]
+pub fn dispersion(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m.abs() < 1e-12 {
+        0.0
+    } else {
+        variance(xs) / m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::poisson;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(mean_ci95(&[7.0]), (7.0, 0.0));
+        assert_eq!(dispersion(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn poisson_counts_have_unit_dispersion() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut rng, 7.0) as f64).collect();
+        let d = dispersion(&xs);
+        assert!((d - 1.0).abs() < 0.08, "dispersion {d}");
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let draw = |n: usize, rng: &mut StdRng| -> f64 {
+            let xs: Vec<f64> = (0..n).map(|_| poisson(rng, 10.0) as f64).collect();
+            mean_ci95(&xs).1
+        };
+        let wide = draw(50, &mut rng);
+        let narrow = draw(5000, &mut rng);
+        assert!(narrow < wide / 5.0, "wide {wide} narrow {narrow}");
+    }
+
+    #[test]
+    fn cv2_is_scale_invariant() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x * 100.0).collect();
+        assert!((cv2(&xs) - cv2(&ys)).abs() < 1e-12);
+    }
+}

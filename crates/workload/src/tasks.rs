@@ -1,0 +1,213 @@
+//! The fine-tuning task generator.
+//!
+//! Follows the paper's Section 5.1: dataset sizes uniform in [5k, 20k]
+//! samples (Samsum-like), 1–5 epochs, per-task batch sizes drawn from the
+//! calibrated set, memory and throughput from the `pdftsp-lora`
+//! calibration table, Bernoulli pre-processing flags, and valuations
+//! proportional to the work requested (users pay for compute) with
+//! log-normal heterogeneity.
+
+use crate::deadlines::DeadlinePolicy;
+use crate::sampling::{choose, lognormal, uniform_inclusive};
+use pdftsp_lora::calibration::{CalibrationTable, BATCH_SIZES};
+use pdftsp_types::{NodeSpec, Slot, Task, TaskBuilder, TaskId};
+use rand::Rng;
+
+/// Parameters of the task population.
+#[derive(Debug, Clone)]
+pub struct TaskGenerator {
+    /// Calibration providing `r_i` and `s_ik` per batch size.
+    pub calibration: CalibrationTable,
+    /// Dataset size range in samples, inclusive (paper: [5_000, 20_000]).
+    pub dataset_range: (u64, u64),
+    /// Epoch range, inclusive (paper: [1, 5]).
+    pub epoch_range: (u32, u32),
+    /// Probability that a task needs data pre-processing (`f_i = 1`).
+    pub preprocessing_prob: f64,
+    /// Mean valuation per 1000 samples of requested work.
+    pub value_per_kwork: f64,
+    /// Log-normal σ of valuation heterogeneity.
+    pub value_sigma: f64,
+    /// Deadline policy.
+    pub deadline_policy: DeadlinePolicy,
+}
+
+impl TaskGenerator {
+    /// The defaults used across the experiments.
+    #[must_use]
+    pub fn new(calibration: CalibrationTable) -> Self {
+        TaskGenerator {
+            calibration,
+            dataset_range: (5_000, 20_000),
+            epoch_range: (1, 5),
+            preprocessing_prob: 0.5,
+            value_per_kwork: 1.5,
+            value_sigma: 0.35,
+            deadline_policy: DeadlinePolicy::Medium,
+        }
+    }
+
+    /// Generates one task arriving at `arrival`, with throughput entries
+    /// for every node in `nodes`. `expected_pp_delay` is the typical
+    /// vendor delay, folded into the deadline so pre-processing tasks are
+    /// not dead on arrival.
+    pub fn generate<R: Rng>(
+        &self,
+        rng: &mut R,
+        id: TaskId,
+        arrival: Slot,
+        nodes: &[NodeSpec],
+        horizon: usize,
+        expected_pp_delay: u64,
+    ) -> Task {
+        let dataset = uniform_inclusive(rng, self.dataset_range.0, self.dataset_range.1);
+        let epochs =
+            uniform_inclusive(rng, u64::from(self.epoch_range.0), u64::from(self.epoch_range.1))
+                as u32;
+        let batch = *choose(rng, &BATCH_SIZES);
+        let memory_gb = self.calibration.task_memory(batch);
+        let rates: Vec<u64> = nodes
+            .iter()
+            .map(|n| {
+                let rate = self.calibration.task_rate(n.gpu, batch);
+                // A task cannot run where its adapter would not fit.
+                if memory_gb
+                    <= n.adapter_memory_gb(self.calibration.base_gb)
+                {
+                    rate
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let work = dataset * u64::from(epochs);
+        let min_slots = rates
+            .iter()
+            .filter(|&&s| s > 0)
+            .map(|&s| work.div_ceil(s))
+            .min()
+            .unwrap_or(u64::MAX / 2);
+        let needs_pp = rng.gen::<f64>() < self.preprocessing_prob;
+        let pp_delay = if needs_pp { expected_pp_delay } else { 0 };
+        let deadline =
+            self.deadline_policy
+                .deadline(rng, arrival, min_slots, pp_delay, horizon);
+        let valuation = self.value_per_kwork * (work as f64 / 1000.0)
+            * lognormal(rng, -self.value_sigma * self.value_sigma / 2.0, self.value_sigma);
+        // Energy draw scales with the fraction of the GPU the task's batch
+        // keeps busy (batch 8 ≈ baseline).
+        let energy_weight = batch as f64 / 8.0;
+        TaskBuilder::new(id, arrival, deadline)
+            .dataset(dataset)
+            .epochs(epochs)
+            .memory_gb(memory_gb)
+            .needs_preprocessing(needs_pp)
+            .bid(valuation.max(0.01))
+            .rates(rates)
+            .energy_weight(energy_weight)
+            .build()
+            .expect("generator produces valid tasks")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::GpuModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nodes() -> Vec<NodeSpec> {
+        let cal = CalibrationTable::default_gpt2();
+        vec![
+            NodeSpec::new(0, GpuModel::A100_80, cal.node_capacity(GpuModel::A100_80)),
+            NodeSpec::new(1, GpuModel::A40_48, cal.node_capacity(GpuModel::A40_48)),
+        ]
+    }
+
+    fn generator() -> TaskGenerator {
+        TaskGenerator::new(CalibrationTable::default_gpt2())
+    }
+
+    #[test]
+    fn generated_tasks_respect_paper_ranges() {
+        let g = generator();
+        let ns = nodes();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..500 {
+            let t = g.generate(&mut rng, i, 10, &ns, 144, 3);
+            assert!((5_000..=20_000).contains(&t.dataset_samples));
+            assert!((1..=5).contains(&t.epochs));
+            assert_eq!(t.work, t.dataset_samples * u64::from(t.epochs));
+            assert!(t.deadline > t.arrival && t.deadline < 144);
+            assert!(t.bid > 0.0);
+            assert_eq!(t.rates.len(), 2);
+        }
+    }
+
+    #[test]
+    fn preprocessing_fraction_matches_probability() {
+        let g = generator();
+        let ns = nodes();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 2000;
+        let pp = (0..n)
+            .filter(|&i| {
+                g.generate(&mut rng, i, 0, &ns, 144, 3).needs_preprocessing
+            })
+            .count();
+        let frac = pp as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn faster_gpu_gets_higher_rate() {
+        let g = generator();
+        let ns = nodes();
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = g.generate(&mut rng, 0, 0, &ns, 144, 3);
+        assert!(t.rates[0] > t.rates[1], "{:?}", t.rates);
+    }
+
+    #[test]
+    fn most_tasks_are_individually_feasible() {
+        let g = generator();
+        let ns = nodes();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 500;
+        let feasible = (0..n)
+            .filter(|&i| g.generate(&mut rng, i, 0, &ns, 144, 3).individually_feasible())
+            .count();
+        // Deadline policy guarantees a window ≥ min service time (modulo
+        // horizon clamping at day end, absent at arrival 0).
+        assert!(feasible == n, "{feasible}/{n} feasible");
+    }
+
+    #[test]
+    fn valuation_scales_with_work_on_average() {
+        let g = generator();
+        let ns = nodes();
+        let mut rng = StdRng::seed_from_u64(5);
+        let tasks: Vec<Task> = (0..2000)
+            .map(|i| g.generate(&mut rng, i, 0, &ns, 144, 3))
+            .collect();
+        let small_avg: f64 = {
+            let s: Vec<&Task> = tasks.iter().filter(|t| t.work < 20_000).collect();
+            s.iter().map(|t| t.bid).sum::<f64>() / s.len() as f64
+        };
+        let large_avg: f64 = {
+            let l: Vec<&Task> = tasks.iter().filter(|t| t.work > 60_000).collect();
+            l.iter().map(|t| t.bid).sum::<f64>() / l.len() as f64
+        };
+        assert!(large_avg > 2.0 * small_avg, "{small_avg} vs {large_avg}");
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let g = generator();
+        let ns = nodes();
+        let a = g.generate(&mut StdRng::seed_from_u64(9), 0, 5, &ns, 144, 3);
+        let b = g.generate(&mut StdRng::seed_from_u64(9), 0, 5, &ns, 144, 3);
+        assert_eq!(a, b);
+    }
+}

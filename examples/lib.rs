@@ -1,0 +1,3 @@
+//! Runnable examples for the `pdftsp` workspace. See the `[[bin]]`
+//! targets: `quickstart`, `marketplace_day`, `auction_audit`,
+//! `capacity_planning`.

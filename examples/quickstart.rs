@@ -1,0 +1,64 @@
+//! Quickstart: build a small scenario, run the pdFTSP auctioneer over a
+//! simulated day, and print the economic outcome.
+//!
+//! ```text
+//! cargo run -p pdftsp-examples --release --bin quickstart
+//! ```
+
+use pdftsp_sim::{run_algo, Algo};
+use pdftsp_types::AuctionOutcome;
+use pdftsp_workload::ScenarioBuilder;
+
+fn main() {
+    // A reproducible scenario: 4 GPUs (A100/A40 mix), 36 ten-minute
+    // slots, Poisson task arrivals, 3 labor vendors, diurnal energy
+    // prices. Everything derives from the seed.
+    let scenario = ScenarioBuilder::smoke(7).build();
+    let stats = scenario.stats();
+    println!(
+        "scenario: {} tasks on {} nodes over {} slots (offered load {:.2})",
+        stats.tasks, stats.nodes, stats.horizon, stats.offered_load
+    );
+
+    // Run the paper's online primal-dual scheduler.
+    let result = run_algo(&scenario, Algo::Pdftsp, 0);
+    let w = &result.welfare;
+    println!("\n=== pdFTSP outcome ===");
+    println!("social welfare   : {:.2}", w.social_welfare);
+    println!("admitted         : {}/{} tasks", w.admitted, stats.tasks);
+    println!("revenue collected: {:.2}", w.revenue);
+    println!("vendor payments  : {:.2}", w.vendor_cost);
+    println!("energy cost      : {:.2}", w.energy_cost);
+    println!("provider utility : {:.2}", w.provider_utility);
+    println!("users' utility   : {:.2}", w.user_utility);
+    println!(
+        "cluster          : {:.1}% mean compute utilization, up to {} co-located LoRA tasks per GPU slot",
+        100.0 * result.metrics.mean_compute_utilization,
+        result.metrics.peak_colocation
+    );
+
+    // Show the first few auction decisions in detail.
+    println!("\nfirst decisions:");
+    for d in result.decisions.iter().take(8) {
+        let task = &scenario.tasks[d.task];
+        match &d.outcome {
+            AuctionOutcome::Admitted { schedule, payment } => {
+                let slots: Vec<usize> = schedule.placements.iter().map(|&(_, t)| t).collect();
+                println!(
+                    "  task {:>3} bid {:>7.2} -> WIN  pays {:>6.2}, runs {} slot(s) {:?}",
+                    task.id,
+                    task.bid,
+                    payment,
+                    slots.len(),
+                    &slots[..slots.len().min(6)]
+                );
+            }
+            AuctionOutcome::Rejected(why) => {
+                println!(
+                    "  task {:>3} bid {:>7.2} -> LOSE ({why:?})",
+                    task.id, task.bid
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Multi-model zones: the paper notes that "different 'zones' within the
+//! cloud data center can be set up for tasks fine-tuning different
+//! pre-trained models". This example partitions one data center into
+//! three zones (GPT-2 small / medium / large), runs an independent pdFTSP
+//! market in each, and contrasts the aggregate against EFT.
+//!
+//! ```text
+//! cargo run -p pdftsp-examples --release --bin zoned_cluster
+//! ```
+
+use pdftsp_lora::TransformerConfig;
+use pdftsp_sim::{partition_zones, run_zoned, Algo};
+use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+
+fn main() {
+    let base = ScenarioBuilder {
+        horizon: 48,
+        num_nodes: 18,
+        arrivals: ArrivalProcess::Poisson { mean_per_slot: 9.0 },
+        seed: 77,
+        ..ScenarioBuilder::default()
+    };
+    // Demand skews toward the small model; the large model needs
+    // disproportionate capacity per task.
+    let splits = vec![
+        ("gpt2-small".to_owned(), TransformerConfig::gpt2_small(), 3.0),
+        ("gpt2-medium".to_owned(), TransformerConfig::gpt2_medium(), 2.0),
+        ("gpt2-large".to_owned(), TransformerConfig::gpt2_large(), 1.0),
+    ];
+    let zones = partition_zones(&base, &splits);
+
+    println!("zoned data center: {} nodes total, one market per base model\n", base.num_nodes);
+    for algo in [Algo::Pdftsp, Algo::Eft] {
+        let out = run_zoned(&zones, algo, 0);
+        println!("=== {} ===", algo.name());
+        println!("zone          nodes  tasks  admitted    welfare  peak-coloc");
+        for (name, r) in &out.per_zone {
+            let zone = zones.iter().find(|z| &z.name == name).expect("zone");
+            println!(
+                "{:<13} {:>5} {:>6} {:>9} {:>10.1} {:>11}",
+                name,
+                zone.builder.num_nodes,
+                r.welfare.admitted + r.welfare.rejected,
+                r.welfare.admitted,
+                r.welfare.social_welfare,
+                r.metrics.peak_colocation,
+            );
+        }
+        println!(
+            "total: welfare {:.1}, admitted {}/{}\n",
+            out.total_welfare, out.total_admitted, out.total_tasks
+        );
+    }
+    println!(
+        "reading: the small-model zone co-locates the most LoRA tasks per GPU\n\
+         (tiny adapters, high per-node throughput), while the large-model zone\n\
+         is capacity-bound — the auction's prices rise there first."
+    );
+}

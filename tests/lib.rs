@@ -1,0 +1,2 @@
+//! Cross-crate integration tests for the `pdftsp` workspace live in
+//! `tests/tests/*.rs`; this library target only anchors the package.

@@ -1,0 +1,140 @@
+//! Economic-property tests: truthfulness (Theorem 3) and individual
+//! rationality (Theorem 4) exercised against live auction state, at a
+//! larger scale than the unit tests.
+
+use pdftsp_core::{probe_bid, Pdftsp, PdftspConfig, PricingRule};
+use pdftsp_sim::{run_algo, Algo};
+use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+
+fn market(seed: u64) -> ScenarioBuilder {
+    ScenarioBuilder {
+        horizon: 36,
+        num_nodes: 6,
+        arrivals: ArrivalProcess::Poisson { mean_per_slot: 5.0 },
+        ..ScenarioBuilder::smoke(seed)
+    }
+}
+
+#[test]
+fn individual_rationality_holds_for_every_winner() {
+    for seed in [1u64, 2, 3] {
+        let sc = market(seed).build();
+        let r = run_algo(&sc, Algo::Pdftsp, 0);
+        for d in &r.decisions {
+            if d.is_admitted() {
+                let bid = sc.tasks[d.task].bid;
+                assert!(
+                    d.payment() <= bid + 1e-9,
+                    "seed {seed}: task {} pays {} > bid {bid}",
+                    d.task,
+                    d.payment()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn individual_rationality_holds_under_energy_pricing_too() {
+    let sc = market(4).build();
+    let cfg = PdftspConfig {
+        pricing: PricingRule::WithEnergy,
+        ..PdftspConfig::default()
+    };
+    let mut s = Pdftsp::new(&sc, cfg);
+    let r = pdftsp_sim::run_scheduler(&sc, &mut s);
+    let mut winners = 0;
+    for d in &r.decisions {
+        if d.is_admitted() {
+            winners += 1;
+            assert!(d.payment() <= sc.tasks[d.task].bid + 1e-9);
+        }
+    }
+    assert!(winners > 0, "need winners for the check to be meaningful");
+}
+
+#[test]
+fn truthfulness_sweeps_over_many_tasks_and_states() {
+    // At several points of a busy day, probe several upcoming tasks with
+    // bid perturbations in both directions: no lie may beat the truth.
+    let sc = market(5).build();
+    let mut s = Pdftsp::new(&sc, PdftspConfig::default());
+    let checkpoints = [sc.tasks.len() / 4, sc.tasks.len() / 2, 3 * sc.tasks.len() / 4];
+    let mut next = 0usize;
+    let mut probed = 0usize;
+    for &cp in &checkpoints {
+        while next < cp {
+            let _ = s.decide(&sc.tasks[next], &sc);
+            next += 1;
+        }
+        for task in sc.tasks[cp..].iter().take(5) {
+            let truthful = probe_bid(&s, task, task.valuation, &sc);
+            for factor in [0.0, 0.3, 0.6, 0.9, 0.99, 1.01, 1.5, 3.0, 10.0] {
+                let declared = (task.valuation * factor).max(0.01);
+                let lie = probe_bid(&s, task, declared, &sc);
+                assert!(
+                    lie.utility <= truthful.utility + 1e-9,
+                    "task {} lying x{factor}: {} > {}",
+                    task.id,
+                    lie.utility,
+                    truthful.utility
+                );
+                probed += 1;
+            }
+        }
+    }
+    assert!(probed >= 100, "only {probed} probes ran");
+}
+
+#[test]
+fn payments_are_independent_of_declared_bid_for_winners() {
+    let sc = market(6).build();
+    let mut s = Pdftsp::new(&sc, PdftspConfig::default());
+    for task in &sc.tasks[..sc.tasks.len() / 2] {
+        let _ = s.decide(task, &sc);
+    }
+    let mut verified = 0;
+    for task in sc.tasks[sc.tasks.len() / 2..].iter().take(10) {
+        let a = probe_bid(&s, task, task.valuation, &sc);
+        let b = probe_bid(&s, task, task.valuation * 10.0, &sc);
+        if a.admitted && b.admitted {
+            assert!(
+                (a.payment - b.payment).abs() < 1e-9,
+                "payment depends on bid for task {}",
+                task.id
+            );
+            verified += 1;
+        }
+    }
+    assert!(verified > 0);
+}
+
+#[test]
+fn revenue_covers_vendor_costs_under_energy_pricing() {
+    // With PricingRule::WithEnergy, the provider recovers energy and
+    // vendor outlays from winners: provider utility must be non-negative.
+    let sc = market(7).build();
+    let cfg = PdftspConfig {
+        pricing: PricingRule::WithEnergy,
+        ..PdftspConfig::default()
+    };
+    let mut s = Pdftsp::new(&sc, cfg);
+    let r = pdftsp_sim::run_scheduler(&sc, &mut s);
+    // Winners pay energy + vendor + resource mark-up, so:
+    assert!(
+        r.welfare.provider_utility >= -1e-6,
+        "provider loses money: {}",
+        r.welfare.provider_utility
+    );
+}
+
+#[test]
+fn losing_bids_pay_nothing() {
+    let sc = market(8).build();
+    let r = run_algo(&sc, Algo::Pdftsp, 0);
+    for d in &r.decisions {
+        if !d.is_admitted() {
+            assert_eq!(d.payment(), 0.0);
+        }
+    }
+}

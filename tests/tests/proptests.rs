@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) over the core invariants:
+//! schedule/DP correctness, ledger safety, dual monotonicity, welfare
+//! identities, and solver optimality on randomized instances.
+
+use pdftsp_cluster::CapacityLedger;
+use pdftsp_core::{find_schedule, DpContext, DualState};
+use pdftsp_solver::{solve_lp, Constraint, LinearProgram, LpOutcome, Milp, MilpConfig};
+use pdftsp_types::{
+    CostGrid, GpuModel, NodeSpec, Scenario, Schedule, TaskBuilder, VendorQuote,
+};
+use proptest::prelude::*;
+
+fn small_scenario(nodes: usize, horizon: usize, prices: Vec<f64>) -> Scenario {
+    Scenario {
+        horizon,
+        base_model_gb: 1.0,
+        nodes: (0..nodes)
+            .map(|k| NodeSpec::new(k, GpuModel::A100_80, 4000))
+            .collect(),
+        tasks: vec![],
+        quotes: vec![],
+        cost: CostGrid::from_vec(nodes, horizon, prices).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Algorithm-2 DP always returns schedules that deliver the full
+    /// work, inside the window, one node per slot.
+    #[test]
+    fn dp_schedules_are_always_valid(
+        work in 500u64..12_000,
+        deadline in 3usize..12,
+        rate0 in 300u64..2_000,
+        rate1 in 300u64..2_000,
+        seed_prices in proptest::collection::vec(0.0f64..3.0, 24),
+    ) {
+        let horizon = 12;
+        let sc = small_scenario(2, horizon, seed_prices[..24].to_vec());
+        let task = TaskBuilder::new(0, 0, deadline)
+            .dataset(work)
+            .memory_gb(5.0)
+            .bid(50.0)
+            .rates(vec![rate0, rate1])
+            .build()
+            .unwrap();
+        let duals = DualState::new(&sc, 1000.0);
+        let ctx = DpContext { scenario: &sc, duals: &duals, ledger: None, compute_unit: 1000.0 };
+        if let Some(r) = find_schedule(&ctx, &task, 0) {
+            let schedule = Schedule::new(0, VendorQuote::none(), r.placements.clone());
+            prop_assert!(schedule.validate(&task).is_ok(), "{:?}", schedule.validate(&task));
+            // Cost reported must equal the recomputed energy.
+            let e: f64 = r.placements.iter().map(|&(k, t)| sc.cost.e(&task, k, t)).sum();
+            prop_assert!((e - r.energy).abs() < 1e-9);
+        } else {
+            // Infeasibility must be real: even the fastest node flat-out
+            // cannot make the deadline (allowing for quantization slack).
+            let best = rate0.max(rate1);
+            let window = (deadline + 1) as u64;
+            prop_assert!(
+                work > best * window * 63 / 64,
+                "DP refused a feasible task: work {work}, best {best}, window {window}"
+            );
+        }
+    }
+
+    /// Ledger commits never overflow capacity and are exactly additive.
+    #[test]
+    fn ledger_accounting_is_exact(
+        commits in proptest::collection::vec((0usize..2, 0usize..8, 200u64..1500), 1..25),
+    ) {
+        let sc = {
+            let mut s = small_scenario(2, 8, vec![0.0; 16]);
+            s.nodes[0].compute_capacity = 3000;
+            s.nodes[1].compute_capacity = 3000;
+            s
+        };
+        let mut ledger = CapacityLedger::new(&sc);
+        let mut shadow = vec![0u64; 2 * 8];
+        for (i, &(k, t, rate)) in commits.iter().enumerate() {
+            let task = TaskBuilder::new(i, 0, 7)
+                .dataset(rate)
+                .memory_gb(2.0)
+                .bid(1.0)
+                .rates(vec![rate, rate])
+                .build()
+                .unwrap();
+            let schedule = Schedule::new(i, VendorQuote::none(), vec![(k, t)]);
+            let fits = ledger.fits_schedule(&task, &schedule);
+            let expect = shadow[k * 8 + t] + rate <= 3000;
+            prop_assert_eq!(fits, expect);
+            if fits {
+                ledger.commit(&task, &schedule).unwrap();
+                shadow[k * 8 + t] += rate;
+            } else {
+                prop_assert!(ledger.commit(&task, &schedule).is_err());
+            }
+            prop_assert_eq!(ledger.compute_used(k, t), shadow[k * 8 + t]);
+        }
+    }
+
+    /// Dual prices never decrease, whatever update stream arrives.
+    #[test]
+    fn duals_are_monotone_under_any_updates(
+        updates in proptest::collection::vec(
+            (0usize..2, 0usize..6, 100u64..3000, 0.1f64..3.0), 1..30),
+    ) {
+        let sc = small_scenario(2, 6, vec![0.0; 12]);
+        let mut duals = DualState::new(&sc, 1000.0);
+        let mut prev: Vec<f64> = (0..2)
+            .flat_map(|k| (0..6).map(move |t| (k, t)))
+            .map(|(k, t)| duals.lambda(k, t) + duals.phi(k, t))
+            .collect();
+        for (i, &(k, t, rate, b_bar)) in updates.iter().enumerate() {
+            let task = TaskBuilder::new(i, 0, 5)
+                .dataset(rate)
+                .memory_gb(3.0)
+                .bid(1.0)
+                .rates(vec![rate, rate])
+                .build()
+                .unwrap();
+            let s = Schedule::new(i, VendorQuote::none(), vec![(k, t)]);
+            duals.update(&task, &s, b_bar, 1.0, 1.0, 1000.0);
+            let now: Vec<f64> = (0..2)
+                .flat_map(|k| (0..6).map(move |t| (k, t)))
+                .map(|(k, t)| duals.lambda(k, t) + duals.phi(k, t))
+                .collect();
+            for (a, b) in prev.iter().zip(&now) {
+                prop_assert!(b >= a, "dual decreased: {a} -> {b}");
+            }
+            prev = now;
+        }
+    }
+
+    /// The simplex solution of a random bounded LP is feasible and at
+    /// least as good as any random feasible point.
+    #[test]
+    fn simplex_result_is_feasible_and_locally_optimal(
+        n in 2usize..6,
+        m in 1usize..5,
+        coeffs in proptest::collection::vec(0.0f64..2.0, 36),
+        rhs in proptest::collection::vec(1.0f64..8.0, 6),
+        obj in proptest::collection::vec(-1.0f64..3.0, 6),
+        samples in proptest::collection::vec(0.0f64..1.0, 60),
+    ) {
+        let mut lp = LinearProgram::new(n);
+        lp.objective = obj[..n].to_vec();
+        for i in 0..m {
+            let row: Vec<(usize, f64)> =
+                (0..n).map(|j| (j, coeffs[i * n + j])).collect();
+            lp.constraints.push(Constraint::le(row, rhs[i]));
+        }
+        lp.bound_rows((0..n).map(|j| (j, 1.0)));
+        match solve_lp(&lp) {
+            LpOutcome::Optimal { x, objective } => {
+                prop_assert!(lp.feasible(&x, 1e-6));
+                for chunk in samples.chunks(n).take(10) {
+                    if chunk.len() == n && lp.feasible(chunk, 1e-9) {
+                        prop_assert!(lp.objective_value(chunk) <= objective + 1e-6);
+                    }
+                }
+            }
+            other => prop_assert!(false, "bounded LP must solve: {other:?}"),
+        }
+    }
+
+    /// Branch-and-bound matches exhaustive search on random knapsacks.
+    #[test]
+    fn milp_matches_bruteforce_knapsack(
+        values in proptest::collection::vec(0.5f64..10.0, 4..9),
+        weights in proptest::collection::vec(0.5f64..5.0, 9),
+        cap_frac in 0.2f64..0.8,
+    ) {
+        let n = values.len();
+        let w = &weights[..n];
+        let capacity = w.iter().sum::<f64>() * cap_frac;
+        let mut lp = LinearProgram::new(n);
+        lp.objective = values.clone();
+        lp.constraints.push(Constraint::le(
+            w.iter().copied().enumerate().collect(), capacity));
+        lp.bound_rows((0..n).map(|j| (j, 1.0)));
+        let milp = Milp { lp, integer_vars: (0..n).collect(), branch_priority: Vec::new() };
+        let got = milp.solve(&MilpConfig::default()).objective().unwrap();
+        let mut best = 0.0f64;
+        for mask in 0..(1u32 << n) {
+            let (mut v, mut wt) = (0.0, 0.0);
+            for j in 0..n {
+                if mask & (1 << j) != 0 { v += values[j]; wt += w[j]; }
+            }
+            if wt <= capacity { best = best.max(v); }
+        }
+        prop_assert!((got - best).abs() < 1e-6, "milp {got} vs brute {best}");
+    }
+
+    /// Schedule welfare identities: increment = bid − vendor − energy and
+    /// density × footprint = increment.
+    #[test]
+    fn schedule_welfare_identities(
+        bid in 1.0f64..100.0,
+        vendor_price in 0.0f64..10.0,
+        slots in proptest::collection::vec(0usize..10, 1..6),
+        price in 0.1f64..2.0,
+    ) {
+        let sc = small_scenario(1, 10, vec![price; 10]);
+        let mut unique = slots.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let task = TaskBuilder::new(0, 0, 9)
+            .dataset(100 * unique.len() as u64)
+            .memory_gb(4.0)
+            .bid(bid)
+            .rates(vec![100])
+            .needs_preprocessing(true)
+            .build()
+            .unwrap();
+        let quote = VendorQuote { vendor: 0, price: vendor_price, delay: 0 };
+        let s = Schedule::new(0, quote, unique.iter().map(|&t| (0, t)).collect());
+        let inc = s.welfare_increment(&task, &sc.cost);
+        let expect = bid - vendor_price - price * unique.len() as f64;
+        prop_assert!((inc - expect).abs() < 1e-9);
+        let density = s.welfare_density(&task, &sc.cost);
+        let footprint = s.total_compute(&task) as f64 + s.total_memory(&task);
+        prop_assert!((density * footprint - inc).abs() < 1e-9);
+    }
+}
