@@ -20,8 +20,7 @@
 use crate::greedy::greedy_asap;
 use pdftsp_cluster::CapacityLedger;
 use pdftsp_types::{
-    Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task,
-    VendorQuote,
+    Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task, VendorQuote,
 };
 use std::time::Instant;
 

@@ -63,7 +63,7 @@ pub fn greedy_asap(
                     continue;
                 }
             }
-            if best.map_or(true, |(_, r)| rate > r) {
+            if best.is_none_or(|(_, r)| rate > r) {
                 best = Some((k, rate));
             }
         }

@@ -12,8 +12,7 @@
 use crate::greedy::{greedy_asap, OccupancyGrid};
 use pdftsp_cluster::CapacityLedger;
 use pdftsp_types::{
-    Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task,
-    VendorQuote,
+    Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task, VendorQuote,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

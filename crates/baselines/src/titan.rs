@@ -121,7 +121,7 @@ impl TitanLike {
                 }
                 // Cost per unit of work delivered in this cell.
                 let cost = scenario.cost.e(task, k, t) / rate as f64;
-                if best.map_or(true, |(c, _, _)| cost < c) {
+                if best.is_none_or(|(c, _, _)| cost < c) {
                     best = Some((cost, k, rate));
                 }
             }
@@ -183,7 +183,9 @@ impl OnlineScheduler for TitanLike {
                 .enumerate()
                 .map(|(pos, t)| {
                     let start = (t.id * 7 + pos * 3) % k_count;
-                    (0..per_task).map(|j| (start + j * (k_count / per_task).max(1)) % k_count).collect()
+                    (0..per_task)
+                        .map(|j| (start + j * (k_count / per_task).max(1)) % k_count)
+                        .collect()
                 })
                 .collect()
         };
@@ -203,7 +205,9 @@ impl OnlineScheduler for TitanLike {
         let out = if enc.milp.lp.num_vars <= self.config.exact_var_limit {
             enc.milp.solve(&self.config.milp)
         } else {
-            MilpOutcome::BoundOnly { bound: f64::INFINITY }
+            MilpOutcome::BoundOnly {
+                bound: f64::INFINITY,
+            }
         };
 
         // Admission set: certified optimum if available, otherwise the
@@ -213,9 +217,9 @@ impl OnlineScheduler for TitanLike {
                 (0..arrivals.len()).map(|p| x[enc.u_var(p)] > 0.5).collect()
             }
             _ => match solve_lp(&enc.milp.lp) {
-                LpOutcome::Optimal { x, .. } => {
-                    (0..arrivals.len()).map(|p| x[enc.u_var(p)] >= 0.5).collect()
-                }
+                LpOutcome::Optimal { x, .. } => (0..arrivals.len())
+                    .map(|p| x[enc.u_var(p)] >= 0.5)
+                    .collect(),
                 _ => vec![false; arrivals.len()],
             },
         };
@@ -382,12 +386,7 @@ mod tests {
         // Prices differ per slot; the repair path must pick the cheap ones.
         let tasks = vec![t(0, 9.0, 0)];
         let mut sc = scenario(tasks, vec![vec![]], 1000);
-        sc.cost = CostGrid::from_vec(
-            1,
-            8,
-            vec![0.9, 0.1, 0.9, 0.1, 0.9, 0.9, 0.9, 0.9],
-        )
-        .unwrap();
+        sc.cost = CostGrid::from_vec(1, 8, vec![0.9, 0.1, 0.9, 0.1, 0.9, 0.9, 0.9, 0.9]).unwrap();
         let mut titan = TitanLike::new(&sc, 1, TitanConfig::default());
         let refs: Vec<&Task> = sc.tasks.iter().collect();
         let out = titan.on_slot(0, &refs, &sc);

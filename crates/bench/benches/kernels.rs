@@ -83,7 +83,7 @@ fn bench_simplex(c: &mut Criterion) {
     let n = 120;
     let m = 80;
     let mut lp = LinearProgram::new(n);
-    let mut state = 0x1234_5678_9ABC_DEFu64;
+    let mut state = 0x0123_4567_89AB_CDEF_u64;
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;
@@ -93,7 +93,8 @@ fn bench_simplex(c: &mut Criterion) {
     lp.objective = (0..n).map(|_| next() * 3.0).collect();
     for _ in 0..m {
         let coeffs = (0..n).map(|j| (j, next())).collect();
-        lp.constraints.push(Constraint::le(coeffs, 5.0 + next() * 10.0));
+        lp.constraints
+            .push(Constraint::le(coeffs, 5.0 + next() * 10.0));
     }
     lp.bound_rows((0..n).map(|j| (j, 1.0)));
     c.bench_function("simplex_120v_200r", |b| b.iter(|| solve_lp(&lp)));
@@ -114,7 +115,8 @@ fn bench_presolve_vs_direct(c: &mut Criterion) {
     lp.objective = (0..n).map(|_| next() * 3.0).collect();
     for _ in 0..60 {
         let coeffs = (0..n).map(|j| (j, next())).collect();
-        lp.constraints.push(Constraint::le(coeffs, 4.0 + next() * 8.0));
+        lp.constraints
+            .push(Constraint::le(coeffs, 4.0 + next() * 8.0));
     }
     lp.bound_rows((0..n).map(|j| (j, 1.0)));
     // Fix ~60% of the variables as a deep B&B node would.

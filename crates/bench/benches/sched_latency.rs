@@ -2,6 +2,13 @@
 //! latency of pdFTSP vs the Titan per-slot MILP, on the same warm cluster
 //! state. (The fig13 binary prints the full CDF; this bench tracks the
 //! medians over time.)
+//!
+//! The `sched_pipeline` group is the hot-path regression harness for the
+//! optimized evaluation pipeline: it times the same warm-state batch
+//! decision under `EvalPipeline::Optimized` and `EvalPipeline::Reference`
+//! in a single-vendor and a vendor-rich (8 quotes/task) market. The
+//! `bench_sched` binary emits the same comparison as `BENCH_sched.json`
+//! with p50/p99 and DP-cell throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pdftsp_baselines::{TitanConfig, TitanLike};
@@ -20,15 +27,39 @@ fn scenario() -> Scenario {
     .build()
 }
 
+/// Same cluster and load, but every task needs pre-processing and quotes
+/// 8 vendors — the market where per-vendor DP cost dominates.
+fn vendor_rich_scenario() -> Scenario {
+    ScenarioBuilder {
+        horizon: 36,
+        num_nodes: 20,
+        arrivals: ArrivalProcess::Poisson { mean_per_slot: 6.0 },
+        num_vendors: 8,
+        preprocessing_prob: 1.0,
+        seed: 4242,
+        ..ScenarioBuilder::default()
+    }
+    .build()
+}
+
+/// No pre-processing at all: exactly one (empty) quote per task.
+fn single_vendor_scenario() -> Scenario {
+    ScenarioBuilder {
+        horizon: 36,
+        num_nodes: 20,
+        arrivals: ArrivalProcess::Poisson { mean_per_slot: 6.0 },
+        preprocessing_prob: 0.0,
+        seed: 4242,
+        ..ScenarioBuilder::default()
+    }
+    .build()
+}
+
 /// Warm a scheduler with the first half of the workload, then measure the
 /// cost of deciding one additional mid-stream batch.
 fn warm_tasks(sc: &Scenario) -> (usize, Vec<&Task>) {
     let half_slot = sc.horizon / 2;
-    let batch: Vec<&Task> = sc
-        .tasks
-        .iter()
-        .filter(|t| t.arrival == half_slot)
-        .collect();
+    let batch: Vec<&Task> = sc.tasks.iter().filter(|t| t.arrival == half_slot).collect();
     (half_slot, batch)
 }
 
@@ -48,6 +79,40 @@ fn bench_pdftsp_latency(c: &mut Criterion) {
             BatchSize::PerIteration,
         );
     });
+}
+
+/// Optimized vs reference pipeline on identical warm state, single- and
+/// multi-vendor. Decisions are bit-identical (pipeline_equivalence.rs);
+/// only the clock differs.
+fn bench_pipeline_latency(c: &mut Criterion) {
+    let markets = [
+        ("single_vendor", single_vendor_scenario()),
+        ("multi_vendor", vendor_rich_scenario()),
+    ];
+    let mut group = c.benchmark_group("sched_pipeline");
+    group.sample_size(10);
+    for (market, sc) in &markets {
+        let (slot, batch) = warm_tasks(sc);
+        for (pipe, cfg) in [
+            ("optimized", PdftspConfig::default()),
+            ("reference", PdftspConfig::default().reference()),
+        ] {
+            group.bench_function(&format!("{market}_{pipe}"), |b| {
+                b.iter_batched(
+                    || {
+                        let mut s = Pdftsp::new(sc, cfg);
+                        for t in sc.tasks.iter().filter(|t| t.arrival < slot) {
+                            let _ = s.decide(t, sc);
+                        }
+                        s
+                    },
+                    |mut s| s.on_slot(slot, &batch, sc),
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    group.finish();
 }
 
 fn bench_titan_latency(c: &mut Criterion) {
@@ -77,5 +142,10 @@ fn bench_titan_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pdftsp_latency, bench_titan_latency);
+criterion_group!(
+    benches,
+    bench_pdftsp_latency,
+    bench_pipeline_latency,
+    bench_titan_latency
+);
 criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! Emits `BENCH_sched.json` at the repo root: decide-latency percentiles
+//! and DP-cell throughput of the optimized evaluation pipeline against the
+//! straight-line reference, on the warm Fig.-13 cluster in a single-vendor
+//! and a vendor-rich market.
+//!
+//! Methodology (see EXPERIMENTS.md "Scheduler hot-path benchmark"): each
+//! pipeline runs the full online loop end-to-end `REPS` times; every
+//! `decide()` call contributes one latency sample (the same
+//! `decide_seconds` that drives the paper's Fig. 13 CDF). "DP cells" is a
+//! workload-derived model — Σ over (task, vendor) of
+//! `(window + 1) × (w_target + 1) × compatible_nodes` at the coarse
+//! refinement — so both pipelines divide the *same* cell count by their
+//! own wall-clock: the optimized pipeline's higher cells/s is exactly its
+//! decision-for-decision speedup, not a different workload.
+
+use pdftsp_core::{Pdftsp, PdftspConfig};
+use pdftsp_sim::run_scheduler;
+use pdftsp_types::Scenario;
+use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+
+const REPS: usize = 5;
+const COARSE_REFINEMENT: u64 = 8;
+
+fn scenario(preprocessing_prob: f64, num_vendors: usize) -> Scenario {
+    ScenarioBuilder {
+        horizon: 36,
+        num_nodes: 20,
+        arrivals: ArrivalProcess::Poisson { mean_per_slot: 6.0 },
+        num_vendors,
+        preprocessing_prob,
+        seed: 4242,
+        ..ScenarioBuilder::default()
+    }
+    .build()
+}
+
+/// The cell model: how many DP table cells the coarse pass of the
+/// reference pipeline touches for this scenario (vendor windows × work
+/// columns × compatible nodes). Identical for both pipelines by
+/// construction — it normalizes throughput, it is not measured work.
+fn dp_cell_model(sc: &Scenario) -> u64 {
+    let mut cells = 0u64;
+    for task in &sc.tasks {
+        let quotes: Vec<(f64, usize)> = if task.needs_preprocessing {
+            sc.quotes[task.id]
+                .iter()
+                .map(|q| (q.price, q.delay))
+                .collect()
+        } else {
+            vec![(0.0, 0)]
+        };
+        let deadline = task.deadline.min(sc.horizon.saturating_sub(1));
+        let min_rate = task.rates.iter().copied().filter(|&r| r > 0).min();
+        let Some(min_rate) = min_rate else { continue };
+        let unit = (min_rate / COARSE_REFINEMENT).max(1);
+        let w_target = task.work.div_ceil(unit);
+        let compatible = task.rates.iter().filter(|&&r| r > 0).count() as u64;
+        for &(_, delay) in &quotes {
+            let start = task.arrival + delay;
+            if start > deadline {
+                continue;
+            }
+            let window = (deadline - start + 1) as u64;
+            cells += (window + 1) * (w_target + 1) * compatible;
+        }
+    }
+    cells
+}
+
+struct PipelineStats {
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    total_s: f64,
+    samples: usize,
+    welfare: f64,
+    admitted: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_pipeline(sc: &Scenario, cfg: PdftspConfig) -> PipelineStats {
+    let mut samples: Vec<f64> = Vec::new();
+    let mut welfare = 0.0;
+    let mut admitted = 0;
+    for _ in 0..REPS {
+        let mut s = Pdftsp::new(sc, cfg);
+        let r = run_scheduler(sc, &mut s);
+        samples.extend(r.decisions.iter().map(|d| d.decide_seconds));
+        welfare = r.welfare.social_welfare;
+        admitted = r.welfare.admitted;
+    }
+    let total_s: f64 = samples.iter().sum();
+    let mean_us = total_s / samples.len().max(1) as f64 * 1e6;
+    samples.sort_by(f64::total_cmp);
+    PipelineStats {
+        p50_us: percentile(&samples, 0.50) * 1e6,
+        p99_us: percentile(&samples, 0.99) * 1e6,
+        mean_us,
+        total_s,
+        samples: samples.len(),
+        welfare,
+        admitted,
+    }
+}
+
+fn stats_json(s: &PipelineStats, cells: u64) -> String {
+    // Throughput over the per-rep workload: cells × REPS / total seconds.
+    let cells_per_s = cells as f64 * REPS as f64 / s.total_s.max(1e-12);
+    format!(
+        concat!(
+            "{{\"p50_us\": {:.3}, \"p99_us\": {:.3}, \"mean_us\": {:.3}, ",
+            "\"total_s\": {:.6}, \"decisions\": {}, \"dp_cells_per_s\": {:.0}}}"
+        ),
+        s.p50_us, s.p99_us, s.mean_us, s.total_s, s.samples, cells_per_s
+    )
+}
+
+fn market_json(name: &str, sc: &Scenario) -> String {
+    let cells = dp_cell_model(sc);
+    let opt = run_pipeline(sc, PdftspConfig::default());
+    let reference = run_pipeline(sc, PdftspConfig::default().reference());
+    // Decision equivalence holds end-to-end; a drift here means a bug.
+    assert_eq!(
+        opt.welfare.to_bits(),
+        reference.welfare.to_bits(),
+        "{name}: pipelines diverged"
+    );
+    assert_eq!(opt.admitted, reference.admitted, "{name}");
+    let speedup_p50 = reference.p50_us / opt.p50_us.max(1e-9);
+    let speedup_mean = reference.mean_us / opt.mean_us.max(1e-9);
+    println!(
+        "{name}: optimized p50 {:.1} µs p99 {:.1} µs | reference p50 {:.1} µs p99 {:.1} µs | speedup p50 {speedup_p50:.2}x mean {speedup_mean:.2}x",
+        opt.p50_us, opt.p99_us, reference.p50_us, reference.p99_us
+    );
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"tasks\": {},\n",
+            "      \"dp_cell_model\": {},\n",
+            "      \"optimized\": {},\n",
+            "      \"reference\": {},\n",
+            "      \"speedup_p50\": {:.3},\n",
+            "      \"speedup_mean\": {:.3}\n",
+            "    }}"
+        ),
+        name,
+        sc.tasks.len(),
+        cells,
+        stats_json(&opt, cells),
+        stats_json(&reference, cells),
+        speedup_p50,
+        speedup_mean
+    )
+}
+
+fn main() {
+    let single = scenario(0.0, 5);
+    let multi = scenario(1.0, 8);
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sched_latency\",\n",
+            "  \"emitter\": \"bench_sched\",\n",
+            "  \"reps\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"scenario\": {{\"horizon\": 36, \"nodes\": 20, \"mean_arrivals_per_slot\": 6.0, \"seed\": 4242}},\n",
+            "  \"markets\": {{\n",
+            "{},\n",
+            "{}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        REPS,
+        threads,
+        market_json("single_vendor", &single),
+        market_json("multi_vendor", &multi)
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+    std::fs::write(path, &body).expect("write BENCH_sched.json");
+    println!("wrote {path}");
+}

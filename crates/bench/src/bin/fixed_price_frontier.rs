@@ -29,7 +29,11 @@ fn main() {
             },
         );
         let r = run_scheduler(&sc, &mut fp);
-        (r.welfare.social_welfare, r.welfare.revenue, r.welfare.admitted)
+        (
+            r.welfare.social_welfare,
+            r.welfare.revenue,
+            r.welfare.admitted,
+        )
     });
 
     let mut auction = Pdftsp::new(&sc, PdftspConfig::default());
@@ -48,10 +52,7 @@ fn main() {
         vec![a.social_welfare, a.revenue, a.admitted as f64],
     );
     println!("{}", table.render());
-    let best = rows
-        .iter()
-        .map(|r| r.0)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best = rows.iter().map(|r| r.0).fold(f64::NEG_INFINITY, f64::max);
     println!(
         "best fixed-price welfare {:.0} vs auction {:.0} ({:+.1}% for the auction)",
         best,

@@ -7,10 +7,10 @@
 
 use crate::scale::Scale;
 use pdftsp_core::{probe_bid, Pdftsp, PdftspConfig};
+use pdftsp_lora::TuningParadigm;
 use pdftsp_sim::{empirical_ratio, parallel_map, run_algo, run_scheduler, Algo, FigureTable};
 use pdftsp_solver::milp::MilpConfig;
 use pdftsp_types::Task;
-use pdftsp_lora::TuningParadigm;
 use pdftsp_workload::{ArrivalProcess, DeadlinePolicy, NodeMix, ScenarioBuilder, TraceKind};
 
 /// Base seed all experiments derive their per-repetition seeds from.
@@ -160,24 +160,20 @@ pub fn fig07_traces(scale: Scale) -> FigureTable {
 /// (paper: mean 30/50/80 per slot).
 #[must_use]
 pub fn fig08_workload(scale: Scale) -> FigureTable {
-    let cells: Vec<(String, ScenarioBuilder)> = [
-        ("light", 30.0),
-        ("medium", 50.0),
-        ("high", 80.0),
-    ]
-    .iter()
-    .map(|&(label, mean)| {
-        (
-            label.to_owned(),
-            ScenarioBuilder {
-                arrivals: ArrivalProcess::Poisson {
-                    mean_per_slot: scale.arrival_mean(mean),
+    let cells: Vec<(String, ScenarioBuilder)> = [("light", 30.0), ("medium", 50.0), ("high", 80.0)]
+        .iter()
+        .map(|&(label, mean)| {
+            (
+                label.to_owned(),
+                ScenarioBuilder {
+                    arrivals: ArrivalProcess::Poisson {
+                        mean_per_slot: scale.arrival_mean(mean),
+                    },
+                    ..scale.base_builder()
                 },
-                ..scale.base_builder()
-            },
-        )
-    })
-    .collect();
+            )
+        })
+        .collect();
     welfare_table(
         "Fig. 8 — Impact of Task Dynamics (social welfare)",
         "workload",
@@ -370,7 +366,9 @@ pub fn fig13_runtime(scale: Scale) -> FigureTable {
         Scale::Quick => ScenarioBuilder {
             horizon: 36,
             num_nodes: 20,
-            arrivals: ArrivalProcess::Poisson { mean_per_slot: 10.0 },
+            arrivals: ArrivalProcess::Poisson {
+                mean_per_slot: 10.0,
+            },
             ..ScenarioBuilder::default()
         },
         Scale::Full => ScenarioBuilder {

@@ -172,7 +172,8 @@ impl Cli {
 
         while let Some(arg) = it.next() {
             let mut value_for = |name: &str| -> Result<&String, ParseError> {
-                it.next().ok_or_else(|| err(format!("{name} needs a value")))
+                it.next()
+                    .ok_or_else(|| err(format!("{name} needs a value")))
             };
             match arg.as_str() {
                 "--csv" => csv = true,
@@ -284,8 +285,7 @@ mod tests {
 
     #[test]
     fn simulate_parses_algo_and_scenario() {
-        let cli =
-            parse("simulate --algo titan --nodes 20 --slots 72 --mean 10 --seed 9").unwrap();
+        let cli = parse("simulate --algo titan --nodes 20 --slots 72 --mean 10 --seed 9").unwrap();
         assert_eq!(cli.command, Command::Simulate { algo: Algo::Titan });
         assert_eq!(cli.scenario.nodes, 20);
         assert_eq!(cli.scenario.slots, 72);

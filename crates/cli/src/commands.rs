@@ -34,8 +34,7 @@ pub fn build_scenario(args: &ScenarioArgs) -> Scenario {
 fn obtain_scenario(cli: &Cli) -> Result<Scenario, String> {
     let scenario = match &cli.load {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("--load {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("--load {path}: {e}"))?;
             pdftsp_types::load_scenario(&text).map_err(|e| format!("--load {path}: {e}"))?
         }
         None => build_scenario(&cli.scenario),
@@ -51,15 +50,19 @@ fn obtain_scenario(cli: &Cli) -> Result<Scenario, String> {
 #[must_use]
 pub fn execute(cli: &Cli) -> String {
     if matches!(cli.command, Command::Help) {
-        return format!("{USAGE}");
+        return USAGE.to_string();
     }
     if matches!(cli.command, Command::Calibrate) {
         return calibrate(&cli.scenario);
     }
     let scenario = match obtain_scenario(cli) {
         Ok(s) => s,
-        Err(e) => return format!("error: {e}
-"),
+        Err(e) => {
+            return format!(
+                "error: {e}
+"
+            )
+        }
     };
     match cli.command {
         Command::Simulate { algo } => simulate(&scenario, &cli.scenario, algo, cli.timeline),
@@ -85,14 +88,28 @@ fn zones(args: &ScenarioArgs) -> String {
         ..ScenarioBuilder::default()
     };
     let splits = vec![
-        ("gpt2-small".to_owned(), TransformerConfig::gpt2_small(), 1.0),
-        ("gpt2-medium".to_owned(), TransformerConfig::gpt2_medium(), 1.0),
-        ("gpt2-large".to_owned(), TransformerConfig::gpt2_large(), 1.0),
+        (
+            "gpt2-small".to_owned(),
+            TransformerConfig::gpt2_small(),
+            1.0,
+        ),
+        (
+            "gpt2-medium".to_owned(),
+            TransformerConfig::gpt2_medium(),
+            1.0,
+        ),
+        (
+            "gpt2-large".to_owned(),
+            TransformerConfig::gpt2_large(),
+            1.0,
+        ),
     ];
     let zone_list = partition_zones(&base, &splits);
     let out = run_zoned(&zone_list, Algo::Pdftsp, args.seed);
-    let mut text = String::from("zone          admitted    welfare
-");
+    let mut text = String::from(
+        "zone          admitted    welfare
+",
+    );
     for (name, r) in &out.per_zone {
         text.push_str(&format!(
             "{:<13} {:>8} {:>10.1}
@@ -269,7 +286,7 @@ fn audit(scenario: &Scenario) -> String {
 
 fn ratio(scenario: &Scenario) -> String {
     let r = empirical_ratio(
-        &scenario,
+        scenario,
         &MilpConfig {
             node_limit: 300,
             time_limit_secs: 60.0,
@@ -288,7 +305,11 @@ fn ratio(scenario: &Scenario) -> String {
         scenario.horizon,
         r.online_welfare,
         r.offline_welfare,
-        if r.certified { "certified optimal" } else { "incumbent" },
+        if r.certified {
+            "certified optimal"
+        } else {
+            "incumbent"
+        },
         r.offline_bound,
         r.ratio,
         r.ratio_vs_bound,

@@ -68,13 +68,7 @@ impl EnergySignal {
                     spike_prob,
                     spike_factor,
                     ..
-                } => {
-                    if rng.gen::<f64>() < spike_prob {
-                        spike_factor
-                    } else {
-                        1.0
-                    }
-                }
+                } if rng.gen::<f64>() < spike_prob => spike_factor,
                 _ => 1.0,
             })
             .collect();
@@ -82,8 +76,7 @@ impl EnergySignal {
             for (t, spike) in spikes.iter().enumerate() {
                 let shape = match self.model {
                     PriceModel::Flat => 1.0,
-                    PriceModel::Diurnal { amplitude }
-                    | PriceModel::Spiky { amplitude, .. } => {
+                    PriceModel::Diurnal { amplitude } | PriceModel::Spiky { amplitude, .. } => {
                         let phase = t as f64 / horizon.max(1) as f64;
                         1.0 + amplitude * (std::f64::consts::TAU * (phase - 0.25)).sin()
                     }

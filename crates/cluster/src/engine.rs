@@ -148,7 +148,10 @@ impl ExecutionEngine {
     ///
     /// # Errors
     /// Returns the first capacity or schedule violation found.
-    pub fn replay(scenario: &Scenario, decisions: &[Decision]) -> Result<ExecutionReport, ReplayError> {
+    pub fn replay(
+        scenario: &Scenario,
+        decisions: &[Decision],
+    ) -> Result<ExecutionReport, ReplayError> {
         let mut ledger = CapacityLedger::new(scenario);
         let mut events = Vec::new();
         let mut completed = Vec::new();
@@ -165,7 +168,9 @@ impl ExecutionEngine {
                     task: d.task,
                     reason: format!("{v:?}"),
                 })?;
-            ledger.commit(task, schedule).map_err(ReplayError::Capacity)?;
+            ledger
+                .commit(task, schedule)
+                .map_err(ReplayError::Capacity)?;
 
             // Lifecycle events from the (slot-sorted) placements.
             let mut prev_slot: Option<Slot> = None;

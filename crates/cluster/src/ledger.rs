@@ -161,11 +161,48 @@ impl CapacityLedger {
             && task.memory_gb <= self.residual_memory(k, t) + MEM_EPS
     }
 
+    /// Batched [`CapacityLedger::fits`] over the slot span `[start, end]`
+    /// of one node row.
+    ///
+    /// Clears `out` and pushes one flag per slot (`out[j]` answers for slot
+    /// `start + j`), with the per-call rate/capacity lookups hoisted out of
+    /// the slot loop. The per-arrival delta-grid builder calls this once
+    /// per `(task, node)` instead of `fits` once per `(task, node, slot)`.
+    pub fn fits_span(&self, task: &Task, k: NodeId, start: Slot, end: Slot, out: &mut Vec<bool>) {
+        out.clear();
+        if start > end {
+            return;
+        }
+        let span = end - start + 1;
+        if k >= self.nodes {
+            out.resize(span, false);
+            return;
+        }
+        let rate = task.rate(k);
+        let mem = task.memory_gb;
+        let compute_cap = self.compute_cap[k];
+        let mem_cap = self.adapter_mem_cap[k];
+        let row = k * self.horizon;
+        out.reserve(span);
+        for t in start..=end {
+            let ok = t < self.horizon
+                && rate <= compute_cap - self.compute_used[row + t]
+                && mem <= mem_cap - self.mem_used[row + t] + MEM_EPS;
+            out.push(ok);
+        }
+    }
+
+    /// Whether every placement in a slice fits the residual capacity.
+    #[must_use]
+    pub fn fits_all(&self, task: &Task, placements: &[(NodeId, Slot)]) -> bool {
+        placements.iter().all(|&(k, t)| self.fits(task, k, t))
+    }
+
     /// Whether an entire schedule fits — the Algorithm 1 line 8
     /// "enough resources" check.
     #[must_use]
     pub fn fits_schedule(&self, task: &Task, schedule: &Schedule) -> bool {
-        schedule.placements.iter().all(|&(k, t)| self.fits(task, k, t))
+        self.fits_all(task, &schedule.placements)
     }
 
     /// Commits a schedule, consuming capacity on every placement.
@@ -346,6 +383,53 @@ mod tests {
         l.commit(&t, &s).unwrap();
         // Node 0 fully used, node 1 idle → 0.5 mean.
         assert!((l.mean_compute_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_span_matches_pointwise_fits() {
+        let mut l = CapacityLedger::new(&scenario());
+        // Saturate a few cells with mixed compute/memory pressure.
+        let fat = task(800, 350, 40.0);
+        l.commit(
+            &fat,
+            &Schedule::new(0, VendorQuote::none(), vec![(0, 1), (1, 3)]),
+        )
+        .unwrap();
+        let probe = task(300, 100, 10.0);
+        let mut out = Vec::new();
+        for k in 0..2 {
+            l.fits_span(&probe, k, 0, 5, &mut out);
+            assert_eq!(out.len(), 6);
+            for (t, &got) in out.iter().enumerate() {
+                assert_eq!(got, l.fits(&probe, k, t), "node {k} slot {t}");
+            }
+        }
+        // Spans that run past the horizon mirror fits' out-of-range false.
+        l.fits_span(&probe, 0, 4, 7, &mut out);
+        assert_eq!(
+            out,
+            vec![l.fits(&probe, 0, 4), l.fits(&probe, 0, 5), false, false]
+        );
+        // Out-of-range node: all false, span length preserved.
+        l.fits_span(&probe, 9, 0, 2, &mut out);
+        assert_eq!(out, vec![false, false, false]);
+        // Inverted span: empty.
+        l.fits_span(&probe, 0, 3, 2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fits_all_agrees_with_fits_schedule() {
+        let mut l = CapacityLedger::new(&scenario());
+        let t = task(600, 300, 20.0);
+        let placements = vec![(0usize, 0usize), (1, 2), (0, 4)];
+        let s = Schedule::new(0, VendorQuote::none(), placements.clone());
+        assert_eq!(l.fits_all(&t, &placements), l.fits_schedule(&t, &s));
+        l.commit(&t, &s).unwrap();
+        l.commit(&t, &Schedule::new(0, VendorQuote::none(), vec![(1, 2)]))
+            .unwrap_err();
+        assert!(!l.fits_all(&t, &placements));
+        assert_eq!(l.fits_all(&t, &placements), l.fits_schedule(&t, &s));
     }
 
     #[test]

@@ -12,13 +12,17 @@
 //!   slot by slot, tracking task lifecycles (start / suspend / resume /
 //!   complete), verifying deadlines and capacities, and accounting energy.
 //! * [`metrics`] — utilization and co-location statistics.
+//! * [`parallel`] — a scoped, lock-free parallel map shared by the
+//!   scheduler hot path (vendor evaluation) and the experiment sweeps.
 
 pub mod energy;
 pub mod engine;
 pub mod ledger;
 pub mod metrics;
+pub mod parallel;
 
 pub use energy::{EnergySignal, PriceModel};
 pub use engine::{ExecutionEngine, ExecutionReport, TaskEvent, TaskEventKind, TaskLifetime};
 pub use ledger::{CapacityLedger, LedgerError};
 pub use metrics::ClusterMetrics;
+pub use parallel::parallel_map;

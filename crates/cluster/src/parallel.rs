@@ -1,0 +1,119 @@
+//! Scoped parallel map for independent work items.
+//!
+//! Each work item (a vendor candidate in the scheduler hot path, or a
+//! "build scenario, run scheduler" job in experiment sweeps) is
+//! independent: no shared mutable state, so data-race freedom by
+//! construction. Work is pulled from an atomic counter so uneven item
+//! costs (Titan's MILPs vs. EFT's greedy) balance automatically.
+//!
+//! Each worker accumulates `(index, result)` pairs in a private vector;
+//! results are merged by index after the workers join. No lock or atomic
+//! write per item on the hot path (the mutex-per-item slots of the first
+//! version cost a lock round-trip per result), and the per-item type only
+//! needs `Send`, not `Sync`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, in parallel, preserving order of results.
+///
+/// Spawns at most `min(items, available_parallelism)` workers. Falls back
+/// to a sequential loop for 0/1 items or a single-core host.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len());
+    if items.len() <= 1 || workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("worker panicked") {
+                debug_assert!(out[i].is_none(), "index handed out twice");
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index was processed"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..57).collect();
+        let out = parallel_map(&items, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(counter.load(Ordering::SeqCst), 57);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_sequential_for_stateless_work() {
+        let items: Vec<u64> = (0..40).collect();
+        let par = parallel_map(&items, |&x| x * x % 17);
+        let seq: Vec<u64> = items.iter().map(|&x| x * x % 17).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn uneven_item_costs_still_complete_in_order() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, |&x| {
+            if x % 7 == 0 {
+                // Simulate a heavy item.
+                let mut acc = 0u64;
+                for i in 0..20_000 {
+                    acc = acc.wrapping_add(i * x);
+                }
+                std::hint::black_box(acc);
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=32).collect::<Vec<_>>());
+    }
+}

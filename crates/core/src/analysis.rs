@@ -62,7 +62,10 @@ pub fn audit_guarantees(scheduler: &Pdftsp) -> GuaranteeAudit {
                 committed_tasks += 1;
                 primal += b_il;
             } else {
-                debug_assert!(rec.capacity_rejected, "F>0 but neither admitted nor capacity-rejected");
+                debug_assert!(
+                    rec.capacity_rejected,
+                    "F>0 but neither admitted nor capacity-rejected"
+                );
             }
         }
     }
@@ -118,7 +121,11 @@ impl GuaranteeAudit {
             self.rho_empirical,
             self.lemma1_constant,
             self.duality_gap_ratio,
-            if self.lemma1_holds { "HOLDS" } else { "VIOLATED" },
+            if self.lemma1_holds {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            },
             self.implied_ratio_bound(),
         )
     }

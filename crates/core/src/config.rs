@@ -100,6 +100,29 @@ pub enum DualRule {
     Off,
 }
 
+/// Which per-arrival evaluation pipeline [`crate::Pdftsp`] runs.
+///
+/// Both pipelines make bit-identical admission, scheduling, payment, and
+/// dual-update decisions (proven by `tests/pipeline_equivalence.rs`);
+/// they differ only in speed and in the bookkeeping recorded for tasks
+/// that were *rejected anyway*: a pruned vendor's `F(il)` is proven
+/// non-positive without being computed, so the reject record may carry
+/// `None` instead of the exact value — or, when another vendor survived,
+/// the (never larger, still non-positive) maximum over the survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPipeline {
+    /// The straight-line implementation: one full DP per vendor, deltas
+    /// recomputed per row, fresh allocations per call. Kept as the
+    /// equivalence oracle and as the baseline of the latency benches.
+    Reference,
+    /// The production path (default): one shared delta grid per arrival,
+    /// a reusable DP arena, admission pruning from column-minima bounds,
+    /// early DP-row termination, and (above
+    /// [`PdftspConfig::parallel_vendor_min`] surviving vendors) parallel
+    /// vendor evaluation.
+    Optimized,
+}
+
 /// Full algorithm configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PdftspConfig {
@@ -142,6 +165,17 @@ pub struct PdftspConfig {
     pub capacity_policy: CapacityPolicy,
     /// Payment rule.
     pub pricing: PricingRule,
+    /// Which evaluation pipeline handles arrivals.
+    pub pipeline: EvalPipeline,
+    /// Minimum number of admission-surviving vendors before their DPs run
+    /// under the scoped parallel map; below it the sequential loop (which
+    /// additionally skips vendors that cannot beat the incumbent) is
+    /// faster. The paper's scenarios quote ≤ 5 vendors per task, so the
+    /// default keeps them sequential; vendor-rich markets cross it. A
+    /// value at the floor (≤ 2) forces the parallel branch even on a
+    /// single hardware thread (tests use this); larger values also
+    /// require more than one hardware thread at scheduler construction.
+    pub parallel_vendor_min: usize,
 }
 
 impl Default for PdftspConfig {
@@ -156,6 +190,8 @@ impl Default for PdftspConfig {
             dual_rule: DualRule::Multiplicative,
             capacity_policy: CapacityPolicy::MaskSaturated,
             pricing: PricingRule::WithEnergy,
+            pipeline: EvalPipeline::Optimized,
+            parallel_vendor_min: 8,
         }
     }
 }
@@ -178,6 +214,25 @@ impl PdftspConfig {
             ..self
         }
     }
+
+    /// Runs the straight-line reference pipeline (equivalence oracle /
+    /// latency baseline).
+    #[must_use]
+    pub fn reference(self) -> Self {
+        PdftspConfig {
+            pipeline: EvalPipeline::Reference,
+            ..self
+        }
+    }
+
+    /// Overrides the parallel-vendor threshold.
+    #[must_use]
+    pub fn with_parallel_vendor_min(self, parallel_vendor_min: usize) -> Self {
+        PdftspConfig {
+            parallel_vendor_min,
+            ..self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +252,20 @@ mod tests {
         let c = PdftspConfig::default().strict();
         assert_eq!(c.capacity_policy, CapacityPolicy::RejectOnOverflow);
         assert_eq!(c.pricing, PricingRule::WithEnergy);
-        assert_eq!(c.with_masking().capacity_policy, CapacityPolicy::MaskSaturated);
+        assert_eq!(
+            c.with_masking().capacity_policy,
+            CapacityPolicy::MaskSaturated
+        );
+    }
+
+    #[test]
+    fn default_pipeline_is_optimized_with_reference_opt_out() {
+        let c = PdftspConfig::default();
+        assert_eq!(c.pipeline, EvalPipeline::Optimized);
+        assert!(c.parallel_vendor_min >= 2);
+        let r = c.reference();
+        assert_eq!(r.pipeline, EvalPipeline::Reference);
+        assert_eq!(r.capacity_policy, c.capacity_policy);
+        assert_eq!(c.with_parallel_vendor_min(3).parallel_vendor_min, 3);
     }
 }

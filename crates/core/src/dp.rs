@@ -19,8 +19,19 @@
 //! stays `O(window × slots-needed)`. Rates are rounded *down* to unit
 //! multiples, which can only over-provision — a returned schedule always
 //! delivers at least `M_i` true samples (checked in tests).
+//!
+//! **Two pipelines.** [`find_schedule_on_grid`] is the production path:
+//! it slices a pre-built [`DeltaGrid`] by start offset, reuses the
+//! [`DpBuffers`] arena across calls with no full-table clear, restricts
+//! each DP row to the reachable work trapezoid, skips per-column
+//! Pareto-dominated nodes, and terminates early once the running optimum
+//! meets the column-minima lower bound. [`find_schedule_reference`] is the
+//! straight-line implementation kept as the equivalence oracle: both
+//! produce bit-identical costs and placements (see the unit tests here
+//! and `tests/pipeline_equivalence.rs` for the proofs-by-execution).
 
 use crate::duals::DualState;
+use crate::grid::{DeltaGrid, LB_SLACK};
 use pdftsp_cluster::CapacityLedger;
 use pdftsp_types::{NodeId, Scenario, Slot, Task};
 
@@ -49,14 +60,266 @@ pub struct DpResult {
     pub energy: f64,
 }
 
+/// Reusable DP work area: table, choice matrix, quantized rates, and the
+/// column-minima scratch used for pruning bounds.
+///
+/// All vectors keep their capacity across calls, so a warm scheduler's
+/// per-arrival evaluation allocates only the output placements.
+#[derive(Debug, Default)]
+pub struct DpBuffers {
+    /// `dp[t·cols + w]`: min cost to accumulate ≥ `w` units by row `t`.
+    dp: Vec<f64>,
+    /// `choice[t·cols + w]`: 0 = idle this slot, `c+1` = run on node `c`.
+    choice: Vec<u16>,
+    /// Quantized per-node gains `s_ik / unit`.
+    s_units: Vec<u64>,
+    /// Per-column Pareto front of `(node, gain, delta)` candidates.
+    front: Vec<(usize, usize, f64)>,
+    /// Ascending finite column minima of the active window.
+    sorted_mins: Vec<f64>,
+    /// `prefix[m]` = sum of the `m` cheapest column minima.
+    prefix: Vec<f64>,
+    /// Scratch for [`DeltaGrid::cost_lower_bound`] calls.
+    pub(crate) col_scratch: Vec<f64>,
+}
+
+/// Everything one scheduler instance reuses across arrivals: the shared
+/// delta grid plus the DP arena.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// The per-arrival `(node, slot)` cost matrix.
+    pub grid: DeltaGrid,
+    /// The DP work area.
+    pub bufs: DpBuffers,
+}
+
 /// Runs `findSchedule` for `task` with execution window `[start, d_i]`.
 ///
 /// Returns `None` when no placement set can deliver `M_i` by the deadline
-/// (for the given capacity mask). Tries a coarse work quantization first
+/// (for the given capacity mask). This standalone entry builds a fresh
+/// [`DeltaGrid`] per call; the scheduler hot path builds the grid once
+/// per arrival and calls [`find_schedule_on_grid`] per vendor instead.
+#[must_use]
+pub fn find_schedule(ctx: &DpContext<'_>, task: &Task, start: Slot) -> Option<DpResult> {
+    let mut scratch = EvalScratch::default();
+    scratch.grid.build(ctx, task, start.min(task.arrival));
+    find_schedule_on_grid(ctx, task, start, &scratch.grid, &mut scratch.bufs)
+}
+
+/// `findSchedule` over a pre-built [`DeltaGrid`], reusing `bufs`.
+///
+/// `grid` must have been built with `base ≤ start` for this task against
+/// the same duals/ledger state. Tries a coarse work quantization first
 /// and escalates to a fine one only when the coarse rounding loss makes a
 /// tight task look infeasible — rare, so the common path stays cheap.
 #[must_use]
-pub fn find_schedule(ctx: &DpContext<'_>, task: &Task, start: Slot) -> Option<DpResult> {
+pub fn find_schedule_on_grid(
+    ctx: &DpContext<'_>,
+    task: &Task,
+    start: Slot,
+    grid: &DeltaGrid,
+    bufs: &mut DpBuffers,
+) -> Option<DpResult> {
+    if grid.is_unusable() || start > grid.deadline() || start < grid.base() {
+        return None;
+    }
+    // Prefix sums of the window's ascending usable column minima:
+    // `prefix[m]` lower-bounds any m-placement completion. Refinement-free
+    // (deltas do not depend on the work quantization), so computed once.
+    let off = start - grid.base();
+    bufs.sorted_mins.clear();
+    bufs.sorted_mins.extend(
+        grid.col_min()[off..]
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite()),
+    );
+    bufs.sorted_mins.sort_unstable_by(|a, b| a.total_cmp(b));
+    bufs.prefix.clear();
+    bufs.prefix.push(0.0);
+    let mut acc = 0.0;
+    for &v in &bufs.sorted_mins {
+        acc += v;
+        bufs.prefix.push(acc);
+    }
+    for refinement in [8u64, 64] {
+        if let Some(r) = dp_on_grid(ctx, task, start, grid, bufs, refinement) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+fn dp_on_grid(
+    ctx: &DpContext<'_>,
+    task: &Task,
+    start: Slot,
+    grid: &DeltaGrid,
+    bufs: &mut DpBuffers,
+    refinement: u64,
+) -> Option<DpResult> {
+    let off = start - grid.base();
+    let window = grid.deadline() - start + 1;
+    let unit = (grid.min_rate() / refinement).max(1);
+    bufs.s_units.clear();
+    bufs.s_units.extend(grid.rates().iter().map(|&r| r / unit));
+    let w_target = task.work.div_ceil(unit) as usize;
+    let max_per_slot = *bufs.s_units.iter().max().expect("non-empty") as usize;
+    if max_per_slot * window < w_target {
+        return None; // even running flat-out cannot finish
+    }
+    // Any completion needs ≥ ⌈w_target/max_per_slot⌉ placements in
+    // distinct usable slots, each costing at least its column minimum.
+    let m_q = w_target.div_ceil(max_per_slot);
+    if m_q >= bufs.prefix.len() {
+        return None; // fewer usable columns than placements needed
+    }
+    let lb_q = bufs.prefix[m_q] * LB_SLACK;
+
+    let cols = w_target + 1;
+    let cells = (window + 1) * cols;
+    // Buffers grow by capacity only — no full-table clear. Every cell the
+    // sweep or the reconstruction reads is written first during *this*
+    // call (the maintained trapezoid below plus its +∞ guard band), so
+    // stale contents from earlier calls are never observed.
+    if bufs.dp.len() < cells {
+        bufs.dp.resize(cells, f64::INFINITY);
+    }
+    if bufs.choice.len() < cells {
+        bufs.choice.resize(cells, 0);
+    }
+    // Row 0: only w = 0 is reachable; [1, min(mps, w_target)] is the guard
+    // band row 1 may read past its own copy span.
+    bufs.dp[0] = 0.0;
+    for v in &mut bufs.dp[1..=max_per_slot.min(w_target)] {
+        *v = f64::INFINITY;
+    }
+
+    // Row sweep over the reachable work *trapezoid*: row `t` maintains
+    // exactly the columns that can still influence the target cell,
+    //
+    //   w_lo(t) = max(0, w_target − (window − t)·mps)   (the remaining
+    //             rows can add at most (window − t)·mps units), and
+    //   w_hi(t) = min(w_target, t·mps)                  (t rows can have
+    //             accumulated at most t·mps units).
+    //
+    // Cells outside are either provably +∞ (above w_hi — the reference
+    // agrees) or provably irrelevant (below w_lo: any path through them
+    // can no longer reach w_target, and the reconstruction walk never
+    // descends below w_target − (rows remaining)·mps ≥ w_lo). Each row
+    // additionally writes an +∞ guard band of `mps` cells above w_hi so
+    // the next row's reads `prev[w]`/`prev[w − gain]` (which reach at most
+    // w_hi(t+1) ≤ w_hi(t) + mps) always land on initialized memory, and
+    // keeps dp[t][0] = 0 live for the floor transition (idling is free;
+    // the strict-< tie-break never displaces it, exactly as in the
+    // reference). Node-major inner loops visit each cell's candidates in
+    // the same ascending-node order (same strict-< tie-break) as the
+    // reference's cell-major sweep, so maintained cells are bit-identical.
+    let mut effective = window;
+    for t_rel in 1..=window {
+        let col = off + t_rel - 1;
+        let w_hi = w_target.min(t_rel * max_per_slot);
+        let w_lo = w_target.saturating_sub((window - t_rel) * max_per_slot);
+        let (prev_part, cur_part) = bufs.dp.split_at_mut(t_rel * cols);
+        let prev = &prev_part[(t_rel - 1) * cols..];
+        let cur = &mut cur_part[..cols];
+        cur[w_lo..=w_hi].copy_from_slice(&prev[w_lo..=w_hi]);
+        for v in &mut cur[w_hi + 1..=(w_hi + max_per_slot).min(w_target)] {
+            *v = f64::INFINITY;
+        }
+        let crow = &mut bufs.choice[t_rel * cols..(t_rel + 1) * cols];
+        for v in &mut crow[w_lo..=w_hi] {
+            *v = 0;
+        }
+        if w_lo > 0 {
+            cur[0] = 0.0;
+            crow[0] = 0;
+        }
+        // Per-column Pareto front: a node can win a cell only if no
+        // earlier-indexed node offers (delta ≤, gain ≥). DP rows are
+        // non-decreasing in `w` and candidates are applied in ascending
+        // node order with a strict-< tie-break, so by the time a
+        // dominated node's turn comes the cell already holds a value no
+        // greater than its candidate — skipping it changes no cell and no
+        // choice tag. Domination is transitive through dropped nodes, so
+        // checking against the kept front members suffices.
+        bufs.front.clear();
+        for (c, &gain) in bufs.s_units.iter().enumerate() {
+            let delta = grid.node_row(c)[col];
+            if !delta.is_finite() {
+                continue; // capacity-masked cell
+            }
+            let gain = gain as usize;
+            if bufs.front.iter().any(|&(_, g, d)| d <= delta && g >= gain) {
+                continue; // dominated: can never win a cell in this column
+            }
+            bufs.front.push((c, gain, delta));
+        }
+        for &(c, gain, delta) in &bufs.front {
+            let tag = c as u16 + 1;
+            // Below `gain` the transition reads dp[t−1][0] (the reference's
+            // saturating_sub); splitting the loop keeps the bound checks
+            // and the subtraction out of the dense segment.
+            let split = gain.min(w_hi + 1);
+            let floor_cand = prev[0] + delta;
+            for w in w_lo..split {
+                if floor_cand < cur[w] {
+                    cur[w] = floor_cand;
+                    crow[w] = tag;
+                }
+            }
+            for w in split.max(w_lo)..=w_hi {
+                let cand = prev[w - gain] + delta;
+                if cand < cur[w] {
+                    cur[w] = cand;
+                    crow[w] = tag;
+                }
+            }
+        }
+        // Early termination: once the target cell meets the lower bound no
+        // later row can strictly improve it, so every remaining choice
+        // cell on the reconstruction path stays 0 — identical output. The
+        // target cell is only live once the trapezoid reaches it.
+        if w_hi == w_target && cur[w_target] <= lb_q {
+            effective = t_rel;
+            break;
+        }
+    }
+
+    let final_cost = bufs.dp[effective * cols + w_target];
+    if !final_cost.is_finite() {
+        return None;
+    }
+
+    // Reconstruct. The walk starts at (effective, w_target) and loses at
+    // most `mps` work units per row, so it stays inside each row's
+    // maintained span [w_lo(t), w_hi(t)] (plus the explicitly zeroed
+    // column 0) — never touching unmaintained cells.
+    let mut placements = Vec::new();
+    let mut w = w_target;
+    for t_rel in (1..=effective).rev() {
+        let c = bufs.choice[t_rel * cols + w];
+        if c > 0 {
+            let pos = (c - 1) as usize;
+            placements.push((grid.compatible()[pos], start + t_rel - 1));
+            w = w.saturating_sub(bufs.s_units[pos] as usize);
+        }
+    }
+    placements.reverse();
+
+    let energy = ctx.scenario.cost.total_e(task, placements.iter());
+    Some(DpResult {
+        placements,
+        dp_cost: final_cost,
+        energy,
+    })
+}
+
+/// The straight-line `findSchedule` kept as the equivalence oracle for
+/// the grid pipeline (and selectable via
+/// [`crate::config::EvalPipeline::Reference`]).
+#[must_use]
+pub fn find_schedule_reference(ctx: &DpContext<'_>, task: &Task, start: Slot) -> Option<DpResult> {
     for refinement in [8u64, 64] {
         if let Some(r) = find_schedule_quantized(ctx, task, start, refinement) {
             return Some(r);
@@ -109,31 +372,40 @@ fn find_schedule_quantized(
     // choice[t][w]: 0 = idle this slot, c+1 = run on compatible[c].
     let mut choice = vec![0u16; (window + 1) * cols];
     dp[0] = 0.0; // dp[0][0]
-    for w in 1..cols {
-        dp[w] = f64::INFINITY;
+    for v in &mut dp[1..cols] {
+        *v = f64::INFINITY;
     }
 
+    // Per-slot usable set and per-node slot cost Δ_kt. Without a capacity
+    // mask every compatible node is usable in every slot, so the usable
+    // set is hoisted out of the slot loop; the deltas depend on the slot's
+    // duals and must be rebuilt per slot either way.
+    let mut deltas: Vec<f64> = Vec::with_capacity(compatible.len());
+    let mut usable: Vec<usize> = Vec::with_capacity(compatible.len());
+    if ctx.ledger.is_none() {
+        usable.extend(0..compatible.len());
+    }
     for t_rel in 1..=window {
         let tt = start + t_rel - 1;
         let row = t_rel * cols;
         let prev = (t_rel - 1) * cols;
-        // Per-node slot cost Δ_kt, masked where capacity is absent.
-        // Smallvec-free: iterate compatible nodes inline per cell.
-        let mut deltas = [0.0f64; 0].to_vec();
-        deltas.reserve(compatible.len());
-        let mut usable = Vec::with_capacity(compatible.len());
-        for (c, &k) in compatible.iter().enumerate() {
-            if let Some(ledger) = ctx.ledger {
-                if !ledger.fits(task, k, tt) {
-                    continue;
+        if let Some(ledger) = ctx.ledger {
+            usable.clear();
+            for (c, &k) in compatible.iter().enumerate() {
+                if ledger.fits(task, k, tt) {
+                    usable.push(c);
                 }
             }
+        }
+        deltas.clear();
+        for &c in &usable {
+            let k = compatible[c];
             let s_price = task.rate(k) as f64 / ctx.compute_unit;
-            let delta = s_price * ctx.duals.lambda(k, tt)
-                + task.memory_gb * ctx.duals.phi(k, tt)
-                + scenario.cost.e(task, k, tt);
-            usable.push(c);
-            deltas.push(delta);
+            deltas.push(
+                s_price * ctx.duals.lambda(k, tt)
+                    + task.memory_gb * ctx.duals.phi(k, tt)
+                    + scenario.cost.e(task, k, tt),
+            );
         }
         for w in 0..cols {
             let mut best = dp[prev + w];
@@ -183,6 +455,8 @@ fn find_schedule_quantized(
 mod tests {
     use super::*;
     use pdftsp_types::{CostGrid, GpuModel, NodeSpec, Schedule, TaskBuilder, VendorQuote};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn scenario_with_cost(prices: Vec<f64>, nodes: usize, horizon: usize) -> Scenario {
         let node_list = (0..nodes)
@@ -310,11 +584,7 @@ mod tests {
         let mut ledger = CapacityLedger::new(&sc);
         // Saturate compute on slots 0..4 with a fat dummy task.
         let fat = task(4000, vec![4000], 5);
-        let s = Schedule::new(
-            0,
-            VendorQuote::none(),
-            vec![(0, 0), (0, 1), (0, 2), (0, 3)],
-        );
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
         ledger.commit(&fat, &s).unwrap();
         let ctx = DpContext {
             scenario: &sc,
@@ -424,5 +694,113 @@ mod tests {
         };
         let r = find_schedule(&ctx, &t, 0).unwrap();
         assert!(r.placements.iter().all(|&(k, _)| k == 0));
+    }
+
+    /// Bit-equivalence of the grid pipeline against the reference on
+    /// randomized instances: same feasibility, same placements, same
+    /// (bit-identical) dp_cost and energy — with live duals, a capacity
+    /// mask, heterogeneous rates, and nonzero start offsets.
+    #[test]
+    fn grid_pipeline_is_bit_identical_to_reference() {
+        let mut scratch = EvalScratch::default();
+        for case in 0..120u64 {
+            let mut rng = StdRng::seed_from_u64(0x6B1D_0000 + case);
+            let nodes = rng.gen_range(1usize..4);
+            let horizon = rng.gen_range(4usize..16);
+            let deadline = rng.gen_range(1usize..horizon + 3);
+            let work = rng.gen_range(300u64..12_000);
+            let rates: Vec<u64> = (0..nodes).map(|_| rng.gen_range(0u64..2_200)).collect();
+            let prices: Vec<f64> = (0..nodes * horizon)
+                .map(|_| rng.gen_range(0.0f64..3.0))
+                .collect();
+            let sc = scenario_with_cost(prices, nodes, horizon);
+            let t = task(work, rates.clone(), deadline);
+            let mut duals = DualState::new(&sc, 1000.0);
+            // Warm the duals with a few synthetic commits.
+            for u in 0..rng.gen_range(0usize..5) {
+                let k = rng.gen_range(0usize..nodes);
+                let tt = rng.gen_range(0usize..horizon);
+                let dummy = task(1000, vec![1500; nodes], horizon - 1);
+                let s = Schedule::new(u, VendorQuote::none(), vec![(k, tt)]);
+                duals.update(&dummy, &s, rng.gen_range(0.5f64..2.0), 2.0, 2.0, 1000.0);
+            }
+            // Random partial ledger commits for the mask.
+            let mut ledger = CapacityLedger::new(&sc);
+            for u in 0..rng.gen_range(0usize..6) {
+                let k = rng.gen_range(0usize..nodes);
+                let tt = rng.gen_range(0usize..horizon);
+                let r = rng.gen_range(500u64..4_000);
+                let blocker = task(r, vec![r; nodes], horizon - 1);
+                let s = Schedule::new(100 + u, VendorQuote::none(), vec![(k, tt)]);
+                let _ = ledger.commit(&blocker, &s);
+            }
+            for (use_mask, start) in [
+                (false, 0usize),
+                (true, 0),
+                (false, deadline.saturating_sub(2)),
+                (true, rng.gen_range(0usize..deadline + 2)),
+            ] {
+                let ctx = DpContext {
+                    scenario: &sc,
+                    duals: &duals,
+                    ledger: if use_mask { Some(&ledger) } else { None },
+                    compute_unit: 1000.0,
+                };
+                let reference = find_schedule_reference(&ctx, &t, start);
+                scratch.grid.build(&ctx, &t, start.min(t.arrival));
+                let optimized =
+                    find_schedule_on_grid(&ctx, &t, start, &scratch.grid, &mut scratch.bufs);
+                match (&reference, &optimized) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.placements, b.placements, "case {case} start {start}");
+                        assert_eq!(
+                            a.dp_cost.to_bits(),
+                            b.dp_cost.to_bits(),
+                            "case {case} start {start}: {} vs {}",
+                            a.dp_cost,
+                            b.dp_cost
+                        );
+                        assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "case {case}");
+                    }
+                    _ => panic!(
+                        "case {case} start {start} mask {use_mask}: feasibility diverged \
+                         (reference {:?}, optimized {:?})",
+                        reference.is_some(),
+                        optimized.is_some()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The public `find_schedule` (fresh grid per call) agrees with the
+    /// reference too — it is the same grid pipeline underneath.
+    #[test]
+    fn standalone_entry_matches_reference() {
+        for case in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(0x57A2_D000 + case);
+            let horizon = rng.gen_range(4usize..12);
+            let prices: Vec<f64> = (0..2 * horizon)
+                .map(|_| rng.gen_range(0.0f64..2.0))
+                .collect();
+            let sc = scenario_with_cost(prices, 2, horizon);
+            let t = task(
+                rng.gen_range(500u64..8_000),
+                vec![rng.gen_range(200u64..1500), rng.gen_range(200u64..1500)],
+                rng.gen_range(1usize..horizon),
+            );
+            let duals = DualState::new(&sc, 1000.0);
+            let ctx = DpContext {
+                scenario: &sc,
+                duals: &duals,
+                ledger: None,
+                compute_unit: 1000.0,
+            };
+            let start = rng.gen_range(0usize..horizon);
+            let a = find_schedule_reference(&ctx, &t, start);
+            let b = find_schedule(&ctx, &t, start);
+            assert_eq!(a, b, "case {case} start {start}");
+        }
     }
 }

@@ -69,6 +69,21 @@ impl DualState {
         self.phi[self.idx(k, t)]
     }
 
+    /// The full `λ_k·` price row of node `k` (length = horizon).
+    ///
+    /// Grid builders read whole rows so the `k × horizon` indexing is
+    /// hoisted out of their slot loops.
+    #[must_use]
+    pub fn lambda_row(&self, k: NodeId) -> &[f64] {
+        &self.lambda[k * self.horizon..(k + 1) * self.horizon]
+    }
+
+    /// The full `φ_k·` price row of node `k` (length = horizon).
+    #[must_use]
+    pub fn phi_row(&self, k: NodeId) -> &[f64] {
+        &self.phi[k * self.horizon..(k + 1) * self.horizon]
+    }
+
     /// `max_{(k,t)∈l} λ_kt` over a schedule's placements (0 for empty).
     #[must_use]
     pub fn max_lambda(&self, placements: &[(NodeId, Slot)]) -> f64 {

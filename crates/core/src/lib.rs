@@ -13,7 +13,12 @@
 //! * [`dp`] — Algorithm 2's `findSchedule`: the dynamic program of
 //!   Eqs. (12)–(13) that finds, for a given vendor delay, the cheapest
 //!   dual-priced execution plan meeting the work requirement by the
-//!   deadline.
+//!   deadline. Two pipelines: the production grid path (scratch reuse,
+//!   row caps, early termination) and the straight-line reference kept
+//!   as the equivalence oracle.
+//! * [`grid`] — the per-arrival shared delta grid: every `(node, slot)`
+//!   cost `Δ_kt` computed once per arrival, sliced by every vendor's DP,
+//!   plus the column-minima bounds behind admission pruning.
 //! * [`scheduler`] — Algorithm 1: per-arrival schedule selection across
 //!   vendors, the `F(il)` admission test of Eq. (10), dual updates,
 //!   the capacity check, and commitment.
@@ -28,14 +33,19 @@ pub mod analysis;
 pub mod config;
 pub mod dp;
 pub mod duals;
+pub mod grid;
 pub mod pricing;
 pub mod probe;
 pub mod scheduler;
 
 pub use analysis::{audit_guarantees, GuaranteeAudit};
-pub use config::{AlphaBeta, CapacityPolicy, DualRule, PdftspConfig, PricingRule};
-pub use dp::{find_schedule, DpContext, DpResult};
+pub use config::{AlphaBeta, CapacityPolicy, DualRule, EvalPipeline, PdftspConfig, PricingRule};
+pub use dp::{
+    find_schedule, find_schedule_on_grid, find_schedule_reference, DpBuffers, DpContext, DpResult,
+    EvalScratch,
+};
 pub use duals::DualState;
+pub use grid::DeltaGrid;
 pub use pricing::payment;
 pub use probe::{probe_bid, BidProbe};
 pub use scheduler::{AuctionRecord, Pdftsp};

@@ -31,7 +31,10 @@ pub struct BidProbe {
 #[must_use]
 pub fn probe_bid(scheduler: &Pdftsp, task: &Task, bid: f64, scenario: &Scenario) -> BidProbe {
     let probe_task = task.with_declared_bid(bid);
-    let Some(cand) = scheduler.evaluate(&probe_task, scenario) else {
+    // A pruned-away candidate has F(il) ≤ 0 proven, so `best: None` with
+    // `pruned: true` still means "loses" — identical probe outcomes under
+    // both pipelines.
+    let Some(cand) = scheduler.evaluate(&probe_task, scenario).best else {
         return BidProbe {
             declared_bid: bid,
             admitted: false,

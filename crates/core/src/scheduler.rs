@@ -13,15 +13,19 @@
 //!    Feasible conversion of Lemma 1);
 //! 5. charge the payment of Eq. (14) computed with the *pre-update* duals.
 
-use crate::config::{AlphaBeta, CapacityPolicy, PdftspConfig};
-use crate::dp::{find_schedule, DpContext};
+use crate::config::{AlphaBeta, CapacityPolicy, EvalPipeline, PdftspConfig};
+use crate::dp::{
+    find_schedule_on_grid, find_schedule_reference, DpBuffers, DpContext, DpResult, EvalScratch,
+};
 use crate::duals::DualState;
+use crate::grid::DeltaGrid;
 use crate::pricing::payment;
-use pdftsp_cluster::CapacityLedger;
+use pdftsp_cluster::{parallel_map, CapacityLedger};
 use pdftsp_types::{
     Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task, TaskId,
     VendorQuote,
 };
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Per-task auction bookkeeping (drives Figs. 10–11, welfare reports,
@@ -62,6 +66,17 @@ pub(crate) struct Candidate {
     pub energy: f64,
 }
 
+/// What one arrival's evaluation produced.
+pub(crate) struct EvalOutcome {
+    /// The surplus-maximizing candidate, if any vendor was worth a DP.
+    pub best: Option<Candidate>,
+    /// At least one vendor was skipped by the admission bound. The skip
+    /// proves that vendor's `F(il) ≤ 0`, so when `best` is also `None`
+    /// the task is rejected for non-positive surplus without ever running
+    /// a DP.
+    pub pruned: bool,
+}
+
 /// The pdFTSP online scheduler (auctioneer).
 ///
 /// ```
@@ -95,6 +110,17 @@ pub struct Pdftsp {
     alpha: f64,
     beta: f64,
     records: Vec<AuctionRecord>,
+    /// Reusable per-arrival work area (delta grid + DP arena). Behind a
+    /// mutex only so `evaluate` can stay `&self` (the probes of
+    /// [`crate::probe`] run against shared scheduler references, possibly
+    /// from a parallel sweep); the online loop itself is single-threaded
+    /// per scheduler, so the lock is always uncontended.
+    scratch: Mutex<EvalScratch>,
+    /// Hardware threads, cached at construction. The vendor-parallel
+    /// branch is skipped when this is 1: dispatching workers on a single
+    /// core is pure overhead, and the sequential path additionally gets
+    /// to use its incumbent skip and shared-start memo.
+    workers: usize,
 }
 
 impl Pdftsp {
@@ -115,6 +141,8 @@ impl Pdftsp {
             alpha,
             beta,
             records: Vec::new(),
+            scratch: Mutex::new(EvalScratch::default()),
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
         }
     }
 
@@ -155,9 +183,8 @@ impl Pdftsp {
     }
 
     /// Evaluates the best schedule for `task` against the current prices
-    /// without mutating any state. Returns `None` when no vendor/start
-    /// admits a feasible schedule.
-    pub(crate) fn evaluate(&self, task: &Task, scenario: &Scenario) -> Option<Candidate> {
+    /// without mutating any state.
+    pub(crate) fn evaluate(&self, task: &Task, scenario: &Scenario) -> EvalOutcome {
         let ctx = DpContext {
             scenario,
             duals: &self.duals,
@@ -167,37 +194,212 @@ impl Pdftsp {
             },
             compute_unit: self.config.compute_unit,
         };
-        let candidates: Vec<VendorQuote> = if task.needs_preprocessing {
-            scenario.quotes[task.id].clone()
+        let no_vendor = [VendorQuote::none()];
+        let quotes: &[VendorQuote] = if task.needs_preprocessing {
+            &scenario.quotes[task.id]
         } else {
-            vec![VendorQuote::none()]
+            &no_vendor
         };
+        match self.config.pipeline {
+            EvalPipeline::Reference => self.evaluate_reference(&ctx, task, quotes),
+            EvalPipeline::Optimized => self.evaluate_optimized(&ctx, task, quotes),
+        }
+    }
+
+    /// Packages a vendor's DP result into a [`Candidate`] — the exact
+    /// `F(il)` of Eq. (10). Shared by both pipelines so their admission
+    /// arithmetic is the same code.
+    fn candidate_from(&self, task: &Task, quote: VendorQuote, dp: DpResult) -> Candidate {
+        let schedule = Schedule::new(task.id, quote, dp.placements);
+        let b_il = task.bid - quote.price - dp.energy;
+        let max_lambda = self.duals.max_lambda(&schedule.placements);
+        let max_phi = self.duals.max_phi(&schedule.placements);
+        let compute_units = schedule.total_compute(task) as f64 / self.config.compute_unit;
+        let memory = schedule.total_memory(task);
+        let f_value = b_il - max_lambda * compute_units - max_phi * memory;
+        Candidate {
+            schedule,
+            b_il,
+            f_value,
+            max_lambda,
+            max_phi,
+            energy: dp.energy,
+        }
+    }
+
+    /// The straight-line pipeline: one full reference DP per vendor.
+    fn evaluate_reference(
+        &self,
+        ctx: &DpContext<'_>,
+        task: &Task,
+        quotes: &[VendorQuote],
+    ) -> EvalOutcome {
         let mut best: Option<Candidate> = None;
-        for quote in candidates {
+        for &quote in quotes {
             let start = task.arrival + quote.delay;
-            let Some(dp) = find_schedule(&ctx, task, start) else {
+            let Some(dp) = find_schedule_reference(ctx, task, start) else {
                 continue;
             };
-            let schedule = Schedule::new(task.id, quote, dp.placements);
-            let b_il = task.bid - quote.price - dp.energy;
-            let max_lambda = self.duals.max_lambda(&schedule.placements);
-            let max_phi = self.duals.max_phi(&schedule.placements);
-            let compute_units =
-                schedule.total_compute(task) as f64 / self.config.compute_unit;
-            let memory = schedule.total_memory(task);
-            let f_value = b_il - max_lambda * compute_units - max_phi * memory;
-            if best.as_ref().map_or(true, |b| f_value > b.f_value) {
-                best = Some(Candidate {
-                    schedule,
-                    b_il,
-                    f_value,
-                    max_lambda,
-                    max_phi,
-                    energy: dp.energy,
-                });
+            let cand = self.candidate_from(task, quote, dp);
+            if best.as_ref().is_none_or(|b| cand.f_value > b.f_value) {
+                best = Some(cand);
             }
         }
-        best
+        EvalOutcome {
+            best,
+            pruned: false,
+        }
+    }
+
+    /// The grid pipeline: build the shared delta grid once, bound every
+    /// vendor cheaply, then run (possibly parallel) DPs only for vendors
+    /// that could still win.
+    fn evaluate_optimized(
+        &self,
+        ctx: &DpContext<'_>,
+        task: &Task,
+        quotes: &[VendorQuote],
+    ) -> EvalOutcome {
+        let mut guard = self.scratch.lock().expect("scratch mutex poisoned");
+        let scratch = &mut *guard;
+        scratch.grid.build(ctx, task, task.arrival);
+        if scratch.grid.is_unusable() {
+            return EvalOutcome {
+                best: None,
+                pruned: false,
+            };
+        }
+        // Cheap per-vendor pass: certain infeasibility and the surplus
+        // upper bound `F(il) ≤ b_i − q_in − lower_bound(dp_cost)`.
+        let mut plans: Vec<(VendorQuote, Slot, f64)> = Vec::with_capacity(quotes.len());
+        let mut pruned = false;
+        for &quote in quotes {
+            let start = task.arrival + quote.delay;
+            let Some(lb) =
+                scratch
+                    .grid
+                    .cost_lower_bound(task, start, &mut scratch.bufs.col_scratch)
+            else {
+                continue; // provably infeasible — the reference DP agrees
+            };
+            let upper = task.bid - quote.price - lb;
+            if upper <= 0.0 {
+                pruned = true; // F(il) ≤ 0 proven without a DP
+                continue;
+            }
+            plans.push((quote, start, upper));
+        }
+
+        let mut best: Option<Candidate> = None;
+        let par_min = self.config.parallel_vendor_min;
+        // A threshold explicitly at the floor (≤ 2) demands the parallel
+        // branch unconditionally — the equivalence tests rely on that.
+        // Larger thresholds additionally require real hardware threads:
+        // dispatching workers on a single core costs more than it saves
+        // and forfeits the sequential path's incumbent skip and memo.
+        if plans.len() >= par_min.max(2) && (self.workers > 1 || par_min <= 2) {
+            // Vendor-parallel: one DP per *distinct start slot* (vendors
+            // quoting the same delay share it), workers share the grid
+            // read-only and carry private DP arenas; the fold below
+            // replays the reference's quote order and strict-> tie-break
+            // exactly.
+            let grid: &DeltaGrid = &scratch.grid;
+            let mut starts: Vec<Slot> = plans.iter().map(|&(_, start, _)| start).collect();
+            starts.sort_unstable();
+            starts.dedup();
+            let results = parallel_map(&starts, |&start| {
+                let mut local = DpBuffers::default();
+                find_schedule_on_grid(ctx, task, start, grid, &mut local)
+            });
+            for &(quote, start, _) in &plans {
+                let i = starts
+                    .binary_search(&start)
+                    .expect("start was collected above");
+                let Some(dp) = &results[i] else { continue };
+                let cand = self.candidate_from(task, quote, dp.clone());
+                if best.as_ref().is_none_or(|b| cand.f_value > b.f_value) {
+                    best = Some(cand);
+                }
+            }
+        } else if let [(quote, start, _)] = plans[..] {
+            // Single survivor: no ordering or memo bookkeeping to pay for.
+            if let Some(dp) =
+                find_schedule_on_grid(ctx, task, start, &scratch.grid, &mut scratch.bufs)
+            {
+                best = Some(self.candidate_from(task, quote, dp));
+            }
+        } else {
+            // Sequential: visit vendors in descending upper-bound order so
+            // the strongest candidate is usually found first and the rest
+            // are skipped by the incumbent test. The reference resolves
+            // `F(il)` ties in favour of the earliest quote, so order
+            // changes must not change the winner: the skip fires on a tie
+            // only against a *later* quote, and the replacement test
+            // prefers the earlier quote on exactly-equal `F(il)`.
+            let mut order: Vec<usize> = (0..plans.len()).collect();
+            order.sort_unstable_by(|&a, &b| plans[b].2.total_cmp(&plans[a].2).then(a.cmp(&b)));
+            let mut memo: Vec<(Slot, Option<DpResult>)> = Vec::with_capacity(plans.len());
+            let mut best_at: usize = usize::MAX;
+            for &pi in &order {
+                let (quote, start, upper) = plans[pi];
+                if let Some(b) = &best {
+                    if upper < b.f_value || (upper == b.f_value && pi > best_at) {
+                        continue; // provably cannot displace the incumbent
+                    }
+                }
+                // Vendors with equal delay share one DP (same start, same
+                // grid slice ⇒ bit-identical result).
+                let dp = match memo.iter().find(|&&(s, _)| s == start) {
+                    Some((_, cached)) => cached.clone(),
+                    None => {
+                        let r = find_schedule_on_grid(
+                            ctx,
+                            task,
+                            start,
+                            &scratch.grid,
+                            &mut scratch.bufs,
+                        );
+                        memo.push((start, r.clone()));
+                        r
+                    }
+                };
+                let Some(dp) = dp else { continue };
+                let cand = self.candidate_from(task, quote, dp);
+                let wins = match &best {
+                    None => true,
+                    Some(b) => {
+                        cand.f_value > b.f_value || (cand.f_value == b.f_value && pi < best_at)
+                    }
+                };
+                if wins {
+                    best = Some(cand);
+                    best_at = pi;
+                }
+            }
+        }
+        EvalOutcome { best, pruned }
+    }
+
+    /// Appends one auction-log entry (all four decision outcomes funnel
+    /// through here).
+    fn push_record(
+        &mut self,
+        task: &Task,
+        f_value: Option<f64>,
+        welfare_increment: Option<f64>,
+        payment: f64,
+        admitted: bool,
+        capacity_rejected: bool,
+    ) {
+        self.records.push(AuctionRecord {
+            task: task.id,
+            bid: task.bid,
+            f_value,
+            welfare_increment,
+            payment,
+            admitted,
+            capacity_rejected,
+        });
     }
 
     /// Handles one arriving task: the body of Algorithm 1's loop.
@@ -227,31 +429,25 @@ impl Pdftsp {
             }
         }
 
-        let Some(cand) = self.evaluate(task, scenario) else {
+        let outcome = self.evaluate(task, scenario);
+        let Some(cand) = outcome.best else {
             let secs = t0.elapsed().as_secs_f64();
-            self.records.push(AuctionRecord {
-                task: task.id,
-                bid: task.bid,
-                f_value: None,
-                welfare_increment: None,
-                payment: 0.0,
-                admitted: false,
-                capacity_rejected: false,
-            });
-            return Decision::rejected(task.id, Rejection::NoFeasibleSchedule, secs);
+            self.push_record(task, None, None, 0.0, false, false);
+            // With no candidate but at least one pruned vendor, that
+            // vendor's F(il) ≤ 0 was proven without a DP: reject for
+            // non-positive surplus, like the reference would (its exact
+            // F(il) is simply not in the record).
+            let reason = if outcome.pruned {
+                Rejection::NonPositiveSurplus
+            } else {
+                Rejection::NoFeasibleSchedule
+            };
+            return Decision::rejected(task.id, reason, secs);
         };
 
         if cand.f_value <= 0.0 {
             let secs = t0.elapsed().as_secs_f64();
-            self.records.push(AuctionRecord {
-                task: task.id,
-                bid: task.bid,
-                f_value: Some(cand.f_value),
-                welfare_increment: Some(cand.b_il),
-                payment: 0.0,
-                admitted: false,
-                capacity_rejected: false,
-            });
+            self.push_record(task, Some(cand.f_value), Some(cand.b_il), 0.0, false, false);
             return Decision::rejected(task.id, Rejection::NonPositiveSurplus, secs);
         }
 
@@ -271,7 +467,11 @@ impl Pdftsp {
         // units so b̄ matches the scaled arithmetic of Eqs. (7)-(8).
         let denom = cand.schedule.total_compute(task) as f64 / self.config.compute_unit
             + cand.schedule.total_memory(task);
-        let b_bar = if denom > 0.0 { cand.b_il / denom } else { b_bar };
+        let b_bar = if denom > 0.0 {
+            cand.b_il / denom
+        } else {
+            b_bar
+        };
         self.duals.add_mu(cand.f_value.max(0.0));
         self.duals.update_with_rule(
             task,
@@ -288,27 +488,11 @@ impl Pdftsp {
                 .commit(task, &cand.schedule)
                 .expect("fits_schedule checked");
             let secs = t0.elapsed().as_secs_f64();
-            self.records.push(AuctionRecord {
-                task: task.id,
-                bid: task.bid,
-                f_value: Some(cand.f_value),
-                welfare_increment: Some(cand.b_il),
-                payment: p,
-                admitted: true,
-                capacity_rejected: false,
-            });
+            self.push_record(task, Some(cand.f_value), Some(cand.b_il), p, true, false);
             Decision::admitted(task.id, cand.schedule, p, secs)
         } else {
             let secs = t0.elapsed().as_secs_f64();
-            self.records.push(AuctionRecord {
-                task: task.id,
-                bid: task.bid,
-                f_value: Some(cand.f_value),
-                welfare_increment: Some(cand.b_il),
-                payment: 0.0,
-                admitted: false,
-                capacity_rejected: true,
-            });
+            self.push_record(task, Some(cand.f_value), Some(cand.b_il), 0.0, false, true);
             Decision::rejected(task.id, Rejection::InsufficientCapacity, secs)
         }
     }
@@ -316,7 +500,10 @@ impl Pdftsp {
 
 impl OnlineScheduler for Pdftsp {
     fn name(&self) -> &'static str {
-        "pdFTSP"
+        match self.config.pipeline {
+            EvalPipeline::Optimized => "pdFTSP",
+            EvalPipeline::Reference => "pdFTSP-ref",
+        }
     }
 
     fn on_slot(&mut self, _slot: Slot, arrivals: &[&Task], scenario: &Scenario) -> SlotOutcome {
@@ -422,9 +609,7 @@ mod tests {
 
     #[test]
     fn payments_never_exceed_bids_individual_rationality() {
-        let tasks: Vec<Task> = (0..20)
-            .map(|i| simple_task(i, 5.0 + i as f64))
-            .collect();
+        let tasks: Vec<Task> = (0..20).map(|i| simple_task(i, 5.0 + i as f64)).collect();
         let quotes = vec![vec![]; 20];
         let sc = scenario(tasks, quotes, 3000);
         let mut p = Pdftsp::new(&sc, PdftspConfig::default());

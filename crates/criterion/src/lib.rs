@@ -1,0 +1,219 @@
+//! Offline drop-in for the subset of the `criterion` 0.5 API the
+//! workspace benches use: `Criterion::bench_function`,
+//! `benchmark_group`/`sample_size`/`finish`, `Bencher::iter` /
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so this shim keeps
+//! `cargo bench` runnable. It is a plain timing harness — median and mean
+//! wall-clock per iteration over a fixed sample count, printed to stdout —
+//! with none of criterion's statistics, HTML reports, or baselines.
+
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` keeps the dead-code barrier.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times the routine
+/// per invocation, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup per routine call.
+    PerIteration,
+    /// Criterion would reuse a small batch; the shim re-runs setup.
+    SmallInput,
+    /// Criterion would reuse a large batch; the shim re-runs setup.
+    LargeInput,
+}
+
+/// Collected timings of one benchmark target.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Per-iteration wall-clock samples, seconds.
+    samples: Vec<f64>,
+    /// How many samples to collect.
+    target: usize,
+}
+
+impl Bencher {
+    fn new(target: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(target),
+            target,
+        }
+    }
+
+    /// Times `routine` directly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.target {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.target {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id}: no samples");
+            return;
+        }
+        self.samples.sort_by(f64::total_cmp);
+        let n = self.samples.len();
+        let median = self.samples[n / 2];
+        let mean = self.samples.iter().sum::<f64>() / n as f64;
+        println!(
+            "{id}: median {} mean {} ({n} samples)",
+            human_time(median),
+            human_time(mean)
+        );
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Far below criterion's 100: the shim is a smoke/latency probe,
+        // not a statistics engine, and some targets (Titan) are slow.
+        Criterion { sample_size: 15 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark target.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group sharing a sample-size override.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// Group of related targets, reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for targets in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named target inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark targets into a callable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("t", |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    #[test]
+    fn human_time_scales() {
+        assert!(human_time(2.0).ends_with('s'));
+        assert!(human_time(2e-3).contains("ms"));
+        assert!(human_time(2e-6).contains("µs"));
+        assert!(human_time(2e-9).contains("ns"));
+    }
+}

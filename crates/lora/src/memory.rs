@@ -50,7 +50,11 @@ pub fn base_replica_gb(model: &TransformerConfig) -> f64 {
 /// size, with the standard Adam-moment accounting:
 /// weights (fp32) + gradients (fp32) + two moments (fp32) = 16 bytes/param.
 #[must_use]
-pub fn task_memory_gb(model: &TransformerConfig, lora: &LoraConfig, batch_size: usize) -> FinetuneMemory {
+pub fn task_memory_gb(
+    model: &TransformerConfig,
+    lora: &LoraConfig,
+    batch_size: usize,
+) -> FinetuneMemory {
     let adapter_params = lora.total_params(model) as f64;
     let adapter_state_gb = adapter_params * 4.0 * BYTES_FP32 / GB;
     let activations_gb = batch_size as f64
@@ -79,11 +83,7 @@ mod tests {
 
     #[test]
     fn adapter_state_is_megabytes_not_gigabytes() {
-        let m = task_memory_gb(
-            &TransformerConfig::gpt2_small(),
-            &LoraConfig::rank8_qv(),
-            1,
-        );
+        let m = task_memory_gb(&TransformerConfig::gpt2_small(), &LoraConfig::rank8_qv(), 1);
         // 294_912 params * 16 B ≈ 4.7 MB.
         assert!(m.adapter_state_gb < 0.01, "{}", m.adapter_state_gb);
     }

@@ -122,8 +122,7 @@ impl TuningParadigm {
                 // moments (16 B/param), activations stretched by the
                 // longer effective sequence.
                 let prefix_params = self.trainable_params(model) as f64;
-                let stretch =
-                    (model.seq_len + prefix_len) as f64 / model.seq_len as f64;
+                let stretch = (model.seq_len + prefix_len) as f64 / model.seq_len as f64;
                 prefix_params * 16.0 / GB + base.activations_gb * stretch
             }
             TuningParadigm::FullFineTune => {

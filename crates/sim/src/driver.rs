@@ -14,6 +14,10 @@ pub enum Algo {
     Pdftsp,
     /// pdFTSP with the saturated-cell masking ablation.
     PdftspMasked,
+    /// pdFTSP running the straight-line reference evaluation pipeline
+    /// (decision-identical to [`Algo::Pdftsp`]; latency baseline only,
+    /// not part of [`Algo::PAPER_SET`]).
+    PdftspReference,
     /// Titan-like per-slot MILP.
     Titan,
     /// Earliest Finish Time.
@@ -34,6 +38,7 @@ impl Algo {
         match self {
             Algo::Pdftsp => "pdFTSP",
             Algo::PdftspMasked => "pdFTSP-mask",
+            Algo::PdftspReference => "pdFTSP-ref",
             Algo::Titan => "Titan",
             Algo::Eft => "EFT",
             Algo::Ntm => "NTM",
@@ -51,12 +56,13 @@ impl Algo {
                 scenario,
                 PdftspConfig::default().with_masking(),
             )),
+            Algo::PdftspReference => {
+                Box::new(Pdftsp::new(scenario, PdftspConfig::default().reference()))
+            }
             Algo::Titan => Box::new(TitanLike::new(scenario, seed, TitanConfig::default())),
             Algo::Eft => Box::new(Eft::new(scenario)),
             Algo::Ntm => Box::new(Ntm::new(scenario, seed)),
-            Algo::FixedPrice => {
-                Box::new(FixedPrice::new(scenario, FixedPriceConfig::default()))
-            }
+            Algo::FixedPrice => Box::new(FixedPrice::new(scenario, FixedPriceConfig::default())),
         }
     }
 }
@@ -103,7 +109,12 @@ pub fn run_scheduler(scenario: &Scenario, scheduler: &mut dyn OnlineScheduler) -
             scheduler.name()
         );
         for (d, t) in out.iter().zip(&arrivals) {
-            assert_eq!(d.task, t.id, "{}: decision order mismatch", scheduler.name());
+            assert_eq!(
+                d.task,
+                t.id,
+                "{}: decision order mismatch",
+                scheduler.name()
+            );
         }
         decisions.extend(out);
     }
@@ -184,6 +195,42 @@ mod tests {
         assert!(pd >= ntm, "pdFTSP {pd} < NTM {ntm}");
         // EFT can tie on uncongested smoke loads but must not win big.
         assert!(pd >= 0.8 * eft, "pdFTSP {pd} ≪ EFT {eft}");
+    }
+
+    #[test]
+    fn reference_pipeline_matches_default_end_to_end() {
+        for seed in [23, 24, 25] {
+            let sc = ScenarioBuilder::smoke(seed).build();
+            let opt = run_algo(&sc, Algo::Pdftsp, 0);
+            let reference = run_algo(&sc, Algo::PdftspReference, 0);
+            assert_eq!(reference.algo, "pdFTSP-ref");
+            assert_eq!(opt.welfare.admitted, reference.welfare.admitted);
+            assert_eq!(
+                opt.welfare.social_welfare.to_bits(),
+                reference.welfare.social_welfare.to_bits()
+            );
+            for (a, b) in opt.decisions.iter().zip(&reference.decisions) {
+                // Rejection *reasons* may differ for pruned vendors (the
+                // documented bookkeeping divergence); wins must be identical.
+                match (&a.outcome, &b.outcome) {
+                    (
+                        pdftsp_types::AuctionOutcome::Admitted { schedule, payment },
+                        pdftsp_types::AuctionOutcome::Admitted {
+                            schedule: s2,
+                            payment: p2,
+                        },
+                    ) => {
+                        assert_eq!(schedule, s2, "seed {seed}");
+                        assert_eq!(payment.to_bits(), p2.to_bits(), "seed {seed}");
+                    }
+                    (
+                        pdftsp_types::AuctionOutcome::Rejected(_),
+                        pdftsp_types::AuctionOutcome::Rejected(_),
+                    ) => {}
+                    (x, y) => panic!("seed {seed}: outcome split {x:?} vs {y:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!   from the ground-truth replay, never from scheduler self-reports;
 //! * [`competitive`] — empirical competitive-ratio measurement against
 //!   the offline optimum from `pdftsp-solver` (paper Fig. 12);
-//! * [`parallel`] — a crossbeam-scoped parallel map for sweeps (one
-//!   scheduler instance per scenario; no shared mutable state);
+//! * [`parallel`] — a scoped parallel map for sweeps (one scheduler
+//!   instance per scenario; no shared mutable state);
 //! * [`zones`] — multi-model data-center zones (one independent market
 //!   per pre-trained model, as the paper's Section 2.1 sketches);
 //! * [`report`] — figure tables with normalization and text/CSV rendering.

@@ -1,59 +1,17 @@
-//! Crossbeam-scoped parallel map for experiment sweeps.
+//! Parallel map for experiment sweeps.
 //!
-//! Each work item (typically "build scenario, run scheduler") is
-//! independent: one scheduler instance per item, no shared mutable state —
-//! data-race freedom by construction, as the hpc-parallel guides
-//! prescribe. Work is pulled from an atomic counter so uneven item costs
-//! (Titan's MILPs vs. EFT's greedy) balance automatically.
+//! The implementation lives in [`pdftsp_cluster::parallel`] so the
+//! scheduler core can reuse it for vendor-parallel evaluation; this
+//! module re-exports it under the historical `pdftsp_sim::parallel_map`
+//! path and keeps the sweep-facing contract tests (order preservation,
+//! exactly-once execution) next to the sweep code that relies on them.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Applies `f` to every item, in parallel, preserving order of results.
-///
-/// Spawns at most `min(items, available_parallelism)` workers. Falls back
-/// to a sequential loop for 0/1 items.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len());
-
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock() = Some(r);
-            });
-        }
-    })
-    .expect("worker panicked");
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every index was processed"))
-        .collect()
-}
+pub use pdftsp_cluster::parallel::parallel_map;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_order() {

@@ -18,11 +18,7 @@ pub struct FigureTable {
 impl FigureTable {
     /// Creates an empty table.
     #[must_use]
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        series: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, series: Vec<String>) -> Self {
         FigureTable {
             title: title.into(),
             x_label: x_label.into(),
@@ -124,11 +120,7 @@ mod tests {
     use super::*;
 
     fn table() -> FigureTable {
-        let mut t = FigureTable::new(
-            "Fig. X",
-            "Workload",
-            vec!["pdFTSP".into(), "Titan".into()],
-        );
+        let mut t = FigureTable::new("Fig. X", "Workload", vec!["pdFTSP".into(), "Titan".into()]);
         t.push_row("light", vec![10.0, 8.0]);
         t.push_row("high", vec![20.0, 10.0]);
         t

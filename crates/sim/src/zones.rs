@@ -81,10 +81,7 @@ pub fn run_zoned(zones: &[Zone], algo: Algo, seed: u64) -> ZonedOutcome {
         let scenario = zone.builder.build();
         (zone.name.clone(), run_algo(&scenario, algo, seed))
     });
-    let total_welfare = results
-        .iter()
-        .map(|(_, r)| r.welfare.social_welfare)
-        .sum();
+    let total_welfare = results.iter().map(|(_, r)| r.welfare.social_welfare).sum();
     let total_admitted = results.iter().map(|(_, r)| r.welfare.admitted).sum();
     let total_tasks = results
         .iter()

@@ -18,9 +18,7 @@
 
 use crate::lp::{Constraint, LinearProgram};
 use crate::milp::Milp;
-use pdftsp_types::{
-    Decision, NodeId, Scenario, Schedule, Slot, Task, VendorQuote,
-};
+use pdftsp_types::{Decision, NodeId, Scenario, Schedule, Slot, Task, VendorQuote};
 
 /// Index bookkeeping for one encoded task.
 #[derive(Debug, Clone)]
@@ -141,8 +139,10 @@ pub fn encode_offline(scenario: &Scenario) -> OfflineEncoding {
         for t in 0..horizon {
             let cr = std::mem::take(&mut compute_rows[k * horizon + t]);
             if !cr.is_empty() {
-                lp.constraints
-                    .push(Constraint::le(cr, scenario.nodes[k].compute_capacity as f64));
+                lp.constraints.push(Constraint::le(
+                    cr,
+                    scenario.nodes[k].compute_capacity as f64,
+                ));
             }
             let mr = std::mem::take(&mut memory_rows[k * horizon + t]);
             if !mr.is_empty() {
@@ -195,18 +195,16 @@ impl OfflineEncoding {
                 ));
                 continue;
             }
-            let vendor = tv
-                .z
-                .iter()
-                .find(|&&(_, zv)| x[zv] > 0.5)
-                .map(|&(qpos, _)| scenario.quotes[i][qpos])
-                .unwrap_or_else(VendorQuote::none);
-            let placements: Vec<(NodeId, Slot)> = tv
-                .x
-                .iter()
-                .filter(|&&(_, _, v)| x[v] > 0.5)
-                .map(|&(k, t, _)| (k, t))
-                .collect();
+            let vendor =
+                tv.z.iter()
+                    .find(|&&(_, zv)| x[zv] > 0.5)
+                    .map(|&(qpos, _)| scenario.quotes[i][qpos])
+                    .unwrap_or_else(VendorQuote::none);
+            let placements: Vec<(NodeId, Slot)> =
+                tv.x.iter()
+                    .filter(|&&(_, _, v)| x[v] > 0.5)
+                    .map(|&(k, t, _)| (k, t))
+                    .collect();
             let schedule = Schedule::new(i, vendor, placements);
             out.push(Decision::admitted(i, schedule, 0.0, 0.0));
         }
@@ -220,8 +218,12 @@ pub struct TitanEncoding {
     /// The MILP over the slot's arriving batch.
     pub milp: Milp,
     /// `(u var, x vars)` per batch task, in input order.
-    vars: Vec<(usize, Vec<(NodeId, Slot, usize)>)>,
+    vars: Vec<TitanTaskVars>,
 }
+
+/// One batch task's variables: its `u` indicator plus the `(k, t)`
+/// placement variables.
+type TitanTaskVars = (usize, Vec<(NodeId, Slot, usize)>);
 
 /// Builds the Titan per-slot MILP.
 ///
@@ -264,7 +266,9 @@ pub fn encode_titan_slot(
         let net_bid = task.bid - quote.price;
         let u = alloc(&mut objective, net_bid);
         let start = (now + quote.delay).max(task.arrival);
-        let allowed = allowed_nodes.and_then(|a| a.get(pos)).filter(|v| !v.is_empty());
+        let allowed = allowed_nodes
+            .and_then(|a| a.get(pos))
+            .filter(|v| !v.is_empty());
         let mut x = Vec::new();
         for t in start..=task.deadline.min(horizon.saturating_sub(1)) {
             for (k, node) in scenario.nodes.iter().enumerate() {
@@ -498,7 +502,15 @@ mod tests {
         residual_compute[0] = 0;
         residual_compute[1] = 0;
         let residual_memory = vec![79.0; 4];
-        let enc = encode_titan_slot(&sc, 0, &refs, &chosen, &residual_compute, &residual_memory, None);
+        let enc = encode_titan_slot(
+            &sc,
+            0,
+            &refs,
+            &chosen,
+            &residual_compute,
+            &residual_memory,
+            None,
+        );
         let out = enc.milp.solve(&MilpConfig::default());
         // Only 2 slots remain; each task needs 4 → both rejected.
         assert!((out.objective().unwrap() - 0.0).abs() < 1e-9);
@@ -513,7 +525,15 @@ mod tests {
         let chosen = vec![VendorQuote::none(), VendorQuote::none()];
         let residual_compute = vec![100u64; 4];
         let residual_memory = vec![79.0; 4];
-        let enc = encode_titan_slot(&sc, 0, &refs, &chosen, &residual_compute, &residual_memory, None);
+        let enc = encode_titan_slot(
+            &sc,
+            0,
+            &refs,
+            &chosen,
+            &residual_compute,
+            &residual_memory,
+            None,
+        );
         let out = enc.milp.solve(&MilpConfig::default());
         // One of the two fits (capacity 100 = one task per slot): pick bid 10.
         assert!((out.objective().unwrap() - 9.6).abs() < 1e-6);
@@ -535,7 +555,15 @@ mod tests {
         }];
         let residual_compute = vec![100u64; 4];
         let residual_memory = vec![79.0; 4];
-        let enc = encode_titan_slot(&sc, 0, &refs, &chosen, &residual_compute, &residual_memory, None);
+        let enc = encode_titan_slot(
+            &sc,
+            0,
+            &refs,
+            &chosen,
+            &residual_compute,
+            &residual_memory,
+            None,
+        );
         let out = enc.milp.solve(&MilpConfig::default());
         assert!((out.objective().unwrap() - 0.0).abs() < 1e-9);
     }

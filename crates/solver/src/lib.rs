@@ -36,5 +36,5 @@ pub use encode::{encode_offline, encode_titan_slot, OfflineEncoding, TitanEncodi
 pub use lp::{Constraint, LinearProgram, LpOutcome, Sense};
 pub use milp::{Milp, MilpConfig, MilpOutcome};
 pub use offline::{offline_optimum, OfflineResult};
-pub use presolve::{presolve, solve_lp_presolved, Presolved, PresolveOutcome};
+pub use presolve::{presolve, solve_lp_presolved, PresolveOutcome, Presolved};
 pub use simplex::solve_lp;

@@ -177,7 +177,8 @@ mod tests {
     fn lp_feasibility_and_objective() {
         let mut lp = LinearProgram::new(2);
         lp.objective = vec![3.0, 1.0];
-        lp.constraints.push(Constraint::le(vec![(0, 1.0), (1, 1.0)], 2.0));
+        lp.constraints
+            .push(Constraint::le(vec![(0, 1.0), (1, 1.0)], 2.0));
         lp.bound_rows([(0, 1.0), (1, 1.0)]);
         assert!(lp.feasible(&[1.0, 1.0], 1e-9));
         assert!(!lp.feasible(&[2.0, 1.0], 1e-9)); // violates both rows

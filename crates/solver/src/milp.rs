@@ -92,8 +92,9 @@ impl MilpOutcome {
     #[must_use]
     pub fn objective(&self) -> Option<f64> {
         match self {
-            MilpOutcome::Optimal { objective, .. }
-            | MilpOutcome::Feasible { objective, .. } => Some(*objective),
+            MilpOutcome::Optimal { objective, .. } | MilpOutcome::Feasible { objective, .. } => {
+                Some(*objective)
+            }
             _ => None,
         }
     }
@@ -210,7 +211,7 @@ impl Milp {
                 _ => break,
             };
             if let Some((xi, obj)) = self.rounded_candidate(&x) {
-                if best.as_ref().map_or(true, |(_, b)| obj > *b) {
+                if best.as_ref().is_none_or(|(_, b)| obj > *b) {
                     best = Some((xi, obj));
                 }
             }
@@ -251,7 +252,7 @@ impl Milp {
         drop(root.0);
         // Dive for a strong initial incumbent before best-bound search.
         if let Some((xd, od)) = self.dive(config) {
-            if incumbent.as_ref().map_or(true, |(_, b)| od > *b) {
+            if incumbent.as_ref().is_none_or(|(_, b)| od > *b) {
                 incumbent = Some((xd, od));
             }
         }
@@ -267,8 +268,7 @@ impl Milp {
 
         let mut nodes = 0usize;
         while let Some(HeapEntry { node }) = heap.pop() {
-            if nodes >= config.node_limit
-                || start.elapsed().as_secs_f64() > config.time_limit_secs
+            if nodes >= config.node_limit || start.elapsed().as_secs_f64() > config.time_limit_secs
             {
                 // The popped node's bound still counts toward the gap.
                 heap.push(HeapEntry { node });
@@ -309,7 +309,7 @@ impl Milp {
 
             // Cheap incumbent heuristic on the node solution.
             if let Some((xi, obj_i)) = self.rounded_candidate(&x) {
-                if incumbent.as_ref().map_or(true, |(_, inc)| obj_i > *inc) {
+                if incumbent.as_ref().is_none_or(|(_, inc)| obj_i > *inc) {
                     incumbent = Some((xi, obj_i));
                 }
             }
@@ -324,7 +324,7 @@ impl Milp {
                     xi[j] = xi[j].round();
                 }
                 let obj_i = self.lp.objective_value(&xi);
-                if incumbent.as_ref().map_or(true, |(_, inc)| obj_i > *inc) {
+                if incumbent.as_ref().is_none_or(|(_, inc)| obj_i > *inc) {
                     incumbent = Some((xi, obj_i));
                 }
                 continue;

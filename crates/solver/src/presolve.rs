@@ -91,8 +91,8 @@ pub fn presolve(lp: &LinearProgram) -> PresolveOutcome {
     // needed here.
     let mut vars: Vec<Result<usize, f64>> = Vec::with_capacity(n);
     let mut next = 0usize;
-    for j in 0..n {
-        match fixed[j] {
+    for f in fixed.iter().take(n) {
+        match *f {
             Some(v) => vars.push(Err(v)),
             None => {
                 vars.push(Ok(next));
@@ -232,10 +232,7 @@ mod tests {
         // max 3x + 2y + z, x+y+z ≤ 2, bounds ≤ 1, branch rows x ≥ 1, z ≤ 0.
         let mut lp = LinearProgram::new(3);
         lp.objective = vec![3.0, 2.0, 1.0];
-        lp.constraints = vec![Constraint::le(
-            vec![(0, 1.0), (1, 1.0), (2, 1.0)],
-            2.0,
-        )];
+        lp.constraints = vec![Constraint::le(vec![(0, 1.0), (1, 1.0), (2, 1.0)], 2.0)];
         lp.bound_rows([(0, 1.0), (1, 1.0), (2, 1.0)]);
         lp.constraints.push(Constraint::ge(vec![(0, 1.0)], 1.0));
         lp.constraints.push(Constraint::le(vec![(2, 1.0)], 0.0));
@@ -327,10 +324,7 @@ mod tests {
     fn no_fixings_is_a_cheap_near_noop() {
         let mut lp = LinearProgram::new(3);
         lp.objective = vec![1.0, 2.0, 3.0];
-        lp.constraints = vec![Constraint::le(
-            vec![(0, 1.0), (1, 1.0), (2, 1.0)],
-            2.0,
-        )];
+        lp.constraints = vec![Constraint::le(vec![(0, 1.0), (1, 1.0), (2, 1.0)], 2.0)];
         lp.bound_rows([(0, 1.0), (1, 1.0), (2, 1.0)]);
         match presolve(&lp) {
             PresolveOutcome::Reduced(p) => {

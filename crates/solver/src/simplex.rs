@@ -132,8 +132,8 @@ impl Tableau {
     /// (length `cols`), pricing out the current basis.
     fn set_objective(&mut self, cost: &[f64]) {
         let stride = self.cols + 1;
-        for j in 0..self.cols {
-            self.obj[j] = -cost[j];
+        for (o, &c) in self.obj.iter_mut().zip(cost) {
+            *o = -c;
         }
         self.obj[self.cols] = 0.0;
         for i in 0..self.m {
@@ -389,10 +389,7 @@ mod tests {
         // max 10a + 6b + 4c s.t. a + b + c ≤ 1.5, all ≤ 1 →  a=1, b=0.5.
         let mut lp = LinearProgram::new(3);
         lp.objective = vec![10.0, 6.0, 4.0];
-        lp.constraints = vec![Constraint::le(
-            vec![(0, 1.0), (1, 1.0), (2, 1.0)],
-            1.5,
-        )];
+        lp.constraints = vec![Constraint::le(vec![(0, 1.0), (1, 1.0), (2, 1.0)], 1.5)];
         lp.bound_rows([(0, 1.0), (1, 1.0), (2, 1.0)]);
         assert_opt(&solve_lp(&lp), 13.0);
     }
@@ -451,7 +448,8 @@ mod tests {
             lp.objective = (0..n).map(|_| next() * 4.0 - 1.0).collect();
             for _ in 0..m {
                 let coeffs = (0..n).map(|j| (j, next() * 2.0)).collect();
-                lp.constraints.push(Constraint::le(coeffs, 1.0 + next() * 5.0));
+                lp.constraints
+                    .push(Constraint::le(coeffs, 1.0 + next() * 5.0));
             }
             lp.bound_rows((0..n).map(|j| (j, 1.0 + next() * 2.0)));
             match solve_lp(&lp) {

@@ -174,7 +174,7 @@ pub fn load(text: &str) -> Result<Scenario, TypesError> {
             "quotes" => {
                 let task_id = next_f64("quotes task id")? as usize;
                 let vals: Vec<&str> = it.collect();
-                if vals.len() % 3 != 0 {
+                if !vals.len().is_multiple_of(3) {
                     return Err(bad(ln, "quotes need (vendor price delay) triples"));
                 }
                 let mut qs = Vec::with_capacity(vals.len() / 3);
@@ -199,8 +199,8 @@ pub fn load(text: &str) -> Result<Scenario, TypesError> {
     }
 
     let horizon = horizon.ok_or_else(|| TypesError::InvalidScenario("missing horizon".into()))?;
-    let base_model_gb = base_model_gb
-        .ok_or_else(|| TypesError::InvalidScenario("missing base_model_gb".into()))?;
+    let base_model_gb =
+        base_model_gb.ok_or_else(|| TypesError::InvalidScenario("missing base_model_gb".into()))?;
     let mut quotes = vec![Vec::new(); tasks.len()];
     for (task_id, qs) in quotes_by_task {
         if task_id >= quotes.len() {
@@ -256,7 +256,7 @@ impl CostGrid {
         price: Vec<f64>,
         horizon: usize,
     ) -> Result<CostGrid, TypesError> {
-        if horizon == 0 || price.len() % horizon != 0 {
+        if horizon == 0 || !price.len().is_multiple_of(horizon) {
             return Err(TypesError::InvalidScenario(
                 "cost grid length not divisible by horizon".into(),
             ));

@@ -42,8 +42,8 @@ pub mod vendor;
 pub use costgrid::CostGrid;
 pub use decision::{AuctionOutcome, Decision, Rejection};
 pub use error::TypesError;
-pub use io::{load as load_scenario, save as save_scenario};
 pub use ids::{NodeId, Slot, TaskId, VendorId};
+pub use io::{load as load_scenario, save as save_scenario};
 pub use node::{GpuModel, NodeSpec};
 pub use scenario::{Scenario, ScenarioStats};
 pub use schedule::{Placement, Schedule, ScheduleViolation};

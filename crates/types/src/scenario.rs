@@ -96,7 +96,7 @@ impl Scenario {
                 self.tasks.len()
             )));
         }
-        if !(self.base_model_gb >= 0.0) {
+        if self.base_model_gb.is_nan() || self.base_model_gb < 0.0 {
             return Err(TypesError::InvalidScenario(
                 "base model size must be non-negative".into(),
             ));
@@ -157,15 +157,15 @@ impl Scenario {
         let total_bid = self.tasks.iter().map(|t| t.bid).sum();
         let total_work: u64 = self.tasks.iter().map(|t| t.work).sum();
         let slot_capacity: u64 = self.nodes.iter().map(|n| n.compute_capacity).sum();
-        let pp = self
-            .tasks
-            .iter()
-            .filter(|t| t.needs_preprocessing)
-            .count();
+        let pp = self.tasks.iter().filter(|t| t.needs_preprocessing).count();
         let mean_window = if self.tasks.is_empty() {
             0.0
         } else {
-            self.tasks.iter().map(|t| t.window_len() as f64).sum::<f64>() / self.tasks.len() as f64
+            self.tasks
+                .iter()
+                .map(|t| t.window_len() as f64)
+                .sum::<f64>()
+                / self.tasks.len() as f64
         };
         let horizon_capacity = slot_capacity as f64 * self.horizon as f64;
         ScenarioStats {

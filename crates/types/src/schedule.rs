@@ -234,7 +234,10 @@ mod tests {
         let s = Schedule::new(7, quote, vec![(1, 4), (1, 5)]);
         assert!(matches!(
             s.validate(&t),
-            Err(ScheduleViolation::StartsTooEarly { slot: 4, earliest: 5 })
+            Err(ScheduleViolation::StartsTooEarly {
+                slot: 4,
+                earliest: 5
+            })
         ));
         let s = Schedule::new(7, quote, vec![(1, 5), (1, 6)]);
         assert_eq!(s.validate(&t), Ok(()));
@@ -253,7 +256,10 @@ mod tests {
         let s = Schedule::new(7, VendorQuote::none(), vec![(1, 8), (1, 9)]);
         assert!(matches!(
             s.validate(&t),
-            Err(ScheduleViolation::MissesDeadline { slot: 9, deadline: 8 })
+            Err(ScheduleViolation::MissesDeadline {
+                slot: 9,
+                deadline: 8
+            })
         ));
     }
 

@@ -92,7 +92,10 @@ impl Task {
     /// the truthfulness probe; the valuation stays fixed).
     #[must_use]
     pub fn with_declared_bid(&self, bid: f64) -> Task {
-        Task { bid, ..self.clone() }
+        Task {
+            bid,
+            ..self.clone()
+        }
     }
 }
 
@@ -222,13 +225,13 @@ impl TaskBuilder {
         if self.epochs == 0 {
             return Err(TypesError::NonPositiveField { field: "epochs" });
         }
-        if !(self.memory_gb > 0.0) {
+        if self.memory_gb.is_nan() || self.memory_gb <= 0.0 {
             return Err(TypesError::NonPositiveField { field: "memory_gb" });
         }
-        if !(self.bid > 0.0) {
+        if self.bid.is_nan() || self.bid <= 0.0 {
             return Err(TypesError::NonPositiveField { field: "bid" });
         }
-        if !(self.energy_weight >= 0.0) {
+        if self.energy_weight.is_nan() || self.energy_weight < 0.0 {
             return Err(TypesError::NonPositiveField {
                 field: "energy_weight",
             });
@@ -276,7 +279,10 @@ mod tests {
 
     #[test]
     fn deadline_before_arrival_is_rejected() {
-        let err = TaskBuilder::new(0, 5, 3).rates(vec![1]).build().unwrap_err();
+        let err = TaskBuilder::new(0, 5, 3)
+            .rates(vec![1])
+            .build()
+            .unwrap_err();
         assert!(matches!(err, TypesError::DeadlineBeforeArrival { .. }));
     }
 

@@ -53,29 +53,32 @@ pub enum ArrivalProcess {
     /// Homogeneous Poisson with the given mean per slot (paper Fig. 8).
     Poisson { mean_per_slot: f64 },
     /// Emulated production trace normalized to a mean per slot (Fig. 7).
-    Trace {
-        kind: TraceKind,
-        mean_per_slot: f64,
-    },
+    Trace { kind: TraceKind, mean_per_slot: f64 },
 }
 
 impl ArrivalProcess {
     /// The paper's light workload: Poisson(30).
     #[must_use]
     pub fn light() -> Self {
-        ArrivalProcess::Poisson { mean_per_slot: 30.0 }
+        ArrivalProcess::Poisson {
+            mean_per_slot: 30.0,
+        }
     }
 
     /// The paper's medium workload: Poisson(50).
     #[must_use]
     pub fn medium() -> Self {
-        ArrivalProcess::Poisson { mean_per_slot: 50.0 }
+        ArrivalProcess::Poisson {
+            mean_per_slot: 50.0,
+        }
     }
 
     /// The paper's high workload: Poisson(80).
     #[must_use]
     pub fn high() -> Self {
-        ArrivalProcess::Poisson { mean_per_slot: 80.0 }
+        ArrivalProcess::Poisson {
+            mean_per_slot: 80.0,
+        }
     }
 
     /// Mean arrivals per slot this process is normalized to.
@@ -90,9 +93,9 @@ impl ArrivalProcess {
     /// Generates the arrival counts for `horizon` slots.
     pub fn generate<R: Rng>(&self, horizon: usize, rng: &mut R) -> Vec<u64> {
         match *self {
-            ArrivalProcess::Poisson { mean_per_slot } => (0..horizon)
-                .map(|_| poisson(rng, mean_per_slot))
-                .collect(),
+            ArrivalProcess::Poisson { mean_per_slot } => {
+                (0..horizon).map(|_| poisson(rng, mean_per_slot)).collect()
+            }
             ArrivalProcess::Trace {
                 kind,
                 mean_per_slot,
@@ -117,8 +120,8 @@ impl ArrivalProcess {
                         } else {
                             1.0
                         };
-                        let rate = mean_per_slot * (shape / mean_profile) * noise * spike
-                            / spike_norm;
+                        let rate =
+                            mean_per_slot * (shape / mean_profile) * noise * spike / spike_norm;
                         poisson(rng, rate.max(0.0))
                     })
                     .collect()

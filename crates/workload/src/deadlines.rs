@@ -91,7 +91,7 @@ mod tests {
         ] {
             for _ in 0..500 {
                 let d = p.deadline(&mut rng, 140, 20, 3, 144);
-                assert!(d >= 140 && d <= 143, "d = {d}");
+                assert!((140..=143).contains(&d), "d = {d}");
             }
         }
     }

@@ -37,7 +37,11 @@ impl Marketplace {
         let vendors = (0..n)
             .map(|j| {
                 // Spread speeds over roughly 4× between slowest and fastest.
-                let frac = if n == 1 { 0.5 } else { j as f64 / (n - 1) as f64 };
+                let frac = if n == 1 {
+                    0.5
+                } else {
+                    j as f64 / (n - 1) as f64
+                };
                 let speed = 2_000.0 * 4.0f64.powf(frac) * lognormal(rng, 0.0, 0.15);
                 // Faster labor costs more per sample (speed^0.6 premium).
                 let price = 0.35 * (speed / 2_000.0).powf(0.6) * lognormal(rng, 0.0, 0.2);

@@ -122,7 +122,10 @@ mod tests {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[xs.len() / 2];
         // Median of lognormal(mu, sigma) is e^mu ≈ 2.718.
-        assert!((median - std::f64::consts::E).abs() < 0.1, "median {median}");
+        assert!(
+            (median - std::f64::consts::E).abs() < 0.1,
+            "median {median}"
+        );
     }
 
     #[test]

@@ -180,14 +180,8 @@ impl ScenarioBuilder {
         for (slot, &count) in counts.iter().enumerate() {
             for _ in 0..count {
                 let id = tasks.len();
-                let t = task_gen.generate(
-                    &mut rng,
-                    id,
-                    slot,
-                    &nodes,
-                    self.horizon,
-                    expected_pp_delay,
-                );
+                let t =
+                    task_gen.generate(&mut rng, id, slot, &nodes, self.horizon, expected_pp_delay);
                 quotes.push(if t.needs_preprocessing {
                     marketplace.quotes_for(&t)
                 } else {

@@ -61,9 +61,11 @@ impl TaskGenerator {
         expected_pp_delay: u64,
     ) -> Task {
         let dataset = uniform_inclusive(rng, self.dataset_range.0, self.dataset_range.1);
-        let epochs =
-            uniform_inclusive(rng, u64::from(self.epoch_range.0), u64::from(self.epoch_range.1))
-                as u32;
+        let epochs = uniform_inclusive(
+            rng,
+            u64::from(self.epoch_range.0),
+            u64::from(self.epoch_range.1),
+        ) as u32;
         let batch = *choose(rng, &BATCH_SIZES);
         let memory_gb = self.calibration.task_memory(batch);
         let rates: Vec<u64> = nodes
@@ -71,9 +73,7 @@ impl TaskGenerator {
             .map(|n| {
                 let rate = self.calibration.task_rate(n.gpu, batch);
                 // A task cannot run where its adapter would not fit.
-                if memory_gb
-                    <= n.adapter_memory_gb(self.calibration.base_gb)
-                {
+                if memory_gb <= n.adapter_memory_gb(self.calibration.base_gb) {
                     rate
                 } else {
                     0
@@ -89,11 +89,16 @@ impl TaskGenerator {
             .unwrap_or(u64::MAX / 2);
         let needs_pp = rng.gen::<f64>() < self.preprocessing_prob;
         let pp_delay = if needs_pp { expected_pp_delay } else { 0 };
-        let deadline =
-            self.deadline_policy
-                .deadline(rng, arrival, min_slots, pp_delay, horizon);
-        let valuation = self.value_per_kwork * (work as f64 / 1000.0)
-            * lognormal(rng, -self.value_sigma * self.value_sigma / 2.0, self.value_sigma);
+        let deadline = self
+            .deadline_policy
+            .deadline(rng, arrival, min_slots, pp_delay, horizon);
+        let valuation = self.value_per_kwork
+            * (work as f64 / 1000.0)
+            * lognormal(
+                rng,
+                -self.value_sigma * self.value_sigma / 2.0,
+                self.value_sigma,
+            );
         // Energy draw scales with the fraction of the GPU the task's batch
         // keeps busy (batch 8 ≈ baseline).
         let energy_weight = batch as f64 / 8.0;
@@ -152,9 +157,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 2000;
         let pp = (0..n)
-            .filter(|&i| {
-                g.generate(&mut rng, i, 0, &ns, 144, 3).needs_preprocessing
-            })
+            .filter(|&i| g.generate(&mut rng, i, 0, &ns, 144, 3).needs_preprocessing)
             .count();
         let frac = pp as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
@@ -176,7 +179,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let n = 500;
         let feasible = (0..n)
-            .filter(|&i| g.generate(&mut rng, i, 0, &ns, 144, 3).individually_feasible())
+            .filter(|&i| {
+                g.generate(&mut rng, i, 0, &ns, 144, 3)
+                    .individually_feasible()
+            })
             .count();
         // Deadline policy guarantees a window ≥ min service time (modulo
         // horizon clamping at day end, absent at arrival 0).

@@ -74,11 +74,7 @@ fn main() {
     }
     println!("winners pay at most their bid (Theorem 4):");
     println!("task    bid      payment   headroom");
-    let mut checked = 0;
-    for rec in auctioneer.records().iter().filter(|r| r.admitted) {
-        if checked >= 10 {
-            break;
-        }
+    for rec in auctioneer.records().iter().filter(|r| r.admitted).take(10) {
         assert!(
             rec.payment <= rec.bid + 1e-9,
             "IR violated for task {}",
@@ -91,7 +87,6 @@ fn main() {
             rec.payment,
             rec.bid - rec.payment
         );
-        checked += 1;
     }
     let winners = auctioneer.records().iter().filter(|r| r.admitted).count();
     println!("\nall {winners} winners audited: payment <= bid for every one.");

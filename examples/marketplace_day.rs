@@ -40,9 +40,8 @@ fn main() {
         "metric",
         algos.iter().map(|a| a.name().to_owned()).collect(),
     );
-    let get = |f: &dyn Fn(&pdftsp_sim::RunResult) -> f64| -> Vec<f64> {
-        results.iter().map(f).collect()
-    };
+    let get =
+        |f: &dyn Fn(&pdftsp_sim::RunResult) -> f64| -> Vec<f64> { results.iter().map(f).collect() };
     table.push_row("social welfare", get(&|r| r.welfare.social_welfare));
     table.push_row("admitted tasks", get(&|r| r.welfare.admitted as f64));
     table.push_row("admission rate", get(&|r| r.welfare.admission_rate()));

@@ -23,13 +23,28 @@ fn main() {
     // Demand skews toward the small model; the large model needs
     // disproportionate capacity per task.
     let splits = vec![
-        ("gpt2-small".to_owned(), TransformerConfig::gpt2_small(), 3.0),
-        ("gpt2-medium".to_owned(), TransformerConfig::gpt2_medium(), 2.0),
-        ("gpt2-large".to_owned(), TransformerConfig::gpt2_large(), 1.0),
+        (
+            "gpt2-small".to_owned(),
+            TransformerConfig::gpt2_small(),
+            3.0,
+        ),
+        (
+            "gpt2-medium".to_owned(),
+            TransformerConfig::gpt2_medium(),
+            2.0,
+        ),
+        (
+            "gpt2-large".to_owned(),
+            TransformerConfig::gpt2_large(),
+            1.0,
+        ),
     ];
     let zones = partition_zones(&base, &splits);
 
-    println!("zoned data center: {} nodes total, one market per base model\n", base.num_nodes);
+    println!(
+        "zoned data center: {} nodes total, one market per base model\n",
+        base.num_nodes
+    );
     for algo in [Algo::Pdftsp, Algo::Eft] {
         let out = run_zoned(&zones, algo, 0);
         println!("=== {} ===", algo.name());

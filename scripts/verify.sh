@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full workspace test suite,
+# formatting, and lint-clean under -D warnings. CI and pre-commit both
+# run exactly this script; keep it dependency-free (cargo toolchain only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

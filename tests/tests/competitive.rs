@@ -41,8 +41,8 @@ fn offline_decisions_replay_cleanly() {
     let sc = tiny(5, 16, 0.4);
     let off = offline_optimum(&sc, &MilpConfig::default());
     if let Some(decisions) = &off.decisions {
-        let report = ExecutionEngine::replay(&sc, decisions)
-            .expect("offline optimum must be executable");
+        let report =
+            ExecutionEngine::replay(&sc, decisions).expect("offline optimum must be executable");
         let executed: f64 = decisions
             .iter()
             .filter_map(|d| d.schedule())

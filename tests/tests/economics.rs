@@ -59,7 +59,11 @@ fn truthfulness_sweeps_over_many_tasks_and_states() {
     // bid perturbations in both directions: no lie may beat the truth.
     let sc = market(5).build();
     let mut s = Pdftsp::new(&sc, PdftspConfig::default());
-    let checkpoints = [sc.tasks.len() / 4, sc.tasks.len() / 2, 3 * sc.tasks.len() / 4];
+    let checkpoints = [
+        sc.tasks.len() / 4,
+        sc.tasks.len() / 2,
+        3 * sc.tasks.len() / 4,
+    ];
     let mut next = 0usize;
     let mut probed = 0usize;
     for &cp in &checkpoints {

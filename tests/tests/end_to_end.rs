@@ -91,10 +91,7 @@ fn pdftsp_dominates_ntm_and_is_deterministic() {
         pd_total += a.welfare.social_welfare;
         ntm_total += run_algo(&sc, Algo::Ntm, seed).welfare.social_welfare;
     }
-    assert!(
-        pd_total > ntm_total,
-        "pdFTSP {pd_total} vs NTM {ntm_total}"
-    );
+    assert!(pd_total > ntm_total, "pdFTSP {pd_total} vs NTM {ntm_total}");
 }
 
 #[test]

@@ -1,14 +1,18 @@
-//! Property-based tests (proptest) over the core invariants:
-//! schedule/DP correctness, ledger safety, dual monotonicity, welfare
-//! identities, and solver optimality on randomized instances.
+//! Property-based tests over the core invariants: schedule/DP
+//! correctness, ledger safety, dual monotonicity, welfare identities, and
+//! solver optimality on randomized instances.
+//!
+//! Randomization is driven by an explicit seeded [`StdRng`] loop per
+//! property (the workspace vendors a minimal offline `rand`; proptest is
+//! unavailable without a registry). Failures print the seed so any case
+//! replays deterministically.
 
 use pdftsp_cluster::CapacityLedger;
 use pdftsp_core::{find_schedule, DpContext, DualState};
 use pdftsp_solver::{solve_lp, Constraint, LinearProgram, LpOutcome, Milp, MilpConfig};
-use pdftsp_types::{
-    CostGrid, GpuModel, NodeSpec, Scenario, Schedule, TaskBuilder, VendorQuote,
-};
-use proptest::prelude::*;
+use pdftsp_types::{CostGrid, GpuModel, NodeSpec, Scenario, Schedule, TaskBuilder, VendorQuote};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn small_scenario(nodes: usize, horizon: usize, prices: Vec<f64>) -> Scenario {
     Scenario {
@@ -23,21 +27,20 @@ fn small_scenario(nodes: usize, horizon: usize, prices: Vec<f64>) -> Scenario {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The Algorithm-2 DP always returns schedules that deliver the full
+/// work, inside the window, one node per slot.
+#[test]
+fn dp_schedules_are_always_valid() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xD0_0000 + case);
+        let work = rng.gen_range(500u64..12_000);
+        let deadline = rng.gen_range(3usize..12);
+        let rate0 = rng.gen_range(300u64..2_000);
+        let rate1 = rng.gen_range(300u64..2_000);
+        let prices: Vec<f64> = (0..24).map(|_| rng.gen_range(0.0f64..3.0)).collect();
 
-    /// The Algorithm-2 DP always returns schedules that deliver the full
-    /// work, inside the window, one node per slot.
-    #[test]
-    fn dp_schedules_are_always_valid(
-        work in 500u64..12_000,
-        deadline in 3usize..12,
-        rate0 in 300u64..2_000,
-        rate1 in 300u64..2_000,
-        seed_prices in proptest::collection::vec(0.0f64..3.0, 24),
-    ) {
         let horizon = 12;
-        let sc = small_scenario(2, horizon, seed_prices[..24].to_vec());
+        let sc = small_scenario(2, horizon, prices);
         let task = TaskBuilder::new(0, 0, deadline)
             .dataset(work)
             .memory_gb(5.0)
@@ -46,30 +49,44 @@ proptest! {
             .build()
             .unwrap();
         let duals = DualState::new(&sc, 1000.0);
-        let ctx = DpContext { scenario: &sc, duals: &duals, ledger: None, compute_unit: 1000.0 };
+        let ctx = DpContext {
+            scenario: &sc,
+            duals: &duals,
+            ledger: None,
+            compute_unit: 1000.0,
+        };
         if let Some(r) = find_schedule(&ctx, &task, 0) {
             let schedule = Schedule::new(0, VendorQuote::none(), r.placements.clone());
-            prop_assert!(schedule.validate(&task).is_ok(), "{:?}", schedule.validate(&task));
+            assert!(
+                schedule.validate(&task).is_ok(),
+                "case {case}: {:?}",
+                schedule.validate(&task)
+            );
             // Cost reported must equal the recomputed energy.
-            let e: f64 = r.placements.iter().map(|&(k, t)| sc.cost.e(&task, k, t)).sum();
-            prop_assert!((e - r.energy).abs() < 1e-9);
+            let e: f64 = r
+                .placements
+                .iter()
+                .map(|&(k, t)| sc.cost.e(&task, k, t))
+                .sum();
+            assert!((e - r.energy).abs() < 1e-9, "case {case}");
         } else {
             // Infeasibility must be real: even the fastest node flat-out
             // cannot make the deadline (allowing for quantization slack).
             let best = rate0.max(rate1);
             let window = (deadline + 1) as u64;
-            prop_assert!(
+            assert!(
                 work > best * window * 63 / 64,
-                "DP refused a feasible task: work {work}, best {best}, window {window}"
+                "case {case}: DP refused a feasible task: work {work}, best {best}, window {window}"
             );
         }
     }
+}
 
-    /// Ledger commits never overflow capacity and are exactly additive.
-    #[test]
-    fn ledger_accounting_is_exact(
-        commits in proptest::collection::vec((0usize..2, 0usize..8, 200u64..1500), 1..25),
-    ) {
+/// Ledger commits never overflow capacity and are exactly additive.
+#[test]
+fn ledger_accounting_is_exact() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x1ED6E0 + case);
         let sc = {
             let mut s = small_scenario(2, 8, vec![0.0; 16]);
             s.nodes[0].compute_capacity = 3000;
@@ -77,8 +94,14 @@ proptest! {
             s
         };
         let mut ledger = CapacityLedger::new(&sc);
-        let mut shadow = vec![0u64; 2 * 8];
-        for (i, &(k, t, rate)) in commits.iter().enumerate() {
+        let mut shadow = [0u64; 2 * 8];
+        let commits = rng.gen_range(1usize..25);
+        for i in 0..commits {
+            let (k, t, rate) = (
+                rng.gen_range(0usize..2),
+                rng.gen_range(0usize..8),
+                rng.gen_range(200u64..1500),
+            );
             let task = TaskBuilder::new(i, 0, 7)
                 .dataset(rate)
                 .memory_gb(2.0)
@@ -89,30 +112,37 @@ proptest! {
             let schedule = Schedule::new(i, VendorQuote::none(), vec![(k, t)]);
             let fits = ledger.fits_schedule(&task, &schedule);
             let expect = shadow[k * 8 + t] + rate <= 3000;
-            prop_assert_eq!(fits, expect);
+            assert_eq!(fits, expect, "case {case} commit {i}");
             if fits {
                 ledger.commit(&task, &schedule).unwrap();
                 shadow[k * 8 + t] += rate;
             } else {
-                prop_assert!(ledger.commit(&task, &schedule).is_err());
+                assert!(ledger.commit(&task, &schedule).is_err(), "case {case}");
             }
-            prop_assert_eq!(ledger.compute_used(k, t), shadow[k * 8 + t]);
+            assert_eq!(ledger.compute_used(k, t), shadow[k * 8 + t], "case {case}");
         }
     }
+}
 
-    /// Dual prices never decrease, whatever update stream arrives.
-    #[test]
-    fn duals_are_monotone_under_any_updates(
-        updates in proptest::collection::vec(
-            (0usize..2, 0usize..6, 100u64..3000, 0.1f64..3.0), 1..30),
-    ) {
+/// Dual prices never decrease, whatever update stream arrives.
+#[test]
+fn duals_are_monotone_under_any_updates() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xD0A1 + case);
         let sc = small_scenario(2, 6, vec![0.0; 12]);
         let mut duals = DualState::new(&sc, 1000.0);
         let mut prev: Vec<f64> = (0..2)
             .flat_map(|k| (0..6).map(move |t| (k, t)))
             .map(|(k, t)| duals.lambda(k, t) + duals.phi(k, t))
             .collect();
-        for (i, &(k, t, rate, b_bar)) in updates.iter().enumerate() {
+        let updates = rng.gen_range(1usize..30);
+        for i in 0..updates {
+            let (k, t, rate, b_bar) = (
+                rng.gen_range(0usize..2),
+                rng.gen_range(0usize..6),
+                rng.gen_range(100u64..3000),
+                rng.gen_range(0.1f64..3.0),
+            );
             let task = TaskBuilder::new(i, 0, 5)
                 .dataset(rate)
                 .memory_gb(3.0)
@@ -127,83 +157,104 @@ proptest! {
                 .map(|(k, t)| duals.lambda(k, t) + duals.phi(k, t))
                 .collect();
             for (a, b) in prev.iter().zip(&now) {
-                prop_assert!(b >= a, "dual decreased: {a} -> {b}");
+                assert!(b >= a, "case {case}: dual decreased: {a} -> {b}");
             }
             prev = now;
         }
     }
+}
 
-    /// The simplex solution of a random bounded LP is feasible and at
-    /// least as good as any random feasible point.
-    #[test]
-    fn simplex_result_is_feasible_and_locally_optimal(
-        n in 2usize..6,
-        m in 1usize..5,
-        coeffs in proptest::collection::vec(0.0f64..2.0, 36),
-        rhs in proptest::collection::vec(1.0f64..8.0, 6),
-        obj in proptest::collection::vec(-1.0f64..3.0, 6),
-        samples in proptest::collection::vec(0.0f64..1.0, 60),
-    ) {
+/// The simplex solution of a random bounded LP is feasible and at least
+/// as good as any random feasible point.
+#[test]
+fn simplex_result_is_feasible_and_locally_optimal() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x51A93E + case);
+        let n = rng.gen_range(2usize..6);
+        let m = rng.gen_range(1usize..5);
         let mut lp = LinearProgram::new(n);
-        lp.objective = obj[..n].to_vec();
-        for i in 0..m {
-            let row: Vec<(usize, f64)> =
-                (0..n).map(|j| (j, coeffs[i * n + j])).collect();
-            lp.constraints.push(Constraint::le(row, rhs[i]));
+        lp.objective = (0..n).map(|_| rng.gen_range(-1.0f64..3.0)).collect();
+        for _ in 0..m {
+            let row: Vec<(usize, f64)> = (0..n).map(|j| (j, rng.gen_range(0.0f64..2.0))).collect();
+            lp.constraints
+                .push(Constraint::le(row, rng.gen_range(1.0f64..8.0)));
         }
         lp.bound_rows((0..n).map(|j| (j, 1.0)));
         match solve_lp(&lp) {
             LpOutcome::Optimal { x, objective } => {
-                prop_assert!(lp.feasible(&x, 1e-6));
-                for chunk in samples.chunks(n).take(10) {
-                    if chunk.len() == n && lp.feasible(chunk, 1e-9) {
-                        prop_assert!(lp.objective_value(chunk) <= objective + 1e-6);
+                assert!(lp.feasible(&x, 1e-6), "case {case}");
+                for _ in 0..10 {
+                    let chunk: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+                    if lp.feasible(&chunk, 1e-9) {
+                        assert!(
+                            lp.objective_value(&chunk) <= objective + 1e-6,
+                            "case {case}"
+                        );
                     }
                 }
             }
-            other => prop_assert!(false, "bounded LP must solve: {other:?}"),
+            other => panic!("case {case}: bounded LP must solve: {other:?}"),
         }
     }
+}
 
-    /// Branch-and-bound matches exhaustive search on random knapsacks.
-    #[test]
-    fn milp_matches_bruteforce_knapsack(
-        values in proptest::collection::vec(0.5f64..10.0, 4..9),
-        weights in proptest::collection::vec(0.5f64..5.0, 9),
-        cap_frac in 0.2f64..0.8,
-    ) {
-        let n = values.len();
-        let w = &weights[..n];
+/// Branch-and-bound matches exhaustive search on random knapsacks.
+#[test]
+fn milp_matches_bruteforce_knapsack() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x3117 + case);
+        let n = rng.gen_range(4usize..9);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5f64..10.0)).collect();
+        let w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5f64..5.0)).collect();
+        let cap_frac = rng.gen_range(0.2f64..0.8);
         let capacity = w.iter().sum::<f64>() * cap_frac;
         let mut lp = LinearProgram::new(n);
         lp.objective = values.clone();
         lp.constraints.push(Constraint::le(
-            w.iter().copied().enumerate().collect(), capacity));
+            w.iter().copied().enumerate().collect(),
+            capacity,
+        ));
         lp.bound_rows((0..n).map(|j| (j, 1.0)));
-        let milp = Milp { lp, integer_vars: (0..n).collect(), branch_priority: Vec::new() };
+        let milp = Milp {
+            lp,
+            integer_vars: (0..n).collect(),
+            branch_priority: Vec::new(),
+        };
         let got = milp.solve(&MilpConfig::default()).objective().unwrap();
         let mut best = 0.0f64;
         for mask in 0..(1u32 << n) {
             let (mut v, mut wt) = (0.0, 0.0);
             for j in 0..n {
-                if mask & (1 << j) != 0 { v += values[j]; wt += w[j]; }
+                if mask & (1 << j) != 0 {
+                    v += values[j];
+                    wt += w[j];
+                }
             }
-            if wt <= capacity { best = best.max(v); }
+            if wt <= capacity {
+                best = best.max(v);
+            }
         }
-        prop_assert!((got - best).abs() < 1e-6, "milp {got} vs brute {best}");
+        assert!(
+            (got - best).abs() < 1e-6,
+            "case {case}: milp {got} vs brute {best}"
+        );
     }
+}
 
-    /// Schedule welfare identities: increment = bid − vendor − energy and
-    /// density × footprint = increment.
-    #[test]
-    fn schedule_welfare_identities(
-        bid in 1.0f64..100.0,
-        vendor_price in 0.0f64..10.0,
-        slots in proptest::collection::vec(0usize..10, 1..6),
-        price in 0.1f64..2.0,
-    ) {
+/// Schedule welfare identities: increment = bid − vendor − energy and
+/// density × footprint = increment.
+#[test]
+fn schedule_welfare_identities() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x6E1FA2E + case);
+        let bid = rng.gen_range(1.0f64..100.0);
+        let vendor_price = rng.gen_range(0.0f64..10.0);
+        let price = rng.gen_range(0.1f64..2.0);
+        let n_slots = rng.gen_range(1usize..6);
+        let slots: Vec<usize> = (0..n_slots).map(|_| rng.gen_range(0usize..10)).collect();
+
         let sc = small_scenario(1, 10, vec![price; 10]);
-        let mut unique = slots.clone();
+        let mut unique = slots;
         unique.sort_unstable();
         unique.dedup();
         let task = TaskBuilder::new(0, 0, 9)
@@ -214,13 +265,17 @@ proptest! {
             .needs_preprocessing(true)
             .build()
             .unwrap();
-        let quote = VendorQuote { vendor: 0, price: vendor_price, delay: 0 };
+        let quote = VendorQuote {
+            vendor: 0,
+            price: vendor_price,
+            delay: 0,
+        };
         let s = Schedule::new(0, quote, unique.iter().map(|&t| (0, t)).collect());
         let inc = s.welfare_increment(&task, &sc.cost);
         let expect = bid - vendor_price - price * unique.len() as f64;
-        prop_assert!((inc - expect).abs() < 1e-9);
+        assert!((inc - expect).abs() < 1e-9, "case {case}");
         let density = s.welfare_density(&task, &sc.cost);
         let footprint = s.total_compute(&task) as f64 + s.total_memory(&task);
-        prop_assert!((density * footprint - inc).abs() < 1e-9);
+        assert!((density * footprint - inc).abs() < 1e-9, "case {case}");
     }
 }

@@ -1,11 +1,16 @@
 //! Second property-test suite: scenario serialization, execution-engine
 //! accounting, and generator statistics under randomized inputs.
+//!
+//! Randomization is driven by an explicit seeded [`StdRng`] loop per
+//! property (the workspace vendors a minimal offline `rand`; proptest is
+//! unavailable without a registry).
 
 use pdftsp_cluster::ExecutionEngine;
 use pdftsp_sim::{run_algo, Algo, WelfareReport};
 use pdftsp_types::{load_scenario, save_scenario};
 use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn builder(seed: u64, nodes: usize, horizon: usize, mean: f64) -> ScenarioBuilder {
     ScenarioBuilder {
@@ -19,38 +24,40 @@ fn builder(seed: u64, nodes: usize, horizon: usize, mean: f64) -> ScenarioBuilde
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Any generated scenario round-trips exactly through the text format.
+#[test]
+fn scenario_io_round_trips() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x10_0001 + case);
+        let seed = rng.gen_range(0u64..10_000);
+        let nodes = rng.gen_range(2usize..6);
+        let horizon = rng.gen_range(8usize..24);
+        let mean = rng.gen_range(0.5f64..3.0);
 
-    /// Any generated scenario round-trips exactly through the text format.
-    #[test]
-    fn scenario_io_round_trips(
-        seed in 0u64..10_000,
-        nodes in 2usize..6,
-        horizon in 8usize..24,
-        mean in 0.5f64..3.0,
-    ) {
         let sc = builder(seed, nodes, horizon, mean).build();
         let text = save_scenario(&sc);
         let back = load_scenario(&text).expect("load must succeed");
-        prop_assert_eq!(&back.tasks, &sc.tasks);
-        prop_assert_eq!(&back.nodes, &sc.nodes);
-        prop_assert_eq!(&back.quotes, &sc.quotes);
-        prop_assert_eq!(&back.cost, &sc.cost);
-        prop_assert_eq!(back.horizon, sc.horizon);
+        assert_eq!(&back.tasks, &sc.tasks, "case {case}");
+        assert_eq!(&back.nodes, &sc.nodes, "case {case}");
+        assert_eq!(&back.quotes, &sc.quotes, "case {case}");
+        assert_eq!(&back.cost, &sc.cost, "case {case}");
+        assert_eq!(back.horizon, sc.horizon, "case {case}");
         // And produces bit-identical scheduling results.
         let a = run_algo(&sc, Algo::Pdftsp, 0).welfare.social_welfare;
         let b = run_algo(&back, Algo::Pdftsp, 0).welfare.social_welfare;
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Dropping any subset of decisions keeps the replay valid and can
-    /// only reduce measured welfare components monotonically.
-    #[test]
-    fn replay_is_monotone_under_decision_subsets(
-        seed in 0u64..10_000,
-        keep_mask in proptest::collection::vec(any::<bool>(), 64),
-    ) {
+/// Dropping any subset of decisions keeps the replay valid and can only
+/// reduce measured welfare components monotonically.
+#[test]
+fn replay_is_monotone_under_decision_subsets() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x5B5E7 + case);
+        let seed = rng.gen_range(0u64..10_000);
+        let keep_mask: Vec<bool> = (0..64).map(|_| rng.gen::<bool>()).collect();
+
         let sc = builder(seed, 3, 16, 1.5).build();
         let full = run_algo(&sc, Algo::Pdftsp, 0);
         let subset: Vec<_> = full
@@ -62,17 +69,33 @@ proptest! {
             .collect();
         let report = ExecutionEngine::replay(&sc, &subset).expect("subset stays valid");
         let w = WelfareReport::compute(&sc, &subset);
-        prop_assert!(w.admitted <= full.welfare.admitted);
-        prop_assert!(w.energy_cost <= full.welfare.energy_cost + 1e-9);
-        prop_assert!(w.admitted_bid_value <= full.welfare.admitted_bid_value + 1e-9);
-        prop_assert!(report.total_energy <= full.welfare.energy_cost + 1e-9);
+        assert!(w.admitted <= full.welfare.admitted, "case {case}");
+        assert!(
+            w.energy_cost <= full.welfare.energy_cost + 1e-9,
+            "case {case}"
+        );
+        assert!(
+            w.admitted_bid_value <= full.welfare.admitted_bid_value + 1e-9,
+            "case {case}"
+        );
+        assert!(
+            report.total_energy <= full.welfare.energy_cost + 1e-9,
+            "case {case}"
+        );
         // Engine energy and accounting energy agree on the same subset.
-        prop_assert!((report.total_energy - w.energy_cost).abs() < 1e-6);
+        assert!(
+            (report.total_energy - w.energy_cost).abs() < 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    /// The engine's completion list contains exactly the admitted tasks.
-    #[test]
-    fn replay_completes_exactly_the_admitted_tasks(seed in 0u64..10_000) {
+/// The engine's completion list contains exactly the admitted tasks.
+#[test]
+fn replay_completes_exactly_the_admitted_tasks() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0_47E5 + case);
+        let seed = rng.gen_range(0u64..10_000);
         let sc = builder(seed, 3, 16, 1.5).build();
         let r = run_algo(&sc, Algo::Eft, 0);
         let report = ExecutionEngine::replay(&sc, &r.decisions).unwrap();
@@ -85,31 +108,41 @@ proptest! {
         admitted.sort_unstable();
         let mut completed = report.completed.clone();
         completed.sort_unstable();
-        prop_assert_eq!(admitted, completed);
+        assert_eq!(admitted, completed, "case {case}");
     }
+}
 
-    /// Generated arrival counts respect the configured mean within noise.
-    #[test]
-    fn poisson_scenarios_hit_their_mean(seed in 0u64..1_000, mean in 1.0f64..4.0) {
+/// Generated arrival counts respect the configured mean within noise.
+#[test]
+fn poisson_scenarios_hit_their_mean() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x9_0155 + case);
+        let seed = rng.gen_range(0u64..1_000);
+        let mean = rng.gen_range(1.0f64..4.0);
         let sc = builder(seed, 2, 64, mean).build();
         let got = sc.tasks.len() as f64 / 64.0;
         // 4σ window: σ = sqrt(mean/64).
         let sigma = (mean / 64.0).sqrt();
-        prop_assert!(
+        assert!(
             (got - mean).abs() < 4.0 * sigma.max(0.3) + 0.5,
-            "mean {mean}, got {got}"
+            "case {case}: mean {mean}, got {got}"
         );
     }
+}
 
-    /// Welfare identity `U = U_r + U_c` holds for every scheduler on
-    /// random scenarios.
-    #[test]
-    fn welfare_identity_for_all_algorithms(seed in 0u64..10_000) {
+/// Welfare identity `U = U_r + U_c` holds for every scheduler on random
+/// scenarios.
+#[test]
+fn welfare_identity_for_all_algorithms() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x1DE7 + case);
+        let seed = rng.gen_range(0u64..10_000);
         let sc = builder(seed, 3, 12, 1.0).build();
         for algo in [Algo::Pdftsp, Algo::Eft, Algo::Ntm, Algo::FixedPrice] {
             let w = run_algo(&sc, algo, seed).welfare;
-            prop_assert!(
-                (w.social_welfare - (w.user_utility + w.provider_utility)).abs() < 1e-6
+            assert!(
+                (w.social_welfare - (w.user_utility + w.provider_utility)).abs() < 1e-6,
+                "case {case} algo {algo:?}"
             );
         }
     }
