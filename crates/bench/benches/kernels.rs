@@ -31,6 +31,7 @@ fn bench_dp(c: &mut Criterion) {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         b.iter(|| find_schedule(&ctx, task, task.arrival));
     });

@@ -1,0 +1,86 @@
+//! Telemetry overhead on the scheduler hot path.
+//!
+//! Four targets bracket the cost of the observability layer:
+//!
+//! * `noop_emit_1k` / `ring_emit_1k` — 1 000 event emissions against the
+//!   disabled pipeline (a cached-bool branch; the closure is never built)
+//!   and against an in-memory ring sink (full event construction + lock);
+//! * `decide_day_noop` / `decide_day_ring` — the full multi-vendor online
+//!   day end-to-end with each pipeline attached.
+//!
+//! The `<2%` acceptance bound on the no-op path is enforced by the
+//! `telemetry_overhead` integration test; this bench is the inspection
+//! tool behind it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdftsp_core::{Pdftsp, PdftspConfig};
+use pdftsp_sim::run_scheduler;
+use pdftsp_telemetry::{Counters, Event, RingSink, Telemetry};
+use pdftsp_types::Scenario;
+use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+use std::sync::Arc;
+
+fn multi_vendor_scenario() -> Scenario {
+    ScenarioBuilder {
+        horizon: 36,
+        num_nodes: 20,
+        arrivals: ArrivalProcess::Poisson { mean_per_slot: 6.0 },
+        num_vendors: 8,
+        preprocessing_prob: 1.0,
+        seed: 4242,
+        ..ScenarioBuilder::default()
+    }
+    .build()
+}
+
+fn emit_1k(tel: &Telemetry, counters: &Counters) -> u64 {
+    for i in 0..1_000usize {
+        tel.emit(|| Event::ArrivalSeen {
+            task: i,
+            slot: i % 36,
+            bid: 1.5,
+            vendors: 8,
+        });
+        counters.bump(&counters.dp_cells, 1);
+    }
+    counters.read(&counters.dp_cells)
+}
+
+fn bench_emission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(50);
+    g.bench_function("noop_emit_1k", |b| {
+        let tel = Telemetry::disabled();
+        let counters = Counters::default();
+        b.iter(|| emit_1k(black_box(&tel), &counters));
+    });
+    g.bench_function("ring_emit_1k", |b| {
+        let tel = Telemetry::new(Arc::new(RingSink::new(4096)));
+        let counters = Counters::default();
+        b.iter(|| emit_1k(black_box(&tel), &counters));
+    });
+    g.finish();
+}
+
+fn bench_decide_day(c: &mut Criterion) {
+    let sc = multi_vendor_scenario();
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    g.bench_function("decide_day_noop", |b| {
+        b.iter(|| {
+            let mut s = Pdftsp::new(black_box(&sc), PdftspConfig::default());
+            run_scheduler(&sc, &mut s).welfare.social_welfare
+        });
+    });
+    g.bench_function("decide_day_ring", |b| {
+        b.iter(|| {
+            let tel = Telemetry::new(Arc::new(RingSink::new(1 << 16)));
+            let mut s = Pdftsp::with_telemetry(black_box(&sc), PdftspConfig::default(), tel);
+            run_scheduler(&sc, &mut s).welfare.social_welfare
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_emission, bench_decide_day);
+criterion_main!(benches);

@@ -75,6 +75,36 @@ struct PipelineStats {
     samples: usize,
     welfare: f64,
     admitted: usize,
+    /// Per-run hot-path work from the scheduler's always-on telemetry
+    /// counters (last rep; every rep does identical work).
+    work: WorkStats,
+}
+
+struct WorkStats {
+    prune_hit_rate: f64,
+    vendors_seen: u64,
+    vendors_pruned: u64,
+    vendors_memoized: u64,
+    dp_runs: u64,
+    dp_cells_measured: u64,
+    dp_early_exits: u64,
+    grid_builds: u64,
+}
+
+impl WorkStats {
+    fn from_scheduler(s: &Pdftsp) -> Self {
+        let c = &s.telemetry().counters;
+        WorkStats {
+            prune_hit_rate: c.prune_hit_rate(),
+            vendors_seen: c.read(&c.vendors_seen),
+            vendors_pruned: c.read(&c.vendors_pruned),
+            vendors_memoized: c.read(&c.vendors_memoized),
+            dp_runs: c.read(&c.dp_runs),
+            dp_cells_measured: c.read(&c.dp_cells),
+            dp_early_exits: c.read(&c.dp_early_exits),
+            grid_builds: c.read(&c.grid_builds),
+        }
+    }
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -89,12 +119,14 @@ fn run_pipeline(sc: &Scenario, cfg: PdftspConfig) -> PipelineStats {
     let mut samples: Vec<f64> = Vec::new();
     let mut welfare = 0.0;
     let mut admitted = 0;
+    let mut work = None;
     for _ in 0..REPS {
         let mut s = Pdftsp::new(sc, cfg);
         let r = run_scheduler(sc, &mut s);
         samples.extend(r.decisions.iter().map(|d| d.decide_seconds));
         welfare = r.welfare.social_welfare;
         admitted = r.welfare.admitted;
+        work = Some(WorkStats::from_scheduler(&s));
     }
     let total_s: f64 = samples.iter().sum();
     let mean_us = total_s / samples.len().max(1) as f64 * 1e6;
@@ -107,18 +139,37 @@ fn run_pipeline(sc: &Scenario, cfg: PdftspConfig) -> PipelineStats {
         samples: samples.len(),
         welfare,
         admitted,
+        work: work.expect("REPS > 0"),
     }
 }
 
 fn stats_json(s: &PipelineStats, cells: u64) -> String {
     // Throughput over the per-rep workload: cells × REPS / total seconds.
     let cells_per_s = cells as f64 * REPS as f64 / s.total_s.max(1e-12);
+    let w = &s.work;
     format!(
         concat!(
             "{{\"p50_us\": {:.3}, \"p99_us\": {:.3}, \"mean_us\": {:.3}, ",
-            "\"total_s\": {:.6}, \"decisions\": {}, \"dp_cells_per_s\": {:.0}}}"
+            "\"total_s\": {:.6}, \"decisions\": {}, \"dp_cells_per_s\": {:.0}, ",
+            "\"prune_hit_rate\": {:.4}, \"vendors_seen\": {}, ",
+            "\"vendors_pruned\": {}, \"vendors_memoized\": {}, ",
+            "\"dp_runs\": {}, \"dp_cells_measured\": {}, ",
+            "\"dp_early_exits\": {}, \"grid_builds\": {}}}"
         ),
-        s.p50_us, s.p99_us, s.mean_us, s.total_s, s.samples, cells_per_s
+        s.p50_us,
+        s.p99_us,
+        s.mean_us,
+        s.total_s,
+        s.samples,
+        cells_per_s,
+        w.prune_hit_rate,
+        w.vendors_seen,
+        w.vendors_pruned,
+        w.vendors_memoized,
+        w.dp_runs,
+        w.dp_cells_measured,
+        w.dp_early_exits,
+        w.grid_builds
     )
 }
 

@@ -1,0 +1,96 @@
+//! Acceptance guard: the disabled ("no-op") telemetry pipeline must cost
+//! under 2% of the multi-vendor decide path, so attaching the
+//! observability layer does not give back the hot-path speedup.
+//!
+//! A direct A/B wall-clock comparison of two full runs would be flaky at
+//! the 2% scale (allocator state, frequency scaling). Instead the guard
+//! is computed from stable quantities:
+//!
+//! 1. the per-site cost of the disabled primitives — an `emit` (cached
+//!    bool branch; the event closure is never built) and a relaxed atomic
+//!    bump — timed over a tight loop of millions of iterations;
+//! 2. the number of instrumentation sites a decision actually hits,
+//!    counted by the always-on counters over a real multi-vendor day
+//!    (the `BENCH_sched.json` scenario);
+//! 3. the measured mean decide latency of that same day.
+//!
+//! overhead = sites-per-decide × per-site-cost / mean-decide < 2%.
+
+use pdftsp_core::{Pdftsp, PdftspConfig};
+use pdftsp_sim::run_scheduler;
+use pdftsp_telemetry::{Counters, Event, Telemetry};
+use pdftsp_types::Scenario;
+use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+
+/// The vendor-rich market of `BENCH_sched.json`.
+fn multi_vendor_scenario() -> Scenario {
+    ScenarioBuilder {
+        horizon: 36,
+        num_nodes: 20,
+        arrivals: ArrivalProcess::Poisson { mean_per_slot: 6.0 },
+        num_vendors: 8,
+        preprocessing_prob: 1.0,
+        seed: 4242,
+        ..ScenarioBuilder::default()
+    }
+    .build()
+}
+
+#[test]
+fn noop_telemetry_costs_under_two_percent_of_decide() {
+    // (1) Per-site cost. Each loop iteration exercises two sites: one
+    // disabled emit and one counter bump.
+    let tel = Telemetry::disabled();
+    let counters = Counters::default();
+    const ITERS: usize = 2_000_000;
+    let t0 = std::time::Instant::now();
+    for i in 0..ITERS {
+        tel.emit(|| Event::ArrivalSeen {
+            task: i,
+            slot: i % 36,
+            bid: 1.5,
+            vendors: 8,
+        });
+        counters.bump(&counters.dp_cells, 1);
+    }
+    let loop_seconds = t0.elapsed().as_secs_f64();
+    // The optimizer must not have discarded the loop.
+    assert_eq!(counters.read(&counters.dp_cells), ITERS as u64);
+    let per_site = loop_seconds / (2 * ITERS) as f64;
+
+    // (2) Sites hit per decision, from the real day. Every decide touches
+    // six fixed sites (decisions bump, ArrivalSeen emit, vendors_seen
+    // bump, outcome bump, outcome emit, latency record); each prune is a
+    // bump plus an emit; each DP run four bumps plus an emit; each grid
+    // build two bumps; each admission one dual-update bump plus one emit
+    // per placement.
+    let sc = multi_vendor_scenario();
+    let mut scheduler = Pdftsp::new(&sc, PdftspConfig::default());
+    let run = run_scheduler(&sc, &mut scheduler);
+    let c = &scheduler.telemetry().counters;
+    let decisions = c.read(&c.decisions);
+    assert!(decisions > 0, "scenario produced no decisions");
+    let sites = 6 * decisions
+        + 2 * c.read(&c.vendors_pruned)
+        + c.read(&c.vendors_memoized)
+        + 5 * c.read(&c.dp_runs)
+        + 2 * c.read(&c.grid_builds)
+        + c.read(&c.admitted)
+        + c.read(&c.dual_updates);
+    let sites_per_decide = sites as f64 / decisions as f64;
+
+    // (3) Measured decide latency of the same day.
+    let mean_decide =
+        run.decisions.iter().map(|d| d.decide_seconds).sum::<f64>() / decisions as f64;
+    assert!(mean_decide > 0.0);
+
+    let overhead = sites_per_decide * per_site / mean_decide;
+    assert!(
+        overhead < 0.02,
+        "no-op telemetry overhead {:.3}% >= 2% \
+         (sites/decide {sites_per_decide:.1}, per-site {:.2} ns, mean decide {:.2} us)",
+        overhead * 100.0,
+        per_site * 1e9,
+        mean_decide * 1e6,
+    );
+}

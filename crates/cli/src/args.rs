@@ -13,6 +13,7 @@ usage: pdftsp <command> [options]
 commands:
   simulate    run one scheduler over a generated day and report economics
   compare     run all schedulers over the same day
+  report      run instrumented pdFTSP and print the telemetry run report
   audit       truthfulness + individual-rationality audit of the auction
   ratio       empirical competitive ratio against the offline optimum
   zones       split the cluster into per-model zones and run each market
@@ -38,8 +39,16 @@ scenario persistence (simulate / compare / audit / ratio):
   --save FILE      write the generated scenario to FILE (text format)
   --load FILE      replay a scenario from FILE instead of generating one
 
+telemetry options (simulate with --algo pdftsp / report):
+  --telemetry FILE stream scheduler events to FILE as JSON lines and write
+                   the aggregate run report next to it (FILE with a
+                   .summary.json extension)
+  --duals DIR      export the final dual-price grids λ/φ as duals.csv and
+                   duals.json under DIR (e.g. results/)
+
 output options:
   --csv            emit CSV instead of an aligned table (where applicable)
+  --json           emit the run report as JSON (report command)
 ";
 
 /// Parsed command line.
@@ -57,6 +66,13 @@ pub struct Cli {
     pub load: Option<String>,
     /// Print per-slot strips and the per-node gantt after `simulate`.
     pub timeline: bool,
+    /// Stream scheduler events to this JSONL path (plus a summary JSON
+    /// written next to it).
+    pub telemetry: Option<String>,
+    /// Export the final dual-price grids under this directory.
+    pub duals: Option<String>,
+    /// Emit the run report as JSON instead of text (`report`).
+    pub json: bool,
 }
 
 /// The selected subcommand.
@@ -69,6 +85,8 @@ pub enum Command {
     },
     /// Run every algorithm on the same scenario.
     Compare,
+    /// Run instrumented pdFTSP and print the telemetry run report.
+    Report,
     /// Economic-property audit.
     Audit,
     /// Competitive ratio vs the offline optimum.
@@ -169,6 +187,9 @@ impl Cli {
         let mut save = None;
         let mut load = None;
         let mut timeline = false;
+        let mut telemetry = None;
+        let mut duals = None;
+        let mut json = false;
 
         while let Some(arg) = it.next() {
             let mut value_for = |name: &str| -> Result<&String, ParseError> {
@@ -177,9 +198,12 @@ impl Cli {
             };
             match arg.as_str() {
                 "--csv" => csv = true,
+                "--json" => json = true,
                 "--timeline" => timeline = true,
                 "--save" => save = Some(value_for("--save")?.clone()),
                 "--load" => load = Some(value_for("--load")?.clone()),
+                "--telemetry" => telemetry = Some(value_for("--telemetry")?.clone()),
+                "--duals" => duals = Some(value_for("--duals")?.clone()),
                 "--nodes" => scenario.nodes = parse_num(value_for("--nodes")?, "--nodes")?,
                 "--slots" => scenario.slots = parse_num(value_for("--slots")?, "--slots")?,
                 "--seed" => scenario.seed = parse_num(value_for("--seed")?, "--seed")?,
@@ -243,6 +267,7 @@ impl Cli {
         let command = match command_word {
             "simulate" => Command::Simulate { algo },
             "compare" => Command::Compare,
+            "report" => Command::Report,
             "audit" => Command::Audit,
             "ratio" => Command::Ratio,
             "zones" => Command::Zones,
@@ -257,6 +282,9 @@ impl Cli {
             save,
             load,
             timeline,
+            telemetry,
+            duals,
+            json,
         })
     }
 }
@@ -317,6 +345,26 @@ mod tests {
         assert!(parse("compare --nodes").is_err());
         assert!(parse("compare --mean banana").is_err());
         assert!(parse("compare --wat 3").is_err());
+    }
+
+    #[test]
+    fn report_parses_telemetry_and_duals_paths() {
+        let cli = parse("report --telemetry events.jsonl --duals results --json").unwrap();
+        assert_eq!(cli.command, Command::Report);
+        assert_eq!(cli.telemetry.as_deref(), Some("events.jsonl"));
+        assert_eq!(cli.duals.as_deref(), Some("results"));
+        assert!(cli.json);
+        // Values are required.
+        assert!(parse("report --telemetry").is_err());
+        assert!(parse("report --duals").is_err());
+    }
+
+    #[test]
+    fn simulate_accepts_telemetry_flags() {
+        let cli = parse("simulate --algo pdftsp --telemetry t.jsonl").unwrap();
+        assert_eq!(cli.telemetry.as_deref(), Some("t.jsonl"));
+        assert!(cli.duals.is_none());
+        assert!(!cli.json);
     }
 
     #[test]

@@ -6,11 +6,15 @@ use pdftsp_core::{probe_bid, Pdftsp, PdftspConfig};
 use pdftsp_lora::{CalibrationTable, TransformerConfig};
 use pdftsp_sim::{
     empirical_ratio, parallel_map, partition_zones, render_gantt, render_timeline, run_algo,
-    run_scheduler, run_zoned, Algo, FigureTable,
+    run_pdftsp_instrumented, run_scheduler, run_zoned, write_dual_grid, Algo, FigureTable,
+    RunResult,
 };
 use pdftsp_solver::milp::MilpConfig;
+use pdftsp_telemetry::{JsonlSink, Telemetry};
 use pdftsp_types::Scenario;
 use pdftsp_workload::ScenarioBuilder;
+use std::path::Path;
+use std::sync::Arc;
 
 /// Builds the scenario the shared arguments describe.
 #[must_use]
@@ -65,12 +69,85 @@ pub fn execute(cli: &Cli) -> String {
         }
     };
     match cli.command {
-        Command::Simulate { algo } => simulate(&scenario, &cli.scenario, algo, cli.timeline),
+        Command::Simulate { algo } => simulate(&scenario, &cli.scenario, algo, cli),
         Command::Compare => compare(&scenario, &cli.scenario, cli.csv),
+        Command::Report => report(&scenario, cli),
         Command::Audit => audit(&scenario),
         Command::Ratio => ratio(&scenario),
         Command::Zones => zones(&cli.scenario),
         Command::Help | Command::Calibrate => unreachable!("handled above"),
+    }
+}
+
+/// The pdFTSP config behind a pdFTSP-family [`Algo`], or `None` for the
+/// baselines (which carry no telemetry pipeline).
+fn pdftsp_config_for(algo: Algo) -> Option<PdftspConfig> {
+    match algo {
+        Algo::Pdftsp => Some(PdftspConfig::default()),
+        Algo::PdftspMasked => Some(PdftspConfig::default().with_masking()),
+        Algo::PdftspReference => Some(PdftspConfig::default().reference()),
+        Algo::Titan | Algo::Eft | Algo::Ntm | Algo::FixedPrice => None,
+    }
+}
+
+/// Runs instrumented pdFTSP and writes the artifacts `--telemetry` /
+/// `--duals` request; returns the run plus footnote lines naming every
+/// file written.
+fn instrumented_run(
+    scenario: &Scenario,
+    config: PdftspConfig,
+    cli: &Cli,
+) -> Result<(RunResult, Vec<String>), String> {
+    let telemetry = match cli.telemetry.as_deref() {
+        Some(p) => {
+            let sink = JsonlSink::create(p).map_err(|e| format!("--telemetry {p}: {e}"))?;
+            Telemetry::new(Arc::new(sink))
+        }
+        None => Telemetry::disabled(),
+    };
+    let (result, scheduler) = run_pdftsp_instrumented(scenario, config, telemetry);
+    let mut notes = Vec::new();
+    if let Some(p) = &cli.telemetry {
+        scheduler
+            .telemetry()
+            .sink()
+            .flush()
+            .map_err(|e| format!("--telemetry {p}: {e}"))?;
+        let summary = Path::new(p).with_extension("summary.json");
+        std::fs::write(&summary, result.report.to_json())
+            .map_err(|e| format!("--telemetry {}: {e}", summary.display()))?;
+        notes.push(format!("telemetry events -> {p}"));
+        notes.push(format!("run report       -> {}", summary.display()));
+    }
+    if let Some(dir) = &cli.duals {
+        let (csv_path, json_path) = write_dual_grid(Path::new(dir), scheduler.duals())
+            .map_err(|e| format!("--duals {dir}: {e}"))?;
+        notes.push(format!(
+            "dual-price grids -> {} and {}",
+            csv_path.display(),
+            json_path.display()
+        ));
+    }
+    Ok((result, notes))
+}
+
+fn report(scenario: &Scenario, cli: &Cli) -> String {
+    match instrumented_run(scenario, PdftspConfig::default(), cli) {
+        Err(e) => format!("error: {e}\n"),
+        Ok((result, notes)) => {
+            let mut out = if cli.json {
+                let mut json = result.report.to_json();
+                json.push('\n');
+                json
+            } else {
+                result.report.render_text()
+            };
+            for note in notes {
+                out.push_str(&note);
+                out.push('\n');
+            }
+            out
+        }
     }
 }
 
@@ -134,10 +211,22 @@ fn calibrate(args: &ScenarioArgs) -> String {
     )
 }
 
-fn simulate(scenario: &Scenario, args: &ScenarioArgs, algo: Algo, timeline: bool) -> String {
+fn simulate(scenario: &Scenario, args: &ScenarioArgs, algo: Algo, cli: &Cli) -> String {
     let scenario = scenario.clone();
     let stats = scenario.stats();
-    let r = run_algo(&scenario, algo, args.seed);
+    let timeline = cli.timeline;
+    let (r, notes) = if cli.telemetry.is_some() || cli.duals.is_some() {
+        let Some(config) = pdftsp_config_for(algo) else {
+            return "error: --telemetry/--duals require a pdFTSP algorithm (--algo pdftsp)\n"
+                .to_string();
+        };
+        match instrumented_run(&scenario, config, cli) {
+            Ok(pair) => pair,
+            Err(e) => return format!("error: {e}\n"),
+        }
+    } else {
+        (run_algo(&scenario, algo, args.seed), Vec::new())
+    };
     let w = &r.welfare;
     let mut out = format!(
         "scenario: {} tasks / {} nodes / {} slots (offered load {:.2})\n\
@@ -177,6 +266,10 @@ gantt (digits = co-located tasks):
             render_timeline(&scenario, &r),
             render_gantt(&scenario, &r)
         ));
+    }
+    for note in notes {
+        out.push_str(&note);
+        out.push('\n');
     }
     out
 }
@@ -390,6 +483,59 @@ mod tests {
     #[test]
     fn load_missing_file_reports_error() {
         let out = run_words("simulate --load /nonexistent/path/xyz.txt");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn report_prints_counter_backed_fields() {
+        let out = run_words("report --nodes 4 --slots 16 --mean 2 --seed 1");
+        assert!(out.contains("run report — pdFTSP"), "{out}");
+        assert!(out.contains("vendors:"), "{out}");
+        assert!(out.contains("dp:"), "{out}");
+        assert!(out.contains("decide latency (exact)"), "{out}");
+    }
+
+    #[test]
+    fn report_json_emits_the_full_object() {
+        let out = run_words("report --nodes 4 --slots 16 --mean 2 --seed 1 --json");
+        for key in [
+            "\"scheduler\": \"pdFTSP\"",
+            "\"prune_hit_rate\"",
+            "\"utilization\"",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+    }
+
+    #[test]
+    fn report_writes_telemetry_and_dual_artifacts() {
+        let dir = std::env::temp_dir().join(format!("pdftsp-cli-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("events.jsonl");
+        let duals_dir = dir.join("results");
+        let out = run_words(&format!(
+            "report --nodes 4 --slots 16 --mean 2 --seed 1 --telemetry {} --duals {}",
+            events.display(),
+            duals_dir.display()
+        ));
+        assert!(!out.starts_with("error"), "{out}");
+        // The event stream parses and contains every decision.
+        let text = std::fs::read_to_string(&events).unwrap();
+        let parsed = pdftsp_telemetry::parse_jsonl(&text).unwrap();
+        assert!(!parsed.is_empty());
+        // The summary report sits next to the stream.
+        let summary = std::fs::read_to_string(dir.join("events.summary.json")).unwrap();
+        assert!(summary.contains("\"scheduler\": \"pdFTSP\""));
+        // Dual grids landed under the requested directory.
+        assert!(duals_dir.join("duals.csv").exists());
+        assert!(duals_dir.join("duals.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_telemetry_for_baselines() {
+        let out =
+            run_words("simulate --algo eft --nodes 4 --slots 12 --mean 1 --telemetry x.jsonl");
         assert!(out.starts_with("error:"), "{out}");
     }
 

@@ -21,20 +21,60 @@ pub mod commands;
 
 pub use args::{Cli, Command, ParseError};
 
-/// Parses arguments and runs the selected command, returning the exit
-/// code (0 on success).
-#[must_use]
-pub fn run(argv: &[String]) -> i32 {
+use std::io::Write;
+
+/// Parses arguments and runs the selected command, writing the report to
+/// `out` and parse errors to `err`. Returns the exit code (0 on success).
+/// Write failures on the injected streams are swallowed — a broken pipe
+/// on `pdftsp ... | head` must not turn into a panic.
+pub fn run_with_io(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
     match Cli::parse(argv) {
         Ok(cli) => {
-            let out = commands::execute(&cli);
-            print!("{out}");
+            let text = commands::execute(&cli);
+            let _ = out.write_all(text.as_bytes());
+            let _ = out.flush();
             0
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("{}", args::USAGE);
+            let _ = writeln!(err, "error: {e}");
+            let _ = writeln!(err, "{}", args::USAGE);
             2
         }
+    }
+}
+
+/// [`run_with_io`] bound to the process's stdout/stderr — the binary's
+/// entry point.
+#[must_use]
+pub fn run(argv: &[String]) -> i32 {
+    run_with_io(argv, &mut std::io::stdout(), &mut std::io::stderr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn run_with_io_writes_report_to_the_injected_stream() {
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_with_io(&words("help"), &mut out, &mut err);
+        assert_eq!(code, 0);
+        assert!(String::from_utf8(out).unwrap().contains("usage: pdftsp"));
+        assert!(err.is_empty());
+    }
+
+    #[test]
+    fn run_with_io_routes_parse_errors_to_err() {
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_with_io(&words("frobnicate"), &mut out, &mut err);
+        assert_eq!(code, 2);
+        assert!(out.is_empty());
+        let err = String::from_utf8(err).unwrap();
+        assert!(err.starts_with("error:"));
+        assert!(err.contains("usage: pdftsp"));
     }
 }

@@ -52,12 +52,18 @@ impl ClusterMetrics {
         }
         let cells = (nodes * horizon).max(1) as f64;
 
-        // Co-location from the committed schedules.
+        // Co-location from the committed schedules. Placements outside the
+        // `nodes × horizon` grid are skipped rather than indexed: a
+        // degenerate scenario (zero nodes or zero horizon) yields an empty
+        // `colocated` vector, and a foreign decision list must not panic
+        // the metrics pass that summarizes it.
         let mut colocated = vec![0usize; nodes * horizon];
         for d in decisions {
             if let Some(s) = d.schedule() {
                 for &(k, t) in &s.placements {
-                    colocated[k * horizon + t] += 1;
+                    if k < nodes && t < horizon {
+                        colocated[k * horizon + t] += 1;
+                    }
                 }
             }
         }
@@ -86,6 +92,22 @@ impl ClusterMetrics {
         debug_assert!(self.mean_compute_utilization <= 1.0 + 1e-9);
         debug_assert!(self.peak_compute_utilization <= 1.0 + 1e-9);
         self
+    }
+
+    /// The utilization block of a telemetry [`RunReport`]
+    /// (`admitted`/`rejected` live in the report's decision tallies, so
+    /// only the cluster-shape figures are carried over).
+    ///
+    /// [`RunReport`]: pdftsp_telemetry::RunReport
+    #[must_use]
+    pub fn utilization_summary(&self) -> pdftsp_telemetry::UtilizationSummary {
+        pdftsp_telemetry::UtilizationSummary {
+            mean_compute: self.mean_compute_utilization,
+            peak_compute: self.peak_compute_utilization,
+            mean_memory: self.mean_memory_utilization,
+            peak_colocation: self.peak_colocation,
+            mean_colocation_busy: self.mean_colocation_busy,
+        }
     }
 }
 
@@ -152,5 +174,69 @@ mod tests {
         assert_eq!(m.peak_colocation, 0);
         assert_eq!(m.mean_compute_utilization, 0.0);
         assert_eq!(m.mean_colocation_busy, 0.0);
+    }
+
+    #[test]
+    fn zero_horizon_scenario_does_not_panic_on_placements() {
+        // A degenerate scenario with an empty grid: the decision list may
+        // still carry placements (e.g. replayed from another run); metrics
+        // must skip them rather than index an empty co-location vector.
+        let mut sc = scenario();
+        sc.horizon = 0;
+        sc.cost = CostGrid::flat(1, 0, 0.0);
+        sc.tasks.clear();
+        sc.quotes.clear();
+        let ledger = CapacityLedger::new(&sc);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0)]);
+        let decisions = vec![Decision::admitted(0, s, 1.0, 0.0)];
+        let m = ClusterMetrics::compute(&sc, &ledger, &decisions);
+        assert_eq!(m.peak_colocation, 0);
+        assert_eq!(m.mean_compute_utilization, 0.0);
+        assert_eq!(m.mean_memory_utilization, 0.0);
+        assert_eq!(m.admitted, 1);
+    }
+
+    #[test]
+    fn zero_node_scenario_does_not_panic_on_placements() {
+        let mut sc = scenario();
+        sc.nodes.clear();
+        sc.cost = CostGrid::flat(0, 4, 0.0);
+        sc.tasks.clear();
+        sc.quotes.clear();
+        let ledger = CapacityLedger::new(&sc);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1)]);
+        let decisions = vec![Decision::admitted(0, s, 1.0, 0.0)];
+        let m = ClusterMetrics::compute(&sc, &ledger, &decisions);
+        assert_eq!(m.peak_colocation, 0);
+        assert_eq!(m.mean_colocation_busy, 0.0);
+        assert_eq!(m.rejected, 0);
+    }
+
+    #[test]
+    fn out_of_grid_placements_are_skipped_not_counted() {
+        let sc = scenario();
+        let ledger = CapacityLedger::new(&sc);
+        // Node 3 and slot 9 are outside the 1×4 grid; (0, 0) is inside.
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (3, 1), (0, 9)]);
+        let decisions = vec![Decision::admitted(0, s, 1.0, 0.0)];
+        let m = ClusterMetrics::compute(&sc, &ledger, &decisions);
+        assert_eq!(m.peak_colocation, 1);
+        assert!((m.mean_colocation_busy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_summary_mirrors_the_metric_fields() {
+        let sc = scenario();
+        let mut ledger = CapacityLedger::new(&sc);
+        let s0 = Schedule::new(0, VendorQuote::none(), vec![(0, 0)]);
+        ledger.commit(&sc.tasks[0], &s0).unwrap();
+        let decisions = vec![Decision::admitted(0, s0, 1.0, 0.0)];
+        let m = ClusterMetrics::compute(&sc, &ledger, &decisions);
+        let u = m.utilization_summary();
+        assert_eq!(u.mean_compute, m.mean_compute_utilization);
+        assert_eq!(u.peak_compute, m.peak_compute_utilization);
+        assert_eq!(u.mean_memory, m.mean_memory_utilization);
+        assert_eq!(u.peak_colocation, m.peak_colocation);
+        assert_eq!(u.mean_colocation_busy, m.mean_colocation_busy);
     }
 }

@@ -33,6 +33,7 @@
 use crate::duals::DualState;
 use crate::grid::{DeltaGrid, LB_SLACK};
 use pdftsp_cluster::CapacityLedger;
+use pdftsp_telemetry::{Event, Telemetry};
 use pdftsp_types::{NodeId, Scenario, Slot, Task};
 
 /// Everything `find_schedule` consults.
@@ -47,6 +48,38 @@ pub struct DpContext<'a> {
     pub ledger: Option<&'a CapacityLedger>,
     /// Samples per compute pricing unit.
     pub compute_unit: f64,
+    /// Observability hooks (`None` skips all emission and counting).
+    pub telemetry: Option<&'a Telemetry>,
+}
+
+/// DP work accounting for one `findSchedule` invocation, summed over
+/// refinement attempts so each invocation yields exactly one
+/// [`Event::DpRun`] — the invariant the event-stream tests assert.
+#[derive(Debug, Default, Clone, Copy)]
+struct DpWork {
+    rows: usize,
+    cells: u64,
+    early_exit: bool,
+}
+
+/// Counts and emits one completed `findSchedule` invocation.
+fn record_dp_run(ctx: &DpContext<'_>, task: &Task, start: Slot, work: DpWork, feasible: bool) {
+    let Some(tel) = ctx.telemetry else { return };
+    let c = &tel.counters;
+    c.bump(&c.dp_runs, 1);
+    c.bump(&c.dp_rows, work.rows as u64);
+    c.bump(&c.dp_cells, work.cells);
+    if work.early_exit {
+        c.bump(&c.dp_early_exits, 1);
+    }
+    tel.emit(|| Event::DpRun {
+        task: task.id,
+        start,
+        rows: work.rows,
+        cells: work.cells,
+        early_exit: work.early_exit,
+        feasible,
+    });
 }
 
 /// A schedule candidate produced by the DP.
@@ -142,12 +175,17 @@ pub fn find_schedule_on_grid(
         acc += v;
         bufs.prefix.push(acc);
     }
+    let mut work = DpWork::default();
+    let mut result = None;
     for refinement in [8u64, 64] {
-        if let Some(r) = dp_on_grid(ctx, task, start, grid, bufs, refinement) {
-            return Some(r);
+        if let Some(r) = dp_on_grid(ctx, task, start, grid, bufs, refinement, &mut work) {
+            result = Some(r);
+            break;
         }
     }
-    None
+    let feasible = result.is_some();
+    record_dp_run(ctx, task, start, work, feasible);
+    result
 }
 
 fn dp_on_grid(
@@ -157,6 +195,7 @@ fn dp_on_grid(
     grid: &DeltaGrid,
     bufs: &mut DpBuffers,
     refinement: u64,
+    work: &mut DpWork,
 ) -> Option<DpResult> {
     let off = start - grid.base();
     let window = grid.deadline() - start + 1;
@@ -220,6 +259,8 @@ fn dp_on_grid(
         let col = off + t_rel - 1;
         let w_hi = w_target.min(t_rel * max_per_slot);
         let w_lo = w_target.saturating_sub((window - t_rel) * max_per_slot);
+        work.rows += 1;
+        work.cells += (w_hi - w_lo + 1) as u64;
         let (prev_part, cur_part) = bufs.dp.split_at_mut(t_rel * cols);
         let prev = &prev_part[(t_rel - 1) * cols..];
         let cur = &mut cur_part[..cols];
@@ -282,6 +323,7 @@ fn dp_on_grid(
         // target cell is only live once the trapezoid reaches it.
         if w_hi == w_target && cur[w_target] <= lb_q {
             effective = t_rel;
+            work.early_exit = true;
             break;
         }
     }
@@ -320,12 +362,17 @@ fn dp_on_grid(
 /// [`crate::config::EvalPipeline::Reference`]).
 #[must_use]
 pub fn find_schedule_reference(ctx: &DpContext<'_>, task: &Task, start: Slot) -> Option<DpResult> {
+    let mut work = DpWork::default();
+    let mut result = None;
     for refinement in [8u64, 64] {
-        if let Some(r) = find_schedule_quantized(ctx, task, start, refinement) {
-            return Some(r);
+        if let Some(r) = find_schedule_quantized(ctx, task, start, refinement, &mut work) {
+            result = Some(r);
+            break;
         }
     }
-    None
+    let feasible = result.is_some();
+    record_dp_run(ctx, task, start, work, feasible);
+    result
 }
 
 fn find_schedule_quantized(
@@ -333,6 +380,7 @@ fn find_schedule_quantized(
     task: &Task,
     start: Slot,
     refinement: u64,
+    work: &mut DpWork,
 ) -> Option<DpResult> {
     let scenario = ctx.scenario;
     let deadline = task.deadline.min(scenario.horizon.saturating_sub(1));
@@ -368,6 +416,9 @@ fn find_schedule_quantized(
 
     // dp[t][w]: min cost to accumulate ≥ w units using slots start..start+t.
     let cols = w_target + 1;
+    // The straight-line sweep touches every cell of every row.
+    work.rows += window;
+    work.cells += (window * cols) as u64;
     let mut dp = vec![f64::INFINITY; (window + 1) * cols];
     // choice[t][w]: 0 = idle this slot, c+1 = run on compatible[c].
     let mut choice = vec![0u16; (window + 1) * cols];
@@ -497,6 +548,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let r = find_schedule(&ctx, &t, 0).unwrap();
         assert_eq!(r.placements, vec![(0, 2), (0, 4)]);
@@ -514,6 +566,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let r = find_schedule(&ctx, &t, 3).unwrap();
         assert!(r.placements.iter().all(|&(_, tt)| tt >= 3));
@@ -532,6 +585,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         assert!(find_schedule(&ctx, &t, 0).is_none());
     }
@@ -547,6 +601,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let r = find_schedule(&ctx, &t, 0).unwrap();
         assert_eq!(r.placements.len(), 2);
@@ -567,6 +622,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let r = find_schedule(&ctx, &t, 0).unwrap();
         assert!(
@@ -591,6 +647,7 @@ mod tests {
             duals: &duals,
             ledger: Some(&ledger),
             compute_unit: 1000.0,
+            telemetry: None,
         };
         // Only slots 4, 5 remain → exactly fits the 2-slot task.
         let r = find_schedule(&ctx, &t, 0).unwrap();
@@ -613,6 +670,7 @@ mod tests {
                 duals: &duals,
                 ledger: None,
                 compute_unit: 1000.0,
+                telemetry: None,
             };
             if let Some(r) = find_schedule(&ctx, &t, 0) {
                 let delivered: u64 = r.placements.iter().map(|&(k, _)| t.rate(k)).sum();
@@ -648,6 +706,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let got = find_schedule(&ctx, &t, 0).unwrap();
 
@@ -691,6 +750,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let r = find_schedule(&ctx, &t, 0).unwrap();
         assert!(r.placements.iter().all(|&(k, _)| k == 0));
@@ -745,6 +805,7 @@ mod tests {
                     duals: &duals,
                     ledger: if use_mask { Some(&ledger) } else { None },
                     compute_unit: 1000.0,
+                    telemetry: None,
                 };
                 let reference = find_schedule_reference(&ctx, &t, start);
                 scratch.grid.build(&ctx, &t, start.min(t.arrival));
@@ -796,6 +857,7 @@ mod tests {
                 duals: &duals,
                 ledger: None,
                 compute_unit: 1000.0,
+                telemetry: None,
             };
             let start = rng.gen_range(0usize..horizon);
             let a = find_schedule_reference(&ctx, &t, start);

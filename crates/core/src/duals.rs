@@ -13,6 +13,7 @@
 //! (Lemma 2's unit-scaling assumption).
 
 use crate::config::DualRule;
+use pdftsp_telemetry::{Event, Telemetry};
 use pdftsp_types::{NodeId, Scenario, Schedule, Slot, Task};
 
 /// Dense `K × T` grids of dual prices plus the capacity denominators.
@@ -55,6 +56,18 @@ impl DualState {
     fn idx(&self, k: NodeId, t: Slot) -> usize {
         debug_assert!(k < self.nodes && t < self.horizon);
         k * self.horizon + t
+    }
+
+    /// Number of nodes (`K`) the price grids cover.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of slots (`T`) the price grids cover.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
     }
 
     /// Compute price `λ_kt`.
@@ -138,6 +151,25 @@ impl DualState {
         compute_unit: f64,
         rule: DualRule,
     ) {
+        self.update_logged(task, schedule, b_bar, alpha, beta, compute_unit, rule, None);
+    }
+
+    /// [`DualState::update_with_rule`] plus observability: emits one
+    /// [`Event::DualUpdate`] (and one `dual_updates` count) per `(k, t)`
+    /// placement touched. With `DualRule::Off` nothing is updated and
+    /// nothing is emitted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_logged(
+        &mut self,
+        task: &Task,
+        schedule: &Schedule,
+        b_bar: f64,
+        alpha: f64,
+        beta: f64,
+        compute_unit: f64,
+        rule: DualRule,
+        telemetry: Option<&Telemetry>,
+    ) {
         if rule == DualRule::Off {
             return;
         }
@@ -164,6 +196,22 @@ impl DualState {
                 };
                 self.phi[i] = compounded + beta * b_bar * frac;
             }
+            if let Some(tel) = telemetry {
+                let (lambda, phi) = (self.lambda[i], self.phi[i]);
+                tel.emit(|| Event::DualUpdate {
+                    task: task.id,
+                    node: k,
+                    slot: t,
+                    lambda,
+                    phi,
+                });
+            }
+        }
+        if let Some(tel) = telemetry {
+            // One bump for the whole schedule keeps the hot path at a
+            // single atomic per admission rather than one per placement.
+            tel.counters
+                .bump(&tel.counters.dual_updates, schedule.placements.len() as u64);
         }
     }
 

@@ -89,6 +89,9 @@ impl DeltaGrid {
     /// (the scheduler passes `task.arrival`; every vendor start is
     /// `arrival + delay ≥ arrival`).
     pub fn build(&mut self, ctx: &DpContext<'_>, task: &Task, base: Slot) {
+        if let Some(tel) = ctx.telemetry {
+            tel.counters.bump(&tel.counters.grid_builds, 1);
+        }
         let scenario = ctx.scenario;
         self.compatible.clear();
         self.rates.clear();
@@ -166,6 +169,10 @@ impl DeltaGrid {
             self.lam_suf[j] = self.lam_suf[j].min(self.lam_suf[j + 1]);
             self.phi_suf[j] = self.phi_suf[j].min(self.phi_suf[j + 1]);
             self.e_suf[j] = self.e_suf[j].min(self.e_suf[j + 1]);
+        }
+        if let Some(tel) = ctx.telemetry {
+            tel.counters
+                .bump(&tel.counters.grid_cells, self.deltas.len() as u64);
         }
     }
 
@@ -346,6 +353,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let mut grid = DeltaGrid::default();
         grid.build(&ctx, &t, 0);
@@ -383,6 +391,7 @@ mod tests {
             duals: &duals,
             ledger: Some(&ledger),
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let mut grid = DeltaGrid::default();
         grid.build(&ctx, &t, 0);
@@ -402,6 +411,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let mut grid = DeltaGrid::default();
         // Zero rate → no compatible node.
@@ -423,6 +433,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let mut grid = DeltaGrid::default();
         let wide = task(2000, vec![1000, 500], 5);
@@ -463,6 +474,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let mut grid = DeltaGrid::default();
         grid.build(&ctx, &t, 0);
@@ -494,6 +506,7 @@ mod tests {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         let mut grid = DeltaGrid::default();
         grid.build(&ctx, &t, 0);

@@ -21,6 +21,7 @@ use crate::duals::DualState;
 use crate::grid::DeltaGrid;
 use crate::pricing::payment;
 use pdftsp_cluster::{parallel_map, CapacityLedger};
+use pdftsp_telemetry::{Event, Reason, Telemetry};
 use pdftsp_types::{
     Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task, TaskId,
     VendorQuote,
@@ -121,12 +122,24 @@ pub struct Pdftsp {
     /// core is pure overhead, and the sequential path additionally gets
     /// to use its incumbent skip and shared-start memo.
     workers: usize,
+    /// Observability: typed event stream + always-on counters. Defaults to
+    /// [`Telemetry::disabled`] (no-op sink), where emission is one cached
+    /// branch per site — the overhead-guard bench proves it stays under 2%
+    /// of the decide path.
+    telemetry: Telemetry,
 }
 
 impl Pdftsp {
-    /// Creates a scheduler for `scenario`.
+    /// Creates a scheduler for `scenario` with telemetry disabled.
     #[must_use]
     pub fn new(scenario: &Scenario, config: PdftspConfig) -> Self {
+        Pdftsp::with_telemetry(scenario, config, Telemetry::disabled())
+    }
+
+    /// Creates a scheduler whose events flow into `telemetry`'s sink (its
+    /// counters run regardless).
+    #[must_use]
+    pub fn with_telemetry(scenario: &Scenario, config: PdftspConfig, telemetry: Telemetry) -> Self {
         let (alpha, beta) = match config.alpha_beta {
             AlphaBeta::Fixed { alpha, beta } => (alpha, beta),
             AlphaBeta::RunningMax {
@@ -143,6 +156,7 @@ impl Pdftsp {
             records: Vec::new(),
             scratch: Mutex::new(EvalScratch::default()),
             workers: std::thread::available_parallelism().map_or(1, usize::from),
+            telemetry,
         }
     }
 
@@ -182,6 +196,12 @@ impl Pdftsp {
         &self.records
     }
 
+    /// The telemetry handle (events + hot-path counters).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Evaluates the best schedule for `task` against the current prices
     /// without mutating any state.
     pub(crate) fn evaluate(&self, task: &Task, scenario: &Scenario) -> EvalOutcome {
@@ -193,6 +213,7 @@ impl Pdftsp {
                 CapacityPolicy::MaskSaturated => Some(&self.ledger),
             },
             compute_unit: self.config.compute_unit,
+            telemetry: Some(&self.telemetry),
         };
         let no_vendor = [VendorQuote::none()];
         let quotes: &[VendorQuote] = if task.needs_preprocessing {
@@ -234,6 +255,8 @@ impl Pdftsp {
         task: &Task,
         quotes: &[VendorQuote],
     ) -> EvalOutcome {
+        let counters = &self.telemetry.counters;
+        counters.bump(&counters.vendors_seen, quotes.len() as u64);
         let mut best: Option<Candidate> = None;
         for &quote in quotes {
             let start = task.arrival + quote.delay;
@@ -271,6 +294,8 @@ impl Pdftsp {
         }
         // Cheap per-vendor pass: certain infeasibility and the surplus
         // upper bound `F(il) ≤ b_i − q_in − lower_bound(dp_cost)`.
+        let counters = &self.telemetry.counters;
+        counters.bump(&counters.vendors_seen, quotes.len() as u64);
         let mut plans: Vec<(VendorQuote, Slot, f64)> = Vec::with_capacity(quotes.len());
         let mut pruned = false;
         for &quote in quotes {
@@ -285,6 +310,12 @@ impl Pdftsp {
             let upper = task.bid - quote.price - lb;
             if upper <= 0.0 {
                 pruned = true; // F(il) ≤ 0 proven without a DP
+                counters.bump(&counters.vendors_pruned, 1);
+                self.telemetry.emit(|| Event::VendorPruned {
+                    task: task.id,
+                    vendor: quote.vendor,
+                    bound: upper,
+                });
                 continue;
             }
             plans.push((quote, start, upper));
@@ -307,6 +338,10 @@ impl Pdftsp {
             let mut starts: Vec<Slot> = plans.iter().map(|&(_, start, _)| start).collect();
             starts.sort_unstable();
             starts.dedup();
+            counters.bump(
+                &counters.vendors_memoized,
+                (plans.len() - starts.len()) as u64,
+            );
             let results = parallel_map(&starts, |&start| {
                 let mut local = DpBuffers::default();
                 find_schedule_on_grid(ctx, task, start, grid, &mut local)
@@ -344,13 +379,20 @@ impl Pdftsp {
                 let (quote, start, upper) = plans[pi];
                 if let Some(b) = &best {
                     if upper < b.f_value || (upper == b.f_value && pi > best_at) {
-                        continue; // provably cannot displace the incumbent
+                        // Provably cannot displace the incumbent — a
+                        // bound-based discharge, counted with the prunes
+                        // (no event: F(il) ≤ 0 was not proven).
+                        counters.bump(&counters.vendors_pruned, 1);
+                        continue;
                     }
                 }
                 // Vendors with equal delay share one DP (same start, same
                 // grid slice ⇒ bit-identical result).
                 let dp = match memo.iter().find(|&&(s, _)| s == start) {
-                    Some((_, cached)) => cached.clone(),
+                    Some((_, cached)) => {
+                        counters.bump(&counters.vendors_memoized, 1);
+                        cached.clone()
+                    }
                     None => {
                         let r = find_schedule_on_grid(
                             ctx,
@@ -402,9 +444,45 @@ impl Pdftsp {
         });
     }
 
+    /// Records the end of one `decide()` call in the counters (and, for
+    /// rejections, the event stream; admissions emit separately because
+    /// the event borrows the winning candidate).
+    fn finish_decide(&self, task: &Task, t0: Instant, reject: Option<Reason>) -> f64 {
+        let secs = t0.elapsed().as_secs_f64();
+        let c = &self.telemetry.counters;
+        c.decide_latency.record_seconds(secs);
+        match reject {
+            None => c.bump(&c.admitted, 1),
+            Some(reason) => {
+                match reason {
+                    Reason::NoFeasibleSchedule => c.bump(&c.rejected_infeasible, 1),
+                    Reason::NonPositiveSurplus => c.bump(&c.rejected_surplus, 1),
+                    Reason::InsufficientCapacity => c.bump(&c.rejected_capacity, 1),
+                }
+                self.telemetry.emit(|| Event::Rejected {
+                    task: task.id,
+                    reason,
+                });
+            }
+        }
+        secs
+    }
+
     /// Handles one arriving task: the body of Algorithm 1's loop.
     pub fn decide(&mut self, task: &Task, scenario: &Scenario) -> Decision {
         let t0 = Instant::now();
+        let counters = &self.telemetry.counters;
+        counters.bump(&counters.decisions, 1);
+        self.telemetry.emit(|| Event::ArrivalSeen {
+            task: task.id,
+            slot: task.arrival,
+            bid: task.bid,
+            vendors: if task.needs_preprocessing {
+                scenario.quotes[task.id].len()
+            } else {
+                0
+            },
+        });
 
         // Running-max α/β estimation, updated on every arrival:
         // α = max b_i/M_i (Lemma 2, in pricing units); β is normalized by
@@ -431,23 +509,23 @@ impl Pdftsp {
 
         let outcome = self.evaluate(task, scenario);
         let Some(cand) = outcome.best else {
-            let secs = t0.elapsed().as_secs_f64();
             self.push_record(task, None, None, 0.0, false, false);
             // With no candidate but at least one pruned vendor, that
             // vendor's F(il) ≤ 0 was proven without a DP: reject for
             // non-positive surplus, like the reference would (its exact
             // F(il) is simply not in the record).
-            let reason = if outcome.pruned {
-                Rejection::NonPositiveSurplus
+            let (reason, ev_reason) = if outcome.pruned {
+                (Rejection::NonPositiveSurplus, Reason::NonPositiveSurplus)
             } else {
-                Rejection::NoFeasibleSchedule
+                (Rejection::NoFeasibleSchedule, Reason::NoFeasibleSchedule)
             };
+            let secs = self.finish_decide(task, t0, Some(ev_reason));
             return Decision::rejected(task.id, reason, secs);
         };
 
         if cand.f_value <= 0.0 {
-            let secs = t0.elapsed().as_secs_f64();
             self.push_record(task, Some(cand.f_value), Some(cand.b_il), 0.0, false, false);
+            let secs = self.finish_decide(task, t0, Some(Reason::NonPositiveSurplus));
             return Decision::rejected(task.id, Rejection::NonPositiveSurplus, secs);
         }
 
@@ -473,7 +551,7 @@ impl Pdftsp {
             b_bar
         };
         self.duals.add_mu(cand.f_value.max(0.0));
-        self.duals.update_with_rule(
+        self.duals.update_logged(
             task,
             &cand.schedule,
             b_bar,
@@ -481,18 +559,25 @@ impl Pdftsp {
             self.config.seed_damping * self.beta,
             self.config.compute_unit,
             self.config.dual_rule,
+            Some(&self.telemetry),
         );
 
         if self.ledger.fits_schedule(task, &cand.schedule) {
             self.ledger
                 .commit(task, &cand.schedule)
                 .expect("fits_schedule checked");
-            let secs = t0.elapsed().as_secs_f64();
             self.push_record(task, Some(cand.f_value), Some(cand.b_il), p, true, false);
+            let secs = self.finish_decide(task, t0, None);
+            self.telemetry.emit(|| Event::Admitted {
+                task: task.id,
+                surplus: cand.f_value,
+                payment: p,
+                placements: cand.schedule.placements.len(),
+            });
             Decision::admitted(task.id, cand.schedule, p, secs)
         } else {
-            let secs = t0.elapsed().as_secs_f64();
             self.push_record(task, Some(cand.f_value), Some(cand.b_il), 0.0, false, true);
+            let secs = self.finish_decide(task, t0, Some(Reason::InsufficientCapacity));
             Decision::rejected(task.id, Rejection::InsufficientCapacity, secs)
         }
     }
@@ -721,6 +806,78 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert!(recs[0].admitted && !recs[1].admitted);
         assert_eq!(recs[0].payment, out[0].payment());
+    }
+
+    #[test]
+    fn telemetry_stream_and_counters_track_decisions() {
+        use pdftsp_telemetry::RingSink;
+        use std::sync::Arc;
+        let sc = scenario(
+            vec![simple_task(0, 10.0), simple_task(1, 0.05)],
+            vec![vec![], vec![]],
+            4000,
+        );
+        let ring = Arc::new(RingSink::new(256));
+        let mut p =
+            Pdftsp::with_telemetry(&sc, PdftspConfig::default(), Telemetry::new(ring.clone()));
+        let d0 = p.decide(&sc.tasks[0], &sc);
+        let d1 = p.decide(&sc.tasks[1], &sc);
+        assert!(d0.is_admitted() && !d1.is_admitted());
+        let c = &p.telemetry().counters;
+        assert_eq!(c.read(&c.decisions), 2);
+        assert_eq!(c.read(&c.admitted), 1);
+        assert_eq!(c.read(&c.rejected_surplus), 1);
+        assert_eq!(c.decide_latency.count(), 2);
+        // Task 0 runs a DP; task 1 (bid 0.05) is discharged by the
+        // admission bound without one — and says so in the stream.
+        assert_eq!(c.read(&c.dp_runs), 1);
+        assert_eq!(c.read(&c.vendors_pruned), 1);
+        assert!(c.read(&c.grid_builds) >= 2);
+        let events = ring.events();
+        // Task 0: ArrivalSeen → DpRun → DualUpdate × placements → Admitted.
+        assert_eq!(
+            events[0],
+            Event::ArrivalSeen {
+                task: 0,
+                slot: 0,
+                bid: 10.0,
+                vendors: 0
+            }
+        );
+        let placements = d0.schedule().unwrap().placements.len();
+        let dual_updates = events
+            .iter()
+            .filter(|e| matches!(e, Event::DualUpdate { task: 0, .. }))
+            .count();
+        assert_eq!(dual_updates, placements);
+        assert_eq!(c.read(&c.dual_updates), placements as u64);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Admitted { task: 0, .. })));
+        // Task 1: vendor-pruned (no DP), rejected for non-positive
+        // surplus, no dual updates.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::VendorPruned { task: 1, .. })));
+        assert!(events.contains(&Event::Rejected {
+            task: 1,
+            reason: Reason::NonPositiveSurplus
+        }));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, Event::DualUpdate { task: 1, .. })));
+    }
+
+    #[test]
+    fn disabled_telemetry_still_counts() {
+        let sc = scenario(vec![simple_task(0, 10.0)], vec![vec![]], 4000);
+        let mut p = Pdftsp::new(&sc, PdftspConfig::default());
+        assert!(!p.telemetry().is_enabled());
+        p.decide(&sc.tasks[0], &sc);
+        let c = &p.telemetry().counters;
+        assert_eq!(c.read(&c.decisions), 1);
+        assert_eq!(c.read(&c.admitted), 1);
+        assert!(c.read(&c.dp_cells) > 0);
     }
 
     #[test]

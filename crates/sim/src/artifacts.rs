@@ -1,0 +1,155 @@
+//! Run artifacts: exporting the final dual-price grids.
+//!
+//! After a run, pdFTSP's dual state holds the final compute price
+//! `λ_{k,t}` and memory price `φ_{k,t}` for every `(node, slot)` cell —
+//! the prices the primal-dual updates (Eqs. 7–8) converged to. These
+//! grids are the paper's pricing story made inspectable: exporting them
+//! lets a notebook plot price heat-maps over the horizon without
+//! re-running the scheduler.
+//!
+//! Two renderings are provided: a flat CSV (`node,slot,lambda,phi`, one
+//! row per cell) for spreadsheet/pandas use, and a nested JSON object
+//! (row-major per-node arrays) that preserves the grid shape. Both are
+//! plain strings; [`write_dual_grid`] persists them under a directory
+//! (conventionally `results/`).
+
+use pdftsp_core::DualState;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The final dual grids as CSV: header `node,slot,lambda,phi`, one row
+/// per `(k, t)` cell in row-major order. Floats use Rust's shortest
+/// round-trip formatting, so re-parsing reproduces the exact values.
+#[must_use]
+pub fn dual_grid_csv(duals: &DualState) -> String {
+    let (nodes, horizon) = (duals.nodes(), duals.horizon());
+    let mut s = String::with_capacity(32 + nodes * horizon * 24);
+    s.push_str("node,slot,lambda,phi\n");
+    for k in 0..nodes {
+        for t in 0..horizon {
+            let _ = writeln!(s, "{k},{t},{:?},{:?}", duals.lambda(k, t), duals.phi(k, t));
+        }
+    }
+    s
+}
+
+/// The final dual grids as a JSON object:
+/// `{"nodes": K, "horizon": T, "lambda": [[..T..]; K], "phi": [[..T..]; K]}`.
+#[must_use]
+pub fn dual_grid_json(duals: &DualState) -> String {
+    let (nodes, horizon) = (duals.nodes(), duals.horizon());
+    let render_grid = |row: &dyn Fn(usize) -> Vec<f64>| {
+        let mut g = String::from("[");
+        for k in 0..nodes {
+            if k > 0 {
+                g.push_str(", ");
+            }
+            g.push('[');
+            for (t, v) in row(k).iter().enumerate() {
+                if t > 0 {
+                    g.push_str(", ");
+                }
+                let _ = write!(g, "{v:?}");
+            }
+            g.push(']');
+        }
+        g.push(']');
+        g
+    };
+    let lambda = render_grid(&|k| duals.lambda_row(k).to_vec());
+    let phi = render_grid(&|k| duals.phi_row(k).to_vec());
+    format!(
+        "{{\n  \"nodes\": {nodes},\n  \"horizon\": {horizon},\n  \"lambda\": {lambda},\n  \"phi\": {phi}\n}}"
+    )
+}
+
+/// Writes `duals.csv` and `duals.json` under `dir` (created if missing)
+/// and returns the two paths.
+///
+/// # Errors
+/// Propagates filesystem errors from directory creation or file writes.
+pub fn write_dual_grid(dir: &Path, duals: &DualState) -> io::Result<(PathBuf, PathBuf)> {
+    fs::create_dir_all(dir)?;
+    let csv_path = dir.join("duals.csv");
+    let json_path = dir.join("duals.json");
+    fs::write(&csv_path, dual_grid_csv(duals))?;
+    fs::write(&json_path, dual_grid_json(duals))?;
+    Ok((csv_path, json_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_pdftsp_instrumented;
+    use pdftsp_core::PdftspConfig;
+    use pdftsp_telemetry::Telemetry;
+    use pdftsp_workload::ScenarioBuilder;
+
+    fn final_duals() -> DualState {
+        let sc = ScenarioBuilder::smoke(11).build();
+        let (_, scheduler) =
+            run_pdftsp_instrumented(&sc, PdftspConfig::default(), Telemetry::disabled());
+        scheduler.duals().clone()
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_plus_header() {
+        let duals = final_duals();
+        let csv = dual_grid_csv(&duals);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("node,slot,lambda,phi"));
+        assert_eq!(lines.count(), duals.nodes() * duals.horizon());
+        // Every value round-trips through f64 parsing.
+        for line in csv.lines().skip(1) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 4, "{line}");
+            let lambda: f64 = fields[2].parse().unwrap();
+            let phi: f64 = fields[3].parse().unwrap();
+            assert!(lambda.is_finite() && phi.is_finite());
+        }
+    }
+
+    #[test]
+    fn csv_values_match_the_dual_state_bit_for_bit() {
+        let duals = final_duals();
+        let csv = dual_grid_csv(&duals);
+        for line in csv.lines().skip(1) {
+            let fields: Vec<&str> = line.split(',').collect();
+            let (k, t): (usize, usize) = (fields[0].parse().unwrap(), fields[1].parse().unwrap());
+            let lambda: f64 = fields[2].parse().unwrap();
+            let phi: f64 = fields[3].parse().unwrap();
+            assert_eq!(lambda.to_bits(), duals.lambda(k, t).to_bits());
+            assert_eq!(phi.to_bits(), duals.phi(k, t).to_bits());
+        }
+    }
+
+    #[test]
+    fn json_encodes_grid_shape() {
+        let duals = final_duals();
+        let json = dual_grid_json(&duals);
+        assert!(json.contains(&format!("\"nodes\": {}", duals.nodes())));
+        assert!(json.contains(&format!("\"horizon\": {}", duals.horizon())));
+        // K top-level rows per grid → 2K '[' beyond the two grid openers.
+        let rows = json.matches('[').count();
+        assert_eq!(rows, 2 * duals.nodes() + 2);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn write_dual_grid_persists_both_files() {
+        let duals = final_duals();
+        let dir = std::env::temp_dir().join(format!(
+            "pdftsp-artifacts-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let (csv_path, json_path) = write_dual_grid(&dir, &duals).unwrap();
+        let csv = fs::read_to_string(&csv_path).unwrap();
+        let json = fs::read_to_string(&json_path).unwrap();
+        assert_eq!(csv, dual_grid_csv(&duals));
+        assert_eq!(json, dual_grid_json(&duals));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -4,7 +4,8 @@ use crate::welfare::WelfareReport;
 use pdftsp_baselines::{Eft, FixedPrice, FixedPriceConfig, Ntm, TitanConfig, TitanLike};
 use pdftsp_cluster::{ClusterMetrics, ExecutionEngine};
 use pdftsp_core::{Pdftsp, PdftspConfig};
-use pdftsp_types::{Decision, OnlineScheduler, Scenario, Task};
+use pdftsp_telemetry::{Reason, RunReport, Telemetry};
+use pdftsp_types::{AuctionOutcome, Decision, OnlineScheduler, Rejection, Scenario, Task};
 
 /// The algorithms compared in the paper's figures, plus the capacity-
 /// masking ablation of pdFTSP.
@@ -78,6 +79,38 @@ pub struct RunResult {
     pub welfare: WelfareReport,
     /// Cluster utilization/co-location metrics.
     pub metrics: ClusterMetrics,
+    /// Aggregate telemetry report. For uninstrumented schedulers (the
+    /// baselines) this holds the decision tallies, exact decide-latency
+    /// percentiles, and utilization; [`run_pdftsp_instrumented`] replaces
+    /// it with the full counter-backed report (prune/DP-work fields).
+    pub report: RunReport,
+}
+
+/// Maps the decision-level rejection reason onto the telemetry vocabulary.
+fn telemetry_reason(why: Rejection) -> Reason {
+    match why {
+        Rejection::NoFeasibleSchedule => Reason::NoFeasibleSchedule,
+        Rejection::NonPositiveSurplus => Reason::NonPositiveSurplus,
+        Rejection::InsufficientCapacity => Reason::InsufficientCapacity,
+    }
+}
+
+/// Builds the decision-tally report shared by every scheduler: outcome
+/// counts from the decision list, exact latency percentiles from
+/// `Decision::decide_seconds`, utilization from the replayed ledger.
+fn decision_report(name: &str, decisions: &[Decision], metrics: &ClusterMetrics) -> RunReport {
+    let mut report = RunReport::named(name);
+    let mut samples = Vec::with_capacity(decisions.len());
+    for d in decisions {
+        samples.push(d.decide_seconds);
+        match &d.outcome {
+            AuctionOutcome::Admitted { .. } => report.tally_admitted(),
+            AuctionOutcome::Rejected(why) => report.tally_rejected(telemetry_reason(*why)),
+        }
+    }
+    report
+        .with_exact_latency(&samples)
+        .with_utilization(metrics.utilization_summary())
 }
 
 /// Runs `scheduler` over `scenario`: feeds arrivals slot by slot, then
@@ -124,11 +157,13 @@ pub fn run_scheduler(scenario: &Scenario, scheduler: &mut dyn OnlineScheduler) -
         .unwrap_or_else(|e| panic!("{}: invalid outcome: {e}", scheduler.name()));
     let welfare = WelfareReport::compute(scenario, &decisions);
     let metrics = ClusterMetrics::compute(scenario, &report.ledger, &decisions);
+    let run_report = decision_report(scheduler.name(), &decisions, &metrics);
     RunResult {
         algo: scheduler.name().to_owned(),
         decisions,
         welfare,
         metrics,
+        report: run_report,
     }
 }
 
@@ -147,6 +182,42 @@ pub fn run_scheduler(scenario: &Scenario, scheduler: &mut dyn OnlineScheduler) -
 pub fn run_algo(scenario: &Scenario, algo: Algo, seed: u64) -> RunResult {
     let mut scheduler = algo.build(scenario, seed);
     run_scheduler(scenario, scheduler.as_mut())
+}
+
+/// Runs pdFTSP with an attached [`Telemetry`] pipeline and returns both the
+/// run outcome and the scheduler itself (for its final dual prices and
+/// counters). The result's `report` is the full counter-backed
+/// [`RunReport`] — prune hit-rate, DP work, dual updates — with exact
+/// latency percentiles and cluster utilization attached, in contrast to
+/// the decision-tally report [`run_scheduler`] builds for uninstrumented
+/// schedulers.
+///
+/// ```
+/// use pdftsp_core::PdftspConfig;
+/// use pdftsp_sim::run_pdftsp_instrumented;
+/// use pdftsp_telemetry::Telemetry;
+/// use pdftsp_workload::ScenarioBuilder;
+///
+/// let scenario = ScenarioBuilder::smoke(7).build();
+/// let (result, scheduler) =
+///     run_pdftsp_instrumented(&scenario, PdftspConfig::default(), Telemetry::disabled());
+/// assert_eq!(result.report.decisions as usize, scenario.num_tasks());
+/// assert!(result.report.dp_runs > 0);
+/// assert!(scheduler.duals().nodes() > 0);
+/// ```
+#[must_use]
+pub fn run_pdftsp_instrumented(
+    scenario: &Scenario,
+    config: PdftspConfig,
+    telemetry: Telemetry,
+) -> (RunResult, Pdftsp) {
+    let mut scheduler = Pdftsp::with_telemetry(scenario, config, telemetry);
+    let mut result = run_scheduler(scenario, &mut scheduler);
+    let samples: Vec<f64> = result.decisions.iter().map(|d| d.decide_seconds).collect();
+    result.report = RunReport::from_counters(scheduler.name(), &scheduler.telemetry().counters)
+        .with_exact_latency(&samples)
+        .with_utilization(result.metrics.utilization_summary());
+    (result, scheduler)
 }
 
 #[cfg(test)]
@@ -231,6 +302,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn run_report_tallies_match_the_decision_list_for_every_algo() {
+        let sc = ScenarioBuilder::smoke(44).build();
+        for algo in Algo::PAPER_SET {
+            let r = run_algo(&sc, algo, 3);
+            let admitted = r.decisions.iter().filter(|d| d.is_admitted()).count() as u64;
+            assert_eq!(r.report.scheduler, algo.name());
+            assert_eq!(r.report.decisions as usize, r.decisions.len());
+            assert_eq!(r.report.admitted, admitted, "{}", algo.name());
+            assert_eq!(
+                r.report.rejected(),
+                r.decisions.len() as u64 - admitted,
+                "{}",
+                algo.name()
+            );
+            assert!(r.report.latency.exact);
+            assert_eq!(r.report.latency.count as usize, r.decisions.len());
+            let u = r.report.utilization.expect("replay ran");
+            assert_eq!(u.peak_colocation, r.metrics.peak_colocation);
+        }
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run_and_adds_counters() {
+        use pdftsp_telemetry::Telemetry;
+        let sc = ScenarioBuilder::smoke(45).build();
+        let plain = run_algo(&sc, Algo::Pdftsp, 0);
+        let (inst, scheduler) =
+            run_pdftsp_instrumented(&sc, PdftspConfig::default(), Telemetry::disabled());
+        // Decisions identical: telemetry must not perturb the algorithm.
+        assert_eq!(plain.decisions.len(), inst.decisions.len());
+        for (a, b) in plain.decisions.iter().zip(&inst.decisions) {
+            assert_eq!(a.outcome, b.outcome);
+        }
+        // The instrumented report carries the counter-backed fields the
+        // decision tally can't know, while agreeing on the tallies.
+        assert_eq!(inst.report.decisions, plain.report.decisions);
+        assert_eq!(inst.report.admitted, plain.report.admitted);
+        assert!(inst.report.dp_runs > 0);
+        assert!(inst.report.vendors_seen > 0);
+        assert!(inst.report.grid_builds > 0);
+        assert_eq!(
+            inst.report.dual_updates,
+            scheduler
+                .telemetry()
+                .counters
+                .read(&scheduler.telemetry().counters.dual_updates)
+        );
+        assert!(inst.report.latency.exact);
+        assert!(inst.report.utilization.is_some());
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! evaluation reports.
 //!
 //! * [`driver`] — the slot-by-slot simulation loop plus the algorithm
-//!   registry ([`driver::Algo`]);
+//!   registry ([`driver::Algo`]) and the instrumented pdFTSP run path
+//!   ([`driver::run_pdftsp_instrumented`]);
+//! * [`artifacts`] — exports of the final dual-price grids `λ_{k,t}` /
+//!   `φ_{k,t}` as CSV/JSON run artifacts;
 //! * [`welfare`] — welfare/revenue/utility accounting (Eqs. 1–3) computed
 //!   from the ground-truth replay, never from scheduler self-reports;
 //! * [`competitive`] — empirical competitive-ratio measurement against
@@ -17,6 +20,7 @@
 //!   per pre-trained model, as the paper's Section 2.1 sketches);
 //! * [`report`] — figure tables with normalization and text/CSV rendering.
 
+pub mod artifacts;
 pub mod competitive;
 pub mod driver;
 pub mod parallel;
@@ -25,8 +29,9 @@ pub mod timeline;
 pub mod welfare;
 pub mod zones;
 
+pub use artifacts::{dual_grid_csv, dual_grid_json, write_dual_grid};
 pub use competitive::{empirical_ratio, RatioReport};
-pub use driver::{run_algo, run_scheduler, Algo, RunResult};
+pub use driver::{run_algo, run_pdftsp_instrumented, run_scheduler, Algo, RunResult};
 pub use parallel::parallel_map;
 pub use report::FigureTable;
 pub use timeline::{render_gantt, render_timeline};

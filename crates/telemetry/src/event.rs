@@ -1,0 +1,501 @@
+//! The typed event taxonomy and its JSONL round-trip.
+//!
+//! One event is one flat JSON object on one line, tagged by `"ev"`:
+//!
+//! ```text
+//! {"ev":"dp_run","task":7,"start":3,"rows":5,"cells":120,"early_exit":true,"feasible":true}
+//! ```
+//!
+//! Serialization uses Rust's shortest round-trip float formatting
+//! (`{:?}`), so `parse(serialize(e)) == e` holds bit-exactly for every
+//! finite float — the property `tests/tests/telemetry_stream.rs` proves
+//! over whole simulated runs. The parser accepts exactly the flat shape
+//! the writer produces (no nested objects, no strings other than the tag
+//! and reason tokens), which keeps it dependency-free.
+
+use std::fmt;
+
+/// Why a task was rejected (mirrors `pdftsp_types::Rejection`; kept
+/// separate so this crate stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reason {
+    /// No feasible schedule inside `[a_i + h_in, d_i]` at all.
+    NoFeasibleSchedule,
+    /// The best schedule had non-positive surplus `F(il) ≤ 0`.
+    NonPositiveSurplus,
+    /// `F(il) > 0` but residual capacity refused the schedule.
+    InsufficientCapacity,
+}
+
+impl Reason {
+    /// The wire token (`snake_case`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Reason::NoFeasibleSchedule => "no_feasible_schedule",
+            Reason::NonPositiveSurplus => "non_positive_surplus",
+            Reason::InsufficientCapacity => "insufficient_capacity",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, EventParseError> {
+        match s {
+            "no_feasible_schedule" => Ok(Reason::NoFeasibleSchedule),
+            "non_positive_surplus" => Ok(Reason::NonPositiveSurplus),
+            "insufficient_capacity" => Ok(Reason::InsufficientCapacity),
+            other => Err(EventParseError(format!("unknown reason `{other}`"))),
+        }
+    }
+}
+
+/// One structured observation from the scheduling hot path.
+///
+/// Ordering contract (per arriving task, single scheduler): `ArrivalSeen`
+/// first; then any `VendorPruned`/`DpRun` in evaluation order; then — for
+/// tasks whose best surplus is positive — one `DualUpdate` per chosen
+/// `(k, t)` cell (Algorithm 1 updates prices *before* the line-8 capacity
+/// check); finally exactly one of `Admitted`/`Rejected`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A task entered `decide()`.
+    ArrivalSeen {
+        /// Task id.
+        task: usize,
+        /// Arrival slot `a_i`.
+        slot: usize,
+        /// Declared bid `b_i`.
+        bid: f64,
+        /// Number of vendor quotes (0 when `f_i = 0`).
+        vendors: usize,
+    },
+    /// A vendor was skipped without running its DP: the delta-grid bound
+    /// proved `F(il) ≤ bound ≤ 0`.
+    VendorPruned {
+        /// Task id.
+        task: usize,
+        /// Vendor index (`usize::MAX` for the no-preprocessing
+        /// pseudo-quote).
+        vendor: usize,
+        /// The proven upper bound on `F(il)`.
+        bound: f64,
+    },
+    /// One `findSchedule` invocation (Algorithm 2) for one start slot.
+    DpRun {
+        /// Task id.
+        task: usize,
+        /// First slot of the execution window (`a_i + h_in`).
+        start: usize,
+        /// DP rows swept (summed over refinement attempts).
+        rows: usize,
+        /// DP cells touched (summed over refinement attempts).
+        cells: u64,
+        /// The lower-bound early-exit fired before the last row.
+        early_exit: bool,
+        /// A schedule meeting `M_i` by the deadline exists.
+        feasible: bool,
+    },
+    /// The bid won (Algorithm 1 lines 6–11).
+    Admitted {
+        /// Task id.
+        task: usize,
+        /// Admission surplus `F(il)` of Eq. (10).
+        surplus: f64,
+        /// Payment `p_i` of Eq. (14).
+        payment: f64,
+        /// Number of `(k, t)` placements committed.
+        placements: usize,
+    },
+    /// The bid lost.
+    Rejected {
+        /// Task id.
+        task: usize,
+        /// Why.
+        reason: Reason,
+    },
+    /// One `(k, t)` cell's dual prices after the Eq. (7)–(8) update.
+    DualUpdate {
+        /// Task id whose admission drove the update.
+        task: usize,
+        /// Node `k`.
+        node: usize,
+        /// Slot `t`.
+        slot: usize,
+        /// New compute price `λ_kt`.
+        lambda: f64,
+        /// New memory price `φ_kt`.
+        phi: f64,
+    },
+}
+
+impl Event {
+    /// The `"ev"` tag of this variant.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ArrivalSeen { .. } => "arrival_seen",
+            Event::VendorPruned { .. } => "vendor_pruned",
+            Event::DpRun { .. } => "dp_run",
+            Event::Admitted { .. } => "admitted",
+            Event::Rejected { .. } => "rejected",
+            Event::DualUpdate { .. } => "dual_update",
+        }
+    }
+
+    /// The task this event belongs to.
+    #[must_use]
+    pub fn task(&self) -> usize {
+        match *self {
+            Event::ArrivalSeen { task, .. }
+            | Event::VendorPruned { task, .. }
+            | Event::DpRun { task, .. }
+            | Event::Admitted { task, .. }
+            | Event::Rejected { task, .. }
+            | Event::DualUpdate { task, .. } => task,
+        }
+    }
+
+    /// One JSON object, no trailing newline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"ev\":\"");
+        s.push_str(self.kind());
+        s.push('"');
+        match *self {
+            Event::ArrivalSeen {
+                task,
+                slot,
+                bid,
+                vendors,
+            } => {
+                push_usize(&mut s, "task", task);
+                push_usize(&mut s, "slot", slot);
+                push_f64(&mut s, "bid", bid);
+                push_usize(&mut s, "vendors", vendors);
+            }
+            Event::VendorPruned {
+                task,
+                vendor,
+                bound,
+            } => {
+                push_usize(&mut s, "task", task);
+                push_usize(&mut s, "vendor", vendor);
+                push_f64(&mut s, "bound", bound);
+            }
+            Event::DpRun {
+                task,
+                start,
+                rows,
+                cells,
+                early_exit,
+                feasible,
+            } => {
+                push_usize(&mut s, "task", task);
+                push_usize(&mut s, "start", start);
+                push_usize(&mut s, "rows", rows);
+                push_u64(&mut s, "cells", cells);
+                push_bool(&mut s, "early_exit", early_exit);
+                push_bool(&mut s, "feasible", feasible);
+            }
+            Event::Admitted {
+                task,
+                surplus,
+                payment,
+                placements,
+            } => {
+                push_usize(&mut s, "task", task);
+                push_f64(&mut s, "surplus", surplus);
+                push_f64(&mut s, "payment", payment);
+                push_usize(&mut s, "placements", placements);
+            }
+            Event::Rejected { task, reason } => {
+                push_usize(&mut s, "task", task);
+                s.push_str(",\"reason\":\"");
+                s.push_str(reason.as_str());
+                s.push('"');
+            }
+            Event::DualUpdate {
+                task,
+                node,
+                slot,
+                lambda,
+                phi,
+            } => {
+                push_usize(&mut s, "task", task);
+                push_usize(&mut s, "node", node);
+                push_usize(&mut s, "slot", slot);
+                push_f64(&mut s, "lambda", lambda);
+                push_f64(&mut s, "phi", phi);
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one line produced by [`Event::to_json`].
+    pub fn from_json(line: &str) -> Result<Event, EventParseError> {
+        let fields = parse_flat_object(line)?;
+        let tag = get_str(&fields, "ev")?;
+        match tag {
+            "arrival_seen" => Ok(Event::ArrivalSeen {
+                task: get_usize(&fields, "task")?,
+                slot: get_usize(&fields, "slot")?,
+                bid: get_f64(&fields, "bid")?,
+                vendors: get_usize(&fields, "vendors")?,
+            }),
+            "vendor_pruned" => Ok(Event::VendorPruned {
+                task: get_usize(&fields, "task")?,
+                vendor: get_usize(&fields, "vendor")?,
+                bound: get_f64(&fields, "bound")?,
+            }),
+            "dp_run" => Ok(Event::DpRun {
+                task: get_usize(&fields, "task")?,
+                start: get_usize(&fields, "start")?,
+                rows: get_usize(&fields, "rows")?,
+                cells: get_u64(&fields, "cells")?,
+                early_exit: get_bool(&fields, "early_exit")?,
+                feasible: get_bool(&fields, "feasible")?,
+            }),
+            "admitted" => Ok(Event::Admitted {
+                task: get_usize(&fields, "task")?,
+                surplus: get_f64(&fields, "surplus")?,
+                payment: get_f64(&fields, "payment")?,
+                placements: get_usize(&fields, "placements")?,
+            }),
+            "rejected" => Ok(Event::Rejected {
+                task: get_usize(&fields, "task")?,
+                reason: Reason::from_str(get_str(&fields, "reason")?)?,
+            }),
+            "dual_update" => Ok(Event::DualUpdate {
+                task: get_usize(&fields, "task")?,
+                node: get_usize(&fields, "node")?,
+                slot: get_usize(&fields, "slot")?,
+                lambda: get_f64(&fields, "lambda")?,
+                phi: get_f64(&fields, "phi")?,
+            }),
+            other => Err(EventParseError(format!("unknown event tag `{other}`"))),
+        }
+    }
+}
+
+/// A malformed event line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventParseError(pub String);
+
+impl fmt::Display for EventParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "telemetry event parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EventParseError {}
+
+fn push_usize(s: &mut String, key: &str, v: usize) {
+    use fmt::Write;
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+fn push_u64(s: &mut String, key: &str, v: u64) {
+    use fmt::Write;
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+fn push_bool(s: &mut String, key: &str, v: bool) {
+    use fmt::Write;
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+fn push_f64(s: &mut String, key: &str, v: f64) {
+    use fmt::Write;
+    // `{v:?}` is Rust's shortest round-trip formatting; non-finite values
+    // (never produced by the schedulers, but defensively) become quoted
+    // tokens the parser maps back.
+    if v.is_finite() {
+        let _ = write!(s, ",\"{key}\":{v:?}");
+    } else {
+        let _ = write!(s, ",\"{key}\":\"{v:?}\"");
+    }
+}
+
+fn err(msg: impl Into<String>) -> EventParseError {
+    EventParseError(msg.into())
+}
+
+/// Splits `{"k":v,...}` into `(key, raw value)` pairs. Values are either
+/// bare tokens (numbers, booleans) or quoted strings without escapes —
+/// exactly what the writer emits.
+fn parse_flat_object(line: &str) -> Result<Vec<(&str, &str)>, EventParseError> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| err(format!("not a JSON object: `{line}`")))?;
+    let mut fields = Vec::with_capacity(8);
+    for pair in body.split(',') {
+        let (k, v) = pair
+            .split_once(':')
+            .ok_or_else(|| err(format!("malformed pair `{pair}`")))?;
+        let k = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| err(format!("unquoted key in `{pair}`")))?;
+        fields.push((k, v.trim()));
+    }
+    Ok(fields)
+}
+
+fn get_raw<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, EventParseError> {
+    fields
+        .iter()
+        .find(|&&(k, _)| k == key)
+        .map(|&(_, v)| v)
+        .ok_or_else(|| err(format!("missing field `{key}`")))
+}
+
+fn get_str<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, EventParseError> {
+    let raw = get_raw(fields, key)?;
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| err(format!("field `{key}` is not a string: `{raw}`")))
+}
+
+fn get_usize(fields: &[(&str, &str)], key: &str) -> Result<usize, EventParseError> {
+    get_raw(fields, key)?
+        .parse()
+        .map_err(|_| err(format!("field `{key}` is not an integer")))
+}
+
+fn get_u64(fields: &[(&str, &str)], key: &str) -> Result<u64, EventParseError> {
+    get_raw(fields, key)?
+        .parse()
+        .map_err(|_| err(format!("field `{key}` is not an integer")))
+}
+
+fn get_bool(fields: &[(&str, &str)], key: &str) -> Result<bool, EventParseError> {
+    match get_raw(fields, key)? {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(err(format!("field `{key}` is not a bool: `{other}`"))),
+    }
+}
+
+fn get_f64(fields: &[(&str, &str)], key: &str) -> Result<f64, EventParseError> {
+    let raw = get_raw(fields, key)?;
+    // Non-finite floats arrive quoted (see `push_f64`).
+    let token = raw
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(raw);
+    token
+        .parse()
+        .map_err(|_| err(format!("field `{key}` is not a number: `{raw}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::ArrivalSeen {
+                task: 17,
+                slot: 3,
+                bid: 12.75,
+                vendors: 5,
+            },
+            Event::VendorPruned {
+                task: 17,
+                vendor: usize::MAX,
+                bound: -0.071_234_567_890_123,
+            },
+            Event::DpRun {
+                task: 17,
+                start: 4,
+                rows: 9,
+                cells: 1_234_567,
+                early_exit: true,
+                feasible: true,
+            },
+            Event::Admitted {
+                task: 17,
+                surplus: 3.5e-9,
+                payment: 8.100_000_000_000_001,
+                placements: 4,
+            },
+            Event::Rejected {
+                task: 18,
+                reason: Reason::InsufficientCapacity,
+            },
+            Event::DualUpdate {
+                task: 17,
+                node: 2,
+                slot: 11,
+                lambda: 0.1 + 0.2, // deliberately non-representable exactly
+                phi: f64::MIN_POSITIVE,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_bit_exactly() {
+        for e in samples() {
+            let line = e.to_json();
+            let back = Event::from_json(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            assert_eq!(e, back, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn wire_shape_is_one_flat_tagged_object() {
+        let line = Event::Rejected {
+            task: 9,
+            reason: Reason::NonPositiveSurplus,
+        }
+        .to_json();
+        assert_eq!(
+            line,
+            "{\"ev\":\"rejected\",\"task\":9,\"reason\":\"non_positive_surplus\"}"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_round_trip() {
+        let e = Event::VendorPruned {
+            task: 1,
+            vendor: 2,
+            bound: f64::NEG_INFINITY,
+        };
+        let back = Event::from_json(&e.to_json()).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        for bad in [
+            "",
+            "not json",
+            "{\"ev\":\"dp_run\"}",
+            "{\"ev\":\"nope\",\"task\":1}",
+            "{\"ev\":\"rejected\",\"task\":1,\"reason\":\"beige\"}",
+            "{\"ev\":\"arrival_seen\",\"task\":x,\"slot\":0,\"bid\":1,\"vendors\":0}",
+        ] {
+            assert!(Event::from_json(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn accessors_expose_kind_and_task() {
+        let e = Event::DpRun {
+            task: 5,
+            start: 0,
+            rows: 1,
+            cells: 2,
+            early_exit: false,
+            feasible: false,
+        };
+        assert_eq!(e.kind(), "dp_run");
+        assert_eq!(e.task(), 5);
+    }
+}

@@ -1,0 +1,267 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! Three implementations cover the three deployment shapes:
+//!
+//! * [`NoopSink`] — production default. Reports `enabled() == false`, so
+//!   [`crate::Telemetry::emit`] never even constructs the event.
+//! * [`RingSink`] — bounded in-memory buffer. Used by the invariant tests
+//!   and for live inspection; keeps the most recent `capacity` events.
+//! * [`JsonlSink`] — buffered JSON-lines writer for `--telemetry <path>`.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Receives emitted events. Implementations must be internally
+/// synchronized: parallel vendor workers may emit concurrently.
+pub trait Sink: Send + Sync {
+    /// Records one event.
+    fn emit(&self, event: &Event);
+
+    /// Whether emitting is worthwhile at all. [`crate::Telemetry`] caches
+    /// this at construction to keep the hot-path check branch-cheap, so it
+    /// must be constant over the sink's lifetime.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards everything; `enabled()` is `false` so events are never built.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&self, _event: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Keeps the most recent `capacity` events in memory.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    events: Vec<Event>,
+    /// Index of the logical head once the buffer has wrapped.
+    head: usize,
+    /// Total events ever emitted (≥ `events.len()`).
+    total: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (`capacity ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingSink capacity must be positive");
+        RingSink {
+            capacity,
+            state: Mutex::new(RingState::default()),
+        }
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        let state = self.state.lock().expect("ring sink poisoned");
+        let mut out = Vec::with_capacity(state.events.len());
+        out.extend_from_slice(&state.events[state.head..]);
+        out.extend_from_slice(&state.events[..state.head]);
+        out
+    }
+
+    /// Total events ever emitted, including evicted ones.
+    #[must_use]
+    pub fn total_emitted(&self) -> u64 {
+        self.state.lock().expect("ring sink poisoned").total
+    }
+
+    /// Whether older events have been evicted.
+    #[must_use]
+    pub fn overflowed(&self) -> bool {
+        let state = self.state.lock().expect("ring sink poisoned");
+        state.total > state.events.len() as u64
+    }
+}
+
+impl Sink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut state = self.state.lock().expect("ring sink poisoned");
+        state.total += 1;
+        if state.events.len() < self.capacity {
+            state.events.push(event.clone());
+        } else {
+            let head = state.head;
+            state.events[head] = event.clone();
+            state.head = (head + 1) % self.capacity;
+        }
+    }
+}
+
+/// Streams events as JSON lines to a file (one [`Event::to_json`] object
+/// per line). Buffered; flushed on [`Sink::flush`] and on drop.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    /// Lines written so far.
+    lines: Mutex<u64>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying `File::create` failure.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            lines: Mutex::new(0),
+        })
+    }
+
+    /// Lines written so far (buffered lines included).
+    #[must_use]
+    pub fn lines_written(&self) -> u64 {
+        *self.lines.lock().expect("jsonl sink poisoned")
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        // An I/O error mid-stream (disk full) must not abort the
+        // scheduler; the final flush() surfaces persistent failures.
+        let _ = writeln!(w, "{}", event.to_json());
+        drop(w);
+        *self.lines.lock().expect("jsonl sink poisoned") += 1;
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.writer.lock().expect("jsonl sink poisoned").flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// Parses a JSONL stream (e.g. a file written by [`JsonlSink`]) back into
+/// events. Blank lines are skipped; any malformed line aborts with its
+/// 1-based line number for diagnosis.
+///
+/// # Errors
+/// Returns the offending line number and parse error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, (usize, crate::event::EventParseError)> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::from_json(line) {
+            Ok(e) => events.push(e),
+            Err(err) => return Err((idx + 1, err)),
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Reason;
+
+    fn ev(task: usize) -> Event {
+        Event::Rejected {
+            task,
+            reason: Reason::NoFeasibleSchedule,
+        }
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        assert!(!NoopSink.enabled());
+        NoopSink.emit(&ev(0)); // must not panic
+        assert!(NoopSink.flush().is_ok());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let ring = RingSink::new(3);
+        for task in 0..5 {
+            ring.emit(&ev(task));
+        }
+        let tasks: Vec<usize> = ring.events().iter().map(Event::task).collect();
+        assert_eq!(tasks, vec![2, 3, 4]);
+        assert_eq!(ring.total_emitted(), 5);
+        assert!(ring.overflowed());
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything() {
+        let ring = RingSink::new(8);
+        ring.emit(&ev(1));
+        ring.emit(&ev(2));
+        let tasks: Vec<usize> = ring.events().iter().map(Event::task).collect();
+        assert_eq!(tasks, vec![1, 2]);
+        assert!(!ring.overflowed());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_ring_is_rejected() {
+        let _ = RingSink::new(0);
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_a_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "pdftsp-telemetry-sink-test-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create(&path).expect("create jsonl");
+        let original = vec![
+            Event::ArrivalSeen {
+                task: 4,
+                slot: 1,
+                bid: 2.5,
+                vendors: 3,
+            },
+            ev(4),
+        ];
+        for e in &original {
+            sink.emit(e);
+        }
+        sink.flush().expect("flush");
+        assert_eq!(sink.lines_written(), 2);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let parsed = parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed, original);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_jsonl_reports_offending_line() {
+        let text = format!("{}\nnot json\n", ev(1).to_json());
+        let (line, _) = parse_jsonl(&text).unwrap_err();
+        assert_eq!(line, 2);
+    }
+}

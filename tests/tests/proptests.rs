@@ -54,6 +54,7 @@ fn dp_schedules_are_always_valid() {
             duals: &duals,
             ledger: None,
             compute_unit: 1000.0,
+            telemetry: None,
         };
         if let Some(r) = find_schedule(&ctx, &task, 0) {
             let schedule = Schedule::new(0, VendorQuote::none(), r.placements.clone());

@@ -1,0 +1,213 @@
+//! End-to-end telemetry contract: over a deterministic day, the event
+//! stream must satisfy the structural invariants the decide loop promises
+//! (Algorithm 1's order of operations), the JSONL export must round-trip
+//! the stream bit-for-bit, and the run report must agree with the
+//! decision list exactly.
+
+use pdftsp_core::PdftspConfig;
+use pdftsp_sim::{run_pdftsp_instrumented, RunResult};
+use pdftsp_telemetry::{parse_jsonl, Event, JsonlSink, Reason, RingSink, Telemetry};
+use pdftsp_types::{AuctionOutcome, Rejection, Scenario};
+use pdftsp_workload::ScenarioBuilder;
+use std::sync::Arc;
+
+const SEED: u64 = 2024;
+
+fn scenario() -> Scenario {
+    ScenarioBuilder::smoke(SEED).build()
+}
+
+fn ring_run() -> (RunResult, Vec<Event>) {
+    let sink = Arc::new(RingSink::new(1 << 16));
+    let telemetry = Telemetry::new(sink.clone());
+    let (result, _scheduler) =
+        run_pdftsp_instrumented(&scenario(), PdftspConfig::default(), telemetry);
+    assert!(!sink.overflowed(), "ring sink dropped events; grow it");
+    (result, sink.events())
+}
+
+#[test]
+fn every_task_stream_opens_with_its_arrival() {
+    let (result, events) = ring_run();
+    for d in &result.decisions {
+        let first = events
+            .iter()
+            .find(|e| e.task() == d.task)
+            .unwrap_or_else(|| panic!("task {} emitted no events", d.task));
+        assert!(
+            matches!(first, Event::ArrivalSeen { .. }),
+            "task {}: first event is {first:?}, not ArrivalSeen",
+            d.task
+        );
+    }
+}
+
+#[test]
+fn every_admission_has_exactly_one_dp_run_at_the_winning_start() {
+    let (result, events) = ring_run();
+    let sc = scenario();
+    let mut admitted_seen = 0;
+    for d in &result.decisions {
+        let AuctionOutcome::Admitted { schedule, .. } = &d.outcome else {
+            continue;
+        };
+        admitted_seen += 1;
+        // The winning vendor's DP ran from `arrival + delay`; the start
+        // memo guarantees that start was evaluated exactly once.
+        let win_start = sc.tasks[d.task].arrival + schedule.vendor.delay;
+        let runs: Vec<&Event> = events
+            .iter()
+            .filter(|e| {
+                matches!(e, Event::DpRun { task, start, .. }
+                    if *task == d.task && *start == win_start)
+            })
+            .collect();
+        assert_eq!(
+            runs.len(),
+            1,
+            "task {}: {} DP runs at winning start {win_start}",
+            d.task,
+            runs.len()
+        );
+        let Event::DpRun { feasible, .. } = runs[0] else {
+            unreachable!()
+        };
+        assert!(
+            *feasible,
+            "task {}: winning DP run marked infeasible",
+            d.task
+        );
+        // The Admitted event carries the committed shape.
+        let admitted = events
+            .iter()
+            .find(|e| matches!(e, Event::Admitted { task, .. } if *task == d.task));
+        let Some(Event::Admitted {
+            payment,
+            placements,
+            surplus,
+            ..
+        }) = admitted
+        else {
+            panic!("task {}: no Admitted event", d.task);
+        };
+        assert_eq!(*placements, schedule.placements.len());
+        assert_eq!(payment.to_bits(), d.payment().to_bits());
+        assert!(*surplus > 0.0, "admission with non-positive surplus");
+    }
+    assert!(
+        admitted_seen > 0,
+        "scenario admitted nothing; invariants vacuous"
+    );
+}
+
+#[test]
+fn dual_updates_match_admitted_placements_one_to_one() {
+    let (result, events) = ring_run();
+    // Algorithm 1 updates duals only after an admission (no capacity
+    // rejection occurs under the default config on this day — verified
+    // below — so the update-before-capacity-check quirk never fires).
+    for d in &result.decisions {
+        assert_ne!(
+            d.outcome,
+            AuctionOutcome::Rejected(Rejection::InsufficientCapacity),
+            "capacity rejection would break the placement invariant"
+        );
+    }
+    let expected: usize = result
+        .decisions
+        .iter()
+        .filter_map(|d| d.schedule())
+        .map(|s| s.placements.len())
+        .sum();
+    let dual_events = events
+        .iter()
+        .filter(|e| matches!(e, Event::DualUpdate { .. }))
+        .count();
+    assert_eq!(dual_events, expected);
+    assert_eq!(result.report.dual_updates as usize, expected);
+    // Rejected tasks must emit no dual updates.
+    for d in &result.decisions {
+        if !d.is_admitted() {
+            assert!(
+                !events
+                    .iter()
+                    .any(|e| matches!(e, Event::DualUpdate { task, .. } if *task == d.task)),
+                "rejected task {} updated duals",
+                d.task
+            );
+        }
+    }
+}
+
+#[test]
+fn rejections_carry_the_decision_reason() {
+    let (result, events) = ring_run();
+    for d in &result.decisions {
+        let AuctionOutcome::Rejected(why) = &d.outcome else {
+            continue;
+        };
+        let expected = match why {
+            Rejection::NoFeasibleSchedule => Reason::NoFeasibleSchedule,
+            Rejection::NonPositiveSurplus => Reason::NonPositiveSurplus,
+            Rejection::InsufficientCapacity => Reason::InsufficientCapacity,
+        };
+        let rejected = events
+            .iter()
+            .find(|e| matches!(e, Event::Rejected { task, .. } if *task == d.task));
+        let Some(Event::Rejected { reason, .. }) = rejected else {
+            panic!("task {}: no Rejected event", d.task);
+        };
+        assert_eq!(*reason, expected, "task {}", d.task);
+    }
+}
+
+#[test]
+fn jsonl_export_round_trips_the_stream_bit_for_bit() {
+    let (_, ring_events) = ring_run();
+    // Same seed, same config, JSONL sink: the decide loop is
+    // deterministic, so the file must replay the ring stream exactly.
+    let path = std::env::temp_dir().join(format!(
+        "pdftsp-telemetry-stream-{}.jsonl",
+        std::process::id()
+    ));
+    let sink = JsonlSink::create(&path).unwrap();
+    let (_, scheduler) = run_pdftsp_instrumented(
+        &scenario(),
+        PdftspConfig::default(),
+        Telemetry::new(Arc::new(sink)),
+    );
+    scheduler.telemetry().sink().flush().unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let parsed = parse_jsonl(&text).unwrap_or_else(|(line, e)| panic!("line {line}: {e}"));
+    assert_eq!(parsed.len(), ring_events.len());
+    for (i, (a, b)) in parsed.iter().zip(&ring_events).enumerate() {
+        assert_eq!(a, b, "event {i} diverged across sinks");
+    }
+}
+
+#[test]
+fn run_report_counts_match_the_decision_list_exactly() {
+    let (result, _) = ring_run();
+    let admitted = result.decisions.iter().filter(|d| d.is_admitted()).count() as u64;
+    let by_reason = |why: Rejection| {
+        result
+            .decisions
+            .iter()
+            .filter(|d| d.outcome == AuctionOutcome::Rejected(why))
+            .count() as u64
+    };
+    let r = &result.report;
+    assert_eq!(r.decisions as usize, result.decisions.len());
+    assert_eq!(r.admitted, admitted);
+    assert_eq!(
+        r.rejected_infeasible,
+        by_reason(Rejection::NoFeasibleSchedule)
+    );
+    assert_eq!(r.rejected_surplus, by_reason(Rejection::NonPositiveSurplus));
+    assert_eq!(
+        r.rejected_capacity,
+        by_reason(Rejection::InsufficientCapacity)
+    );
+    assert_eq!(r.decisions, r.admitted + r.rejected());
+}
