@@ -212,9 +212,20 @@ fn market_json(name: &str, sc: &Scenario) -> String {
 }
 
 fn main() {
+    const MULTI_VENDORS: usize = 8;
     let single = scenario(0.0, 5);
-    let multi = scenario(1.0, 8);
+    let multi = scenario(1.0, MULTI_VENDORS);
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    // The thread count the gated vendor-parallel path actually dispatches:
+    // the scheduler skips the parallel branch entirely on a single
+    // hardware thread (see `PdftspConfig::parallel_vendor_min`), and
+    // otherwise `parallel_map` spawns at most min(vendor batch, hardware
+    // threads) workers.
+    let vendor_threads = if threads > 1 {
+        pdftsp_cluster::effective_workers(MULTI_VENDORS)
+    } else {
+        1
+    };
     let body = format!(
         concat!(
             "{{\n",
@@ -222,6 +233,7 @@ fn main() {
             "  \"emitter\": \"bench_sched\",\n",
             "  \"reps\": {},\n",
             "  \"hardware_threads\": {},\n",
+            "  \"parallel_vendor_threads\": {},\n",
             "  \"scenario\": {{\"horizon\": 36, \"nodes\": 20, \"mean_arrivals_per_slot\": 6.0, \"seed\": 4242}},\n",
             "  \"markets\": {{\n",
             "{},\n",
@@ -231,6 +243,7 @@ fn main() {
         ),
         REPS,
         threads,
+        vendor_threads,
         market_json("single_vendor", &single),
         market_json("multi_vendor", &multi)
     );

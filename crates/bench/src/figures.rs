@@ -8,8 +8,9 @@
 use crate::scale::Scale;
 use pdftsp_core::{probe_bid, Pdftsp, PdftspConfig};
 use pdftsp_lora::TuningParadigm;
-use pdftsp_sim::{empirical_ratio, parallel_map, run_algo, run_scheduler, Algo, FigureTable};
+use pdftsp_sim::{parallel_map, ratio_sweep, run_algo, run_scheduler, Algo, FigureTable};
 use pdftsp_solver::milp::MilpConfig;
+use pdftsp_telemetry::Telemetry;
 use pdftsp_types::Task;
 use pdftsp_workload::{ArrivalProcess, DeadlinePolicy, NodeMix, ScenarioBuilder, TraceKind};
 
@@ -322,25 +323,27 @@ pub fn fig12_competitive(scale: Scale) -> FigureTable {
             },
         ),
     };
-    let mut jobs = Vec::new();
-    for (hi, _) in horizons.iter().enumerate() {
-        for (mi, _) in means.iter().enumerate() {
-            jobs.push((hi, mi));
+    // Build the full instance grid up front, then hand it to the sweep
+    // driver: instances solve concurrently, results come back in grid
+    // order (row-major over horizon × intensity).
+    let mut scenarios = Vec::new();
+    for (hi, &h) in horizons.iter().enumerate() {
+        for (mi, &(_, mean)) in means.iter().enumerate() {
+            scenarios.push(
+                ScenarioBuilder {
+                    horizon: h,
+                    num_nodes: 2,
+                    arrivals: ArrivalProcess::Poisson {
+                        mean_per_slot: mean,
+                    },
+                    seed: BASE_SEED ^ (hi * 31 + mi) as u64,
+                    ..ScenarioBuilder::default()
+                }
+                .build(),
+            );
         }
     }
-    let results = parallel_map(&jobs, |&(hi, mi)| {
-        let sc = ScenarioBuilder {
-            horizon: horizons[hi],
-            num_nodes: 2,
-            arrivals: ArrivalProcess::Poisson {
-                mean_per_slot: means[mi].1,
-            },
-            seed: BASE_SEED ^ (hi * 31 + mi) as u64,
-            ..ScenarioBuilder::default()
-        }
-        .build();
-        empirical_ratio(&sc, &milp)
-    });
+    let sweep = ratio_sweep(&scenarios, &milp, &Telemetry::disabled());
     let mut table = FigureTable::new(
         "Fig. 12 — Empirical Competitive Ratio (offline-bound / online)",
         "slots",
@@ -348,10 +351,7 @@ pub fn fig12_competitive(scale: Scale) -> FigureTable {
     );
     for (hi, h) in horizons.iter().enumerate() {
         let row: Vec<f64> = (0..means.len())
-            .map(|mi| {
-                let r = &results[jobs.iter().position(|&j| j == (hi, mi)).unwrap()];
-                r.ratio_vs_bound
-            })
+            .map(|mi| sweep.reports[hi * means.len() + mi].ratio_vs_bound)
             .collect();
         table.push_row(h.to_string(), row);
     }

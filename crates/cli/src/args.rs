@@ -35,6 +35,11 @@ simulate options:
   --algo A         pdftsp | titan | eft | ntm | fixed  [default pdftsp]
   --timeline       also print per-slot strips and the per-node gantt
 
+ratio options (offline branch-and-bound limits):
+  --milp-nodes N   node budget for the offline solve   [default 300]
+  --milp-time S    wall-clock limit in seconds         [default 60]
+  --milp-wave W    nodes evaluated per parallel wave   [default 1]
+
 scenario persistence (simulate / compare / audit / ratio):
   --save FILE      write the generated scenario to FILE (text format)
   --load FILE      replay a scenario from FILE instead of generating one
@@ -73,6 +78,29 @@ pub struct Cli {
     pub duals: Option<String>,
     /// Emit the run report as JSON instead of text (`report`).
     pub json: bool,
+    /// Offline branch-and-bound limits (`ratio`).
+    pub milp: MilpArgs,
+}
+
+/// Limits for the offline branch-and-bound behind `ratio`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MilpArgs {
+    /// Node budget (`--milp-nodes`).
+    pub nodes: usize,
+    /// Wall-clock limit in seconds (`--milp-time`).
+    pub time_secs: f64,
+    /// Nodes evaluated per parallel wave (`--milp-wave`).
+    pub wave: usize,
+}
+
+impl Default for MilpArgs {
+    fn default() -> Self {
+        MilpArgs {
+            nodes: 300,
+            time_secs: 60.0,
+            wave: 1,
+        }
+    }
 }
 
 /// The selected subcommand.
@@ -190,6 +218,7 @@ impl Cli {
         let mut telemetry = None;
         let mut duals = None;
         let mut json = false;
+        let mut milp = MilpArgs::default();
 
         while let Some(arg) = it.next() {
             let mut value_for = |name: &str| -> Result<&String, ParseError> {
@@ -215,6 +244,18 @@ impl Cli {
                     scenario.mean = v
                         .parse::<f64>()
                         .map_err(|_| err(format!("--mean: bad number `{v}`")))?;
+                }
+                "--milp-nodes" => {
+                    milp.nodes = parse_num(value_for("--milp-nodes")?, "--milp-nodes")?;
+                }
+                "--milp-time" => {
+                    milp.time_secs = parse_num(value_for("--milp-time")?, "--milp-time")?;
+                }
+                "--milp-wave" => {
+                    milp.wave = parse_num(value_for("--milp-wave")?, "--milp-wave")?;
+                    if milp.wave == 0 {
+                        return Err(err("--milp-wave: must be at least 1"));
+                    }
                 }
                 "--mix" => {
                     scenario.mix = match value_for("--mix")?.as_str() {
@@ -285,6 +326,7 @@ impl Cli {
             telemetry,
             duals,
             json,
+            milp,
         })
     }
 }
@@ -365,6 +407,19 @@ mod tests {
         assert_eq!(cli.telemetry.as_deref(), Some("t.jsonl"));
         assert!(cli.duals.is_none());
         assert!(!cli.json);
+    }
+
+    #[test]
+    fn milp_limits_parse_with_defaults() {
+        let cli = parse("ratio").unwrap();
+        assert_eq!(cli.milp, MilpArgs::default());
+        let cli = parse("ratio --milp-nodes 50 --milp-time 2.5 --milp-wave 4").unwrap();
+        assert_eq!(cli.milp.nodes, 50);
+        assert_eq!(cli.milp.time_secs, 2.5);
+        assert_eq!(cli.milp.wave, 4);
+        assert!(parse("ratio --milp-nodes").is_err());
+        assert!(parse("ratio --milp-nodes banana").is_err());
+        assert!(parse("ratio --milp-wave 0").is_err());
     }
 
     #[test]

@@ -5,9 +5,9 @@ use crate::args::{Cli, Command, ScenarioArgs, USAGE};
 use pdftsp_core::{probe_bid, Pdftsp, PdftspConfig};
 use pdftsp_lora::{CalibrationTable, TransformerConfig};
 use pdftsp_sim::{
-    empirical_ratio, parallel_map, partition_zones, render_gantt, render_timeline, run_algo,
-    run_pdftsp_instrumented, run_scheduler, run_zoned, write_dual_grid, Algo, FigureTable,
-    RunResult,
+    empirical_ratio_with_telemetry, parallel_map, partition_zones, render_gantt, render_timeline,
+    run_algo, run_pdftsp_instrumented, run_scheduler, run_zoned, write_dual_grid, Algo,
+    FigureTable, RunResult,
 };
 use pdftsp_solver::milp::MilpConfig;
 use pdftsp_telemetry::{JsonlSink, Telemetry};
@@ -73,7 +73,7 @@ pub fn execute(cli: &Cli) -> String {
         Command::Compare => compare(&scenario, &cli.scenario, cli.csv),
         Command::Report => report(&scenario, cli),
         Command::Audit => audit(&scenario),
-        Command::Ratio => ratio(&scenario),
+        Command::Ratio => ratio(&scenario, &cli.milp),
         Command::Zones => zones(&cli.scenario),
         Command::Help | Command::Calibrate => unreachable!("handled above"),
     }
@@ -377,22 +377,25 @@ fn audit(scenario: &Scenario) -> String {
     )
 }
 
-fn ratio(scenario: &Scenario) -> String {
-    let r = empirical_ratio(
-        scenario,
-        &MilpConfig {
-            node_limit: 300,
-            time_limit_secs: 60.0,
-            ..MilpConfig::default()
-        },
-    );
+fn ratio(scenario: &Scenario, milp_args: &crate::args::MilpArgs) -> String {
+    let milp = MilpConfig {
+        node_limit: milp_args.nodes,
+        time_limit_secs: milp_args.time_secs,
+        wave: milp_args.wave,
+        ..MilpConfig::default()
+    };
+    let tel = Telemetry::disabled();
+    let r = empirical_ratio_with_telemetry(scenario, &milp, &tel);
+    let c = &tel.counters;
     format!(
         "instance: {} tasks / {} nodes / {} slots\n\
          online welfare (pdFTSP) : {:.2}\n\
          offline welfare found   : {:.2} ({})\n\
          offline upper bound     : {:.2}\n\
          empirical ratio         : {:.3}\n\
-         conservative ratio      : {:.3} (vs upper bound)\n",
+         conservative ratio      : {:.3} (vs upper bound)\n\
+         solver: {} nodes, {} LP solves, {} pivots in {:.2}s\n\
+         solver: warm-start hit rate {:.1}%, {} dense fallbacks\n",
         scenario.num_tasks(),
         scenario.num_nodes(),
         scenario.horizon,
@@ -406,6 +409,12 @@ fn ratio(scenario: &Scenario) -> String {
         r.offline_bound,
         r.ratio,
         r.ratio_vs_bound,
+        c.read(&c.milp_nodes),
+        c.read(&c.lp_solves),
+        c.read(&c.simplex_pivots),
+        r.solve_seconds,
+        c.warm_start_hit_rate() * 100.0,
+        c.read(&c.lp_dense_fallbacks),
     )
 }
 

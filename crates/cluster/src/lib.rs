@@ -25,4 +25,4 @@ pub use energy::{EnergySignal, PriceModel};
 pub use engine::{ExecutionEngine, ExecutionReport, TaskEvent, TaskEventKind, TaskLifetime};
 pub use ledger::{CapacityLedger, LedgerError};
 pub use metrics::ClusterMetrics;
-pub use parallel::parallel_map;
+pub use parallel::{effective_workers, parallel_map};

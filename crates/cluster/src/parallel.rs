@@ -14,6 +14,18 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// How many workers [`parallel_map`] will actually spawn for a batch of
+/// `items` work items: `min(items, available_parallelism)`. Exposed so
+/// benchmark emitters can report the real thread count used by the gated
+/// parallel paths instead of guessing.
+#[must_use]
+pub fn effective_workers(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items)
+}
+
 /// Applies `f` to every item, in parallel, preserving order of results.
 ///
 /// Spawns at most `min(items, available_parallelism)` workers. Falls back
@@ -24,10 +36,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len());
+    let workers = effective_workers(items.len());
     if items.len() <= 1 || workers <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -98,6 +107,17 @@ mod tests {
         let par = parallel_map(&items, |&x| x * x % 17);
         let seq: Vec<u64> = items.iter().map(|&x| x * x % 17).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn effective_workers_is_capped_by_items_and_hardware() {
+        assert_eq!(effective_workers(0), 0);
+        assert_eq!(effective_workers(1), 1);
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        assert_eq!(effective_workers(usize::MAX), hw);
+        assert!(effective_workers(3) <= 3);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! * [`welfare`] — welfare/revenue/utility accounting (Eqs. 1–3) computed
 //!   from the ground-truth replay, never from scheduler self-reports;
 //! * [`competitive`] — empirical competitive-ratio measurement against
-//!   the offline optimum from `pdftsp-solver` (paper Fig. 12);
+//!   the offline optimum from `pdftsp-solver`, plus the parallel
+//!   multi-instance sweep driver behind Fig. 12/13 ([`ratio_sweep`]);
 //! * [`parallel`] — a scoped parallel map for sweeps (one scheduler
 //!   instance per scenario; no shared mutable state);
 //! * [`zones`] — multi-model data-center zones (one independent market
@@ -30,9 +31,11 @@ pub mod welfare;
 pub mod zones;
 
 pub use artifacts::{dual_grid_csv, dual_grid_json, write_dual_grid};
-pub use competitive::{empirical_ratio, RatioReport};
+pub use competitive::{
+    empirical_ratio, empirical_ratio_with_telemetry, ratio_sweep, RatioReport, RatioSweep,
+};
 pub use driver::{run_algo, run_pdftsp_instrumented, run_scheduler, Algo, RunResult};
-pub use parallel::parallel_map;
+pub use parallel::{effective_workers, parallel_map};
 pub use report::FigureTable;
 pub use timeline::{render_gantt, render_timeline};
 pub use welfare::WelfareReport;

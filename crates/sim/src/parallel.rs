@@ -6,7 +6,7 @@
 //! path and keeps the sweep-facing contract tests (order preservation,
 //! exactly-once execution) next to the sweep code that relies on them.
 
-pub use pdftsp_cluster::parallel::parallel_map;
+pub use pdftsp_cluster::parallel::{effective_workers, parallel_map};
 
 #[cfg(test)]
 mod tests {

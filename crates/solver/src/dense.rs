@@ -1,0 +1,365 @@
+//! Dense two-phase primal simplex — the retained reference oracle.
+//!
+//! This is the seed-state tableau solver, kept verbatim (as PR 1 kept the
+//! reference DP) so the sparse warm-started solver in [`crate::simplex`]
+//! can be differential-tested against it and so node LPs that hit numeric
+//! trouble in the sparse path have a slow-but-sturdy fallback. Textbook
+//! tableau implementation: Dantzig pricing with a switch to Bland's rule
+//! after a stall threshold (anti-cycling), explicit artificial variables
+//! for `≥`/`=` rows, and a flat row-major tableau so pivots stream through
+//! memory.
+
+use crate::lp::{LinearProgram, LpOutcome, Sense};
+
+/// Numerical tolerance on reduced costs and pivot magnitudes.
+const EPS: f64 = 1e-9;
+/// Feasibility tolerance on the phase-1 objective.
+const FEAS_EPS: f64 = 1e-7;
+
+/// Solves `lp` with the dense two-phase primal simplex (reference path).
+///
+/// ```
+/// use pdftsp_solver::{Constraint, LinearProgram, solve_lp_dense};
+///
+/// // max 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18
+/// let mut lp = LinearProgram::new(2);
+/// lp.objective = vec![3.0, 5.0];
+/// lp.constraints = vec![
+///     Constraint::le(vec![(0, 1.0)], 4.0),
+///     Constraint::le(vec![(1, 2.0)], 12.0),
+///     Constraint::le(vec![(0, 3.0), (1, 2.0)], 18.0),
+/// ];
+/// let opt = solve_lp_dense(&lp).objective().unwrap();
+/// assert!((opt - 36.0).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn solve_lp_dense(lp: &LinearProgram) -> LpOutcome {
+    Tableau::build(lp).solve(lp)
+}
+
+struct Tableau {
+    /// Number of structural variables (the LP's own).
+    n: usize,
+    /// Total columns excluding rhs (structural + slack/surplus + artificial).
+    cols: usize,
+    /// Number of rows.
+    m: usize,
+    /// Row-major `m × (cols + 1)`; last entry of each row is the rhs.
+    a: Vec<f64>,
+    /// Objective row `z_j − c_j`, length `cols + 1` (last = objective).
+    obj: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// First artificial column index (`cols` if none).
+    art_start: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let n = lp.num_vars;
+        let m = lp.constraints.len();
+
+        // Count auxiliary columns. Rows are normalized to rhs ≥ 0 first.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        let mut senses = Vec::with_capacity(m);
+        for c in &lp.constraints {
+            let flip = c.rhs < 0.0;
+            let sense = match (c.sense, flip) {
+                (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+                (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+                (Sense::Eq, _) => Sense::Eq,
+            };
+            match sense {
+                Sense::Le => n_slack += 1,
+                Sense::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Sense::Eq => n_art += 1,
+            }
+            senses.push((sense, flip));
+        }
+        let slack_start = n;
+        let art_start = n + n_slack;
+        let cols = n + n_slack + n_art;
+        let stride = cols + 1;
+
+        let mut a = vec![0.0; m * stride];
+        let mut basis = vec![0usize; m];
+        let mut next_slack = slack_start;
+        let mut next_art = art_start;
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let (sense, flip) = senses[i];
+            let sign = if flip { -1.0 } else { 1.0 };
+            let row = &mut a[i * stride..(i + 1) * stride];
+            for &(j, v) in &c.coeffs {
+                debug_assert!(j < n, "coefficient index out of range");
+                row[j] += sign * v;
+            }
+            row[cols] = sign * c.rhs;
+            match sense {
+                Sense::Le => {
+                    row[next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Sense::Ge => {
+                    row[next_slack] = -1.0;
+                    next_slack += 1;
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Sense::Eq => {
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        Tableau {
+            n,
+            cols,
+            m,
+            a,
+            obj: vec![0.0; stride],
+            basis,
+            art_start,
+        }
+    }
+
+    /// Installs the objective row `z_j − c_j` for cost vector `c`
+    /// (length `cols`), pricing out the current basis.
+    fn set_objective(&mut self, cost: &[f64]) {
+        let stride = self.cols + 1;
+        for (o, &c) in self.obj.iter_mut().zip(cost) {
+            *o = -c;
+        }
+        self.obj[self.cols] = 0.0;
+        for i in 0..self.m {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                let base = i * stride;
+                for j in 0..stride {
+                    self.obj[j] += cb * self.a[base + j];
+                }
+            }
+        }
+    }
+
+    /// Performs one pivot on `(row r, col j)`.
+    fn pivot(&mut self, r: usize, j: usize) {
+        let stride = self.cols + 1;
+        let piv = self.a[r * stride + j];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for v in &mut self.a[r * stride..(r + 1) * stride] {
+            *v *= inv;
+        }
+        // Split borrows: copy the pivot row once, then eliminate.
+        let pivot_row: Vec<f64> = self.a[r * stride..(r + 1) * stride].to_vec();
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let factor = self.a[i * stride + j];
+            if factor.abs() > EPS {
+                let base = i * stride;
+                for (jj, &pv) in pivot_row.iter().enumerate() {
+                    self.a[base + jj] -= factor * pv;
+                }
+                self.a[base + j] = 0.0;
+            }
+        }
+        let factor = self.obj[j];
+        if factor.abs() > EPS {
+            for (jj, &pv) in pivot_row.iter().enumerate() {
+                self.obj[jj] -= factor * pv;
+            }
+            self.obj[j] = 0.0;
+        }
+        self.basis[r] = j;
+    }
+
+    /// Runs the simplex on the current objective row.
+    /// `allowed` limits entering columns (used to ban artificials in
+    /// phase 2). Returns `Ok(())` at optimality, `Err(true)` if unbounded,
+    /// `Err(false)` if the iteration limit was hit.
+    fn optimize(&mut self, allowed_cols: usize) -> Result<(), bool> {
+        let stride = self.cols + 1;
+        let max_iters = 200 * (self.m + self.cols) + 2000;
+        let bland_after = 20 * (self.m + self.cols) + 500;
+        for iter in 0..max_iters {
+            let bland = iter > bland_after;
+            // Entering column: z_j − c_j < −EPS.
+            let mut enter = usize::MAX;
+            let mut best = -EPS;
+            for j in 0..allowed_cols {
+                let d = self.obj[j];
+                if d < best {
+                    if bland {
+                        enter = j;
+                        break;
+                    }
+                    best = d;
+                    enter = j;
+                }
+            }
+            if enter == usize::MAX {
+                return Ok(());
+            }
+            // Ratio test.
+            let mut leave = usize::MAX;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                let aij = self.a[i * stride + enter];
+                if aij > EPS {
+                    let ratio = self.a[i * stride + self.cols] / aij;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave != usize::MAX
+                            && self.basis[i] < self.basis[leave]);
+                    if leave == usize::MAX || better {
+                        best_ratio = ratio;
+                        leave = i;
+                    }
+                }
+            }
+            if leave == usize::MAX {
+                return Err(true); // unbounded
+            }
+            self.pivot(leave, enter);
+        }
+        Err(false)
+    }
+
+    fn solve(mut self, lp: &LinearProgram) -> LpOutcome {
+        let stride = self.cols + 1;
+        // Phase 1 (only if artificials exist): maximize −Σ artificials.
+        if self.art_start < self.cols {
+            let mut cost = vec![0.0; self.cols];
+            for c in cost.iter_mut().skip(self.art_start) {
+                *c = -1.0;
+            }
+            self.set_objective(&cost);
+            match self.optimize(self.cols) {
+                Ok(()) => {}
+                Err(true) => unreachable!("phase-1 objective is bounded"),
+                Err(false) => return LpOutcome::IterationLimit,
+            }
+            // Phase-1 objective value is obj[last].
+            if self.obj[self.cols] < -FEAS_EPS {
+                return LpOutcome::Infeasible;
+            }
+            // Drive any residual basic artificials out of the basis.
+            for i in 0..self.m {
+                if self.basis[i] >= self.art_start {
+                    let mut pivot_col = usize::MAX;
+                    for j in 0..self.art_start {
+                        if self.a[i * stride + j].abs() > 1e-7 {
+                            pivot_col = j;
+                            break;
+                        }
+                    }
+                    if pivot_col != usize::MAX {
+                        self.pivot(i, pivot_col);
+                    }
+                    // Otherwise the row is all-zero over structural
+                    // columns (redundant); its artificial stays basic at
+                    // value 0, harmless since artificials are banned from
+                    // re-entering in phase 2.
+                }
+            }
+        }
+
+        // Phase 2: real objective; artificial columns are banned.
+        let mut cost = vec![0.0; self.cols];
+        cost[..self.n].copy_from_slice(&lp.objective);
+        self.set_objective(&cost);
+        match self.optimize(self.art_start) {
+            Ok(()) => {}
+            Err(true) => return LpOutcome::Unbounded,
+            Err(false) => return LpOutcome::IterationLimit,
+        }
+
+        let mut x = vec![0.0; self.n];
+        for i in 0..self.m {
+            let b = self.basis[i];
+            if b < self.n {
+                x[b] = self.a[i * stride + self.cols].max(0.0);
+            }
+        }
+        let objective = lp.objective_value(&x);
+        LpOutcome::Optimal { x, objective }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::Constraint;
+
+    fn assert_opt(outcome: &LpOutcome, expect: f64) {
+        match outcome {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!(
+                    (objective - expect).abs() < 1e-6,
+                    "objective {objective}, expected {expect}"
+                );
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_2d_max() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → opt 36 at (2, 6).
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![3.0, 5.0];
+        lp.constraints = vec![
+            Constraint::le(vec![(0, 1.0)], 4.0),
+            Constraint::le(vec![(1, 2.0)], 12.0),
+            Constraint::le(vec![(0, 3.0), (1, 2.0)], 18.0),
+        ];
+        let out = solve_lp_dense(&lp);
+        assert_opt(&out, 36.0);
+        let x = out.solution().unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![1.0];
+        lp.constraints = vec![
+            Constraint::le(vec![(0, 1.0)], 1.0),
+            Constraint::ge(vec![(0, 1.0)], 2.0),
+        ];
+        assert_eq!(solve_lp_dense(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![1.0];
+        lp.constraints = vec![Constraint::ge(vec![(0, 1.0)], 1.0)];
+        assert_eq!(solve_lp_dense(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_system_solves_exactly() {
+        // x + y = 4; x − y = 2 → (3, 1); max x + 2y = 5.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![1.0, 2.0];
+        lp.constraints = vec![
+            Constraint::eq(vec![(0, 1.0), (1, 1.0)], 4.0),
+            Constraint::eq(vec![(0, 1.0), (1, -1.0)], 2.0),
+        ];
+        let out = solve_lp_dense(&lp);
+        assert_opt(&out, 5.0);
+        let x = out.solution().unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-6 && (x[1] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,16 +1,39 @@
 //! Branch-and-bound mixed-integer solver over the simplex relaxation.
 //!
-//! Best-bound node selection (ties broken deepest-first so incumbents are
-//! found early), most-fractional branching, node/time limits, and a
-//! certified-optimality flag: if any node could not be resolved (LP
-//! iteration limit) or a limit was hit, the outcome degrades from
+//! Two engines share the public [`MilpOutcome`] contract:
+//!
+//! * [`Milp::solve`] / [`Milp::solve_with_telemetry`] — the optimized
+//!   engine: MILP presolve ([`crate::presolve::strengthen_milp`]), a
+//!   sparse bounded-variable LP substrate with **warm-started children**
+//!   (the parent's basis is factorized once, then each child is a
+//!   handful of dual-simplex pivots — see [`crate::simplex`]), eager
+//!   child evaluation (children enter the heap with their *own* LP
+//!   bounds, so hopeless subtrees never surface), an always-feasible
+//!   zero incumbent, and **wave-parallel** node evaluation: up to
+//!   [`MilpConfig::wave`] best-bound nodes are evaluated concurrently
+//!   via `pdftsp_cluster::parallel_map`. In deterministic mode (the
+//!   default) speculative results are applied strictly in best-bound pop
+//!   order, so any wave width reproduces the `wave = 1` incumbent/bound
+//!   trajectory bit for bit; non-deterministic mode applies every
+//!   speculated result immediately for throughput.
+//! * [`Milp::solve_reference`] — the seed-state sequential engine over
+//!   the dense tableau ([`crate::dense`]), retained verbatim as the
+//!   equivalence oracle for tests and `bench_milp`.
+//!
+//! Both use best-bound node selection (ties broken deepest-first so
+//! incumbents are found early), most-fractional branching, node/time
+//! limits, and a certified-optimality flag: if any node could not be
+//! resolved or a limit was hit, the outcome degrades from
 //! [`MilpOutcome::Optimal`] to [`MilpOutcome::Feasible`] /
 //! [`MilpOutcome::BoundOnly`] with a valid upper bound — bounds are never
-//! under-stated, so competitive ratios computed from them are conservative.
+//! under-stated, so competitive ratios computed from them are
+//! conservative.
 
 use crate::lp::{Constraint, LinearProgram, LpOutcome};
-use crate::presolve::solve_lp_presolved;
-use crate::simplex::solve_lp;
+use crate::presolve::{solve_lp_presolved_dense, strengthen_milp};
+use crate::simplex::{Basis, BoundedSolver, SolveEnd, SolveStats, SparseLp};
+use pdftsp_cluster::parallel_map;
+use pdftsp_telemetry::Telemetry;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -43,6 +66,14 @@ pub struct MilpConfig {
     pub int_tol: f64,
     /// Relative optimality gap at which search stops.
     pub gap_tol: f64,
+    /// Maximum nodes evaluated per parallel wave (1 = purely sequential).
+    pub wave: usize,
+    /// When `true` (the default), speculative wave results are applied
+    /// strictly in best-bound pop order, so the search trajectory —
+    /// incumbents, bounds, node counts — is identical for every `wave`
+    /// width. When `false`, every speculated node is applied as soon as
+    /// its wave completes (more progress per wave, trajectory may differ).
+    pub deterministic: bool,
 }
 
 impl Default for MilpConfig {
@@ -52,6 +83,8 @@ impl Default for MilpConfig {
             time_limit_secs: 30.0,
             int_tol: 1e-6,
             gap_tol: 1e-6,
+            wave: 1,
+            deterministic: true,
         }
     }
 }
@@ -119,23 +152,35 @@ impl MilpOutcome {
     }
 }
 
-/// One open node: branching decisions stacked on the root LP.
-#[derive(Debug, Clone)]
-struct Node {
+/// One open node of the optimized engine. Unlike the reference engine's
+/// nodes, a node stores its *own* LP solution (computed eagerly when its
+/// parent branched) and the optimal basis to warm-start its children
+/// from; `None` basis means the dense fallback produced the solution.
+#[derive(Debug)]
+struct SearchNode {
     /// `(var, upper?, value)`: `x_var ≤ value` if upper else `x_var ≥ value`.
-    branches: Vec<(usize, bool, f64)>,
-    /// LP bound inherited from the parent (valid upper bound).
-    bound: f64,
+    branches: Vec<(u32, bool, f64)>,
+    /// This node's LP-relaxation solution.
+    x: Vec<f64>,
+    /// This node's LP-relaxation objective — its bound.
+    objective: f64,
+    /// Optimal basis of this node's LP (warm start for children).
+    basis: Option<Basis>,
     depth: usize,
+    /// Push sequence number: the final heap tie-break, making pop order a
+    /// total (hence reproducible) order.
+    seq: u64,
+    /// Speculative evaluation result, carried when a wave evaluated this
+    /// node but deterministic mode deferred its application.
+    cached: Option<ExpandResult>,
 }
 
-struct HeapEntry {
-    node: Node,
-}
+/// Heap wrapper: max on (bound, depth, FIFO seq).
+struct HeapEntry(SearchNode);
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.node.bound == other.node.bound && self.node.depth == other.node.depth
+        self.0.seq == other.0.seq
     }
 }
 impl Eq for HeapEntry {}
@@ -146,12 +191,62 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on bound, then on depth (deeper first).
-        self.node
-            .bound
-            .partial_cmp(&other.node.bound)
+        self.0
+            .objective
+            .partial_cmp(&other.0.objective)
             .unwrap_or(Ordering::Equal)
-            .then(self.node.depth.cmp(&other.node.depth))
+            .then(self.0.depth.cmp(&other.0.depth))
+            .then(other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// Evaluation of one child LP during node expansion.
+#[derive(Debug)]
+enum ChildEval {
+    /// The child LP is infeasible: subtree closed.
+    Infeasible,
+    /// The child LP is unbounded (propagates to the whole solve).
+    Unbounded,
+    /// The dense fallback hit its iteration limit: subtree dropped,
+    /// certification lost.
+    Unresolved,
+    /// The child LP solved.
+    Solved {
+        branches: Vec<(u32, bool, f64)>,
+        x: Vec<f64>,
+        objective: f64,
+        basis: Option<Basis>,
+        /// Rounded-and-verified incumbent candidate from `x`, if any.
+        candidate: Option<(Vec<f64>, f64)>,
+        /// `x` already satisfies integrality: subtree closed.
+        integral: bool,
+    },
+}
+
+/// Result of expanding (branching) one node: both children evaluated,
+/// plus the LP work done. Pure data — safe to compute in a worker.
+#[derive(Debug)]
+struct ExpandResult {
+    children: Vec<ChildEval>,
+    stats: SolveStats,
+    lp_solves: u64,
+    dense_fallbacks: u64,
+}
+
+/// Aggregated work tallies, flushed into telemetry counters once.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    stats: SolveStats,
+    lp_solves: u64,
+    dense_fallbacks: u64,
+    nodes_expanded: u64,
+}
+
+impl Tally {
+    fn merge_stats(&mut self, s: SolveStats) {
+        self.stats.pivots += s.pivots;
+        self.stats.warm_attempts += s.warm_attempts;
+        self.stats.warm_hits += s.warm_hits;
     }
 }
 
@@ -181,7 +276,7 @@ impl Milp {
 
     /// Rounds the integer coordinates of `x` to the nearest integers and
     /// returns the point if it is feasible — a cheap incumbent heuristic
-    /// run at every node.
+    /// run at every node. Always verified against the *original* LP.
     fn rounded_candidate(&self, x: &[f64]) -> Option<(Vec<f64>, f64)> {
         let mut xi = x.to_vec();
         for &j in &self.integer_vars {
@@ -195,18 +290,461 @@ impl Milp {
         }
     }
 
-    /// Greedy dive: repeatedly solve the LP and fix the most-fractional
-    /// integer variable to its rounded value. Usually reaches an integral
-    /// feasible point in ≤ #fractional-vars LP solves — the incumbent that
-    /// lets best-bound search prune.
-    fn dive(&self, config: &MilpConfig) -> Option<(Vec<f64>, f64)> {
+    /// Solves one child LP through the dense oracle (branch decisions
+    /// materialized as rows), classifying the outcome.
+    fn dense_child(
+        &self,
+        work_lp: &LinearProgram,
+        branches: &[(u32, bool, f64)],
+        int_tol: f64,
+    ) -> ChildEval {
+        let mut lp = work_lp.clone();
+        for &(var, upper, value) in branches {
+            lp.constraints.push(if upper {
+                Constraint::le(vec![(var as usize, 1.0)], value)
+            } else {
+                Constraint::ge(vec![(var as usize, 1.0)], value)
+            });
+        }
+        match solve_lp_presolved_dense(&lp) {
+            LpOutcome::Optimal { x, objective } => {
+                let integral = self.pick_branch_var(&x, int_tol) == usize::MAX;
+                let candidate = self.rounded_candidate(&x);
+                ChildEval::Solved {
+                    branches: branches.to_vec(),
+                    x,
+                    objective,
+                    basis: None,
+                    candidate,
+                    integral,
+                }
+            }
+            LpOutcome::Infeasible => ChildEval::Infeasible,
+            LpOutcome::Unbounded => ChildEval::Unbounded,
+            LpOutcome::IterationLimit => ChildEval::Unresolved,
+        }
+    }
+
+    /// Expands one node: re-establishes its basis (one factorization),
+    /// then solves both children by snapshot → bound tighten → dual-warm
+    /// re-optimization → restore. Falls back to the dense oracle per
+    /// child on numerical trouble. Pure: no shared state is touched, so
+    /// waves of expansions run in parallel.
+    fn expand(
+        &self,
+        sp: &SparseLp,
+        work_lp: &LinearProgram,
+        node: &SearchNode,
+        int_tol: f64,
+    ) -> ExpandResult {
+        let mut res = ExpandResult {
+            children: Vec::with_capacity(2),
+            stats: SolveStats::default(),
+            lp_solves: 0,
+            dense_fallbacks: 0,
+        };
+        let var = self.pick_branch_var(&node.x, int_tol);
+        if var == usize::MAX {
+            return res; // never pushed; guard for safety
+        }
+        let floor = node.x[var].floor();
+        let sides = [(true, floor), (false, floor + 1.0)];
+
+        let mut solver = BoundedSolver::new(sp);
+        for &(v, upper, value) in &node.branches {
+            apply_branch(&mut solver, v, upper, value);
+        }
+        res.lp_solves += 1;
+        let prep = solver.solve_from(node.basis.as_ref());
+        match prep {
+            SolveEnd::Optimal => {
+                let snap = solver.snapshot();
+                for (k, &(upper, value)) in sides.iter().enumerate() {
+                    if k == 1 {
+                        solver.restore(&snap);
+                    }
+                    apply_branch(&mut solver, var as u32, upper, value);
+                    let mut child_branches = node.branches.clone();
+                    child_branches.push((var as u32, upper, value));
+                    res.lp_solves += 1;
+                    match solver.reoptimize() {
+                        SolveEnd::Optimal => {
+                            let x = solver.extract_x();
+                            if work_lp.feasible(&x, 1e-6) {
+                                let objective = work_lp.objective_value(&x);
+                                let integral = self.pick_branch_var(&x, int_tol) == usize::MAX;
+                                let candidate = self.rounded_candidate(&x);
+                                res.children.push(ChildEval::Solved {
+                                    branches: child_branches,
+                                    x,
+                                    objective,
+                                    basis: Some(solver.basis()),
+                                    candidate,
+                                    integral,
+                                });
+                            } else {
+                                res.dense_fallbacks += 1;
+                                res.lp_solves += 1;
+                                res.children.push(self.dense_child(
+                                    work_lp,
+                                    &child_branches,
+                                    int_tol,
+                                ));
+                            }
+                        }
+                        SolveEnd::Infeasible => res.children.push(ChildEval::Infeasible),
+                        SolveEnd::Unbounded => res.children.push(ChildEval::Unbounded),
+                        SolveEnd::Numeric => {
+                            res.dense_fallbacks += 1;
+                            res.lp_solves += 1;
+                            res.children
+                                .push(self.dense_child(work_lp, &child_branches, int_tol));
+                        }
+                    }
+                }
+            }
+            // The node solved when it was created; if its bounds now prove
+            // infeasible, both (tighter) children are infeasible too.
+            SolveEnd::Infeasible => {
+                res.children.push(ChildEval::Infeasible);
+                res.children.push(ChildEval::Infeasible);
+            }
+            SolveEnd::Unbounded => res.children.push(ChildEval::Unbounded),
+            SolveEnd::Numeric => {
+                for &(upper, value) in &sides {
+                    let mut child_branches = node.branches.clone();
+                    child_branches.push((var as u32, upper, value));
+                    res.dense_fallbacks += 1;
+                    res.lp_solves += 1;
+                    res.children
+                        .push(self.dense_child(work_lp, &child_branches, int_tol));
+                }
+            }
+        }
+        res.stats = solver.stats;
+        res
+    }
+
+    /// Runs the optimized branch-and-bound with the given limits.
+    #[must_use]
+    pub fn solve(&self, config: &MilpConfig) -> MilpOutcome {
+        self.solve_with_telemetry(config, &Telemetry::disabled())
+    }
+
+    /// [`Self::solve`] with solver work tallies (nodes, LP solves,
+    /// warm-start hit rate, pivots, dense fallbacks) flushed into
+    /// `telemetry.counters` when the search finishes.
+    #[must_use]
+    pub fn solve_with_telemetry(&self, config: &MilpConfig, telemetry: &Telemetry) -> MilpOutcome {
+        let mut tally = Tally::default();
+        let out = self.solve_inner(config, &mut tally);
+        let c = &telemetry.counters;
+        c.bump(&c.milp_nodes, tally.nodes_expanded);
+        c.bump(&c.lp_solves, tally.lp_solves);
+        c.bump(&c.lp_warm_starts, tally.stats.warm_attempts);
+        c.bump(&c.lp_warm_hits, tally.stats.warm_hits);
+        c.bump(&c.simplex_pivots, tally.stats.pivots);
+        c.bump(&c.lp_dense_fallbacks, tally.dense_fallbacks);
+        out
+    }
+
+    /// The optimized engine body. See the module docs for the design.
+    #[allow(clippy::too_many_lines)]
+    fn solve_inner(&self, config: &MilpConfig, tally: &mut Tally) -> MilpOutcome {
+        let start = Instant::now();
+        let n = self.lp.num_vars;
+
+        // Always-feasible seed incumbent: the all-zero ("reject
+        // everything") point, whenever the relaxation admits it. This is
+        // what guarantees the offline layer never reports "no welfare".
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        let zero = vec![0.0f64; n];
+        if self.lp.feasible(&zero, 1e-6) {
+            let obj = self.lp.objective_value(&zero);
+            incumbent = Some((zero, obj));
+        }
+
+        // MILP presolve: same integer feasible set, tighter relaxation.
+        let work_lp = match strengthen_milp(&self.lp, &self.integer_vars) {
+            Some(t) => t,
+            None => {
+                // Propagation proved the integer problem infeasible.
+                return match incumbent {
+                    Some((x, objective)) => MilpOutcome::Optimal { x, objective },
+                    None => MilpOutcome::Infeasible,
+                };
+            }
+        };
+        let sp = SparseLp::from_lp(&work_lp);
+
+        // Root relaxation (sparse, dense fallback on trouble).
+        let mut root_solver = BoundedSolver::new(&sp);
+        tally.lp_solves += 1;
+        let root_end = if sp.infeasible {
+            SolveEnd::Infeasible
+        } else {
+            root_solver.solve_from(None)
+        };
+        let mut root: Option<(Vec<f64>, f64, Option<Basis>)> = None;
+        let mut root_dense = false;
+        match root_end {
+            SolveEnd::Optimal => {
+                let x = root_solver.extract_x();
+                if work_lp.feasible(&x, 1e-6) {
+                    let obj = work_lp.objective_value(&x);
+                    root = Some((x, obj, Some(root_solver.basis())));
+                } else {
+                    root_dense = true;
+                }
+            }
+            SolveEnd::Numeric => root_dense = true,
+            SolveEnd::Infeasible => {
+                tally.merge_stats(root_solver.stats);
+                return match incumbent {
+                    Some((x, objective)) => MilpOutcome::Optimal { x, objective },
+                    None => MilpOutcome::Infeasible,
+                };
+            }
+            SolveEnd::Unbounded => {
+                tally.merge_stats(root_solver.stats);
+                return MilpOutcome::Unbounded;
+            }
+        }
+        if root_dense {
+            tally.dense_fallbacks += 1;
+            tally.lp_solves += 1;
+            match crate::dense::solve_lp_dense(&work_lp) {
+                LpOutcome::Optimal { x, objective } => root = Some((x, objective, None)),
+                LpOutcome::Infeasible => {
+                    tally.merge_stats(root_solver.stats);
+                    return match incumbent {
+                        Some((x, objective)) => MilpOutcome::Optimal { x, objective },
+                        None => MilpOutcome::Infeasible,
+                    };
+                }
+                LpOutcome::Unbounded => {
+                    tally.merge_stats(root_solver.stats);
+                    return MilpOutcome::Unbounded;
+                }
+                LpOutcome::IterationLimit => {
+                    tally.merge_stats(root_solver.stats);
+                    return match incumbent {
+                        Some((x, objective)) => MilpOutcome::Feasible {
+                            x,
+                            objective,
+                            bound: f64::INFINITY,
+                        },
+                        None => MilpOutcome::BoundOnly {
+                            bound: f64::INFINITY,
+                        },
+                    };
+                }
+            }
+        }
+        let (root_x, root_obj, root_basis) = root.expect("root resolved above");
+
+        if let Some((xi, obj_i)) = self.rounded_candidate(&root_x) {
+            if incumbent.as_ref().is_none_or(|(_, inc)| obj_i > *inc) {
+                incumbent = Some((xi, obj_i));
+            }
+        }
+        let root_integral = self.pick_branch_var(&root_x, config.int_tol) == usize::MAX;
+
+        // Warm greedy dive: repeatedly fix the most-fractional variable
+        // to its rounded side and re-optimize on the live basis — each
+        // step is a few dual pivots, not a fresh solve. Produces the
+        // strong initial incumbent that lets best-bound search prune.
+        if !root_integral && root_basis.is_some() {
+            let snap = root_solver.snapshot();
+            let mut x = root_x.clone();
+            let max_steps = self.integer_vars.len().min(40);
+            for _ in 0..max_steps {
+                let var = self.pick_branch_var(&x, config.int_tol);
+                if var == usize::MAX {
+                    break;
+                }
+                let v = x[var];
+                if v - v.floor() < 0.5 {
+                    apply_branch(&mut root_solver, var as u32, true, v.floor());
+                } else {
+                    apply_branch(&mut root_solver, var as u32, false, v.ceil());
+                }
+                tally.lp_solves += 1;
+                if root_solver.reoptimize() != SolveEnd::Optimal {
+                    break;
+                }
+                x = root_solver.extract_x();
+                if !work_lp.feasible(&x, 1e-6) {
+                    break;
+                }
+                if let Some((xi, obj_i)) = self.rounded_candidate(&x) {
+                    if incumbent.as_ref().is_none_or(|(_, inc)| obj_i > *inc) {
+                        incumbent = Some((xi, obj_i));
+                    }
+                }
+            }
+            root_solver.restore(&snap);
+        }
+        tally.merge_stats(root_solver.stats);
+        drop(root_solver);
+
+        let mut exact = true;
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        let mut seq = 0u64;
+        if !root_integral {
+            heap.push(HeapEntry(SearchNode {
+                branches: Vec::new(),
+                x: root_x,
+                objective: root_obj,
+                basis: root_basis,
+                depth: 0,
+                seq,
+                cached: None,
+            }));
+            seq += 1;
+        }
+
+        let wave = config.wave.max(1);
+        let mut nodes = 0usize;
+        while let Some(HeapEntry(top)) = heap.pop() {
+            if nodes >= config.node_limit || start.elapsed().as_secs_f64() > config.time_limit_secs
+            {
+                // The popped node's bound still counts toward the gap.
+                heap.push(HeapEntry(top));
+                exact = false;
+                break;
+            }
+            nodes += 1;
+            if pruned(&incumbent, top.objective, config.gap_tol) {
+                continue;
+            }
+
+            // Assemble the wave: `top` plus up to `wave − 1` speculative
+            // best-bound nodes, then evaluate every uncached one in
+            // parallel. Expansion is a pure function of the node, so when
+            // a speculated node is finally applied (now, or after being
+            // re-pushed in deterministic mode) the result is identical to
+            // what a sequential solve would have computed.
+            let mut batch: Vec<SearchNode> = vec![top];
+            while batch.len() < wave {
+                match heap.pop() {
+                    Some(HeapEntry(nd)) => batch.push(nd),
+                    None => break,
+                }
+            }
+            let need: Vec<usize> = (0..batch.len())
+                .filter(|&i| batch[i].cached.is_none())
+                .collect();
+            if !need.is_empty() {
+                let results = parallel_map(&need, |&i| {
+                    self.expand(&sp, &work_lp, &batch[i], config.int_tol)
+                });
+                for (&i, r) in need.iter().zip(results) {
+                    batch[i].cached = Some(r);
+                }
+            }
+
+            let mut first = true;
+            for mut node in batch {
+                if first {
+                    first = false;
+                } else if config.deterministic {
+                    // Defer: re-enter the heap with the evaluation cached.
+                    heap.push(HeapEntry(node));
+                    continue;
+                } else {
+                    nodes += 1;
+                    if pruned(&incumbent, node.objective, config.gap_tol) {
+                        continue;
+                    }
+                }
+                let Some(res) = node.cached.take() else {
+                    continue;
+                };
+                tally.nodes_expanded += 1;
+                tally.merge_stats(res.stats);
+                tally.lp_solves += res.lp_solves;
+                tally.dense_fallbacks += res.dense_fallbacks;
+                for child in res.children {
+                    match child {
+                        ChildEval::Infeasible => {}
+                        ChildEval::Unbounded => return MilpOutcome::Unbounded,
+                        ChildEval::Unresolved => exact = false,
+                        ChildEval::Solved {
+                            branches,
+                            x,
+                            objective,
+                            basis,
+                            candidate,
+                            integral,
+                        } => {
+                            if let Some((xi, obj_i)) = candidate {
+                                if incumbent.as_ref().is_none_or(|(_, inc)| obj_i > *inc) {
+                                    incumbent = Some((xi, obj_i));
+                                }
+                            }
+                            if integral || pruned(&incumbent, objective, config.gap_tol) {
+                                continue;
+                            }
+                            heap.push(HeapEntry(SearchNode {
+                                branches,
+                                x,
+                                objective,
+                                basis,
+                                depth: node.depth + 1,
+                                seq,
+                                cached: None,
+                            }));
+                            seq += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Global upper bound = max(open node bounds, incumbent).
+        let open_bound = heap
+            .iter()
+            .map(|e| e.0.objective)
+            .fold(f64::NEG_INFINITY, f64::max);
+        match incumbent {
+            Some((x, objective)) => {
+                let bound = open_bound.max(objective);
+                let closed =
+                    heap.is_empty() || bound <= objective + gap_slack(objective, config.gap_tol);
+                if exact && closed {
+                    MilpOutcome::Optimal { x, objective }
+                } else {
+                    MilpOutcome::Feasible {
+                        x,
+                        objective,
+                        bound,
+                    }
+                }
+            }
+            None => {
+                if exact && heap.is_empty() {
+                    // Every branch was infeasible in integers.
+                    MilpOutcome::Infeasible
+                } else {
+                    MilpOutcome::BoundOnly {
+                        bound: open_bound.max(root_obj),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Greedy dive of the reference engine: repeatedly solve the LP and
+    /// fix the most-fractional integer variable to its rounded value.
+    fn dive_reference(&self, config: &MilpConfig) -> Option<(Vec<f64>, f64)> {
         let mut lp = self.lp.clone();
         let mut best: Option<(Vec<f64>, f64)> = None;
         // Each dive step is an LP solve; cap the depth so diving stays a
         // constant-factor overhead on large encodings.
         let max_steps = self.integer_vars.len().min(40);
         for _ in 0..=max_steps {
-            let (x, _) = match solve_lp_presolved(&lp) {
+            let (x, _) = match solve_lp_presolved_dense(&lp) {
                 LpOutcome::Optimal { x, objective } => (x, objective),
                 _ => break,
             };
@@ -231,13 +769,15 @@ impl Milp {
         best
     }
 
-    /// Runs branch-and-bound with the given limits.
+    /// The seed-state sequential branch-and-bound over the dense tableau,
+    /// retained verbatim as the equivalence oracle for `bench_milp` and
+    /// the differential test suite. Ignores `wave`/`deterministic`.
     #[must_use]
-    pub fn solve(&self, config: &MilpConfig) -> MilpOutcome {
+    pub fn solve_reference(&self, config: &MilpConfig) -> MilpOutcome {
         let start = Instant::now();
 
         // Root relaxation.
-        let root = match solve_lp(&self.lp) {
+        let root = match crate::dense::solve_lp_dense(&self.lp) {
             LpOutcome::Optimal { x, objective } => (x, objective),
             LpOutcome::Infeasible => return MilpOutcome::Infeasible,
             LpOutcome::Unbounded => return MilpOutcome::Unbounded,
@@ -251,15 +791,15 @@ impl Milp {
         let mut incumbent: Option<(Vec<f64>, f64)> = self.rounded_candidate(&root.0);
         drop(root.0);
         // Dive for a strong initial incumbent before best-bound search.
-        if let Some((xd, od)) = self.dive(config) {
+        if let Some((xd, od)) = self.dive_reference(config) {
             if incumbent.as_ref().is_none_or(|(_, b)| od > *b) {
                 incumbent = Some((xd, od));
             }
         }
         let mut exact = true;
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry {
-            node: Node {
+        heap.push(RefHeapEntry {
+            node: RefNode {
                 branches: Vec::new(),
                 bound: root.1,
                 depth: 0,
@@ -267,11 +807,11 @@ impl Milp {
         });
 
         let mut nodes = 0usize;
-        while let Some(HeapEntry { node }) = heap.pop() {
+        while let Some(RefHeapEntry { node }) = heap.pop() {
             if nodes >= config.node_limit || start.elapsed().as_secs_f64() > config.time_limit_secs
             {
                 // The popped node's bound still counts toward the gap.
-                heap.push(HeapEntry { node });
+                heap.push(RefHeapEntry { node });
                 exact = false;
                 break;
             }
@@ -292,7 +832,7 @@ impl Milp {
                     Constraint::ge(vec![(var, 1.0)], value)
                 });
             }
-            let (x, obj) = match solve_lp_presolved(&lp) {
+            let (x, obj) = match solve_lp_presolved_dense(&lp) {
                 LpOutcome::Optimal { x, objective } => (x, objective),
                 LpOutcome::Infeasible => continue,
                 LpOutcome::Unbounded => return MilpOutcome::Unbounded,
@@ -334,8 +874,8 @@ impl Milp {
             for (upper, value) in [(true, floor), (false, floor + 1.0)] {
                 let mut branches = node.branches.clone();
                 branches.push((branch_var, upper, value));
-                heap.push(HeapEntry {
-                    node: Node {
+                heap.push(RefHeapEntry {
+                    node: RefNode {
                         branches,
                         bound: obj,
                         depth: node.depth + 1,
@@ -378,8 +918,61 @@ impl Milp {
     }
 }
 
+/// Materializes one branch decision as a bound tightening on the solver.
+fn apply_branch(s: &mut BoundedSolver<'_>, var: u32, upper: bool, value: f64) {
+    if upper {
+        s.tighten_bound(var as usize, f64::NEG_INFINITY, value);
+    } else {
+        s.tighten_bound(var as usize, value, f64::INFINITY);
+    }
+}
+
+/// Whether a node bound is discharged by the current incumbent.
+fn pruned(incumbent: &Option<(Vec<f64>, f64)>, bound: f64, gap_tol: f64) -> bool {
+    incumbent
+        .as_ref()
+        .is_some_and(|(_, inc)| bound <= inc + gap_slack(*inc, gap_tol))
+}
+
 fn gap_slack(incumbent: f64, gap_tol: f64) -> f64 {
     gap_tol * (1.0 + incumbent.abs())
+}
+
+/// One open node of the reference engine: branching decisions stacked on
+/// the root LP.
+#[derive(Debug, Clone)]
+struct RefNode {
+    /// `(var, upper?, value)`: `x_var ≤ value` if upper else `x_var ≥ value`.
+    branches: Vec<(usize, bool, f64)>,
+    /// LP bound inherited from the parent (valid upper bound).
+    bound: f64,
+    depth: usize,
+}
+
+struct RefHeapEntry {
+    node: RefNode,
+}
+
+impl PartialEq for RefHeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.node.bound == other.node.bound && self.node.depth == other.node.depth
+    }
+}
+impl Eq for RefHeapEntry {}
+impl PartialOrd for RefHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RefHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on bound, then on depth (deeper first).
+        self.node
+            .bound
+            .partial_cmp(&other.node.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.node.depth.cmp(&other.node.depth))
+    }
 }
 
 #[cfg(test)]
@@ -489,6 +1082,10 @@ mod tests {
             branch_priority: Vec::new(),
         };
         assert_eq!(m.solve(&MilpConfig::default()), MilpOutcome::Infeasible);
+        assert_eq!(
+            m.solve_reference(&MilpConfig::default()),
+            MilpOutcome::Infeasible
+        );
     }
 
     #[test]
@@ -584,5 +1181,136 @@ mod tests {
                 out.objective()
             );
         }
+    }
+
+    #[test]
+    fn optimized_matches_reference_on_random_knapsacks() {
+        let mut state = 0xFEED_F00D_1234_5678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let cfg = MilpConfig::default();
+        for _case in 0..15 {
+            let n = 6 + (next() * 6.0) as usize;
+            let v: Vec<f64> = (0..n).map(|_| 1.0 + next() * 9.0).collect();
+            let w: Vec<f64> = (0..n).map(|_| 1.0 + next() * 5.0).collect();
+            let cap = w.iter().sum::<f64>() * 0.45;
+            let m = knapsack(&v, &w, cap);
+            let fast = m.solve(&cfg).objective().unwrap();
+            let oracle = m.solve_reference(&cfg).objective().unwrap();
+            let slack = gap_slack(oracle, cfg.gap_tol);
+            assert!(
+                (fast - oracle).abs() <= slack,
+                "optimized {fast} vs reference {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_wave_reproduces_sequential_outcome_bitwise() {
+        let mut state = 0xC0FF_EE00_D00D_0001u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _case in 0..10 {
+            let n = 7 + (next() * 5.0) as usize;
+            let v: Vec<f64> = (0..n).map(|_| 1.0 + next() * 9.0).collect();
+            let w: Vec<f64> = (0..n).map(|_| 1.0 + next() * 5.0).collect();
+            let cap = w.iter().sum::<f64>() * 0.4;
+            let m = knapsack(&v, &w, cap);
+            let seq_cfg = MilpConfig {
+                wave: 1,
+                ..MilpConfig::default()
+            };
+            let par_cfg = MilpConfig {
+                wave: 4,
+                deterministic: true,
+                ..MilpConfig::default()
+            };
+            let a = m.solve(&seq_cfg);
+            let b = m.solve(&par_cfg);
+            // Bit-for-bit: identical variant, solution, and objective.
+            assert_eq!(a, b, "wave=4 deterministic diverged from wave=1");
+        }
+    }
+
+    #[test]
+    fn deterministic_wave_matches_under_node_limits_too() {
+        let v = vec![3.0, 7.0, 2.0, 9.0, 5.0, 4.0, 8.0, 6.0, 5.5, 2.5];
+        let w = vec![2.0, 3.0, 1.0, 5.0, 4.0, 2.0, 6.0, 3.0, 2.0, 1.0];
+        let m = knapsack(&v, &w, 12.0);
+        for limit in [1, 3, 7, 1000] {
+            let a = m.solve(&MilpConfig {
+                node_limit: limit,
+                wave: 1,
+                ..MilpConfig::default()
+            });
+            let b = m.solve(&MilpConfig {
+                node_limit: limit,
+                wave: 8,
+                deterministic: true,
+                ..MilpConfig::default()
+            });
+            assert_eq!(a, b, "node_limit {limit}");
+        }
+    }
+
+    #[test]
+    fn non_deterministic_wave_still_within_gap() {
+        let v = vec![3.0, 7.0, 2.0, 9.0, 5.0, 4.0, 8.0, 6.0];
+        let w = vec![2.0, 3.0, 1.0, 5.0, 4.0, 2.0, 6.0, 3.0];
+        let m = knapsack(&v, &w, 10.0);
+        let cfg = MilpConfig {
+            wave: 4,
+            deterministic: false,
+            ..MilpConfig::default()
+        };
+        let out = m.solve(&cfg);
+        let exact = brute_knapsack(&v, &w, 10.0);
+        assert!(
+            (out.objective().unwrap() - exact).abs() <= gap_slack(exact, cfg.gap_tol),
+            "{out:?} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn zero_point_seeds_incumbent_under_zero_node_limit() {
+        // With node_limit 0 nothing is explored, but the all-zero point
+        // still yields a (welfare-0) incumbent instead of BoundOnly.
+        let v = vec![3.0, 7.0, 2.0];
+        let w = vec![2.0, 3.0, 1.0];
+        let m = knapsack(&v, &w, 4.0);
+        let out = m.solve(&MilpConfig {
+            node_limit: 0,
+            ..MilpConfig::default()
+        });
+        match out {
+            MilpOutcome::Optimal { objective, .. } | MilpOutcome::Feasible { objective, .. } => {
+                assert!(objective >= 0.0, "incumbent objective {objective}");
+            }
+            other => panic!("expected an incumbent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_counters_record_solver_work() {
+        let tel = Telemetry::disabled();
+        let v = vec![3.0, 7.0, 2.0, 9.0, 5.0, 4.0];
+        let w = vec![2.0, 3.0, 1.0, 5.0, 4.0, 2.0];
+        let m = knapsack(&v, &w, 8.0);
+        let out = m.solve_with_telemetry(&MilpConfig::default(), &tel);
+        assert!(out.objective().is_some());
+        let c = &tel.counters;
+        assert!(c.read(&c.lp_solves) > 0, "lp_solves not recorded");
+        assert!(c.read(&c.simplex_pivots) > 0, "pivots not recorded");
+        // Eager children are all warm-started; the hit rate is defined.
+        assert!(c.read(&c.lp_warm_starts) > 0, "no warm starts recorded");
+        assert!(c.warm_start_hit_rate() > 0.0, "warm hit rate is zero");
     }
 }

@@ -53,6 +53,18 @@ pub struct Counters {
     pub grid_cells: AtomicU64,
     /// Individual `(k, t)` dual-price updates applied.
     pub dual_updates: AtomicU64,
+    /// Branch-and-bound nodes branched by the offline MILP solver.
+    pub milp_nodes: AtomicU64,
+    /// LP (re-)solves performed by the MILP solver (root, dive, nodes).
+    pub lp_solves: AtomicU64,
+    /// LP solves that were handed a parent basis to warm-start from.
+    pub lp_warm_starts: AtomicU64,
+    /// Warm-started solves that finished from that basis (no cold restart).
+    pub lp_warm_hits: AtomicU64,
+    /// Simplex pivots executed (primal + dual), across all LP solves.
+    pub simplex_pivots: AtomicU64,
+    /// Node LPs that fell back to the dense reference simplex.
+    pub lp_dense_fallbacks: AtomicU64,
     /// Wall-clock `decide()` latency distribution.
     pub decide_latency: LatencyHistogram,
 }
@@ -73,6 +85,17 @@ impl Counters {
         }
         let skipped = get(&self.vendors_pruned) + get(&self.vendors_memoized);
         skipped as f64 / seen as f64
+    }
+
+    /// Fraction of warm-start attempts that finished from the parent
+    /// basis without a cold restart; 0 when nothing was warm-started.
+    #[must_use]
+    pub fn warm_start_hit_rate(&self) -> f64 {
+        let attempts = get(&self.lp_warm_starts);
+        if attempts == 0 {
+            return 0.0;
+        }
+        get(&self.lp_warm_hits) as f64 / attempts as f64
     }
 
     /// Mean DP cells touched per `decide()`; 0 when no decisions ran.
@@ -276,5 +299,14 @@ mod tests {
         assert!((c.prune_hit_rate() - 0.5).abs() < 1e-12);
         assert!((c.dp_cells_per_decision() - 250.0).abs() < 1e-12);
         assert_eq!(c.read(&c.vendors_seen), 10);
+    }
+
+    #[test]
+    fn warm_start_hit_rate_counts_hits_over_attempts() {
+        let c = Counters::default();
+        assert_eq!(c.warm_start_hit_rate(), 0.0);
+        c.bump(&c.lp_warm_starts, 8);
+        c.bump(&c.lp_warm_hits, 6);
+        assert!((c.warm_start_hit_rate() - 0.75).abs() < 1e-12);
     }
 }

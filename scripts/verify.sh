@@ -11,6 +11,9 @@ cargo build --release
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> bench_milp smoke (solver equivalence, tiny instance)"
+./target/release/bench_milp --smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
