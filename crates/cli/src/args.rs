@@ -12,6 +12,7 @@ usage: pdftsp <command> [options]
 
 commands:
   simulate    run one scheduler over a generated day and report economics
+              (alias: run)
   compare     run all schedulers over the same day
   report      run instrumented pdFTSP and print the telemetry run report
   audit       truthfulness + individual-rationality audit of the auction
@@ -34,6 +35,9 @@ scenario options (simulate / compare / audit / ratio):
 simulate options:
   --algo A         pdftsp | titan | eft | ntm | fixed  [default pdftsp]
   --timeline       also print per-slot strips and the per-node gantt
+  --faults SPEC    inject seeded node failures and run the recovery path
+                   (pdftsp only); SPEC is key=value pairs, e.g.
+                   crashes=2,outage=4,degrade=0.3,seed=7
 
 ratio options (offline branch-and-bound limits):
   --milp-nodes N   node budget for the offline solve   [default 300]
@@ -76,6 +80,8 @@ pub struct Cli {
     pub telemetry: Option<String>,
     /// Export the final dual-price grids under this directory.
     pub duals: Option<String>,
+    /// Fault-injection spec for `simulate` (`--faults`), unparsed.
+    pub faults: Option<String>,
     /// Emit the run report as JSON instead of text (`report`).
     pub json: bool,
     /// Offline branch-and-bound limits (`ratio`).
@@ -217,6 +223,7 @@ impl Cli {
         let mut timeline = false;
         let mut telemetry = None;
         let mut duals = None;
+        let mut faults = None;
         let mut json = false;
         let mut milp = MilpArgs::default();
 
@@ -233,6 +240,7 @@ impl Cli {
                 "--load" => load = Some(value_for("--load")?.clone()),
                 "--telemetry" => telemetry = Some(value_for("--telemetry")?.clone()),
                 "--duals" => duals = Some(value_for("--duals")?.clone()),
+                "--faults" => faults = Some(value_for("--faults")?.clone()),
                 "--nodes" => scenario.nodes = parse_num(value_for("--nodes")?, "--nodes")?,
                 "--slots" => scenario.slots = parse_num(value_for("--slots")?, "--slots")?,
                 "--seed" => scenario.seed = parse_num(value_for("--seed")?, "--seed")?,
@@ -306,7 +314,7 @@ impl Cli {
         }
 
         let command = match command_word {
-            "simulate" => Command::Simulate { algo },
+            "simulate" | "run" => Command::Simulate { algo },
             "compare" => Command::Compare,
             "report" => Command::Report,
             "audit" => Command::Audit,
@@ -325,6 +333,7 @@ impl Cli {
             timeline,
             telemetry,
             duals,
+            faults,
             json,
             milp,
         })
@@ -420,6 +429,16 @@ mod tests {
         assert!(parse("ratio --milp-nodes").is_err());
         assert!(parse("ratio --milp-nodes banana").is_err());
         assert!(parse("ratio --milp-wave 0").is_err());
+    }
+
+    #[test]
+    fn run_is_an_alias_for_simulate_and_faults_parse() {
+        let cli = parse("run --faults crashes=2,outage=4,seed=7").unwrap();
+        assert_eq!(cli.command, Command::Simulate { algo: Algo::Pdftsp });
+        assert_eq!(cli.faults.as_deref(), Some("crashes=2,outage=4,seed=7"));
+        let cli = parse("simulate").unwrap();
+        assert!(cli.faults.is_none());
+        assert!(parse("run --faults").is_err());
     }
 
     #[test]

@@ -6,8 +6,8 @@ use pdftsp_core::{probe_bid, Pdftsp, PdftspConfig};
 use pdftsp_lora::{CalibrationTable, TransformerConfig};
 use pdftsp_sim::{
     empirical_ratio_with_telemetry, parallel_map, partition_zones, render_gantt, render_timeline,
-    run_algo, run_pdftsp_instrumented, run_scheduler, run_zoned, write_dual_grid, Algo,
-    FigureTable, RunResult,
+    run_algo, run_pdftsp_instrumented, run_pdftsp_with_faults, run_scheduler, run_zoned,
+    try_run_algo, write_dual_grid, Algo, FaultEvent, FaultPlan, FaultSpec, FigureTable, RunResult,
 };
 use pdftsp_solver::milp::MilpConfig;
 use pdftsp_telemetry::{JsonlSink, Telemetry};
@@ -212,6 +212,9 @@ fn calibrate(args: &ScenarioArgs) -> String {
 }
 
 fn simulate(scenario: &Scenario, args: &ScenarioArgs, algo: Algo, cli: &Cli) -> String {
+    if let Some(spec) = &cli.faults {
+        return simulate_with_faults(scenario, algo, spec, cli);
+    }
     let scenario = scenario.clone();
     let stats = scenario.stats();
     let timeline = cli.timeline;
@@ -225,7 +228,10 @@ fn simulate(scenario: &Scenario, args: &ScenarioArgs, algo: Algo, cli: &Cli) -> 
             Err(e) => return format!("error: {e}\n"),
         }
     } else {
-        (run_algo(&scenario, algo, args.seed), Vec::new())
+        match try_run_algo(&scenario, algo, args.seed) {
+            Ok(r) => (r, Vec::new()),
+            Err(e) => return format!("error: {e}\n"),
+        }
     };
     let w = &r.welfare;
     let mut out = format!(
@@ -270,6 +276,101 @@ gantt (digits = co-located tasks):
     for note in notes {
         out.push_str(&note);
         out.push('\n');
+    }
+    out
+}
+
+/// `simulate --faults`: inject a seeded fault plan, run the recovery
+/// path, verify the recovered run against the replay oracle, and report
+/// refund-adjusted economics.
+fn simulate_with_faults(scenario: &Scenario, algo: Algo, spec_text: &str, cli: &Cli) -> String {
+    if !matches!(
+        algo,
+        Algo::Pdftsp | Algo::PdftspMasked | Algo::PdftspReference
+    ) {
+        return "error: --faults requires a pdFTSP algorithm (--algo pdftsp)\n".to_string();
+    }
+    let config = pdftsp_config_for(algo).expect("pdFTSP family has a config");
+    let spec = match FaultSpec::parse(spec_text) {
+        Ok(s) => s,
+        Err(e) => return format!("error: {e}\n"),
+    };
+    let telemetry = match cli.telemetry.as_deref() {
+        Some(p) => match JsonlSink::create(p) {
+            Ok(sink) => Telemetry::new(Arc::new(sink)),
+            Err(e) => return format!("error: --telemetry {p}: {e}\n"),
+        },
+        None => Telemetry::disabled(),
+    };
+    let plan = FaultPlan::generate(scenario, &spec);
+    let (r, scheduler) = run_pdftsp_with_faults(scenario, config, &plan, telemetry);
+    if let Some(p) = &cli.telemetry {
+        if let Err(e) = scheduler.telemetry().sink().flush() {
+            return format!("error: --telemetry {p}: {e}\n");
+        }
+    }
+    let downs = plan
+        .events
+        .iter()
+        .filter(|e| matches!(e, FaultEvent::NodeDown { .. }))
+        .count();
+    let degrades = plan
+        .events
+        .iter()
+        .filter(|e| matches!(e, FaultEvent::Degrade { .. }))
+        .count();
+    let replay_line = match pdftsp_sim::replay(scenario, &r.decisions) {
+        Ok(_) => "OK — recovered schedules respect capacity".to_string(),
+        Err(e) => format!("VIOLATION — {e}"),
+    };
+    let stats = scenario.stats();
+    let w = &r.welfare;
+    let mut out = format!(
+        "scenario: {} tasks / {} nodes / {} slots (offered load {:.2})\n\
+         algorithm: pdFTSP with fault injection\n\
+         fault plan       : {} crashes, {} degradations (outage {}, seed {})\n\
+         disrupted        : {} task-disruptions, {} recovered, {} aborted\n\
+         replay           : {}\n\
+         completed        : {}/{} (rejected {}, aborted {})\n\
+         social welfare   : {:.2}\n\
+         gross payments   : {:.2}\n\
+         refunds issued   : {:.2}\n\
+         vendor cost      : {:.2}\n\
+         energy cost      : {:.2}\n\
+         provider utility : {:.2}\n\
+         users' utility   : {:.2}\n",
+        stats.tasks,
+        stats.nodes,
+        stats.horizon,
+        stats.offered_load,
+        downs,
+        degrades,
+        spec.outage,
+        spec.seed,
+        r.disrupted,
+        r.recovered,
+        w.aborted,
+        replay_line,
+        w.completed,
+        stats.tasks,
+        w.rejected,
+        w.aborted,
+        w.social_welfare,
+        w.payments,
+        w.refunds,
+        w.vendor_cost,
+        w.energy_cost,
+        w.provider_utility,
+        w.user_utility,
+    );
+    for a in &r.aborted {
+        out.push_str(&format!(
+            "  task {:>4} lost at slot {:>3}: consumed {:.2}, refunded {:.2}\n",
+            a.task, a.slot, a.consumed, a.refund
+        ));
+    }
+    if let Some(p) = &cli.telemetry {
+        out.push_str(&format!("telemetry events -> {p}\n"));
     }
     out
 }
@@ -561,6 +662,33 @@ mod tests {
         let out = run_words("simulate --nodes 4 --slots 16 --mean 2 --timeline");
         assert!(out.contains("arrivals"), "{out}");
         assert!(out.contains("gantt"), "{out}");
+    }
+
+    #[test]
+    fn run_with_faults_reports_recovery_and_replays_clean() {
+        let out = run_words(
+            "run --nodes 4 --slots 24 --mean 3 --seed 11 --faults crashes=2,outage=4,seed=7",
+        );
+        assert!(out.contains("fault plan"), "{out}");
+        assert!(out.contains("disrupted"), "{out}");
+        assert!(
+            out.contains("replay           : OK"),
+            "recovered run must replay cleanly: {out}"
+        );
+        assert!(out.contains("refunds issued"), "{out}");
+        // Same seed → byte-identical report (the determinism contract).
+        let again = run_words(
+            "run --nodes 4 --slots 24 --mean 3 --seed 11 --faults crashes=2,outage=4,seed=7",
+        );
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn faults_reject_baselines_and_bad_specs() {
+        let out = run_words("run --algo eft --nodes 4 --slots 12 --mean 1 --faults crashes=1");
+        assert!(out.starts_with("error:"), "{out}");
+        let out = run_words("run --nodes 4 --slots 12 --mean 1 --faults crashes=banana");
+        assert!(out.starts_with("error:"), "{out}");
     }
 
     #[test]

@@ -6,10 +6,45 @@
 //! `C_km − r_b`: one base-model replica is always reserved per node, the
 //! conservative reading of (4g) used throughout the paper (up to one
 //! replica per node, shared by all co-located LoRA tasks).
+//!
+//! ## Exact arithmetic
+//!
+//! Compute is integral (samples). Memory is stored in fixed-point units of
+//! `2⁻²⁰ GB` (≈ 1 KiB), converted once at the API boundary, so commits and
+//! releases are integer adds/subtracts: any `commit` followed by `release`
+//! restores the residuals *bit-exactly* — the rollback identity the
+//! fault-recovery path relies on. (Accumulating `f64` GB instead would
+//! leave `(x + a) − a ≠ x` dust behind every released schedule.) The public
+//! API stays in GB; quantization error is at most half a unit (≈ 5·10⁻⁷
+//! GB), far below any adapter size the workloads produce.
+//!
+//! ## Faults
+//!
+//! Node failures are expressed through the same residual machinery the
+//! scheduler already reads: [`CapacityLedger::quarantine`] reserves *all*
+//! residual capacity on a node's cells from the failure slot on, so the
+//! masked DP (`CapacityPolicy::MaskSaturated`) stops proposing them and
+//! `fits`-style checks refuse them, with zero scheduler changes.
+//! [`CapacityLedger::lift_quarantine`] returns exactly what was held.
 
 use pdftsp_types::{NodeId, Scenario, Schedule, Slot, Task};
 
-/// Why a commit was refused.
+/// Fixed-point memory units per GB (`2²⁰` — the quantum is ~1 KiB).
+const MEM_UNITS_PER_GB: f64 = (1u64 << 20) as f64;
+
+/// GB → fixed-point units (round to nearest).
+#[inline]
+fn mem_units(gb: f64) -> u64 {
+    (gb * MEM_UNITS_PER_GB).round() as u64
+}
+
+/// Fixed-point units → GB.
+#[inline]
+fn mem_gb(units: u64) -> f64 {
+    units as f64 / MEM_UNITS_PER_GB
+}
+
+/// Why a commit, reserve, or release was refused.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LedgerError {
     /// Computation capacity would be exceeded on `(node, slot)`.
@@ -30,6 +65,9 @@ pub enum LedgerError {
     },
     /// The schedule references an out-of-range node or slot.
     OutOfRange { node: NodeId, slot: Slot },
+    /// A release asked for more than the cell holds — the placements were
+    /// never committed (or were already released).
+    ReleaseUnderflow { node: NodeId, slot: Slot },
 }
 
 impl std::fmt::Display for LedgerError {
@@ -58,14 +96,45 @@ impl std::fmt::Display for LedgerError {
             LedgerError::OutOfRange { node, slot } => {
                 write!(f, "placement (node {node}, slot {slot}) out of range")
             }
+            LedgerError::ReleaseUnderflow { node, slot } => {
+                write!(
+                    f,
+                    "release underflow on (node {node}, slot {slot}): more than committed"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for LedgerError {}
 
-/// Tolerance for floating-point memory accumulation.
-const MEM_EPS: f64 = 1e-9;
+/// What a [`CapacityLedger::release`] returned to the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Released {
+    /// Total computation freed, in samples (summed over cells).
+    pub compute: u64,
+    /// Total adapter memory freed, in GB (summed over cells).
+    pub memory_gb: f64,
+    /// Number of `(node, slot)` cells touched.
+    pub cells: usize,
+    /// Nodes whose every cell became completely idle as a result of this
+    /// release. Their shared base-model replica `r_b` stays resident (the
+    /// ledger's memory capacity is `C_km − r_b` throughout), so an emptied
+    /// node offers exactly `C_km − r_b` adapter GB again — never `C_km`.
+    pub nodes_emptied: Vec<NodeId>,
+}
+
+/// Capacity a node quarantine is holding, so the lift can return exactly
+/// what was taken.
+#[derive(Debug, Clone)]
+struct QuarantineHold {
+    /// First slot of the hold.
+    from: Slot,
+    /// Held samples per slot `from..horizon`.
+    compute: Vec<u64>,
+    /// Held memory units per slot `from..horizon`.
+    mem: Vec<u64>,
+}
 
 /// Per-`(k, t)` residual-capacity tracker.
 #[derive(Debug, Clone)]
@@ -74,12 +143,17 @@ pub struct CapacityLedger {
     horizon: usize,
     /// `C_kp` per node.
     compute_cap: Vec<u64>,
-    /// `C_km − r_b` per node.
-    adapter_mem_cap: Vec<f64>,
+    /// `C_km − r_b` per node, in fixed-point units.
+    adapter_mem_cap: Vec<u64>,
     /// Committed samples per `(k, t)`, row-major `k * horizon + t`.
     compute_used: Vec<u64>,
-    /// Committed adapter GB per `(k, t)`.
-    mem_used: Vec<f64>,
+    /// Committed adapter memory units per `(k, t)`.
+    mem_used: Vec<u64>,
+    /// Shared base-model replica size `r_b` in GB (informational; already
+    /// subtracted from `adapter_mem_cap`).
+    base_model_gb: f64,
+    /// Active quarantine per node (`None` = node up).
+    quarantines: Vec<Option<QuarantineHold>>,
 }
 
 impl CapacityLedger {
@@ -92,9 +166,13 @@ impl CapacityLedger {
             nodes,
             horizon,
             compute_cap: scenario.nodes.iter().map(|n| n.compute_capacity).collect(),
-            adapter_mem_cap: (0..nodes).map(|k| scenario.adapter_memory(k)).collect(),
+            adapter_mem_cap: (0..nodes)
+                .map(|k| mem_units(scenario.adapter_memory(k)))
+                .collect(),
             compute_used: vec![0; nodes * horizon],
-            mem_used: vec![0.0; nodes * horizon],
+            mem_used: vec![0; nodes * horizon],
+            base_model_gb: scenario.base_model_gb,
+            quarantines: vec![None; nodes],
         }
     }
 
@@ -124,7 +202,7 @@ impl CapacityLedger {
     /// Residual adapter memory on `(k, t)` in GB.
     #[must_use]
     pub fn residual_memory(&self, k: NodeId, t: Slot) -> f64 {
-        self.adapter_mem_cap[k] - self.mem_used[self.idx(k, t)]
+        mem_gb(self.adapter_mem_cap[k] - self.mem_used[self.idx(k, t)])
     }
 
     /// Committed computation on `(k, t)`.
@@ -136,7 +214,7 @@ impl CapacityLedger {
     /// Committed adapter memory on `(k, t)`.
     #[must_use]
     pub fn memory_used(&self, k: NodeId, t: Slot) -> f64 {
-        self.mem_used[self.idx(k, t)]
+        mem_gb(self.mem_used[self.idx(k, t)])
     }
 
     /// Compute capacity `C_kp` of node `k`.
@@ -148,7 +226,30 @@ impl CapacityLedger {
     /// Adapter memory capacity `C_km − r_b` of node `k`.
     #[must_use]
     pub fn adapter_capacity(&self, k: NodeId) -> f64 {
-        self.adapter_mem_cap[k]
+        mem_gb(self.adapter_mem_cap[k])
+    }
+
+    /// Shared base-model replica size `r_b` in GB. One replica per node is
+    /// permanently resident: it is excluded from [`adapter_capacity`]
+    /// rather than tracked per cell, so releases can never hand it back.
+    ///
+    /// [`adapter_capacity`]: CapacityLedger::adapter_capacity
+    #[must_use]
+    pub fn base_model_gb(&self) -> f64 {
+        self.base_model_gb
+    }
+
+    /// Whether node `k` has zero committed compute and memory on every
+    /// slot (only the base replica remains).
+    #[must_use]
+    pub fn is_node_empty(&self, k: NodeId) -> bool {
+        let row = k * self.horizon;
+        self.compute_used[row..row + self.horizon]
+            .iter()
+            .all(|&c| c == 0)
+            && self.mem_used[row..row + self.horizon]
+                .iter()
+                .all(|&m| m == 0)
     }
 
     /// Whether placing `task` on `(k, t)` fits the residual capacity.
@@ -158,7 +259,7 @@ impl CapacityLedger {
             return false;
         }
         task.rate(k) <= self.residual_compute(k, t)
-            && task.memory_gb <= self.residual_memory(k, t) + MEM_EPS
+            && mem_units(task.memory_gb) <= self.adapter_mem_cap[k] - self.mem_used[self.idx(k, t)]
     }
 
     /// Batched [`CapacityLedger::fits`] over the slot span `[start, end]`
@@ -179,7 +280,7 @@ impl CapacityLedger {
             return;
         }
         let rate = task.rate(k);
-        let mem = task.memory_gb;
+        let mem = mem_units(task.memory_gb);
         let compute_cap = self.compute_cap[k];
         let mem_cap = self.adapter_mem_cap[k];
         let row = k * self.horizon;
@@ -187,7 +288,7 @@ impl CapacityLedger {
         for t in start..=end {
             let ok = t < self.horizon
                 && rate <= compute_cap - self.compute_used[row + t]
-                && mem <= mem_cap - self.mem_used[row + t] + MEM_EPS;
+                && mem <= mem_cap - self.mem_used[row + t];
             out.push(ok);
         }
     }
@@ -210,6 +311,7 @@ impl CapacityLedger {
     /// # Errors
     /// Fails atomically (no partial commit) if any placement overflows.
     pub fn commit(&mut self, task: &Task, schedule: &Schedule) -> Result<(), LedgerError> {
+        let mem = mem_units(task.memory_gb);
         // Validate first so the commit is atomic.
         for &(k, t) in &schedule.placements {
             if k >= self.nodes || t >= self.horizon {
@@ -226,22 +328,174 @@ impl CapacityLedger {
                     capacity: self.compute_cap[k],
                 });
             }
-            if self.mem_used[i] + task.memory_gb > self.adapter_mem_cap[k] + MEM_EPS {
+            if self.mem_used[i] + mem > self.adapter_mem_cap[k] {
                 return Err(LedgerError::MemoryOverflow {
                     node: k,
                     slot: t,
-                    used_gb: self.mem_used[i],
+                    used_gb: mem_gb(self.mem_used[i]),
                     adding_gb: task.memory_gb,
-                    capacity_gb: self.adapter_mem_cap[k],
+                    capacity_gb: mem_gb(self.adapter_mem_cap[k]),
                 });
             }
         }
         for &(k, t) in &schedule.placements {
             let i = self.idx(k, t);
             self.compute_used[i] += task.rate(k);
-            self.mem_used[i] += task.memory_gb;
+            self.mem_used[i] += mem;
         }
         Ok(())
+    }
+
+    /// Returns `task`'s resources on the given placements to the pool —
+    /// the rollback of the corresponding [`CapacityLedger::commit`]
+    /// (possibly a suffix of it: a failure releases only the not-yet-
+    /// executed cells). Integer accounting makes the round trip exact:
+    /// after `commit` + `release` every residual is bit-identical to the
+    /// pre-commit state.
+    ///
+    /// # Errors
+    /// Fails atomically if any placement is out of range or holds less
+    /// than the task would return ([`LedgerError::ReleaseUnderflow`] —
+    /// releasing something never committed).
+    pub fn release_placements(
+        &mut self,
+        task: &Task,
+        placements: &[(NodeId, Slot)],
+    ) -> Result<Released, LedgerError> {
+        let mem = mem_units(task.memory_gb);
+        for &(k, t) in placements {
+            if k >= self.nodes || t >= self.horizon {
+                return Err(LedgerError::OutOfRange { node: k, slot: t });
+            }
+            let i = self.idx(k, t);
+            if self.compute_used[i] < task.rate(k) || self.mem_used[i] < mem {
+                return Err(LedgerError::ReleaseUnderflow { node: k, slot: t });
+            }
+        }
+        let mut freed = Released {
+            compute: 0,
+            memory_gb: 0.0,
+            cells: placements.len(),
+            nodes_emptied: Vec::new(),
+        };
+        let mut mem_freed_units = 0u64;
+        let mut touched: Vec<NodeId> = Vec::new();
+        for &(k, t) in placements {
+            let i = self.idx(k, t);
+            self.compute_used[i] -= task.rate(k);
+            self.mem_used[i] -= mem;
+            freed.compute += task.rate(k);
+            mem_freed_units += mem;
+            if !touched.contains(&k) {
+                touched.push(k);
+            }
+        }
+        freed.memory_gb = mem_gb(mem_freed_units);
+        touched.sort_unstable();
+        freed.nodes_emptied = touched
+            .into_iter()
+            .filter(|&k| self.is_node_empty(k))
+            .collect();
+        Ok(freed)
+    }
+
+    /// [`CapacityLedger::release_placements`] over a whole schedule.
+    ///
+    /// # Errors
+    /// Same as `release_placements`.
+    pub fn release(&mut self, task: &Task, schedule: &Schedule) -> Result<Released, LedgerError> {
+        self.release_placements(task, &schedule.placements)
+    }
+
+    /// Takes capacity out of the pool without a task — degradations and
+    /// other operator holds. The amounts count as used (and are *not*
+    /// returned by any release), so the DP and `fits` checks see a
+    /// smaller cell.
+    ///
+    /// # Errors
+    /// Fails if `(k, t)` is out of range or lacks the residual.
+    pub fn reserve(
+        &mut self,
+        k: NodeId,
+        t: Slot,
+        compute: u64,
+        memory_gb: f64,
+    ) -> Result<(), LedgerError> {
+        if k >= self.nodes || t >= self.horizon {
+            return Err(LedgerError::OutOfRange { node: k, slot: t });
+        }
+        let i = self.idx(k, t);
+        if self.compute_used[i] + compute > self.compute_cap[k] {
+            return Err(LedgerError::ComputeOverflow {
+                node: k,
+                slot: t,
+                used: self.compute_used[i],
+                adding: compute,
+                capacity: self.compute_cap[k],
+            });
+        }
+        let mem = mem_units(memory_gb);
+        if self.mem_used[i] + mem > self.adapter_mem_cap[k] {
+            return Err(LedgerError::MemoryOverflow {
+                node: k,
+                slot: t,
+                used_gb: mem_gb(self.mem_used[i]),
+                adding_gb: memory_gb,
+                capacity_gb: mem_gb(self.adapter_mem_cap[k]),
+            });
+        }
+        self.compute_used[i] += compute;
+        self.mem_used[i] += mem;
+        Ok(())
+    }
+
+    /// Marks node `k` as down from slot `from` on: every residual sample
+    /// and memory unit on cells `(k, from..)` is held, so the masked DP
+    /// and all `fits` checks treat the node as saturated. Call *after*
+    /// releasing disrupted tasks so the freed capacity is captured too.
+    ///
+    /// Returns `false` (and does nothing) if `k` is out of range or
+    /// already quarantined.
+    pub fn quarantine(&mut self, k: NodeId, from: Slot) -> bool {
+        if k >= self.nodes || self.quarantines[k].is_some() {
+            return false;
+        }
+        let from = from.min(self.horizon);
+        let row = k * self.horizon;
+        let mut compute = Vec::with_capacity(self.horizon - from);
+        let mut mem = Vec::with_capacity(self.horizon - from);
+        for t in from..self.horizon {
+            let c = self.compute_cap[k] - self.compute_used[row + t];
+            let m = self.adapter_mem_cap[k] - self.mem_used[row + t];
+            self.compute_used[row + t] += c;
+            self.mem_used[row + t] += m;
+            compute.push(c);
+            mem.push(m);
+        }
+        self.quarantines[k] = Some(QuarantineHold { from, compute, mem });
+        true
+    }
+
+    /// Lifts the quarantine on node `k`, returning exactly the capacity
+    /// the quarantine held (slots other tasks filled in the meantime —
+    /// impossible while held, but robust regardless — keep their load).
+    /// Returns `false` if the node was not quarantined.
+    pub fn lift_quarantine(&mut self, k: NodeId) -> bool {
+        let Some(hold) = self.quarantines.get_mut(k).and_then(Option::take) else {
+            return false;
+        };
+        let row = k * self.horizon;
+        for (j, t) in (hold.from..self.horizon).enumerate() {
+            self.compute_used[row + t] -= hold.compute[j];
+            self.mem_used[row + t] -= hold.mem[j];
+        }
+        true
+    }
+
+    /// Whether node `k` is currently quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, k: NodeId) -> bool {
+        k < self.nodes && self.quarantines[k].is_some()
     }
 
     /// Mean compute utilization across all `(k, t)` cells, in `[0, 1]`.
@@ -299,6 +553,7 @@ mod tests {
         assert_eq!(l.residual_compute(1, 5), 400);
         assert!((l.residual_memory(0, 0) - 78.0).abs() < 1e-9);
         assert!((l.residual_memory(1, 0) - 46.0).abs() < 1e-9);
+        assert!((l.base_model_gb() - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -445,5 +700,144 @@ mod tests {
         assert!((l.memory_used(0, 2) - 20.0).abs() < 1e-9);
         // A fifth does not fit.
         assert!(!l.fits(&t, 0, 2));
+    }
+
+    /// Snapshot of every residual, for exact round-trip comparisons.
+    fn residual_snapshot(l: &CapacityLedger) -> Vec<(u64, u64)> {
+        let mut snap = Vec::new();
+        for k in 0..l.nodes() {
+            for t in 0..l.horizon() {
+                snap.push((
+                    l.residual_compute(k, t),
+                    // Compare memory in exact units via bit pattern of the
+                    // derived GB value (units → GB is deterministic).
+                    l.residual_memory(k, t).to_bits(),
+                ));
+            }
+        }
+        snap
+    }
+
+    #[test]
+    fn commit_release_round_trip_is_exact() {
+        let mut l = CapacityLedger::new(&scenario());
+        // A non-dyadic memory size that would leave f64 dust.
+        let t = task(123, 77, 4.7 / 3.0);
+        let before = residual_snapshot(&l);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 3), (1, 2)]);
+        l.commit(&t, &s).unwrap();
+        let freed = l.release(&t, &s).unwrap();
+        assert_eq!(residual_snapshot(&l), before);
+        assert_eq!(freed.compute, 123 + 123 + 77);
+        assert_eq!(freed.cells, 3);
+        // Both nodes were touched and both became empty.
+        assert_eq!(freed.nodes_emptied, vec![0, 1]);
+        assert!(l.is_node_empty(0) && l.is_node_empty(1));
+    }
+
+    #[test]
+    fn partial_release_frees_only_the_suffix() {
+        let mut l = CapacityLedger::new(&scenario());
+        let t = task(600, 200, 10.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1), (0, 2), (0, 4)]);
+        l.commit(&t, &s).unwrap();
+        // Release only the not-yet-executed tail (slots ≥ 2).
+        let freed = l.release_placements(&t, &[(0, 2), (0, 4)]).unwrap();
+        assert_eq!(freed.compute, 1200);
+        assert!((freed.memory_gb - 20.0).abs() < 1e-9);
+        assert!(freed.nodes_emptied.is_empty(), "slot 1 is still held");
+        assert_eq!(l.residual_compute(0, 1), 400);
+        assert_eq!(l.residual_compute(0, 2), 1000);
+        assert_eq!(l.residual_compute(0, 4), 1000);
+    }
+
+    #[test]
+    fn release_underflow_is_atomic() {
+        let mut l = CapacityLedger::new(&scenario());
+        let t = task(600, 200, 10.0);
+        l.commit(&t, &Schedule::new(0, VendorQuote::none(), vec![(0, 1)]))
+            .unwrap();
+        // Slot 1 is committed, slot 2 is not → underflow on slot 2, and
+        // slot 1 must keep its charge.
+        let err = l.release_placements(&t, &[(0, 1), (0, 2)]).unwrap_err();
+        assert!(matches!(
+            err,
+            LedgerError::ReleaseUnderflow { node: 0, slot: 2 }
+        ));
+        assert_eq!(l.residual_compute(0, 1), 400);
+        // Out-of-range release is refused too.
+        assert!(matches!(
+            l.release_placements(&t, &[(0, 99)]),
+            Err(LedgerError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn reserve_consumes_and_respects_capacity() {
+        let mut l = CapacityLedger::new(&scenario());
+        l.reserve(0, 2, 400, 10.0).unwrap();
+        assert_eq!(l.residual_compute(0, 2), 600);
+        assert!((l.residual_memory(0, 2) - 68.0).abs() < 1e-9);
+        assert!(matches!(
+            l.reserve(0, 2, 700, 0.0),
+            Err(LedgerError::ComputeOverflow { .. })
+        ));
+        assert!(matches!(
+            l.reserve(0, 2, 0, 80.0),
+            Err(LedgerError::MemoryOverflow { .. })
+        ));
+        assert!(matches!(
+            l.reserve(5, 0, 1, 0.0),
+            Err(LedgerError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn quarantine_saturates_and_lift_restores_exactly() {
+        let mut l = CapacityLedger::new(&scenario());
+        let t = task(600, 200, 10.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1), (0, 3)]);
+        l.commit(&t, &s).unwrap();
+        let before = residual_snapshot(&l);
+        assert!(l.quarantine(0, 2));
+        assert!(l.is_quarantined(0));
+        // Double quarantine refused; out-of-range refused.
+        assert!(!l.quarantine(0, 0));
+        assert!(!l.quarantine(7, 0));
+        // From slot 2 on, nothing fits on node 0; earlier slots unchanged.
+        let probe = task(1, 1, 0.001);
+        for tt in 2..6 {
+            assert!(!l.fits(&probe, 0, tt), "slot {tt}");
+            assert_eq!(l.residual_compute(0, tt), 0);
+        }
+        assert!(l.fits(&probe, 0, 0));
+        assert!(l.fits(&probe, 1, 4), "other nodes unaffected");
+        assert!(l.lift_quarantine(0));
+        assert!(!l.is_quarantined(0));
+        assert!(!l.lift_quarantine(0), "second lift is a no-op");
+        assert_eq!(residual_snapshot(&l), before);
+    }
+
+    #[test]
+    fn quarantine_then_release_then_lift_keeps_books_consistent() {
+        // The recovery order the fault driver uses: release the disrupted
+        // suffix FIRST, then quarantine — so the freed capacity is inside
+        // the hold and the node truly offers nothing while down.
+        let mut l = CapacityLedger::new(&scenario());
+        let t = task(600, 200, 10.0);
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 1), (0, 3), (0, 4)]);
+        l.commit(&t, &s).unwrap();
+        let fail_slot = 2;
+        l.release_placements(&t, &[(0, 3), (0, 4)]).unwrap();
+        assert!(l.quarantine(0, fail_slot));
+        for tt in fail_slot..6 {
+            assert_eq!(l.residual_compute(0, tt), 0);
+            assert_eq!(l.residual_memory(0, tt), 0.0);
+        }
+        assert!(l.lift_quarantine(0));
+        // After recovery the released suffix is free again, the executed
+        // prefix (slot 1) still charged.
+        assert_eq!(l.residual_compute(0, 3), 1000);
+        assert_eq!(l.residual_compute(0, 1), 400);
     }
 }

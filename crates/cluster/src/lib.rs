@@ -22,7 +22,8 @@ pub mod metrics;
 pub mod parallel;
 
 pub use energy::{EnergySignal, PriceModel};
+pub use engine::ReplayError;
 pub use engine::{ExecutionEngine, ExecutionReport, TaskEvent, TaskEventKind, TaskLifetime};
-pub use ledger::{CapacityLedger, LedgerError};
+pub use ledger::{CapacityLedger, LedgerError, Released};
 pub use metrics::ClusterMetrics;
 pub use parallel::{effective_workers, parallel_map};

@@ -20,7 +20,7 @@ use crate::dp::{
 use crate::duals::DualState;
 use crate::grid::DeltaGrid;
 use crate::pricing::payment;
-use pdftsp_cluster::{parallel_map, CapacityLedger};
+use pdftsp_cluster::{parallel_map, CapacityLedger, LedgerError, Released};
 use pdftsp_telemetry::{Event, Reason, Telemetry};
 use pdftsp_types::{
     Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task, TaskId,
@@ -49,6 +49,13 @@ pub struct AuctionRecord {
     /// `F(il) > 0` but residual capacity refused the schedule — the task
     /// is in Lemma 1's almost-feasible set `S_a` but not in `S_c`.
     pub capacity_rejected: bool,
+    /// `max λ^{(i-1)}` over the selected schedule at decision time (0 when
+    /// no feasible schedule). Snapshotted so a later partial-failure
+    /// refund can re-run the Eq. (14) charge over just the executed prefix
+    /// with the *same* prices the buyer was originally quoted.
+    pub max_lambda: f64,
+    /// `max φ^{(i-1)}` at decision time (0 when no feasible schedule).
+    pub max_phi: f64,
 }
 
 /// A schedule candidate with its admission economics.
@@ -427,8 +434,7 @@ impl Pdftsp {
     fn push_record(
         &mut self,
         task: &Task,
-        f_value: Option<f64>,
-        welfare_increment: Option<f64>,
+        cand: Option<&Candidate>,
         payment: f64,
         admitted: bool,
         capacity_rejected: bool,
@@ -436,11 +442,13 @@ impl Pdftsp {
         self.records.push(AuctionRecord {
             task: task.id,
             bid: task.bid,
-            f_value,
-            welfare_increment,
+            f_value: cand.map(|c| c.f_value),
+            welfare_increment: cand.map(|c| c.b_il),
             payment,
             admitted,
             capacity_rejected,
+            max_lambda: cand.map_or(0.0, |c| c.max_lambda),
+            max_phi: cand.map_or(0.0, |c| c.max_phi),
         });
     }
 
@@ -509,7 +517,7 @@ impl Pdftsp {
 
         let outcome = self.evaluate(task, scenario);
         let Some(cand) = outcome.best else {
-            self.push_record(task, None, None, 0.0, false, false);
+            self.push_record(task, None, 0.0, false, false);
             // With no candidate but at least one pruned vendor, that
             // vendor's F(il) ≤ 0 was proven without a DP: reject for
             // non-positive surplus, like the reference would (its exact
@@ -524,7 +532,7 @@ impl Pdftsp {
         };
 
         if cand.f_value <= 0.0 {
-            self.push_record(task, Some(cand.f_value), Some(cand.b_il), 0.0, false, false);
+            self.push_record(task, Some(&cand), 0.0, false, false);
             let secs = self.finish_decide(task, t0, Some(Reason::NonPositiveSurplus));
             return Decision::rejected(task.id, Rejection::NonPositiveSurplus, secs);
         }
@@ -566,7 +574,7 @@ impl Pdftsp {
             self.ledger
                 .commit(task, &cand.schedule)
                 .expect("fits_schedule checked");
-            self.push_record(task, Some(cand.f_value), Some(cand.b_il), p, true, false);
+            self.push_record(task, Some(&cand), p, true, false);
             let secs = self.finish_decide(task, t0, None);
             self.telemetry.emit(|| Event::Admitted {
                 task: task.id,
@@ -576,10 +584,154 @@ impl Pdftsp {
             });
             Decision::admitted(task.id, cand.schedule, p, secs)
         } else {
-            self.push_record(task, Some(cand.f_value), Some(cand.b_il), 0.0, false, true);
+            self.push_record(task, Some(&cand), 0.0, false, true);
             let secs = self.finish_decide(task, t0, Some(Reason::InsufficientCapacity));
             Decision::rejected(task.id, Rejection::InsufficientCapacity, secs)
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-recovery surface. The fault driver (`pdftsp-sim::faults`)
+    // calls these between arrivals; none of them run on the clean path.
+    // ------------------------------------------------------------------
+
+    /// Returns `task`'s resources on `placements` to the pool — the
+    /// not-yet-executed suffix of a schedule disrupted by a node failure.
+    ///
+    /// # Errors
+    /// Propagates the ledger's atomic validation (releasing cells that
+    /// were never committed is refused).
+    pub fn release_placements(
+        &mut self,
+        task: &Task,
+        placements: &[(usize, Slot)],
+    ) -> Result<Released, LedgerError> {
+        self.ledger.release_placements(task, placements)
+    }
+
+    /// Marks node `k` as failed from `from` on: its residual capacity is
+    /// quarantined so the DP and admission checks stop offering it.
+    /// Release disrupted schedules *before* calling this, so their freed
+    /// capacity is captured inside the quarantine hold.
+    ///
+    /// Returns `false` when `k` is out of range or already down.
+    pub fn quarantine_node(&mut self, k: usize, from: Slot) -> bool {
+        if !self.ledger.quarantine(k, from) {
+            return false;
+        }
+        let c = &self.telemetry.counters;
+        c.bump(&c.node_failures, 1);
+        self.telemetry.emit(|| Event::NodeDown {
+            node: k,
+            slot: from,
+        });
+        true
+    }
+
+    /// Brings a failed node back at `slot`: the quarantine hold is
+    /// returned exactly, so every cell offers what it did when the node
+    /// went down (minus anything still committed from before the crash).
+    ///
+    /// Returns `false` when `k` was not quarantined.
+    pub fn restore_node(&mut self, k: usize, slot: Slot) -> bool {
+        if !self.ledger.lift_quarantine(k) {
+            return false;
+        }
+        let c = &self.telemetry.counters;
+        c.bump(&c.node_recoveries, 1);
+        self.telemetry.emit(|| Event::NodeUp { node: k, slot });
+        true
+    }
+
+    /// Degrades node `k` from slot `from` on: for each cell, up to
+    /// `frac` of its *total* capacity (compute and adapter memory) is
+    /// reserved out of the residual, shrinking what future admissions can
+    /// use. Already-committed work is untouched — degradation throttles
+    /// the future, it does not evict the present. Returns the total
+    /// `(samples, GB)` actually reserved.
+    pub fn degrade_node(&mut self, k: usize, from: Slot, frac: f64) -> (u64, f64) {
+        let frac = frac.clamp(0.0, 1.0);
+        let horizon = self.ledger.horizon();
+        if k >= self.ledger.nodes() {
+            return (0, 0.0);
+        }
+        let mut total_compute = 0u64;
+        let mut total_mem = 0.0f64;
+        for t in from.min(horizon)..horizon {
+            let compute = ((self.ledger.compute_capacity(k) as f64 * frac) as u64)
+                .min(self.ledger.residual_compute(k, t));
+            let mem =
+                (self.ledger.adapter_capacity(k) * frac).min(self.ledger.residual_memory(k, t));
+            if self.ledger.reserve(k, t, compute, mem).is_ok() {
+                total_compute += compute;
+                total_mem += mem;
+            }
+        }
+        (total_compute, total_mem)
+    }
+
+    /// Re-runs the Algorithm 1 auction for a disrupted task's remnant
+    /// (remaining work repackaged as a fresh task with the same id): the
+    /// Algorithm 2 DP under the *current* duals `λ/φ`, the Eq. (10)
+    /// admission test, dual updates and capacity commit — exactly the
+    /// clean-path `decide`, plus recovery telemetry. `fail_slot` is the
+    /// slot of the failure that disrupted the original schedule.
+    pub fn resubmit(&mut self, remnant: &Task, scenario: &Scenario, fail_slot: Slot) -> Decision {
+        let decision = self.decide(remnant, scenario);
+        let c = &self.telemetry.counters;
+        c.bump(&c.tasks_resubmitted, 1);
+        if decision.is_admitted() {
+            c.bump(&c.recoveries_admitted, 1);
+        }
+        self.telemetry.emit(|| Event::TaskResubmitted {
+            task: remnant.id,
+            slot: fail_slot,
+            remaining_work: remnant.work,
+            admitted: decision.is_admitted(),
+        });
+        decision
+    }
+
+    /// Settles an unrecoverable disrupted task: the buyer keeps paying
+    /// only for consumed resources — Eq. (14) re-evaluated over the
+    /// executed `prefix` with the duals snapshotted at the original
+    /// admission — and is refunded the rest of the original payment.
+    /// `prefix_energy` is the operational cost of the executed slots.
+    ///
+    /// Returns `(refund, consumed)`, or `None` when `task` has no
+    /// admitted auction record (nothing was ever charged).
+    pub fn issue_refund(
+        &mut self,
+        task: &Task,
+        fail_slot: Slot,
+        prefix: &Schedule,
+        prefix_energy: f64,
+    ) -> Option<(f64, f64)> {
+        let rec = self
+            .records
+            .iter()
+            .find(|r| r.task == task.id && r.admitted)?;
+        let charged = rec.payment;
+        let consumed = payment(
+            self.config.pricing,
+            task,
+            prefix,
+            rec.max_lambda,
+            rec.max_phi,
+            self.config.compute_unit,
+            prefix_energy,
+        )
+        .clamp(0.0, charged);
+        let refund = charged - consumed;
+        let c = &self.telemetry.counters;
+        c.bump(&c.refunds_issued, 1);
+        self.telemetry.emit(|| Event::RefundIssued {
+            task: task.id,
+            slot: fail_slot,
+            refund,
+            consumed,
+        });
+        Some((refund, consumed))
     }
 }
 

@@ -2,10 +2,11 @@
 
 use crate::welfare::WelfareReport;
 use pdftsp_baselines::{Eft, FixedPrice, FixedPriceConfig, Ntm, TitanConfig, TitanLike};
-use pdftsp_cluster::{ClusterMetrics, ExecutionEngine};
+use pdftsp_cluster::{ClusterMetrics, ExecutionEngine, ReplayError};
 use pdftsp_core::{Pdftsp, PdftspConfig};
 use pdftsp_telemetry::{Reason, RunReport, Telemetry};
 use pdftsp_types::{AuctionOutcome, Decision, OnlineScheduler, Rejection, Scenario, Task};
+use std::fmt;
 
 /// The algorithms compared in the paper's figures, plus the capacity-
 /// masking ablation of pdFTSP.
@@ -86,6 +87,46 @@ pub struct RunResult {
     pub report: RunReport,
 }
 
+/// A run that could not produce a valid [`RunResult`]: the scheduler under
+/// test violated the driver contract or committed an invalid outcome.
+/// Either way the *scheduler* is buggy, not the input — but a sweep over
+/// many scenarios should report the bad cell and keep going rather than
+/// abort, so this surfaces as an error instead of a panic.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The scheduler broke the `on_slot` contract (wrong decision count
+    /// or order).
+    Contract {
+        /// Scheduler name.
+        scheduler: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The committed decisions failed ground-truth replay (capacity
+    /// overflow, invalid schedule, or unfinished admitted work).
+    Replay {
+        /// Scheduler name.
+        scheduler: String,
+        /// The replay verdict.
+        error: ReplayError,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Contract { scheduler, detail } => {
+                write!(f, "{scheduler}: driver contract violated: {detail}")
+            }
+            RunError::Replay { scheduler, error } => {
+                write!(f, "{scheduler}: invalid outcome: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Maps the decision-level rejection reason onto the telemetry vocabulary.
 fn telemetry_reason(why: Rejection) -> Reason {
     match why {
@@ -117,12 +158,20 @@ fn decision_report(name: &str, decisions: &[Decision], metrics: &ClusterMetrics)
 /// replays all committed schedules through the execution engine to verify
 /// capacity and deadlines, and computes the welfare report.
 ///
-/// # Panics
-/// Panics if the scheduler commits an invalid outcome (capacity overflow
-/// or an unfinished admitted task) — that is a bug in the scheduler under
-/// test, and hiding it would corrupt every figure.
-#[must_use]
-pub fn run_scheduler(scenario: &Scenario, scheduler: &mut dyn OnlineScheduler) -> RunResult {
+/// # Errors
+/// Fails if the scheduler breaks the `on_slot` contract or commits an
+/// invalid outcome (capacity overflow, bad schedule, unfinished admitted
+/// task) — that is a bug in the scheduler under test; sweeps report it
+/// per scenario instead of aborting wholesale.
+pub fn try_run_scheduler(
+    scenario: &Scenario,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<RunResult, RunError> {
+    let name = scheduler.name().to_owned();
+    let contract = |detail: String| RunError::Contract {
+        scheduler: name.clone(),
+        detail,
+    };
     let mut decisions: Vec<Decision> = Vec::with_capacity(scenario.tasks.len());
     let mut next_task = 0usize;
     for slot in 0..scenario.horizon {
@@ -135,36 +184,50 @@ pub fn run_scheduler(scenario: &Scenario, scheduler: &mut dyn OnlineScheduler) -
         }
         let arrivals: Vec<&Task> = scenario.tasks[start..next_task].iter().collect();
         let out = scheduler.on_slot(slot, &arrivals, scenario);
-        assert_eq!(
-            out.len(),
-            arrivals.len(),
-            "{}: wrong number of decisions at slot {slot}",
-            scheduler.name()
-        );
+        if out.len() != arrivals.len() {
+            return Err(contract(format!(
+                "slot {slot}: {} decisions for {} arrivals",
+                out.len(),
+                arrivals.len()
+            )));
+        }
         for (d, t) in out.iter().zip(&arrivals) {
-            assert_eq!(
-                d.task,
-                t.id,
-                "{}: decision order mismatch",
-                scheduler.name()
-            );
+            if d.task != t.id {
+                return Err(contract(format!(
+                    "slot {slot}: decision for task {} where task {} arrived",
+                    d.task, t.id
+                )));
+            }
         }
         decisions.extend(out);
     }
     debug_assert_eq!(next_task, scenario.tasks.len(), "tasks outside horizon");
 
-    let report = ExecutionEngine::replay(scenario, &decisions)
-        .unwrap_or_else(|e| panic!("{}: invalid outcome: {e}", scheduler.name()));
+    let report =
+        ExecutionEngine::replay(scenario, &decisions).map_err(|error| RunError::Replay {
+            scheduler: scheduler.name().to_owned(),
+            error,
+        })?;
     let welfare = WelfareReport::compute(scenario, &decisions);
     let metrics = ClusterMetrics::compute(scenario, &report.ledger, &decisions);
     let run_report = decision_report(scheduler.name(), &decisions, &metrics);
-    RunResult {
+    Ok(RunResult {
         algo: scheduler.name().to_owned(),
         decisions,
         welfare,
         metrics,
         report: run_report,
-    }
+    })
+}
+
+/// [`try_run_scheduler`], panicking on an invalid run.
+///
+/// # Panics
+/// Panics on any [`RunError`] — the convenient form for tests and single
+/// runs, where hiding a scheduler bug would corrupt every figure.
+#[must_use]
+pub fn run_scheduler(scenario: &Scenario, scheduler: &mut dyn OnlineScheduler) -> RunResult {
+    try_run_scheduler(scenario, scheduler).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Convenience: builds and runs `algo` on `scenario`.
@@ -182,6 +245,15 @@ pub fn run_scheduler(scenario: &Scenario, scheduler: &mut dyn OnlineScheduler) -
 pub fn run_algo(scenario: &Scenario, algo: Algo, seed: u64) -> RunResult {
     let mut scheduler = algo.build(scenario, seed);
     run_scheduler(scenario, scheduler.as_mut())
+}
+
+/// [`run_algo`] with the error surfaced instead of a panic.
+///
+/// # Errors
+/// Same contract as [`try_run_scheduler`].
+pub fn try_run_algo(scenario: &Scenario, algo: Algo, seed: u64) -> Result<RunResult, RunError> {
+    let mut scheduler = algo.build(scenario, seed);
+    try_run_scheduler(scenario, scheduler.as_mut())
 }
 
 /// Runs pdFTSP with an attached [`Telemetry`] pipeline and returns both the
@@ -354,6 +426,56 @@ mod tests {
         );
         assert!(inst.report.latency.exact);
         assert!(inst.report.utilization.is_some());
+    }
+
+    #[test]
+    fn contract_violations_surface_as_errors_not_panics() {
+        use pdftsp_types::{OnlineScheduler, Slot, SlotOutcome};
+
+        /// Returns no decisions at all — breaks the count contract.
+        struct Mute;
+        impl OnlineScheduler for Mute {
+            fn name(&self) -> &'static str {
+                "mute"
+            }
+            fn on_slot(&mut self, _: Slot, _: &[&Task], _: &Scenario) -> SlotOutcome {
+                Vec::new()
+            }
+        }
+
+        /// Admits every task onto a node/slot that does not exist —
+        /// passes the contract but fails ground-truth replay.
+        struct Rogue;
+        impl OnlineScheduler for Rogue {
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+            fn on_slot(&mut self, _: Slot, arrivals: &[&Task], _: &Scenario) -> SlotOutcome {
+                arrivals
+                    .iter()
+                    .map(|t| {
+                        let s = pdftsp_types::Schedule::new(
+                            t.id,
+                            pdftsp_types::VendorQuote::none(),
+                            vec![(999, 0)],
+                        );
+                        Decision::admitted(t.id, s, 1.0, 0.0)
+                    })
+                    .collect()
+            }
+        }
+
+        let sc = ScenarioBuilder::smoke(7).build();
+        let err = try_run_scheduler(&sc, &mut Mute).unwrap_err();
+        assert!(matches!(&err, RunError::Contract { scheduler, .. } if scheduler == "mute"));
+        assert!(err.to_string().contains("contract"), "{err}");
+
+        let err = try_run_scheduler(&sc, &mut Rogue).unwrap_err();
+        assert!(matches!(&err, RunError::Replay { scheduler, .. } if scheduler == "rogue"));
+        assert!(err.to_string().contains("invalid outcome"), "{err}");
+
+        // The happy path is unchanged through the fallible entry point.
+        assert!(try_run_algo(&sc, Algo::Pdftsp, 0).is_ok());
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`competitive`] — empirical competitive-ratio measurement against
 //!   the offline optimum from `pdftsp-solver`, plus the parallel
 //!   multi-instance sweep driver behind Fig. 12/13 ([`ratio_sweep`]);
+//! * [`faults`] — seeded node-failure injection ([`faults::FaultPlan`])
+//!   and the recovery run loop ([`faults::run_pdftsp_with_faults`]):
+//!   ledger release, quarantine, remnant resubmission, and Eq. (14)
+//!   consumed-resource refunds;
 //! * [`parallel`] — a scoped parallel map for sweeps (one scheduler
 //!   instance per scenario; no shared mutable state);
 //! * [`zones`] — multi-model data-center zones (one independent market
@@ -24,6 +28,7 @@
 pub mod artifacts;
 pub mod competitive;
 pub mod driver;
+pub mod faults;
 pub mod parallel;
 pub mod report;
 pub mod timeline;
@@ -34,9 +39,16 @@ pub use artifacts::{dual_grid_csv, dual_grid_json, write_dual_grid};
 pub use competitive::{
     empirical_ratio, empirical_ratio_with_telemetry, ratio_sweep, RatioReport, RatioSweep,
 };
-pub use driver::{run_algo, run_pdftsp_instrumented, run_scheduler, Algo, RunResult};
+pub use driver::{
+    run_algo, run_pdftsp_instrumented, run_scheduler, try_run_algo, try_run_scheduler, Algo,
+    RunError, RunResult,
+};
+pub use faults::{
+    run_pdftsp_with_faults, AbortedTask, FaultEvent, FaultPlan, FaultRunResult, FaultSpec,
+    FaultWelfare,
+};
 pub use parallel::{effective_workers, parallel_map};
 pub use report::FigureTable;
-pub use timeline::{render_gantt, render_timeline};
+pub use timeline::{render_gantt, render_timeline, replay};
 pub use welfare::WelfareReport;
 pub use zones::{partition_zones, run_zoned, Zone, ZonedOutcome};

@@ -12,7 +12,22 @@
 //! ```
 
 use crate::driver::RunResult;
-use pdftsp_types::Scenario;
+use pdftsp_cluster::{ExecutionEngine, ExecutionReport, ReplayError};
+use pdftsp_types::{Decision, Scenario};
+
+/// Ground-truth verification of a decision list: replays every committed
+/// schedule slot by slot through the execution engine, checking schedule
+/// validity, capacity constraints (4f)/(4g), and work completion.
+///
+/// This is the oracle the chaos suite holds recovered runs against — a
+/// fault-recovery path may rewrite schedules mid-run, but whatever it
+/// commits must still replay cleanly.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn replay(scenario: &Scenario, decisions: &[Decision]) -> Result<ExecutionReport, ReplayError> {
+    ExecutionEngine::replay(scenario, decisions)
+}
 
 /// Characters for 9 intensity levels (space = zero).
 const LEVELS: [char; 9] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█', '█'];
@@ -43,7 +58,9 @@ pub fn utilization_series(scenario: &Scenario, result: &RunResult) -> Vec<f64> {
         if let Some(s) = d.schedule() {
             let task = &scenario.tasks[d.task];
             for &(k, t) in &s.placements {
-                used[t] += task.rate(k) as f64;
+                if k < task.rates.len() && t < horizon {
+                    used[t] += task.rate(k) as f64;
+                }
             }
         }
     }
@@ -99,15 +116,32 @@ pub fn render_timeline(scenario: &Scenario, result: &RunResult) -> String {
 
 /// Per-node occupancy gantt: one line per node, one char per slot,
 /// digit = number of co-located tasks (capped at 9), `.` = idle.
+///
+/// A placement outside the cluster grid (out-of-horizon slot or unknown
+/// node — a buggy or corrupted decision list) cannot be drawn in its
+/// cell; instead of panicking on the out-of-bounds index, the affected
+/// node row is flagged with a trailing ` !` (a footer line reports
+/// placements on unknown nodes) so the corruption is visible in the
+/// rendering it would otherwise have crashed.
 #[must_use]
 pub fn render_gantt(scenario: &Scenario, result: &RunResult) -> String {
     let horizon = scenario.horizon;
     let k_count = scenario.nodes.len();
     let mut counts = vec![0u32; k_count * horizon];
+    // Nodes with at least one undrawable placement; the extra flag
+    // covers placements whose node does not exist at all.
+    let mut clipped = vec![false; k_count];
+    let mut unknown_nodes = 0usize;
     for d in &result.decisions {
         if let Some(s) = d.schedule() {
             for &(k, t) in &s.placements {
-                counts[k * horizon + t] += 1;
+                if k >= k_count {
+                    unknown_nodes += 1;
+                } else if t >= horizon {
+                    clipped[k] = true;
+                } else {
+                    counts[k * horizon + t] += 1;
+                }
             }
         }
     }
@@ -122,7 +156,15 @@ pub fn render_gantt(scenario: &Scenario, result: &RunResult) -> String {
                 _ => '+',
             });
         }
+        if clipped[k] {
+            out.push_str(" !");
+        }
         out.push('\n');
+    }
+    if unknown_nodes > 0 {
+        out.push_str(&format!(
+            "   ! {unknown_nodes} placement(s) on nodes outside the cluster\n"
+        ));
     }
     out
 }
@@ -185,6 +227,60 @@ mod tests {
         }
         // Under load at least one cell hosts >= 2 co-located tasks.
         assert!(g.chars().any(|c| ('2'..='9').contains(&c)), "{g}");
+    }
+
+    #[test]
+    fn gantt_flags_out_of_grid_placements_instead_of_panicking() {
+        let sc = ScenarioBuilder::smoke(7).build();
+        let mut r = run_algo(&sc, Algo::Pdftsp, 0);
+        // Corrupt the first admitted decision: one placement past the
+        // horizon on node 0, one on a node that does not exist.
+        let d = r
+            .decisions
+            .iter_mut()
+            .find(|d| d.is_admitted())
+            .expect("smoke run admits something");
+        let task = d.task;
+        if let pdftsp_types::AuctionOutcome::Admitted { schedule, .. } = &mut d.outcome {
+            schedule.placements.push((0, sc.horizon + 5));
+            schedule.placements.push((sc.nodes.len() + 3, 0));
+        }
+        let g = render_gantt(&sc, &r);
+        let lines: Vec<&str> = g.lines().collect();
+        // One row per node plus the unknown-node footer.
+        assert_eq!(lines.len(), sc.nodes.len() + 1, "{g}");
+        assert!(
+            lines[0].ends_with(" !"),
+            "node 0 row should carry the clipped marker: {g}"
+        );
+        assert!(lines.last().unwrap().contains("1 placement(s)"), "{g}");
+        // The in-grid cells still render for every node.
+        for line in lines.iter().take(sc.nodes.len()) {
+            let cells: String = line.chars().skip(16).take(sc.horizon).collect();
+            assert_eq!(cells.chars().count(), sc.horizon, "{line}");
+        }
+        // The utilization strip tolerates the same corruption.
+        let u = utilization_series(&sc, &r);
+        assert_eq!(u.len(), sc.horizon);
+        let _ = task;
+    }
+
+    #[test]
+    fn replay_verifies_clean_runs_and_catches_corrupted_ones() {
+        let sc = ScenarioBuilder::smoke(9).build();
+        let mut r = run_algo(&sc, Algo::Pdftsp, 0);
+        let report = replay(&sc, &r.decisions).expect("clean run must replay");
+        assert!(report.total_energy >= 0.0);
+        // Corrupt a committed placement: replay must refuse it.
+        let d = r
+            .decisions
+            .iter_mut()
+            .find(|d| d.is_admitted())
+            .expect("smoke run admits something");
+        if let pdftsp_types::AuctionOutcome::Admitted { schedule, .. } = &mut d.outcome {
+            schedule.placements.push((0, sc.horizon + 5));
+        }
+        assert!(replay(&sc, &r.decisions).is_err());
     }
 
     #[test]

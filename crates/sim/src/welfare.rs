@@ -3,6 +3,21 @@
 //! All quantities are recomputed from the scenario and the decision list —
 //! schedulers cannot influence their reported welfare except through the
 //! schedules they commit.
+//!
+//! ## Energy under `PricingRule::WithEnergy` — why there is no double count
+//!
+//! With the energy-inclusive payment rule the buyer's payment `p_i`
+//! *contains* the schedule's operational cost `Σ e_ikt`. That energy term
+//! then appears on both sides of the provider's books — once inside
+//! `revenue` (the buyer reimburses it) and once inside `energy_cost` (the
+//! provider pays the bill) — so in `U_c = revenue − vendor_cost −
+//! energy_cost` it nets to zero: the provider merely passes the cost
+//! through. The buyer side subtracts the full payment exactly once
+//! (`U_r = Σ (b_i − p_i)`), so each unit of energy is charged to exactly
+//! one party and `U = U_r + U_c` stays an identity under either pricing
+//! rule (payments cancel between the two). The regression test
+//! `with_energy_payment_is_not_double_counted` pins this down with
+//! hand-computed numbers.
 
 use pdftsp_types::{Decision, Scenario};
 
@@ -142,6 +157,37 @@ mod tests {
         assert!((r.revenue - 5.0).abs() < 1e-12);
         assert_eq!(r.admitted, 2);
         assert_eq!(r.decide_seconds, vec![0.01, 0.02]);
+    }
+
+    #[test]
+    fn with_energy_payment_is_not_double_counted() {
+        // Hand-computed single-task run under the default WithEnergy rule.
+        // Task 0 runs 2 slots at flat cost 0.5/slot → energy = 1.0. With
+        // zero duals and no vendor, Eq. (14) + energy gives p = 0 + 0 + 1.0.
+        let sc = scenario();
+        let s = Schedule::new(0, VendorQuote::none(), vec![(0, 0), (0, 1)]);
+        let task = &sc.tasks[0];
+        let energy = s.energy_cost(task, &sc.cost);
+        assert!((energy - 1.0).abs() < 1e-12, "2 slots × 0.5");
+        let p = pdftsp_core::payment(
+            pdftsp_core::PricingRule::WithEnergy,
+            task,
+            &s,
+            0.0, // max λ
+            0.0, // max φ
+            1000.0,
+            energy,
+        );
+        assert!((p - 1.0).abs() < 1e-12, "zero duals → payment = energy");
+        let r = WelfareReport::compute(&sc, &[Decision::admitted(0, s, p, 0.0)]);
+        // Welfare: bid 10 − vendor 0 − energy 1 = 9 (energy subtracted once).
+        assert!((r.social_welfare - 9.0).abs() < 1e-12);
+        // Provider: the reimbursed energy cancels the energy bill exactly —
+        // NOT −1 (which would double-count it against the buyer's payment).
+        assert!((r.provider_utility - 0.0).abs() < 1e-12);
+        // Buyer: pays the energy once, inside p.
+        assert!((r.user_utility - 9.0).abs() < 1e-12);
+        assert!((r.social_welfare - (r.user_utility + r.provider_utility)).abs() < 1e-12);
     }
 
     #[test]

@@ -65,6 +65,16 @@ pub struct Counters {
     pub simplex_pivots: AtomicU64,
     /// Node LPs that fell back to the dense reference simplex.
     pub lp_dense_fallbacks: AtomicU64,
+    /// Node crash events injected (fault runs only).
+    pub node_failures: AtomicU64,
+    /// Node recovery events applied (fault runs only).
+    pub node_recoveries: AtomicU64,
+    /// Disrupted-task remnants re-run through the auction.
+    pub tasks_resubmitted: AtomicU64,
+    /// Remnants the Eq. (10) test re-admitted.
+    pub recoveries_admitted: AtomicU64,
+    /// Refunds issued for unrecoverable disrupted tasks.
+    pub refunds_issued: AtomicU64,
     /// Wall-clock `decide()` latency distribution.
     pub decide_latency: LatencyHistogram,
 }

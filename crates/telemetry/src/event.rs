@@ -125,6 +125,45 @@ pub enum Event {
         /// New memory price `φ_kt`.
         phi: f64,
     },
+    /// A node failed: its cells from `slot` on were quarantined.
+    NodeDown {
+        /// Node `k`.
+        node: usize,
+        /// First unavailable slot.
+        slot: usize,
+    },
+    /// A failed node recovered: its quarantine was lifted at `slot`.
+    NodeUp {
+        /// Node `k`.
+        node: usize,
+        /// First available slot again.
+        slot: usize,
+    },
+    /// A disrupted task's remnant re-entered the auction (Algorithm 1
+    /// re-run over the remaining work under the current duals).
+    TaskResubmitted {
+        /// Task id.
+        task: usize,
+        /// Slot of the failure that disrupted it.
+        slot: usize,
+        /// Samples still outstanding at resubmission.
+        remaining_work: u64,
+        /// Whether the Eq. (10) test re-admitted the remnant.
+        admitted: bool,
+    },
+    /// A disrupted task could not be recovered; the buyer pays only for
+    /// consumed resources (Eq. (14) over the executed prefix) and the
+    /// difference is refunded.
+    RefundIssued {
+        /// Task id.
+        task: usize,
+        /// Slot of the failure.
+        slot: usize,
+        /// Amount returned to the buyer.
+        refund: f64,
+        /// Charge retained for the executed prefix.
+        consumed: f64,
+    },
 }
 
 impl Event {
@@ -138,10 +177,15 @@ impl Event {
             Event::Admitted { .. } => "admitted",
             Event::Rejected { .. } => "rejected",
             Event::DualUpdate { .. } => "dual_update",
+            Event::NodeDown { .. } => "node_down",
+            Event::NodeUp { .. } => "node_up",
+            Event::TaskResubmitted { .. } => "task_resubmitted",
+            Event::RefundIssued { .. } => "refund_issued",
         }
     }
 
-    /// The task this event belongs to.
+    /// The task this event belongs to (`usize::MAX` for node-scoped
+    /// events, which have no task).
     #[must_use]
     pub fn task(&self) -> usize {
         match *self {
@@ -150,7 +194,10 @@ impl Event {
             | Event::DpRun { task, .. }
             | Event::Admitted { task, .. }
             | Event::Rejected { task, .. }
-            | Event::DualUpdate { task, .. } => task,
+            | Event::DualUpdate { task, .. }
+            | Event::TaskResubmitted { task, .. }
+            | Event::RefundIssued { task, .. } => task,
+            Event::NodeDown { .. } | Event::NodeUp { .. } => usize::MAX,
         }
     }
 
@@ -227,6 +274,32 @@ impl Event {
                 push_f64(&mut s, "lambda", lambda);
                 push_f64(&mut s, "phi", phi);
             }
+            Event::NodeDown { node, slot } | Event::NodeUp { node, slot } => {
+                push_usize(&mut s, "node", node);
+                push_usize(&mut s, "slot", slot);
+            }
+            Event::TaskResubmitted {
+                task,
+                slot,
+                remaining_work,
+                admitted,
+            } => {
+                push_usize(&mut s, "task", task);
+                push_usize(&mut s, "slot", slot);
+                push_u64(&mut s, "remaining_work", remaining_work);
+                push_bool(&mut s, "admitted", admitted);
+            }
+            Event::RefundIssued {
+                task,
+                slot,
+                refund,
+                consumed,
+            } => {
+                push_usize(&mut s, "task", task);
+                push_usize(&mut s, "slot", slot);
+                push_f64(&mut s, "refund", refund);
+                push_f64(&mut s, "consumed", consumed);
+            }
         }
         s.push('}');
         s
@@ -272,6 +345,26 @@ impl Event {
                 slot: get_usize(&fields, "slot")?,
                 lambda: get_f64(&fields, "lambda")?,
                 phi: get_f64(&fields, "phi")?,
+            }),
+            "node_down" => Ok(Event::NodeDown {
+                node: get_usize(&fields, "node")?,
+                slot: get_usize(&fields, "slot")?,
+            }),
+            "node_up" => Ok(Event::NodeUp {
+                node: get_usize(&fields, "node")?,
+                slot: get_usize(&fields, "slot")?,
+            }),
+            "task_resubmitted" => Ok(Event::TaskResubmitted {
+                task: get_usize(&fields, "task")?,
+                slot: get_usize(&fields, "slot")?,
+                remaining_work: get_u64(&fields, "remaining_work")?,
+                admitted: get_bool(&fields, "admitted")?,
+            }),
+            "refund_issued" => Ok(Event::RefundIssued {
+                task: get_usize(&fields, "task")?,
+                slot: get_usize(&fields, "slot")?,
+                refund: get_f64(&fields, "refund")?,
+                consumed: get_f64(&fields, "consumed")?,
             }),
             other => Err(EventParseError(format!("unknown event tag `{other}`"))),
         }
@@ -434,6 +527,20 @@ mod tests {
                 lambda: 0.1 + 0.2, // deliberately non-representable exactly
                 phi: f64::MIN_POSITIVE,
             },
+            Event::NodeDown { node: 3, slot: 12 },
+            Event::NodeUp { node: 3, slot: 20 },
+            Event::TaskResubmitted {
+                task: 21,
+                slot: 12,
+                remaining_work: 987_654,
+                admitted: false,
+            },
+            Event::RefundIssued {
+                task: 21,
+                slot: 12,
+                refund: 4.099_999_999_999_999,
+                consumed: 1.0e-3,
+            },
         ]
     }
 
@@ -497,5 +604,8 @@ mod tests {
         };
         assert_eq!(e.kind(), "dp_run");
         assert_eq!(e.task(), 5);
+        // Node-scoped events carry no task.
+        assert_eq!(Event::NodeDown { node: 0, slot: 0 }.task(), usize::MAX);
+        assert_eq!(Event::NodeUp { node: 0, slot: 0 }.task(), usize::MAX);
     }
 }

@@ -14,6 +14,14 @@ cargo test --workspace -q
 echo "==> bench_milp smoke (solver equivalence, tiny instance)"
 ./target/release/bench_milp --smoke
 
+echo "==> fault-injection smoke (seeded recovery run, deterministic)"
+fault_args=(run --nodes 6 --slots 24 --mean 3 --seed 11 --faults crashes=2,outage=4,seed=7)
+./target/release/pdftsp "${fault_args[@]}" > /tmp/pdftsp-faults-a.txt
+./target/release/pdftsp "${fault_args[@]}" > /tmp/pdftsp-faults-b.txt
+grep -q "replay           : OK" /tmp/pdftsp-faults-a.txt
+cmp /tmp/pdftsp-faults-a.txt /tmp/pdftsp-faults-b.txt
+rm -f /tmp/pdftsp-faults-a.txt /tmp/pdftsp-faults-b.txt
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
