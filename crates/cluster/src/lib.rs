@@ -26,4 +26,7 @@ pub use engine::ReplayError;
 pub use engine::{ExecutionEngine, ExecutionReport, TaskEvent, TaskEventKind, TaskLifetime};
 pub use ledger::{CapacityLedger, LedgerError, Released};
 pub use metrics::ClusterMetrics;
-pub use parallel::{effective_workers, parallel_map};
+pub use parallel::{
+    configured_threads, effective_workers, hardware_threads, parallel_map, set_thread_override,
+    thread_override,
+};

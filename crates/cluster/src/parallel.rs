@@ -13,23 +13,74 @@
 //! needs `Send`, not `Sync`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// How many workers [`parallel_map`] will actually spawn for a batch of
-/// `items` work items: `min(items, available_parallelism)`. Exposed so
-/// benchmark emitters can report the real thread count used by the gated
-/// parallel paths instead of guessing.
+/// Sentinel for "no programmatic override installed".
+const UNSET: usize = usize::MAX;
+
+/// Programmatic thread override ([`set_thread_override`]); beats the
+/// `PDFTSP_THREADS` environment variable when both are present.
+static EXPLICIT: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// `PDFTSP_THREADS` parsed once per process (clamped to ≥ 1).
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PDFTSP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+    })
+}
+
+/// The host's hardware parallelism (what `available_parallelism` reports;
+/// 4 when the platform cannot say).
 #[must_use]
-pub fn effective_workers(items: usize) -> usize {
+pub fn hardware_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
-        .min(items)
+}
+
+/// Installs (or with `None` removes) a process-wide worker-thread
+/// override, taking precedence over `PDFTSP_THREADS`. Benchmarks use this
+/// to sweep vendor-scaling points; schedulers cache the value at
+/// construction, so set it before constructing them.
+pub fn set_thread_override(threads: Option<usize>) {
+    EXPLICIT.store(threads.map_or(UNSET, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// The active override, if any: programmatic first, then `PDFTSP_THREADS`.
+#[must_use]
+pub fn thread_override() -> Option<usize> {
+    match EXPLICIT.load(Ordering::Relaxed) {
+        UNSET => env_threads(),
+        n => Some(n),
+    }
+}
+
+/// Worker threads parallel paths should use: the override when installed,
+/// otherwise the hardware's parallelism.
+#[must_use]
+pub fn configured_threads() -> usize {
+    thread_override().unwrap_or_else(hardware_threads)
+}
+
+/// How many workers [`parallel_map`] will actually spawn for a batch of
+/// `items` work items: `min(items, configured_threads)`. Exposed so
+/// benchmark emitters can report the real thread count used by the
+/// parallel paths instead of guessing.
+#[must_use]
+pub fn effective_workers(items: usize) -> usize {
+    configured_threads().min(items)
 }
 
 /// Applies `f` to every item, in parallel, preserving order of results.
 ///
-/// Spawns at most `min(items, available_parallelism)` workers. Falls back
-/// to a sequential loop for 0/1 items or a single-core host.
+/// Spawns at most [`effective_workers`]`(items)` workers. Falls back to a
+/// sequential loop for 0/1 items or a single configured thread. Results
+/// are merged by item index, so the output is deterministic regardless of
+/// worker count.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -109,15 +160,33 @@ mod tests {
         assert_eq!(par, seq);
     }
 
+    /// Worker accounting, the programmatic override, and determinism
+    /// under forced threads — one test, because the override is process
+    /// global and the test runner is parallel.
     #[test]
-    fn effective_workers_is_capped_by_items_and_hardware() {
+    fn worker_accounting_honours_items_and_overrides() {
+        // Caps with no override installed.
+        let before = configured_threads();
+        assert!(before >= 1 && hardware_threads() >= 1);
         assert_eq!(effective_workers(0), 0);
         assert_eq!(effective_workers(1), 1);
-        let hw = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4);
-        assert_eq!(effective_workers(usize::MAX), hw);
+        assert_eq!(effective_workers(usize::MAX), before);
         assert!(effective_workers(3) <= 3);
+        // The override wins over hardware (and env) and is reversible.
+        set_thread_override(Some(3));
+        assert_eq!(configured_threads(), 3);
+        assert_eq!(effective_workers(usize::MAX), 3);
+        assert_eq!(effective_workers(2), 2);
+        set_thread_override(Some(0)); // clamped to ≥ 1
+        assert_eq!(configured_threads(), 1);
+        // Forcing multiple workers on any host must not change results:
+        // the order-preserving merge is thread-count-agnostic.
+        let items: Vec<u64> = (0..64).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * 31 % 13).collect();
+        set_thread_override(Some(4));
+        assert_eq!(parallel_map(&items, |&x| x * 31 % 13), seq);
+        set_thread_override(None);
+        assert_eq!(configured_threads(), before);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Configuration of the pdFTSP algorithm.
 
+use crate::kernel::KernelChoice;
+
 /// How the dual-update multipliers `α` and `β` of Eqs. (7)–(8) are chosen.
 ///
 /// Lemma 2 sets `α = max_i b_i/M_i` and `β = max_i b_i/r_i` — offline
@@ -176,6 +178,11 @@ pub struct PdftspConfig {
     /// single hardware thread (tests use this); larger values also
     /// require more than one hardware thread at scheduler construction.
     pub parallel_vendor_min: usize,
+    /// Which min-plus row kernel the DP dispatches (scalar or SIMD; both
+    /// bit-identical). Resolved once at scheduler construction;
+    /// [`KernelChoice::Auto`] honours the `PDFTSP_KERNEL` environment
+    /// override and otherwise takes SIMD whenever the build carries it.
+    pub kernel: KernelChoice,
 }
 
 impl Default for PdftspConfig {
@@ -192,6 +199,7 @@ impl Default for PdftspConfig {
             pricing: PricingRule::WithEnergy,
             pipeline: EvalPipeline::Optimized,
             parallel_vendor_min: 8,
+            kernel: KernelChoice::Auto,
         }
     }
 }
@@ -233,6 +241,12 @@ impl PdftspConfig {
             ..self
         }
     }
+
+    /// Selects the DP row kernel.
+    #[must_use]
+    pub fn with_kernel(self, kernel: KernelChoice) -> Self {
+        PdftspConfig { kernel, ..self }
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +259,11 @@ mod tests {
         assert_eq!(c.capacity_policy, CapacityPolicy::MaskSaturated);
         assert_eq!(c.pricing, PricingRule::WithEnergy);
         assert!(c.compute_unit > 0.0);
+        assert_eq!(c.kernel, KernelChoice::Auto);
+        assert_eq!(
+            c.with_kernel(KernelChoice::Scalar).kernel,
+            KernelChoice::Scalar
+        );
     }
 
     #[test]

@@ -23,15 +23,23 @@
 //! **Two pipelines.** [`find_schedule_on_grid`] is the production path:
 //! it slices a pre-built [`DeltaGrid`] by start offset, reuses the
 //! [`DpBuffers`] arena across calls with no full-table clear, restricts
-//! each DP row to the reachable work trapezoid, skips per-column
-//! Pareto-dominated nodes, and terminates early once the running optimum
-//! meets the column-minima lower bound. [`find_schedule_reference`] is the
+//! each DP row to the reachable work trapezoid, applies only the grid's
+//! precomputed per-column Pareto-front candidates, and terminates early
+//! once the running optimum meets the column-minima lower bound. The
+//! value/choice tables live in a flat, slot-major, *padded* slab: each
+//! row is `stride = cols.next_multiple_of(LANES)` wide so every row
+//! starts lane-aligned and the [`crate::kernel`] min-plus row kernel
+//! (scalar or `std::simd`, selected per arena) can run full-width vector
+//! updates without straddling rows. [`find_schedule_reference`] is the
 //! straight-line implementation kept as the equivalence oracle: both
 //! produce bit-identical costs and placements (see the unit tests here
-//! and `tests/pipeline_equivalence.rs` for the proofs-by-execution).
+//! and `tests/pipeline_equivalence.rs` for the proofs-by-execution;
+//! `tests/dp_kernel_equivalence.rs` additionally pins SIMD against
+//! scalar).
 
 use crate::duals::DualState;
 use crate::grid::{DeltaGrid, LB_SLACK};
+use crate::kernel::{self, KernelDispatch, KernelKind};
 use pdftsp_cluster::CapacityLedger;
 use pdftsp_telemetry::{Event, Telemetry};
 use pdftsp_types::{NodeId, Scenario, Slot, Task};
@@ -60,15 +68,33 @@ struct DpWork {
     rows: usize,
     cells: u64,
     early_exit: bool,
+    /// Rows where at least one candidate update ran full SIMD lanes.
+    simd_rows: u64,
+    /// Rows where the SIMD kernel fell through to scalar tail cells.
+    tail_rows: u64,
 }
 
-/// Counts and emits one completed `findSchedule` invocation.
-fn record_dp_run(ctx: &DpContext<'_>, task: &Task, start: Slot, work: DpWork, feasible: bool) {
+/// Counts and emits one completed `findSchedule` invocation. `fallback`
+/// marks an invocation that wanted SIMD but ran the scalar kernel (build
+/// without the `simd` feature).
+fn record_dp_run(
+    ctx: &DpContext<'_>,
+    task: &Task,
+    start: Slot,
+    work: DpWork,
+    feasible: bool,
+    fallback: bool,
+) {
     let Some(tel) = ctx.telemetry else { return };
     let c = &tel.counters;
     c.bump(&c.dp_runs, 1);
     c.bump(&c.dp_rows, work.rows as u64);
     c.bump(&c.dp_cells, work.cells);
+    c.bump(&c.simd_rows, work.simd_rows);
+    c.bump(&c.scalar_tail_rows, work.tail_rows);
+    if fallback {
+        c.bump(&c.fallback_dispatches, 1);
+    }
     if work.early_exit {
         c.bump(&c.dp_early_exits, 1);
     }
@@ -100,20 +126,52 @@ pub struct DpResult {
 /// per-arrival evaluation allocates only the output placements.
 #[derive(Debug, Default)]
 pub struct DpBuffers {
-    /// `dp[t·cols + w]`: min cost to accumulate ≥ `w` units by row `t`.
+    /// The row kernel this arena dispatches (resolved once, not per call).
+    kernel: KernelDispatch,
+    /// Flat slot-major slab: `dp[t·stride + w]` = min cost to accumulate
+    /// ≥ `w` units by row `t`, with `stride = cols` rounded up to
+    /// [`kernel::LANES`] so every row starts lane-aligned. Padding cells
+    /// `[cols, stride)` are never read or written by the sweep.
     dp: Vec<f64>,
-    /// `choice[t·cols + w]`: 0 = idle this slot, `c+1` = run on node `c`.
+    /// `choice[t·stride + w]`: 0 = idle this slot, `c+1` = run on node `c`.
     choice: Vec<u16>,
     /// Quantized per-node gains `s_ik / unit`.
     s_units: Vec<u64>,
-    /// Per-column Pareto front of `(node, gain, delta)` candidates.
-    front: Vec<(usize, usize, f64)>,
     /// Ascending finite column minima of the active window.
     sorted_mins: Vec<f64>,
     /// `prefix[m]` = sum of the `m` cheapest column minima.
     prefix: Vec<f64>,
     /// Scratch for [`DeltaGrid::cost_lower_bound`] calls.
     pub(crate) col_scratch: Vec<f64>,
+}
+
+impl DpBuffers {
+    /// An arena that dispatches the given row kernel.
+    #[must_use]
+    pub fn with_kernel(kernel: KernelDispatch) -> Self {
+        Self {
+            kernel,
+            ..Self::default()
+        }
+    }
+
+    /// Re-targets the arena's row kernel (takes effect next call).
+    pub fn set_kernel(&mut self, kernel: KernelDispatch) {
+        self.kernel = kernel;
+    }
+
+    /// The kernel this arena dispatches.
+    #[must_use]
+    pub fn kernel(&self) -> KernelDispatch {
+        self.kernel
+    }
+
+    /// The raw value slab after the last DP call (diagnostic/test hook:
+    /// the kernel-equivalence suite compares slabs bit-for-bit).
+    #[must_use]
+    pub fn table(&self) -> &[f64] {
+        &self.dp
+    }
 }
 
 /// Everything one scheduler instance reuses across arrivals: the shared
@@ -124,6 +182,17 @@ pub struct EvalScratch {
     pub grid: DeltaGrid,
     /// The DP work area.
     pub bufs: DpBuffers,
+}
+
+impl EvalScratch {
+    /// Scratch whose grid build and DP sweep both dispatch `kernel`.
+    #[must_use]
+    pub fn with_kernel(kernel: KernelDispatch) -> Self {
+        let mut scratch = Self::default();
+        scratch.bufs.set_kernel(kernel);
+        scratch.grid.set_kernel(kernel.kind);
+        scratch
+    }
 }
 
 /// Runs `findSchedule` for `task` with execution window `[start, d_i]`.
@@ -184,7 +253,7 @@ pub fn find_schedule_on_grid(
         }
     }
     let feasible = result.is_some();
-    record_dp_run(ctx, task, start, work, feasible);
+    record_dp_run(ctx, task, start, work, feasible, bufs.kernel.fallback);
     result
 }
 
@@ -216,7 +285,12 @@ fn dp_on_grid(
     let lb_q = bufs.prefix[m_q] * LB_SLACK;
 
     let cols = w_target + 1;
-    let cells = (window + 1) * cols;
+    // Flat padded slab: rows are `stride` apart so each starts at a
+    // multiple of the kernel lane width. The pad cells `[cols, stride)`
+    // are never read or written — the sweep, the guard band, and the
+    // reconstruction are all bounded by `w_target`.
+    let stride = cols.next_multiple_of(kernel::LANES);
+    let cells = (window + 1) * stride;
     // Buffers grow by capacity only — no full-table clear. Every cell the
     // sweep or the reconstruction reads is written first during *this*
     // call (the maintained trapezoid below plus its +∞ guard band), so
@@ -251,9 +325,14 @@ fn dp_on_grid(
     // w_hi(t+1) ≤ w_hi(t) + mps) always land on initialized memory, and
     // keeps dp[t][0] = 0 live for the floor transition (idling is free;
     // the strict-< tie-break never displaces it, exactly as in the
-    // reference). Node-major inner loops visit each cell's candidates in
-    // the same ascending-node order (same strict-< tie-break) as the
+    // reference). Candidate loops visit each cell's candidates in the
+    // same ascending-node order (same strict-< tie-break) as the
     // reference's cell-major sweep, so maintained cells are bit-identical.
+    // The per-column candidate fronts come precomputed from the grid
+    // build; dropping a dominated node never changes a cell or a choice
+    // tag (see the grid module docs), and the grid's raw-rate dominance
+    // only ever keeps a superset of the quantized front.
+    let kind = bufs.kernel.kind;
     let mut effective = window;
     for t_rel in 1..=window {
         let col = off + t_rel - 1;
@@ -261,14 +340,14 @@ fn dp_on_grid(
         let w_lo = w_target.saturating_sub((window - t_rel) * max_per_slot);
         work.rows += 1;
         work.cells += (w_hi - w_lo + 1) as u64;
-        let (prev_part, cur_part) = bufs.dp.split_at_mut(t_rel * cols);
-        let prev = &prev_part[(t_rel - 1) * cols..];
-        let cur = &mut cur_part[..cols];
+        let (prev_part, cur_part) = bufs.dp.split_at_mut(t_rel * stride);
+        let prev = &prev_part[(t_rel - 1) * stride..];
+        let cur = &mut cur_part[..stride];
         cur[w_lo..=w_hi].copy_from_slice(&prev[w_lo..=w_hi]);
         for v in &mut cur[w_hi + 1..=(w_hi + max_per_slot).min(w_target)] {
             *v = f64::INFINITY;
         }
-        let crow = &mut bufs.choice[t_rel * cols..(t_rel + 1) * cols];
+        let crow = &mut bufs.choice[t_rel * stride..(t_rel + 1) * stride];
         for v in &mut crow[w_lo..=w_hi] {
             *v = 0;
         }
@@ -276,46 +355,31 @@ fn dp_on_grid(
             cur[0] = 0.0;
             crow[0] = 0;
         }
-        // Per-column Pareto front: a node can win a cell only if no
-        // earlier-indexed node offers (delta ≤, gain ≥). DP rows are
-        // non-decreasing in `w` and candidates are applied in ascending
-        // node order with a strict-< tie-break, so by the time a
-        // dominated node's turn comes the cell already holds a value no
-        // greater than its candidate — skipping it changes no cell and no
-        // choice tag. Domination is transitive through dropped nodes, so
-        // checking against the kept front members suffices.
-        bufs.front.clear();
-        for (c, &gain) in bufs.s_units.iter().enumerate() {
-            let delta = grid.node_row(c)[col];
-            if !delta.is_finite() {
-                continue; // capacity-masked cell
-            }
-            let gain = gain as usize;
-            if bufs.front.iter().any(|&(_, g, d)| d <= delta && g >= gain) {
-                continue; // dominated: can never win a cell in this column
-            }
-            bufs.front.push((c, gain, delta));
+        let front = grid.col_front(col);
+        let mut row_lanes = 0u64;
+        let mut row_tail = 0u64;
+        for (i, &c) in front.nodes.iter().enumerate() {
+            let c = c as usize;
+            let gain = bufs.s_units[c] as usize;
+            let (lanes, tail) = kernel::apply_candidate(
+                kind,
+                prev,
+                cur,
+                crow,
+                w_lo,
+                w_hi,
+                gain,
+                front.deltas[i],
+                c as u16 + 1,
+            );
+            row_lanes += lanes;
+            row_tail += tail;
         }
-        for &(c, gain, delta) in &bufs.front {
-            let tag = c as u16 + 1;
-            // Below `gain` the transition reads dp[t−1][0] (the reference's
-            // saturating_sub); splitting the loop keeps the bound checks
-            // and the subtraction out of the dense segment.
-            let split = gain.min(w_hi + 1);
-            let floor_cand = prev[0] + delta;
-            for w in w_lo..split {
-                if floor_cand < cur[w] {
-                    cur[w] = floor_cand;
-                    crow[w] = tag;
-                }
-            }
-            for w in split.max(w_lo)..=w_hi {
-                let cand = prev[w - gain] + delta;
-                if cand < cur[w] {
-                    cur[w] = cand;
-                    crow[w] = tag;
-                }
-            }
+        if row_lanes > 0 {
+            work.simd_rows += 1;
+        }
+        if kind == KernelKind::Simd && row_tail > 0 {
+            work.tail_rows += 1;
         }
         // Early termination: once the target cell meets the lower bound no
         // later row can strictly improve it, so every remaining choice
@@ -328,7 +392,7 @@ fn dp_on_grid(
         }
     }
 
-    let final_cost = bufs.dp[effective * cols + w_target];
+    let final_cost = bufs.dp[effective * stride + w_target];
     if !final_cost.is_finite() {
         return None;
     }
@@ -340,7 +404,7 @@ fn dp_on_grid(
     let mut placements = Vec::new();
     let mut w = w_target;
     for t_rel in (1..=effective).rev() {
-        let c = bufs.choice[t_rel * cols + w];
+        let c = bufs.choice[t_rel * stride + w];
         if c > 0 {
             let pos = (c - 1) as usize;
             placements.push((grid.compatible()[pos], start + t_rel - 1));
@@ -371,7 +435,7 @@ pub fn find_schedule_reference(ctx: &DpContext<'_>, task: &Task, start: Slot) ->
         }
     }
     let feasible = result.is_some();
-    record_dp_run(ctx, task, start, work, feasible);
+    record_dp_run(ctx, task, start, work, feasible, false);
     result
 }
 

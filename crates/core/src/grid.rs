@@ -23,12 +23,27 @@
 //! usable cells. The suffix minima of λ, φ, and e are precomputed per
 //! build, so each vendor's bound costs O(1) beyond the column-minima sum.
 //!
+//! Beyond the raw cells, the build also precomputes one **Pareto front
+//! per column**: the compatible nodes not dominated in that slot by an
+//! earlier-indexed node with `delta ≤` and `rate ≥`. The DP row sweep
+//! iterates only these candidates ([`DeltaGrid::col_front`]), so the
+//! dominance filter runs once per arrival instead of once per DP row per
+//! vendor per refinement. Raw-rate dominance is quantization-free: floor
+//! division is monotone, so `rate_b ≥ rate_a` implies `⌊rate_b/u⌋ ≥
+//! ⌊rate_a/u⌋` for every work unit `u` — a front computed on raw rates is
+//! valid for every refinement the DP tries.
+//!
 //! **Bit-equivalence.** Each cell is computed with the exact expression
 //! (and operation order) of the reference DP, so the optimized pipeline's
 //! dp costs, schedules, and admissions are bit-identical to the
-//! reference's (proven by `tests/pipeline_equivalence.rs`).
+//! reference's (proven by `tests/pipeline_equivalence.rs`). The column
+//! fronts preserve that: they drop only candidates whose quantized
+//! `(gain, delta)` is dominated, and under the DP's strict-`<` tie-break a
+//! dominated candidate can never win a cell, so pruning it changes no
+//! value and no choice tag (the same argument the per-row front used).
 
 use crate::dp::DpContext;
+use crate::kernel::{self, KernelKind};
 use pdftsp_types::{NodeId, Slot, Task};
 
 /// Multiplier that makes floating-point lower bounds conservative.
@@ -75,11 +90,32 @@ pub struct DeltaGrid {
     phi_suf: Vec<f64>,
     /// Suffix minima of the per-cell energy cost `e_ikt`.
     e_suf: Vec<f64>,
+    /// CSR offsets into the front arrays: column `j`'s candidates live at
+    /// `front_idx[j]..front_idx[j+1]` (length `width + 1`).
+    front_idx: Vec<u32>,
+    /// Compatible-node index of each front candidate, ascending per column.
+    front_node: Vec<u32>,
+    /// Raw rate `s_ik` of each front candidate (dominance key).
+    front_rate: Vec<u64>,
+    /// Delta of each front candidate (same bits as its grid cell).
+    front_delta: Vec<f64>,
     /// Samples per compute pricing unit, captured at build time (the
     /// admission bound prices the task's work term in these units).
     compute_unit: f64,
+    /// Row kernel used for the delta computation (bit-identical either
+    /// way; see [`crate::kernel::delta_row`]).
+    kernel: KernelKind,
     /// Scratch for the ledger's batched fits check.
     fits_buf: Vec<bool>,
+}
+
+/// One column's Pareto-front candidates, parallel slices.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnFront<'a> {
+    /// Compatible-node indices (`c`, not node ids), ascending.
+    pub nodes: &'a [u32],
+    /// The candidates' deltas (bit-identical to the grid cells).
+    pub deltas: &'a [f64],
 }
 
 impl DeltaGrid {
@@ -100,6 +136,10 @@ impl DeltaGrid {
         self.lam_suf.clear();
         self.phi_suf.clear();
         self.e_suf.clear();
+        self.front_idx.clear();
+        self.front_node.clear();
+        self.front_rate.clear();
+        self.front_delta.clear();
         self.compute_unit = ctx.compute_unit;
         self.base = base;
         self.deadline = task.deadline.min(scenario.horizon.saturating_sub(1));
@@ -135,33 +175,68 @@ impl DeltaGrid {
             } else {
                 false
             };
-            let lambda = &ctx.duals.lambda_row(k)[..=self.deadline];
-            let phi = &ctx.duals.phi_row(k)[..=self.deadline];
-            let prices = &scenario.cost.prices_row(k)[..=self.deadline];
+            let lambda = &ctx.duals.lambda_row(k)[base..=self.deadline];
+            let phi = &ctx.duals.phi_row(k)[base..=self.deadline];
+            let prices = &scenario.cost.prices_row(k)[base..=self.deadline];
             // Same expression — and the same operation order — as the
             // reference DP's per-cell delta, so values are bit-identical.
             let s_price = task.rate(k) as f64 / ctx.compute_unit;
             let row = &mut self.deltas[c * self.width..(c + 1) * self.width];
-            for (j, t) in (base..=self.deadline).enumerate() {
+            kernel::delta_row(
+                self.kernel,
+                lambda,
+                phi,
+                prices,
+                s_price,
+                task.memory_gb,
+                task.energy_weight,
+                row,
+            );
+            for j in 0..self.width {
                 if masked && !self.fits_buf[j] {
-                    continue; // leave +∞: the cell cannot host the task
+                    row[j] = f64::INFINITY; // the cell cannot host the task
+                    continue;
                 }
-                let e = prices[t] * task.energy_weight;
-                let delta = s_price * lambda[t] + task.memory_gb * phi[t] + e;
-                row[j] = delta;
+                let delta = row[j];
+                let e = prices[j] * task.energy_weight;
                 if delta < self.col_min[j] {
                     self.col_min[j] = delta;
                 }
-                if lambda[t] < self.lam_suf[j] {
-                    self.lam_suf[j] = lambda[t];
+                if lambda[j] < self.lam_suf[j] {
+                    self.lam_suf[j] = lambda[j];
                 }
-                if phi[t] < self.phi_suf[j] {
-                    self.phi_suf[j] = phi[t];
+                if phi[j] < self.phi_suf[j] {
+                    self.phi_suf[j] = phi[j];
                 }
                 if e < self.e_suf[j] {
                     self.e_suf[j] = e;
                 }
             }
+        }
+        // Per-column Pareto fronts over raw rates (see the module docs for
+        // why raw-rate dominance is safe under every work quantization).
+        // `dominated` is a branchless fold: fronts are a handful of
+        // entries, so predicated compares beat a branchy early-out.
+        self.front_idx.push(0);
+        for j in 0..self.width {
+            let col_start = *self.front_idx.last().expect("pushed above") as usize;
+            for c in 0..self.compatible.len() {
+                let delta = self.deltas[c * self.width + j];
+                if !delta.is_finite() {
+                    continue; // capacity-masked cell
+                }
+                let rate = self.rates[c];
+                let mut dominated = false;
+                for i in col_start..self.front_node.len() {
+                    dominated |= self.front_delta[i] <= delta && self.front_rate[i] >= rate;
+                }
+                if !dominated {
+                    self.front_node.push(c as u32);
+                    self.front_rate.push(rate);
+                    self.front_delta.push(delta);
+                }
+            }
+            self.front_idx.push(self.front_node.len() as u32);
         }
         // Column minima → suffix minima (right-to-left), so every start
         // offset reads its window's cheapest λ/φ/e cell in O(1).
@@ -235,6 +310,24 @@ impl DeltaGrid {
     #[must_use]
     pub fn col_min(&self) -> &[f64] {
         &self.col_min
+    }
+
+    /// Column `j`'s precomputed Pareto-front candidates (ascending node
+    /// index). Valid for any work quantization the DP tries.
+    #[must_use]
+    pub fn col_front(&self, j: usize) -> ColumnFront<'_> {
+        let lo = self.front_idx[j] as usize;
+        let hi = self.front_idx[j + 1] as usize;
+        ColumnFront {
+            nodes: &self.front_node[lo..hi],
+            deltas: &self.front_delta[lo..hi],
+        }
+    }
+
+    /// Selects the delta-row kernel for subsequent [`DeltaGrid::build`]
+    /// calls (both kernels produce bit-identical cells).
+    pub fn set_kernel(&mut self, kernel: KernelKind) {
+        self.kernel = kernel;
     }
 
     /// Conservative lower bound on the admission cost any schedule in

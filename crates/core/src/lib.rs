@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 //! # pdftsp-core
 //!
 //! The paper's primary contribution: **pdFTSP**, the online primal-dual
@@ -34,6 +35,7 @@ pub mod config;
 pub mod dp;
 pub mod duals;
 pub mod grid;
+pub mod kernel;
 pub mod pricing;
 pub mod probe;
 pub mod scheduler;
@@ -46,6 +48,7 @@ pub use dp::{
 };
 pub use duals::DualState;
 pub use grid::DeltaGrid;
+pub use kernel::{KernelChoice, KernelDispatch, KernelKind};
 pub use pricing::payment;
 pub use probe::{probe_bid, BidProbe};
 pub use scheduler::{AuctionRecord, Pdftsp};

@@ -19,8 +19,9 @@ use crate::dp::{
 };
 use crate::duals::DualState;
 use crate::grid::DeltaGrid;
+use crate::kernel::KernelDispatch;
 use crate::pricing::payment;
-use pdftsp_cluster::{parallel_map, CapacityLedger, LedgerError, Released};
+use pdftsp_cluster::{configured_threads, parallel_map, CapacityLedger, LedgerError, Released};
 use pdftsp_telemetry::{Event, Reason, Telemetry};
 use pdftsp_types::{
     Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task, TaskId,
@@ -124,11 +125,17 @@ pub struct Pdftsp {
     /// from a parallel sweep); the online loop itself is single-threaded
     /// per scheduler, so the lock is always uncontended.
     scratch: Mutex<EvalScratch>,
-    /// Hardware threads, cached at construction. The vendor-parallel
-    /// branch is skipped when this is 1: dispatching workers on a single
-    /// core is pure overhead, and the sequential path additionally gets
-    /// to use its incumbent skip and shared-start memo.
+    /// Worker threads, cached at construction: the hardware's parallelism
+    /// unless overridden by `PDFTSP_THREADS` or
+    /// [`pdftsp_cluster::set_thread_override`]. The vendor-parallel branch
+    /// is skipped when this is 1: dispatching workers on a single core is
+    /// pure overhead, and the sequential path additionally gets to use its
+    /// incumbent skip and shared-start memo.
     workers: usize,
+    /// The resolved DP row kernel ([`PdftspConfig::kernel`], resolved
+    /// once). Private worker arenas in the vendor-parallel branch inherit
+    /// it.
+    kernel: KernelDispatch,
     /// Observability: typed event stream + always-on counters. Defaults to
     /// [`Telemetry::disabled`] (no-op sink), where emission is one cached
     /// branch per site — the overhead-guard bench proves it stays under 2%
@@ -154,6 +161,7 @@ impl Pdftsp {
                 floor_beta,
             } => (floor_alpha, floor_beta),
         };
+        let kernel = config.kernel.resolve();
         Pdftsp {
             config,
             duals: DualState::new(scenario, config.compute_unit),
@@ -161,10 +169,24 @@ impl Pdftsp {
             alpha,
             beta,
             records: Vec::new(),
-            scratch: Mutex::new(EvalScratch::default()),
-            workers: std::thread::available_parallelism().map_or(1, usize::from),
+            scratch: Mutex::new(EvalScratch::with_kernel(kernel)),
+            workers: configured_threads(),
             telemetry,
+            kernel,
         }
+    }
+
+    /// The DP row kernel this scheduler resolved at construction.
+    #[must_use]
+    pub fn kernel(&self) -> KernelDispatch {
+        self.kernel
+    }
+
+    /// Worker threads the vendor-parallel branch may use (cached at
+    /// construction from [`pdftsp_cluster::configured_threads`]).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The configuration this scheduler runs with.
@@ -350,7 +372,7 @@ impl Pdftsp {
                 (plans.len() - starts.len()) as u64,
             );
             let results = parallel_map(&starts, |&start| {
-                let mut local = DpBuffers::default();
+                let mut local = DpBuffers::with_kernel(self.kernel);
                 find_schedule_on_grid(ctx, task, start, grid, &mut local)
             });
             for &(quote, start, _) in &plans {
