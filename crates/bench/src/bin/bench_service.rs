@@ -1,0 +1,247 @@
+//! Emits `BENCH_service.json` at the repo root: sustained decision
+//! throughput and admission-latency percentiles of the sharded auction
+//! service under open-loop load, with fault injection enabled.
+//!
+//! Methodology (see EXPERIMENTS.md "Sharded service benchmark"): an
+//! open-loop generator offers the whole scenario at a fixed arrival rate
+//! (task `i` arrives at wall time `i / rate`); the service batches slots
+//! into epochs, proposes per shard in parallel, and commits in epoch
+//! order against the global fixed-point ledger. Admission latency is
+//! arrival → phase-2 commit; throughput is decisions over the wall clock
+//! of the whole run, pacing included. The same fault plan (crashes,
+//! outages, degradations) runs through the service path at every rate.
+//!
+//! A determinism block then re-runs the service unpaced with the worker
+//! pool forced to 1, 2, and 4 threads and asserts bit-identical welfare,
+//! ledger digests, and a per-decision fingerprint — the service's
+//! "any worker count replays the single-thread schedule" contract, with
+//! faults enabled.
+//!
+//! `--smoke` shrinks the scenario for CI and, like `bench_milp --smoke`,
+//! still runs every rate and the full determinism sweep but leaves the
+//! committed full-run artifact untouched.
+
+use pdftsp_cluster::{configured_threads, hardware_threads, set_thread_override};
+use pdftsp_sim::{AuctionService, FaultPlan, FaultSpec, ServiceConfig, ServiceOutcome};
+use pdftsp_types::Scenario;
+use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+
+/// Open-loop arrival rates, tasks per second.
+const RATES: [f64; 3] = [10_000.0, 100_000.0, 1_000_000.0];
+
+fn scenario(smoke: bool) -> Scenario {
+    let (horizon, nodes, mean) = if smoke { (16, 8, 4.0) } else { (48, 24, 24.0) };
+    ScenarioBuilder {
+        horizon,
+        num_nodes: nodes,
+        arrivals: ArrivalProcess::Poisson {
+            mean_per_slot: mean,
+        },
+        seed: 4242,
+        ..ScenarioBuilder::default()
+    }
+    .build()
+}
+
+fn fault_spec(smoke: bool) -> FaultSpec {
+    FaultSpec {
+        crashes: if smoke { 2 } else { 6 },
+        outage: 4,
+        degrade: 0.2,
+        seed: 7,
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// FNV-1a over the decision sequence (task id, admission, payment bits)
+/// — the replayable content, excluding wall-clock latency fields.
+fn decision_fingerprint(out: &ServiceOutcome) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for d in &out.decisions {
+        mix(d.task as u64);
+        mix(u64::from(d.is_admitted()));
+        mix(d.payment().to_bits());
+    }
+    mix(out.welfare.social_welfare.to_bits());
+    h
+}
+
+/// One paced run at `rate` tasks/sec; returns the JSON row.
+fn rate_json(sc: &Scenario, plan: &FaultPlan, shards: usize, rate: f64) -> String {
+    let cfg = ServiceConfig {
+        shards,
+        epoch_slots: 4,
+        open_loop_rate: Some(rate),
+        ..ServiceConfig::default()
+    };
+    let out = AuctionService::run(sc, cfg, plan).expect("service run");
+    let mut lat: Vec<f64> = out.admission_seconds.clone();
+    lat.sort_by(f64::total_cmp);
+    let p50_ms = percentile(&lat, 0.50) * 1e3;
+    let p99_ms = percentile(&lat, 0.99) * 1e3;
+    println!(
+        "rate {:>9.0}/s: {:>8.0} decisions/s sustained, admission p50 {:.3} ms p99 {:.3} ms ({} workers)",
+        rate,
+        out.decisions_per_second(),
+        p50_ms,
+        p99_ms,
+        out.effective_workers
+    );
+    format!(
+        concat!(
+            "    {{\"offered_rate_per_s\": {:.0}, \"decisions\": {}, ",
+            "\"sustained_decisions_per_s\": {:.1}, \"wall_s\": {:.6}, ",
+            "\"admission_p50_ms\": {:.4}, \"admission_p99_ms\": {:.4}, ",
+            "\"admission_max_ms\": {:.4}, \"admitted\": {}, \"aborted\": {}, ",
+            "\"disrupted\": {}, \"recovered\": {}, \"epochs\": {}, ",
+            "\"effective_workers\": {}}}"
+        ),
+        rate,
+        out.decisions.len(),
+        out.decisions_per_second(),
+        out.wall_seconds,
+        p50_ms,
+        p99_ms,
+        percentile(&lat, 1.0) * 1e3,
+        out.welfare.completed + out.welfare.aborted,
+        out.welfare.aborted,
+        out.disrupted,
+        out.recovered,
+        out.epochs,
+        out.effective_workers
+    )
+}
+
+/// Unpaced determinism sweep: the same faulted scenario under 1, 2, and
+/// 4 workers must produce bit-identical economics and ledgers.
+fn determinism_json(sc: &Scenario, plan: &FaultPlan, shards: usize) -> String {
+    let cfg = ServiceConfig {
+        shards,
+        epoch_slots: 4,
+        ..ServiceConfig::default()
+    };
+    let mut baseline: Option<(u64, u64, u64)> = None;
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4] {
+        set_thread_override(Some(threads));
+        let out = AuctionService::run(sc, cfg, plan).expect("service run");
+        set_thread_override(None);
+        let key = (
+            out.welfare.social_welfare.to_bits(),
+            out.ledger_digest,
+            decision_fingerprint(&out),
+        );
+        match baseline {
+            None => baseline = Some(key),
+            Some(expected) => assert_eq!(
+                expected, key,
+                "service diverged at {threads} workers (welfare bits / ledger digest / decisions)"
+            ),
+        }
+        println!(
+            "determinism {threads} workers: welfare {:.2}, ledger digest {:016x} — identical",
+            out.welfare.social_welfare, out.ledger_digest
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"workers\": {}, \"effective_workers\": {}, ",
+                "\"welfare_bits\": \"{:016x}\", \"ledger_digest\": \"{:016x}\", ",
+                "\"decision_fingerprint\": \"{:016x}\"}}"
+            ),
+            threads, out.effective_workers, key.0, key.1, key.2
+        ));
+    }
+    rows.join(",\n")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sc = scenario(smoke);
+    let spec = fault_spec(smoke);
+    let plan = FaultPlan::generate(&sc, &spec);
+    let faults = plan.events.len();
+    // One shard per core up to the node count, at least two so the
+    // two-phase commit path is actually exercised across workers.
+    let shards = configured_threads().min(sc.nodes.len()).max(2);
+    // Phase-1 workers: all cores, floored at two — on a single-core host
+    // the workers time-slice, which still drives the full multi-worker
+    // commit protocol (and the determinism contract makes the schedule
+    // identical either way).
+    let workers = configured_threads().min(shards).max(2);
+    println!(
+        "service bench: {} tasks / {} nodes / {} slots, {} shards / {} workers, {} fault events{}",
+        sc.tasks.len(),
+        sc.nodes.len(),
+        sc.horizon,
+        shards,
+        workers,
+        faults,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    set_thread_override(Some(workers));
+    let rate_rows: Vec<String> = RATES
+        .iter()
+        .map(|&r| rate_json(&sc, &plan, shards, r))
+        .collect();
+    set_thread_override(None);
+    let determinism = determinism_json(&sc, &plan, shards);
+
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"service_throughput\",\n",
+            "  \"emitter\": \"bench_service\",\n",
+            "  \"smoke\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"configured_threads\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"epoch_slots\": 4,\n",
+            "  \"scenario\": {{\"horizon\": {}, \"nodes\": {}, \"tasks\": {}, \"seed\": 4242}},\n",
+            "  \"faults\": {{\"events\": {}, \"crashes\": {}, \"outage\": {}, \"degrade\": {:.2}, \"seed\": {}}},\n",
+            "  \"open_loop\": [\n",
+            "{}\n",
+            "  ],\n",
+            "  \"determinism\": [\n",
+            "{}\n",
+            "  ]\n",
+            "}}\n"
+        ),
+        smoke,
+        hardware_threads(),
+        configured_threads(),
+        shards,
+        workers,
+        sc.horizon,
+        sc.nodes.len(),
+        sc.tasks.len(),
+        faults,
+        spec.crashes,
+        spec.outage,
+        spec.degrade,
+        spec.seed,
+        rate_rows.join(",\n"),
+        determinism
+    );
+    if smoke {
+        println!("smoke ok: determinism held at 1/2/4 workers; artifact not rewritten");
+        return;
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, &body).expect("write BENCH_service.json");
+    println!("wrote {path}");
+}

@@ -18,6 +18,8 @@ commands:
   audit       truthfulness + individual-rationality audit of the auction
   ratio       empirical competitive ratio against the offline optimum
   zones       split the cluster into per-model zones and run each market
+  serve-sim   run the sharded auction service over the scenario and
+              report per-shard admission + commit statistics
   calibrate   print the LoRA/paradigm calibration table
   help        show this text
 
@@ -38,6 +40,14 @@ simulate options:
   --faults SPEC    inject seeded node failures and run the recovery path
                    (pdftsp only); SPEC is key=value pairs, e.g.
                    crashes=2,outage=4,degrade=0.3,seed=7
+
+serve-sim options:
+  --shards N       shard count (disjoint node ranges)  [default 2]
+  --epoch E        slots committed per service epoch   [default 4]
+  --rate R         open-loop arrival rate in tasks/sec (paces admission
+                   and measures admission latency; omit for unpaced)
+  --faults SPEC    inject seeded node failures through the service path
+                   (same SPEC syntax as simulate)
 
 ratio options (offline branch-and-bound limits):
   --milp-nodes N   node budget for the offline solve   [default 300]
@@ -86,6 +96,29 @@ pub struct Cli {
     pub json: bool,
     /// Offline branch-and-bound limits (`ratio`).
     pub milp: MilpArgs,
+    /// Sharded-service knobs (`serve-sim`).
+    pub service: ServiceArgs,
+}
+
+/// Knobs for the sharded auction service behind `serve-sim`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceArgs {
+    /// Shard count (`--shards`).
+    pub shards: usize,
+    /// Slots committed per epoch (`--epoch`).
+    pub epoch: usize,
+    /// Open-loop arrival rate in tasks/sec (`--rate`), `None` = unpaced.
+    pub rate: Option<f64>,
+}
+
+impl Default for ServiceArgs {
+    fn default() -> Self {
+        ServiceArgs {
+            shards: 2,
+            epoch: 4,
+            rate: None,
+        }
+    }
 }
 
 /// Limits for the offline branch-and-bound behind `ratio`.
@@ -127,6 +160,8 @@ pub enum Command {
     Ratio,
     /// Multi-model zoned data center.
     Zones,
+    /// Sharded auction service with epoch-ordered two-phase commit.
+    ServeSim,
     /// Print the calibration table.
     Calibrate,
     /// Print usage.
@@ -226,6 +261,7 @@ impl Cli {
         let mut faults = None;
         let mut json = false;
         let mut milp = MilpArgs::default();
+        let mut service = ServiceArgs::default();
 
         while let Some(arg) = it.next() {
             let mut value_for = |name: &str| -> Result<&String, ParseError> {
@@ -252,6 +288,25 @@ impl Cli {
                     scenario.mean = v
                         .parse::<f64>()
                         .map_err(|_| err(format!("--mean: bad number `{v}`")))?;
+                }
+                "--shards" => {
+                    service.shards = parse_num(value_for("--shards")?, "--shards")?;
+                    if service.shards == 0 {
+                        return Err(err("--shards: must be at least 1"));
+                    }
+                }
+                "--epoch" => {
+                    service.epoch = parse_num(value_for("--epoch")?, "--epoch")?;
+                    if service.epoch == 0 {
+                        return Err(err("--epoch: must be at least 1"));
+                    }
+                }
+                "--rate" => {
+                    let rate: f64 = parse_num(value_for("--rate")?, "--rate")?;
+                    if !rate.is_finite() || rate <= 0.0 {
+                        return Err(err("--rate: must be positive"));
+                    }
+                    service.rate = Some(rate);
                 }
                 "--milp-nodes" => {
                     milp.nodes = parse_num(value_for("--milp-nodes")?, "--milp-nodes")?;
@@ -320,6 +375,7 @@ impl Cli {
             "audit" => Command::Audit,
             "ratio" => Command::Ratio,
             "zones" => Command::Zones,
+            "serve-sim" => Command::ServeSim,
             "calibrate" => Command::Calibrate,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(err(format!("unknown command `{other}`"))),
@@ -336,6 +392,7 @@ impl Cli {
             faults,
             json,
             milp,
+            service,
         })
     }
 }
@@ -439,6 +496,21 @@ mod tests {
         let cli = parse("simulate").unwrap();
         assert!(cli.faults.is_none());
         assert!(parse("run --faults").is_err());
+    }
+
+    #[test]
+    fn serve_sim_parses_service_knobs() {
+        let cli = parse("serve-sim").unwrap();
+        assert_eq!(cli.command, Command::ServeSim);
+        assert_eq!(cli.service, ServiceArgs::default());
+        let cli = parse("serve-sim --shards 4 --epoch 6 --rate 1000").unwrap();
+        assert_eq!(cli.service.shards, 4);
+        assert_eq!(cli.service.epoch, 6);
+        assert_eq!(cli.service.rate, Some(1000.0));
+        assert!(parse("serve-sim --shards 0").is_err());
+        assert!(parse("serve-sim --epoch 0").is_err());
+        assert!(parse("serve-sim --rate -3").is_err());
+        assert!(parse("serve-sim --rate banana").is_err());
     }
 
     #[test]

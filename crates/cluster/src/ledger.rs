@@ -516,6 +516,42 @@ impl CapacityLedger {
         }
         total / (self.nodes * self.horizon) as f64
     }
+
+    /// FNV-1a digest of the complete ledger state: every `(k, t)` cell's
+    /// committed compute/memory (exact fixed-point words, not floats)
+    /// plus all quarantine holds. Two ledgers digest equal iff they hold
+    /// byte-identical state, so determinism suites can assert that
+    /// multi-worker sharded runs replay the single-thread schedule
+    /// bit-for-bit without exposing the internal vectors.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.nodes as u64);
+        mix(self.horizon as u64);
+        for &w in self.compute_used.iter().chain(self.mem_used.iter()) {
+            mix(w);
+        }
+        for hold in &self.quarantines {
+            match hold {
+                None => mix(u64::MAX),
+                Some(q) => {
+                    mix(q.from as u64);
+                    for &w in q.compute.iter().chain(q.mem.iter()) {
+                        mix(w);
+                    }
+                }
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -14,12 +14,16 @@
 //! * [`metrics`] — utilization and co-location statistics.
 //! * [`parallel`] — a scoped, lock-free parallel map shared by the
 //!   scheduler hot path (vendor evaluation) and the experiment sweeps.
+//! * [`shard`] — largest-remainder node apportionment and the contiguous
+//!   shard ranges the sharded auction service partitions the cluster
+//!   into (each shard owns its own ledger slice and dual grid).
 
 pub mod energy;
 pub mod engine;
 pub mod ledger;
 pub mod metrics;
 pub mod parallel;
+pub mod shard;
 
 pub use energy::{EnergySignal, PriceModel};
 pub use engine::ReplayError;
@@ -30,3 +34,4 @@ pub use parallel::{
     configured_threads, effective_workers, hardware_threads, parallel_map, set_thread_override,
     thread_override,
 };
+pub use shard::{apportion, ShardError, ShardMap, ShardSpec};

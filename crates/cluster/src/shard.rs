@@ -1,0 +1,302 @@
+//! Node sharding: partitioning a data center into disjoint node ranges.
+//!
+//! A *shard* owns a contiguous slice of the cluster's nodes. Shards are
+//! the unit of parallelism for the sharded auction service
+//! (`pdftsp-sim`'s `service` module): each shard runs its own dual grid
+//! and ledger slice, so concurrent shards never touch the same state and
+//! any worker count replays the single-thread schedule bit-for-bit.
+//!
+//! The same largest-remainder apportionment that sizes shards also fixes
+//! the zone-partition conservation bug: [`apportion`] guarantees the
+//! per-part counts sum *exactly* to the total (no `.round().max(1)`
+//! over/undershoot), while still giving every positive-weight part at
+//! least one node.
+
+use pdftsp_types::NodeId;
+
+/// Errors from [`apportion`] / [`ShardMap`] construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// No parts were requested.
+    NoParts,
+    /// A weight was negative, NaN, or infinite.
+    InvalidWeight {
+        /// Index of the offending part.
+        index: usize,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// All weights were zero: there is no way to split proportionally.
+    ZeroWeightSum,
+    /// Fewer items than positive-weight parts — each part needs at least
+    /// one item, so the split cannot conserve the total.
+    TooFewItems {
+        /// Items available.
+        total: usize,
+        /// Positive-weight parts requesting at least one item each.
+        parts: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ShardError::NoParts => write!(f, "apportionment over zero parts"),
+            ShardError::InvalidWeight { index, weight } => {
+                write!(
+                    f,
+                    "weight {weight} at index {index} is not a finite share ≥ 0"
+                )
+            }
+            ShardError::ZeroWeightSum => write!(f, "weights sum to zero; nothing to split"),
+            ShardError::TooFewItems { total, parts } => {
+                write!(
+                    f,
+                    "{total} items cannot cover {parts} positive-weight parts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Splits `total` items across `weights.len()` parts proportionally to
+/// the weights, using largest-remainder (Hamilton) apportionment with a
+/// one-item floor for every positive-weight part.
+///
+/// Guarantees, unlike independent per-part rounding:
+/// * the returned counts sum to **exactly** `total`;
+/// * every part with `weight > 0` receives at least one item;
+/// * parts with `weight == 0` receive exactly zero items;
+/// * the result is deterministic (remainder ties break on lower index).
+///
+/// # Errors
+/// [`ShardError::NoParts`] on an empty weight list,
+/// [`ShardError::InvalidWeight`] on a negative/NaN/infinite weight,
+/// [`ShardError::ZeroWeightSum`] when every weight is zero, and
+/// [`ShardError::TooFewItems`] when `total` is smaller than the number of
+/// positive-weight parts.
+pub fn apportion(total: usize, weights: &[f64]) -> Result<Vec<usize>, ShardError> {
+    if weights.is_empty() {
+        return Err(ShardError::NoParts);
+    }
+    for (index, &weight) in weights.iter().enumerate() {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(ShardError::InvalidWeight { index, weight });
+        }
+    }
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        return Err(ShardError::ZeroWeightSum);
+    }
+    let positive = weights.iter().filter(|&&w| w > 0.0).count();
+    if total < positive {
+        return Err(ShardError::TooFewItems {
+            total,
+            parts: positive,
+        });
+    }
+    // Reserve the one-item floor, then Hamilton-apportion the rest: each
+    // positive part takes the floor of its quota, and the leftover items
+    // go to the largest fractional remainders (index-ordered on ties).
+    let spare = total - positive;
+    let mut counts = vec![0usize; weights.len()];
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(positive);
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        let quota = spare as f64 * (w / sum);
+        let base = quota.floor() as usize;
+        counts[i] = 1 + base;
+        assigned += base;
+        remainders.push((quota - base as f64, i));
+    }
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    // Mathematically leftover < positive; cycling tolerates any float
+    // drift in the quota sums without ever losing conservation.
+    let mut leftover = spare - assigned;
+    let mut next = 0usize;
+    while leftover > 0 {
+        counts[remainders[next % remainders.len()].1] += 1;
+        next += 1;
+        leftover -= 1;
+    }
+    debug_assert_eq!(counts.iter().sum::<usize>(), total);
+    Ok(counts)
+}
+
+/// One shard's slice of the cluster: nodes `node_base .. node_base + num_nodes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index.
+    pub id: usize,
+    /// First global node id owned by this shard.
+    pub node_base: NodeId,
+    /// Number of nodes owned (≥ 1).
+    pub num_nodes: usize,
+}
+
+/// A partition of `0..total_nodes` into contiguous, disjoint shard ranges
+/// covering every node exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: Vec<ShardSpec>,
+    /// `owner[k]` = shard owning global node `k`.
+    owner: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Partitions `total_nodes` nodes into `num_shards` near-equal shards.
+    ///
+    /// # Errors
+    /// See [`apportion`]; notably [`ShardError::TooFewItems`] when there
+    /// are more shards than nodes.
+    pub fn even(total_nodes: usize, num_shards: usize) -> Result<ShardMap, ShardError> {
+        ShardMap::weighted(total_nodes, &vec![1.0; num_shards])
+    }
+
+    /// Partitions `total_nodes` nodes proportionally to `weights`
+    /// (largest-remainder, exact conservation).
+    ///
+    /// # Errors
+    /// See [`apportion`].
+    pub fn weighted(total_nodes: usize, weights: &[f64]) -> Result<ShardMap, ShardError> {
+        let counts = apportion(total_nodes, weights)?;
+        let mut shards = Vec::with_capacity(counts.len());
+        let mut owner = Vec::with_capacity(total_nodes);
+        let mut node_base = 0usize;
+        for (id, &num_nodes) in counts.iter().enumerate() {
+            shards.push(ShardSpec {
+                id,
+                node_base,
+                num_nodes,
+            });
+            owner.extend(std::iter::repeat_n(id, num_nodes));
+            node_base += num_nodes;
+        }
+        debug_assert_eq!(owner.len(), total_nodes);
+        Ok(ShardMap { shards, owner })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total nodes covered by the map.
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// All shard ranges, in shard-id order.
+    #[must_use]
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// The shard range with index `shard`.
+    #[must_use]
+    pub fn spec(&self, shard: usize) -> ShardSpec {
+        self.shards[shard]
+    }
+
+    /// Shard owning global node `node`.
+    #[must_use]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.owner[node]
+    }
+
+    /// Maps a global node id to `(shard, shard-local node id)`.
+    #[must_use]
+    pub fn to_local(&self, node: NodeId) -> (usize, NodeId) {
+        let shard = self.owner[node];
+        (shard, node - self.shards[shard].node_base)
+    }
+
+    /// Maps a shard-local node id back to the global id.
+    #[must_use]
+    pub fn to_global(&self, shard: usize, local: NodeId) -> NodeId {
+        debug_assert!(local < self.shards[shard].num_nodes);
+        self.shards[shard].node_base + local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportion_conserves_and_floors() {
+        // The motivating bug: 2 parts × 0.5 over 5 nodes must give 5, not
+        // the 3 + 3 = 6 that independent rounding produces.
+        assert_eq!(apportion(5, &[0.5, 0.5]).unwrap(), vec![3, 2]);
+        assert_eq!(apportion(9, &[1.0, 1.0, 1.0]).unwrap(), vec![3, 3, 3]);
+        assert_eq!(apportion(9, &[3.0, 1.0]).unwrap(), vec![6, 3]);
+        // Tiny share still gets its floor of one.
+        assert_eq!(apportion(4, &[1000.0, 1e-9]).unwrap(), vec![3, 1]);
+        // Zero-weight parts get exactly zero.
+        assert_eq!(apportion(4, &[1.0, 0.0, 1.0]).unwrap(), vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn apportion_rejects_bad_weights() {
+        assert_eq!(apportion(3, &[]), Err(ShardError::NoParts));
+        assert_eq!(apportion(3, &[0.0, 0.0]), Err(ShardError::ZeroWeightSum));
+        assert!(matches!(
+            apportion(3, &[1.0, -0.5]),
+            Err(ShardError::InvalidWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            apportion(3, &[1.0, f64::NAN]),
+            Err(ShardError::InvalidWeight { index: 1, .. })
+        ));
+        assert_eq!(
+            apportion(2, &[1.0, 1.0, 1.0]),
+            Err(ShardError::TooFewItems { total: 2, parts: 3 })
+        );
+    }
+
+    #[test]
+    fn apportion_is_exact_over_random_splits() {
+        // Deterministic pseudo-random sweep (splitmix64), no RNG dep.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..200 {
+            let parts = 1 + (next() % 6) as usize;
+            let weights: Vec<f64> = (0..parts).map(|_| 0.01 + (next() % 1000) as f64).collect();
+            let total = parts + (next() % 40) as usize;
+            let counts = apportion(total, &weights).unwrap();
+            assert_eq!(counts.iter().sum::<usize>(), total);
+            assert!(counts.iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn shard_map_round_trips_node_ids() {
+        let map = ShardMap::even(10, 3).unwrap();
+        assert_eq!(map.num_shards(), 3);
+        assert_eq!(map.total_nodes(), 10);
+        let sizes: Vec<usize> = map.shards().iter().map(|s| s.num_nodes).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        for node in 0..10 {
+            let (shard, local) = map.to_local(node);
+            assert_eq!(map.shard_of(node), shard);
+            assert_eq!(map.to_global(shard, local), node);
+            let spec = map.spec(shard);
+            assert!(node >= spec.node_base && node < spec.node_base + spec.num_nodes);
+        }
+        assert!(ShardMap::even(2, 3).is_err());
+        assert_eq!(ShardMap::even(4, 1).unwrap().num_shards(), 1);
+    }
+}

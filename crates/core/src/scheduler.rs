@@ -154,6 +154,23 @@ impl Pdftsp {
     /// counters run regardless).
     #[must_use]
     pub fn with_telemetry(scenario: &Scenario, config: PdftspConfig, telemetry: Telemetry) -> Self {
+        Pdftsp::with_workers(scenario, config, telemetry, configured_threads())
+    }
+
+    /// Like [`Pdftsp::with_telemetry`], but with an explicit worker count
+    /// for the vendor-parallel branch instead of the process-wide
+    /// [`pdftsp_cluster::configured_threads`]. The sharded auction
+    /// service constructs one scheduler per shard with `workers = 1`:
+    /// the shards themselves run under the scoped parallel map, and
+    /// pinning the per-shard vendor loop sequential keeps the two
+    /// parallelism layers from nesting while leaving every decision
+    /// bit-identical to a single-thread run.
+    pub fn with_workers(
+        scenario: &Scenario,
+        config: PdftspConfig,
+        telemetry: Telemetry,
+        workers: usize,
+    ) -> Self {
         let (alpha, beta) = match config.alpha_beta {
             AlphaBeta::Fixed { alpha, beta } => (alpha, beta),
             AlphaBeta::RunningMax {
@@ -170,7 +187,7 @@ impl Pdftsp {
             beta,
             records: Vec::new(),
             scratch: Mutex::new(EvalScratch::with_kernel(kernel)),
-            workers: configured_threads(),
+            workers: workers.max(1),
             telemetry,
             kernel,
         }

@@ -135,6 +135,12 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
+    /// The empty plan: no failures, the run reduces to the fault-free path.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan { events: Vec::new() }
+    }
+
     /// Generates a deterministic plan for `scenario` from `spec`. Crash
     /// slots land in `1..horizon` (so slot 0 always executes cleanly);
     /// attempts whose outage would overlap an existing outage on the same
@@ -257,9 +263,58 @@ pub struct FaultRunResult {
     pub welfare: FaultWelfare,
 }
 
+/// One capacity-ledger mutation performed during a (possibly sharded)
+/// faulted run, recorded in application order.
+///
+/// The single-process fault loop applies these directly; the sharded
+/// auction service (`crate::service`) has its phase-1 shard workers
+/// record them against their shard-local ledgers and its phase-2
+/// coordinator replay them — node ids remapped to global — against the
+/// data-center ledger in deterministic epoch order. Because shards own
+/// disjoint node ranges, the replay reproduces the shard ledgers exactly
+/// (the service asserts the mirror cell-for-cell).
+#[derive(Debug, Clone)]
+pub(crate) enum LedgerOp {
+    /// An admission (or recovery re-admission) committed `schedule`.
+    Commit {
+        /// Task whose rates/memory the commit charges.
+        task: TaskId,
+        /// The committed placements.
+        schedule: Schedule,
+    },
+    /// A disruption released a task's not-yet-executed placements.
+    Release {
+        /// Task whose rates/memory the release returns.
+        task: TaskId,
+        /// The released `(node, slot)` cells.
+        placements: Vec<(NodeId, Slot)>,
+    },
+    /// A crash quarantined all residual capacity on `node` from `from`.
+    Quarantine {
+        /// The crashed node.
+        node: NodeId,
+        /// First held slot.
+        from: Slot,
+    },
+    /// A recovery lifted the quarantine on `node`.
+    Lift {
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// A degradation reserved `frac` of per-cell capacity from `from`.
+    Degrade {
+        /// The degraded node.
+        node: NodeId,
+        /// First degraded slot.
+        from: Slot,
+        /// Reserved capacity fraction in `[0, 1]`.
+        frac: f64,
+    },
+}
+
 /// Per-task progress through the faulted run.
 #[derive(Debug, Clone)]
-enum TaskState {
+pub(crate) enum TaskState {
     /// Not yet arrived.
     Pending,
     /// Rejected at arrival (original decision kept).
@@ -306,8 +361,19 @@ pub fn run_pdftsp_with_faults(
                     pdftsp.degrade_node(node, slot, frac);
                 }
                 FaultEvent::NodeDown { node, slot } => {
-                    let (d, r) =
-                        handle_crash(&mut pdftsp, scenario, &mut states, &mut aborted, node, slot);
+                    // The single-process loop mutates its one ledger
+                    // directly; the op log only matters to the sharded
+                    // service's two-phase commit.
+                    let mut ops = Vec::new();
+                    let (d, r) = handle_crash(
+                        &mut pdftsp,
+                        scenario,
+                        &mut states,
+                        &mut aborted,
+                        node,
+                        slot,
+                        &mut ops,
+                    );
                     disrupted_total += d;
                     recovered_total += r;
                 }
@@ -348,14 +414,17 @@ pub fn run_pdftsp_with_faults(
 
 /// Crash recovery: release disrupted suffixes, quarantine the node, then
 /// resubmit every disrupted task's remnant through the auction. Returns
-/// `(disruptions, recoveries)`.
-fn handle_crash(
+/// `(disruptions, recoveries)`. Every ledger mutation is also appended
+/// to `ops` so the sharded service can replay it against the global
+/// ledger; the single-process caller passes a scratch vector.
+pub(crate) fn handle_crash(
     pdftsp: &mut Pdftsp,
     scenario: &Scenario,
     states: &mut [TaskState],
     aborted: &mut Vec<AbortedTask>,
     node: NodeId,
     slot: Slot,
+    ops: &mut Vec<LedgerOp>,
 ) -> (usize, usize) {
     // Disrupted = active with presence on the dead node at or after the
     // failure. Their whole tail (slot ≥ failure, on *every* node) is
@@ -374,6 +443,10 @@ fn handle_crash(
                 pdftsp
                     .release_placements(&scenario.tasks[id], &tail)
                     .expect("releasing placements this run committed");
+                ops.push(LedgerOp::Release {
+                    task: id,
+                    placements: tail,
+                });
                 splits.push((id, prefix));
             }
         }
@@ -381,6 +454,7 @@ fn handle_crash(
     // Quarantine AFTER the releases so the freed capacity is inside the
     // hold — a down node must offer nothing, not its victims' leftovers.
     pdftsp.quarantine_node(node, slot);
+    ops.push(LedgerOp::Quarantine { node, from: slot });
 
     let disrupted = splits.len();
     let mut recovered = 0usize;
@@ -435,6 +509,10 @@ fn handle_crash(
         };
         match readmitted {
             Some(tail) => {
+                ops.push(LedgerOp::Commit {
+                    task: id,
+                    schedule: tail.clone(),
+                });
                 // Merge: executed prefix + re-admitted tail under the
                 // original vendor quote (prefix slots < failure ≤ tail
                 // slots, so no duplicates; Schedule::new re-sorts).
@@ -472,7 +550,7 @@ fn handle_crash(
 }
 
 /// Final decision list and refund-adjusted welfare.
-fn settle(
+pub(crate) fn settle(
     scenario: &Scenario,
     states: &[TaskState],
     aborted: &[AbortedTask],

@@ -21,6 +21,10 @@
 //!   consumed-resource refunds;
 //! * [`parallel`] — a scoped parallel map for sweeps (one scheduler
 //!   instance per scenario; no shared mutable state);
+//! * [`service`] — the sharded auction service: per-shard dual grids
+//!   and ledger slices, epoch-batched admission with deterministic
+//!   routing, and an epoch-ordered two-phase commit against the global
+//!   fixed-point ledger (bit-identical for any worker count);
 //! * [`zones`] — multi-model data-center zones (one independent market
 //!   per pre-trained model, as the paper's Section 2.1 sketches);
 //! * [`report`] — figure tables with normalization and text/CSV rendering.
@@ -31,6 +35,7 @@ pub mod driver;
 pub mod faults;
 pub mod parallel;
 pub mod report;
+pub mod service;
 pub mod timeline;
 pub mod welfare;
 pub mod zones;
@@ -49,6 +54,9 @@ pub use faults::{
 };
 pub use parallel::{effective_workers, parallel_map};
 pub use report::FigureTable;
+pub use service::{
+    AuctionService, EpochReport, ServiceConfig, ServiceError, ServiceOutcome, ShardStats,
+};
 pub use timeline::{render_gantt, render_timeline, replay};
 pub use welfare::WelfareReport;
 pub use zones::{partition_zones, run_zoned, Zone, ZonedOutcome};

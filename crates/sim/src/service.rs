@@ -1,0 +1,932 @@
+//! The sharded auction service: concurrent admission over a partitioned
+//! data center, deterministic for any worker count.
+//!
+//! [`crate::zones`] splits the cluster between *base models* (fully
+//! independent markets). This module splits it for *throughput*: the
+//! nodes are partitioned into [`ShardMap`] ranges, each shard owning its
+//! own `λ/φ` dual grid and capacity-ledger slice via a private
+//! [`Pdftsp`] instance. An admission front-end batches arrivals per
+//! *epoch* (a fixed span of scenario slots), routes each task to one
+//! shard by a deterministic hash weighted by shard size, and resolves
+//! cross-shard contention with an **epoch-ordered two-phase commit**
+//! against the data-center's fixed-point ledger:
+//!
+//! * **Phase 1 (propose, parallel).** Every shard — under the scoped
+//!   [`parallel_map`], so any worker count — sequentially processes its
+//!   fault events and routed arrivals for the epoch's slots through its
+//!   own scheduler, provisionally committing to its shard-local ledger
+//!   and recording every mutation as a [`LedgerOp`].
+//! * **Phase 2 (commit, sequential).** The coordinator replays the op
+//!   logs in shard-id order against the global [`CapacityLedger`], node
+//!   ids remapped from shard-local to global. Shards own disjoint node
+//!   ranges, so validation can never fail — the service checks anyway
+//!   and verifies at settlement that the global ledger mirrors every
+//!   shard ledger cell-for-cell.
+//!
+//! **Determinism argument.** Routing is a pure function of `(task id,
+//! route seed, shard sizes)`; each shard's phase-1 work is a sequential
+//! loop over state only that shard owns; [`parallel_map`] merges results
+//! by item index; and phase 2 applies ops in fixed shard order. No step
+//! observes wall-clock time, scheduling order, or worker count, so a
+//! 16-worker run replays the single-thread schedule — welfare bits,
+//! ledger digest, payments — bit-for-bit. The only nondeterministic
+//! outputs are latency *measurements* (`decide_seconds`, admission
+//! histograms), which never feed back into decisions.
+//!
+//! Fault tolerance rides through unchanged: the per-shard loop applies
+//! [`FaultPlan`] events (mapped to the owning shard) exactly like the
+//! single-process [`crate::faults`] loop — recoveries, degradations,
+//! then crashes, before same-slot arrivals — and reuses its release /
+//! quarantine / resubmit / refund machinery verbatim.
+
+use crate::faults::{
+    handle_crash, settle, AbortedTask, FaultEvent, FaultPlan, FaultWelfare, LedgerOp, TaskState,
+};
+use crate::parallel::parallel_map;
+use pdftsp_cluster::{effective_workers, CapacityLedger, LedgerError, ShardError, ShardMap};
+use pdftsp_core::{Pdftsp, PdftspConfig};
+use pdftsp_telemetry::{LatencyHistogram, Telemetry};
+use pdftsp_types::{AuctionOutcome, CostGrid, Decision, NodeId, Scenario, Schedule, Slot, TaskId};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Number of shards to partition the cluster into (each needs at
+    /// least one node).
+    pub shards: usize,
+    /// Scenario slots batched into one admission epoch (≥ 1).
+    pub epoch_slots: usize,
+    /// Scheduler configuration used by every shard.
+    pub scheduler: PdftspConfig,
+    /// Seed of the deterministic task-routing hash.
+    pub route_seed: u64,
+    /// Open-loop arrival rate in tasks per wall-clock second. When set,
+    /// task `i` "arrives" at wall time `i / rate` after service start;
+    /// an epoch is not proposed until its whole batch has arrived, and
+    /// admission latency is measured from each task's arrival instant
+    /// to its phase-2 commit. When `None` the service runs flat out and
+    /// admission latency is measured from epoch entry (pure batch
+    /// processing time).
+    pub open_loop_rate: Option<f64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 2,
+            epoch_slots: 4,
+            scheduler: PdftspConfig::default(),
+            route_seed: 0x0005_EED0_F5EA_C0DE,
+            open_loop_rate: None,
+        }
+    }
+}
+
+/// Errors from service construction or the commit protocol.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The cluster could not be partitioned into the requested shards.
+    Shard(ShardError),
+    /// `epoch_slots` was zero.
+    ZeroEpoch,
+    /// A phase-2 commit failed validation against the global ledger —
+    /// impossible while shards own disjoint node ranges; a report means
+    /// the two-phase protocol itself is broken.
+    Commit {
+        /// Task whose op failed.
+        task: TaskId,
+        /// The ledger's refusal.
+        error: LedgerError,
+    },
+    /// At settlement a global-ledger cell disagreed with the owning
+    /// shard's ledger.
+    Mirror {
+        /// Owning shard.
+        shard: usize,
+        /// Global node id.
+        node: NodeId,
+        /// Slot.
+        slot: Slot,
+    },
+    /// The settled decision set failed execution-engine replay.
+    Replay(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Shard(e) => write!(f, "shard partition: {e}"),
+            ServiceError::ZeroEpoch => write!(f, "epoch_slots must be ≥ 1"),
+            ServiceError::Commit { task, error } => {
+                write!(f, "phase-2 commit conflict on task {task}: {error}")
+            }
+            ServiceError::Mirror { shard, node, slot } => write!(
+                f,
+                "global ledger diverged from shard {shard} at node {node}, slot {slot}"
+            ),
+            ServiceError::Replay(e) => write!(f, "settled decisions failed replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ShardError> for ServiceError {
+    fn from(e: ShardError) -> Self {
+        ServiceError::Shard(e)
+    }
+}
+
+/// Telemetry snapshot of one shard after the run.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// First global node id owned.
+    pub node_base: NodeId,
+    /// Nodes owned.
+    pub num_nodes: usize,
+    /// Tasks routed to this shard.
+    pub routed: usize,
+    /// `decide()` calls (arrivals; excludes recovery resubmissions).
+    pub decisions: u64,
+    /// Admissions (including re-admitted remnants).
+    pub admitted: u64,
+    /// Rejections across all three reject reasons.
+    pub rejected: u64,
+    /// Crash disruptions handled.
+    pub disrupted: usize,
+    /// Disruptions whose remnant was re-admitted.
+    pub recovered: usize,
+    /// Crash events that hit this shard's nodes.
+    pub node_failures: u64,
+    /// Remnants re-run through the auction.
+    pub tasks_resubmitted: u64,
+    /// Refunds issued to unrecoverable tasks.
+    pub refunds_issued: u64,
+    /// p50 of the shard's `decide()` latency, nanoseconds.
+    pub decide_p50_nanos: f64,
+    /// p99 of the shard's `decide()` latency, nanoseconds.
+    pub decide_p99_nanos: f64,
+    /// Digest of the shard-local ledger at settlement.
+    pub ledger_digest: u64,
+}
+
+/// Report for one committed epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// First slot of the epoch batch.
+    pub first_slot: Slot,
+    /// One past the last slot of the batch.
+    pub end_slot: Slot,
+    /// Tasks decided (admitted or rejected) in this epoch.
+    pub decided: usize,
+    /// Ledger ops committed in phase 2.
+    pub ops: usize,
+}
+
+/// Outcome of a full service run.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// One decision per task in id order — identical in content to a
+    /// single-process faulted run over the same routing.
+    pub decisions: Vec<Decision>,
+    /// Refund-adjusted welfare across all shards.
+    pub welfare: FaultWelfare,
+    /// Unrecoverable tasks with settlements (global node ids).
+    pub aborted: Vec<AbortedTask>,
+    /// Per-shard telemetry.
+    pub per_shard: Vec<ShardStats>,
+    /// Crash disruptions across all shards.
+    pub disrupted: usize,
+    /// Recoveries across all shards.
+    pub recovered: usize,
+    /// Digest of the global (coordinator) ledger after the last commit.
+    pub ledger_digest: u64,
+    /// Epochs committed.
+    pub epochs: usize,
+    /// Workers the phase-1 parallel map could actually use:
+    /// `min(shards, configured threads)`.
+    pub effective_workers: usize,
+    /// Admission-latency histogram (arrival → phase-2 commit).
+    pub admission: LatencyHistogram,
+    /// Exact admission-latency samples in commit order, seconds.
+    pub admission_seconds: Vec<f64>,
+    /// Wall-clock seconds from service start to the last commit.
+    pub wall_seconds: f64,
+}
+
+impl ServiceOutcome {
+    /// Sustained decision throughput: decisions per wall-clock second
+    /// over the whole run (arrival pacing included, when configured).
+    #[must_use]
+    pub fn decisions_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.decisions.len() as f64 / self.wall_seconds
+    }
+}
+
+/// One shard's private world: scenario slice, scheduler, task states.
+struct ShardState {
+    /// Shard-local scenario: re-indexed node slice, per-task rates cut
+    /// to the owned range, row-sliced cost grid. Task ids stay global.
+    scenario: Scenario,
+    pdftsp: Pdftsp,
+    states: Vec<TaskState>,
+    aborted: Vec<AbortedTask>,
+    /// Fault events on this shard's nodes, local ids, plan order.
+    events: Vec<FaultEvent>,
+    next_event: usize,
+    /// Routed task ids in (arrival, id) order.
+    arrivals: Vec<TaskId>,
+    next_arrival: usize,
+    disrupted: usize,
+    recovered: usize,
+}
+
+impl ShardState {
+    /// Phase 1: sequentially processes `slots`, returning the op log and
+    /// the ids decided this epoch.
+    fn propose(&mut self, slots: std::ops::Range<Slot>) -> (Vec<LedgerOp>, Vec<TaskId>) {
+        let mut ops = Vec::new();
+        let mut decided = Vec::new();
+        for slot in slots {
+            while self.next_event < self.events.len() && self.events[self.next_event].slot() == slot
+            {
+                match self.events[self.next_event] {
+                    FaultEvent::NodeUp { node, slot } => {
+                        self.pdftsp.restore_node(node, slot);
+                        ops.push(LedgerOp::Lift { node });
+                    }
+                    FaultEvent::Degrade { node, slot, frac } => {
+                        self.pdftsp.degrade_node(node, slot, frac);
+                        ops.push(LedgerOp::Degrade {
+                            node,
+                            from: slot,
+                            frac,
+                        });
+                    }
+                    FaultEvent::NodeDown { node, slot } => {
+                        let (d, r) = handle_crash(
+                            &mut self.pdftsp,
+                            &self.scenario,
+                            &mut self.states,
+                            &mut self.aborted,
+                            node,
+                            slot,
+                            &mut ops,
+                        );
+                        self.disrupted += d;
+                        self.recovered += r;
+                    }
+                }
+                self.next_event += 1;
+            }
+            while self.next_arrival < self.arrivals.len()
+                && self.scenario.tasks[self.arrivals[self.next_arrival]].arrival == slot
+            {
+                let id = self.arrivals[self.next_arrival];
+                let task = &self.scenario.tasks[id];
+                let decision = self.pdftsp.decide(task, &self.scenario);
+                self.states[id] = match decision.outcome {
+                    AuctionOutcome::Admitted {
+                        ref schedule,
+                        payment,
+                    } => {
+                        ops.push(LedgerOp::Commit {
+                            task: id,
+                            schedule: schedule.clone(),
+                        });
+                        TaskState::Active {
+                            schedule: schedule.clone(),
+                            payment,
+                            decide_seconds: decision.decide_seconds,
+                        }
+                    }
+                    AuctionOutcome::Rejected(_) => TaskState::Rejected(decision),
+                };
+                decided.push(id);
+                self.next_arrival += 1;
+            }
+        }
+        (ops, decided)
+    }
+}
+
+/// The sharded admission service. Construct with [`AuctionService::new`],
+/// drive epoch by epoch with [`AuctionService::run_epoch`] (or all the
+/// way with [`AuctionService::run`]), then [`AuctionService::finish`].
+pub struct AuctionService {
+    scenario: Scenario,
+    cfg: ServiceConfig,
+    map: ShardMap,
+    shards: Vec<Mutex<ShardState>>,
+    /// `routes[task id]` = owning shard.
+    routes: Vec<usize>,
+    global: CapacityLedger,
+    admission: LatencyHistogram,
+    admission_seconds: Vec<f64>,
+    next_slot: Slot,
+    epochs_done: usize,
+    /// Index into the global (arrival-sorted) task list of the first
+    /// task not yet covered by a committed epoch; drives arrival pacing.
+    next_global_task: usize,
+    started: Instant,
+    last_commit_seconds: f64,
+}
+
+/// splitmix64: the routing hash (also used for deterministic trace
+/// splitting in the zone partitioner's thinning argument).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl AuctionService {
+    /// Builds the service: partitions the cluster, carves per-shard
+    /// scenarios (node slice re-indexed from zero, task rate vectors cut
+    /// to the range, cost-grid rows sliced), routes every task, and maps
+    /// `plan`'s fault events to their owning shards.
+    ///
+    /// Each shard's scheduler is pinned to one worker
+    /// ([`Pdftsp::with_workers`]): the shards themselves are the unit of
+    /// parallelism, and a sequential vendor loop inside each keeps
+    /// phase 1 identical to a single-thread run.
+    ///
+    /// # Errors
+    /// [`ServiceError::Shard`] when the cluster cannot be partitioned
+    /// (more shards than nodes) and [`ServiceError::ZeroEpoch`] for an
+    /// empty epoch.
+    pub fn new(
+        scenario: &Scenario,
+        cfg: ServiceConfig,
+        plan: &FaultPlan,
+    ) -> Result<AuctionService, ServiceError> {
+        if cfg.epoch_slots == 0 {
+            return Err(ServiceError::ZeroEpoch);
+        }
+        let map = ShardMap::even(scenario.nodes.len(), cfg.shards)?;
+        let total_nodes = scenario.nodes.len();
+        // Route by hashing the task id onto a node and taking its owner:
+        // shard load is proportional to shard size, and the route is a
+        // pure function of (id, seed, sizes) — batching and worker count
+        // can never move a task.
+        let routes: Vec<usize> = scenario
+            .tasks
+            .iter()
+            .map(|t| {
+                map.shard_of(
+                    (splitmix64(t.id as u64 ^ cfg.route_seed) % total_nodes as u64) as usize,
+                )
+            })
+            .collect();
+
+        let mut shards = Vec::with_capacity(map.num_shards());
+        for spec in map.shards() {
+            let lo = spec.node_base;
+            let hi = spec.node_base + spec.num_nodes;
+            let nodes = scenario.nodes[lo..hi]
+                .iter()
+                .enumerate()
+                .map(|(local, n)| {
+                    let mut n = n.clone();
+                    n.id = local;
+                    n
+                })
+                .collect();
+            let tasks = scenario
+                .tasks
+                .iter()
+                .map(|t| {
+                    let mut t = t.clone();
+                    t.rates = t.rates[lo..hi].to_vec();
+                    t
+                })
+                .collect();
+            let mut prices = Vec::with_capacity(spec.num_nodes * scenario.horizon);
+            for k in lo..hi {
+                prices.extend_from_slice(scenario.cost.prices_row(k));
+            }
+            let cost = CostGrid::from_vec(spec.num_nodes, scenario.horizon, prices)
+                .expect("sliced cost grid is well-formed");
+            let shard_scenario = Scenario {
+                horizon: scenario.horizon,
+                base_model_gb: scenario.base_model_gb,
+                nodes,
+                tasks,
+                quotes: scenario.quotes.clone(),
+                cost,
+            };
+            // Events keep the plan's (slot, kind, node) order; only the
+            // owning shard sees each one, with the node id localized.
+            let events: Vec<FaultEvent> = plan
+                .events
+                .iter()
+                .filter_map(|ev| {
+                    let node = match *ev {
+                        FaultEvent::NodeDown { node, .. }
+                        | FaultEvent::NodeUp { node, .. }
+                        | FaultEvent::Degrade { node, .. } => node,
+                    };
+                    let (owner, local) = map.to_local(node);
+                    (owner == spec.id).then_some(match *ev {
+                        FaultEvent::NodeDown { slot, .. } => {
+                            FaultEvent::NodeDown { node: local, slot }
+                        }
+                        FaultEvent::NodeUp { slot, .. } => FaultEvent::NodeUp { node: local, slot },
+                        FaultEvent::Degrade { slot, frac, .. } => FaultEvent::Degrade {
+                            node: local,
+                            slot,
+                            frac,
+                        },
+                    })
+                })
+                .collect();
+            let arrivals: Vec<TaskId> = scenario
+                .tasks
+                .iter()
+                .filter(|t| routes[t.id] == spec.id)
+                .map(|t| t.id)
+                .collect();
+            let pdftsp =
+                Pdftsp::with_workers(&shard_scenario, cfg.scheduler, Telemetry::disabled(), 1);
+            shards.push(Mutex::new(ShardState {
+                scenario: shard_scenario,
+                pdftsp,
+                states: vec![TaskState::Pending; scenario.tasks.len()],
+                aborted: Vec::new(),
+                events,
+                next_event: 0,
+                arrivals,
+                next_arrival: 0,
+                disrupted: 0,
+                recovered: 0,
+            }));
+        }
+        Ok(AuctionService {
+            scenario: scenario.clone(),
+            cfg,
+            map,
+            shards,
+            routes,
+            global: CapacityLedger::new(scenario),
+            admission: LatencyHistogram::default(),
+            admission_seconds: Vec::new(),
+            next_slot: 0,
+            epochs_done: 0,
+            next_global_task: 0,
+            started: Instant::now(),
+            last_commit_seconds: 0.0,
+        })
+    }
+
+    /// Total epochs a full run commits.
+    #[must_use]
+    pub fn total_epochs(&self) -> usize {
+        self.scenario.horizon.div_ceil(self.cfg.epoch_slots)
+    }
+
+    /// Epochs committed so far.
+    #[must_use]
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
+    }
+
+    /// Whether every slot has been processed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.next_slot >= self.scenario.horizon
+    }
+
+    /// Digest of the global ledger right now — equal at every epoch
+    /// boundary across worker counts and across kill-and-resume.
+    #[must_use]
+    pub fn global_digest(&self) -> u64 {
+        self.global.state_digest()
+    }
+
+    /// Wall-time offset (seconds since service start) at which task `id`
+    /// arrives under the open-loop generator; 0 when unpaced.
+    fn arrival_offset(&self, id: TaskId) -> f64 {
+        match self.cfg.open_loop_rate {
+            Some(rate) if rate > 0.0 => id as f64 / rate,
+            _ => 0.0,
+        }
+    }
+
+    /// Runs one epoch: waits for the batch's open-loop arrivals (when
+    /// paced), proposes in parallel across shards, commits the op logs
+    /// in shard order against the global ledger, and records admission
+    /// latency for every decided task.
+    ///
+    /// # Errors
+    /// [`ServiceError::Commit`] if a phase-2 op fails global validation
+    /// (protocol invariant; cannot happen with disjoint shards).
+    ///
+    /// # Panics
+    /// If called after [`AuctionService::is_done`] or a shard worker
+    /// panicked (poisoned lock).
+    pub fn run_epoch(&mut self) -> Result<EpochReport, ServiceError> {
+        assert!(!self.is_done(), "all epochs already committed");
+        let first_slot = self.next_slot;
+        let end_slot = (first_slot + self.cfg.epoch_slots).min(self.scenario.horizon);
+
+        // Advance the open-loop generator: every task arriving inside
+        // this batch must exist before the batch is proposed.
+        let mut last_arrival = None;
+        while self.next_global_task < self.scenario.tasks.len()
+            && self.scenario.tasks[self.next_global_task].arrival < end_slot
+        {
+            last_arrival = Some(self.next_global_task);
+            self.next_global_task += 1;
+        }
+        if let Some(id) = last_arrival {
+            let target = self.arrival_offset(id);
+            let elapsed = self.started.elapsed().as_secs_f64();
+            if target > elapsed {
+                std::thread::sleep(std::time::Duration::from_secs_f64(target - elapsed));
+            }
+        }
+        let epoch_entry = self.started.elapsed().as_secs_f64();
+
+        // Phase 1: parallel proposals, one sequential world per shard.
+        let idx: Vec<usize> = (0..self.shards.len()).collect();
+        let shards = &self.shards;
+        let batches = parallel_map(&idx, |&s| {
+            shards[s]
+                .lock()
+                .expect("shard worker panicked")
+                .propose(first_slot..end_slot)
+        });
+
+        // Phase 2: epoch-ordered commit in shard-id order.
+        let paced = self.cfg.open_loop_rate.is_some();
+        let mut decided_total = 0usize;
+        let mut ops_total = 0usize;
+        for (s, (ops, decided)) in batches.into_iter().enumerate() {
+            ops_total += ops.len();
+            for op in ops {
+                self.apply_global(s, op)?;
+            }
+            let now = self.started.elapsed().as_secs_f64();
+            self.last_commit_seconds = now;
+            for id in decided {
+                let since = if paced {
+                    self.arrival_offset(id)
+                } else {
+                    epoch_entry
+                };
+                let latency = (now - since).max(0.0);
+                self.admission.record_seconds(latency);
+                self.admission_seconds.push(latency);
+                decided_total += 1;
+            }
+        }
+        self.next_slot = end_slot;
+        self.epochs_done += 1;
+        Ok(EpochReport {
+            epoch: self.epochs_done - 1,
+            first_slot,
+            end_slot,
+            decided: decided_total,
+            ops: ops_total,
+        })
+    }
+
+    /// Replays one shard-local op against the global ledger, remapping
+    /// node ids. Commits validate atomically; quarantine/degrade mirror
+    /// the scheduler's own arithmetic over identical residuals, so the
+    /// global ledger tracks every shard ledger exactly.
+    fn apply_global(&mut self, shard: usize, op: LedgerOp) -> Result<(), ServiceError> {
+        let base = self.map.spec(shard).node_base;
+        match op {
+            LedgerOp::Commit { task, schedule } => {
+                let placements: Vec<(NodeId, Slot)> = schedule
+                    .placements
+                    .iter()
+                    .map(|&(k, t)| (k + base, t))
+                    .collect();
+                let global_sched = Schedule::new(task, schedule.vendor, placements);
+                self.global
+                    .commit(&self.scenario.tasks[task], &global_sched)
+                    .map_err(|error| ServiceError::Commit { task, error })
+            }
+            LedgerOp::Release { task, placements } => {
+                let placements: Vec<(NodeId, Slot)> =
+                    placements.iter().map(|&(k, t)| (k + base, t)).collect();
+                self.global
+                    .release_placements(&self.scenario.tasks[task], &placements)
+                    .map(|_| ())
+                    .map_err(|error| ServiceError::Commit { task, error })
+            }
+            LedgerOp::Quarantine { node, from } => {
+                self.global.quarantine(node + base, from);
+                Ok(())
+            }
+            LedgerOp::Lift { node } => {
+                self.global.lift_quarantine(node + base);
+                Ok(())
+            }
+            LedgerOp::Degrade { node, from, frac } => {
+                let k = node + base;
+                let frac = frac.clamp(0.0, 1.0);
+                for t in from.min(self.global.horizon())..self.global.horizon() {
+                    let compute = ((self.global.compute_capacity(k) as f64 * frac) as u64)
+                        .min(self.global.residual_compute(k, t));
+                    let mem = (self.global.adapter_capacity(k) * frac)
+                        .min(self.global.residual_memory(k, t));
+                    let _ = self.global.reserve(k, t, compute, mem);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Commits every remaining epoch.
+    ///
+    /// # Errors
+    /// Propagates the first [`AuctionService::run_epoch`] error.
+    pub fn run_to_completion(&mut self) -> Result<(), ServiceError> {
+        while !self.is_done() {
+            self.run_epoch()?;
+        }
+        Ok(())
+    }
+
+    /// Settles the run: merges per-shard task states (schedules remapped
+    /// to global node ids), computes refund-adjusted welfare, verifies
+    /// the settled decisions against the execution engine, and checks
+    /// the global ledger mirrors every shard ledger cell-for-cell.
+    ///
+    /// # Errors
+    /// [`ServiceError::Mirror`] / [`ServiceError::Replay`] on protocol
+    /// violations; any remaining-epoch error when the run was partial.
+    ///
+    /// # Panics
+    /// If a shard lock is poisoned.
+    pub fn finish(mut self) -> Result<ServiceOutcome, ServiceError> {
+        self.run_to_completion()?;
+        self.verify_mirror()?;
+
+        let remap = |shard: usize, sched: &Schedule| -> Schedule {
+            let base = self.map.spec(shard).node_base;
+            Schedule::new(
+                sched.task,
+                sched.vendor,
+                sched
+                    .placements
+                    .iter()
+                    .map(|&(k, t)| (k + base, t))
+                    .collect(),
+            )
+        };
+
+        let mut states: Vec<TaskState> = Vec::with_capacity(self.scenario.tasks.len());
+        let mut aborted: Vec<AbortedTask> = Vec::new();
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        let mut disrupted = 0usize;
+        let mut recovered = 0usize;
+        let shard_guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|m| m.lock().expect("shard worker panicked"))
+            .collect();
+        for task in &self.scenario.tasks {
+            let s = self.routes[task.id];
+            let st = match &shard_guards[s].states[task.id] {
+                TaskState::Active {
+                    schedule,
+                    payment,
+                    decide_seconds,
+                } => TaskState::Active {
+                    schedule: remap(s, schedule),
+                    payment: *payment,
+                    decide_seconds: *decide_seconds,
+                },
+                other => other.clone(),
+            };
+            states.push(st);
+        }
+        for (s, guard) in shard_guards.iter().enumerate() {
+            disrupted += guard.disrupted;
+            recovered += guard.recovered;
+            for a in &guard.aborted {
+                let mut a = a.clone();
+                a.prefix = remap(s, &a.prefix);
+                aborted.push(a);
+            }
+            let spec = self.map.spec(s);
+            let c = &guard.pdftsp.telemetry().counters;
+            per_shard.push(ShardStats {
+                shard: s,
+                node_base: spec.node_base,
+                num_nodes: spec.num_nodes,
+                routed: guard.arrivals.len(),
+                decisions: c.read(&c.decisions),
+                admitted: c.read(&c.admitted),
+                rejected: c.read(&c.rejected_infeasible)
+                    + c.read(&c.rejected_surplus)
+                    + c.read(&c.rejected_capacity),
+                disrupted: guard.disrupted,
+                recovered: guard.recovered,
+                node_failures: c.read(&c.node_failures),
+                tasks_resubmitted: c.read(&c.tasks_resubmitted),
+                refunds_issued: c.read(&c.refunds_issued),
+                decide_p50_nanos: c.decide_latency.quantile_nanos(0.50),
+                decide_p99_nanos: c.decide_latency.quantile_nanos(0.99),
+                ledger_digest: guard.pdftsp.ledger().state_digest(),
+            });
+        }
+        drop(shard_guards);
+
+        let (decisions, welfare) = settle(&self.scenario, &states, &aborted);
+        crate::timeline::replay(&self.scenario, &decisions)
+            .map_err(|e| ServiceError::Replay(format!("{e:?}")))?;
+
+        Ok(ServiceOutcome {
+            decisions,
+            welfare,
+            aborted,
+            per_shard,
+            disrupted,
+            recovered,
+            ledger_digest: self.global.state_digest(),
+            epochs: self.epochs_done,
+            effective_workers: effective_workers(self.map.num_shards()),
+            admission: self.admission,
+            admission_seconds: self.admission_seconds,
+            wall_seconds: self.last_commit_seconds,
+        })
+    }
+
+    /// The two-phase-commit consistency invariant: every global-ledger
+    /// cell equals the owning shard's cell (residual compute, residual
+    /// memory, quarantine flag).
+    fn verify_mirror(&self) -> Result<(), ServiceError> {
+        for (s, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock().expect("shard worker panicked");
+            let ledger = guard.pdftsp.ledger();
+            let spec = self.map.spec(s);
+            for local in 0..spec.num_nodes {
+                let g = spec.node_base + local;
+                let quarantined_matches =
+                    ledger.is_quarantined(local) == self.global.is_quarantined(g);
+                for t in 0..self.scenario.horizon {
+                    if !quarantined_matches
+                        || ledger.residual_compute(local, t) != self.global.residual_compute(g, t)
+                        || ledger.residual_memory(local, t) != self.global.residual_memory(g, t)
+                    {
+                        return Err(ServiceError::Mirror {
+                            shard: s,
+                            node: g,
+                            slot: t,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: build, run every epoch, settle.
+    ///
+    /// # Errors
+    /// See [`AuctionService::new`] and [`AuctionService::finish`].
+    pub fn run(
+        scenario: &Scenario,
+        cfg: ServiceConfig,
+        plan: &FaultPlan,
+    ) -> Result<ServiceOutcome, ServiceError> {
+        AuctionService::new(scenario, cfg, plan)?.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{run_pdftsp_with_faults, FaultSpec};
+    use pdftsp_workload::ScenarioBuilder;
+
+    fn scenario() -> Scenario {
+        ScenarioBuilder {
+            horizon: 36,
+            num_nodes: 6,
+            seed: 23,
+            ..ScenarioBuilder::smoke(23)
+        }
+        .build()
+    }
+
+    fn plan(sc: &Scenario) -> FaultPlan {
+        FaultPlan::generate(
+            sc,
+            &FaultSpec {
+                crashes: 3,
+                outage: 3,
+                degrade: 0.2,
+                seed: 7,
+            },
+        )
+    }
+
+    fn cfg(shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards,
+            epoch_slots: 5,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn service_settles_and_balances() {
+        let sc = scenario();
+        let out = AuctionService::run(&sc, cfg(3), &plan(&sc)).unwrap();
+        assert_eq!(out.decisions.len(), sc.tasks.len());
+        assert_eq!(
+            out.welfare.completed + out.welfare.aborted + out.welfare.rejected,
+            sc.tasks.len()
+        );
+        assert!(
+            (out.welfare.social_welfare
+                - (out.welfare.user_utility + out.welfare.provider_utility))
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(out.per_shard.len(), 3);
+        let routed: usize = out.per_shard.iter().map(|s| s.routed).sum();
+        assert_eq!(routed, sc.tasks.len());
+        let nodes: usize = out.per_shard.iter().map(|s| s.num_nodes).sum();
+        assert_eq!(nodes, sc.nodes.len());
+        assert_eq!(out.admission_seconds.len(), sc.tasks.len());
+        assert_eq!(out.admission.count(), sc.tasks.len() as u64);
+        assert_eq!(out.epochs, sc.horizon.div_ceil(5));
+    }
+
+    #[test]
+    fn single_shard_service_matches_the_faulted_run_exactly() {
+        // With one shard the service is the PR-4 fault loop plus the
+        // commit protocol: welfare must agree to the bit.
+        let sc = scenario();
+        let plan = plan(&sc);
+        let out = AuctionService::run(&sc, cfg(1), &plan).unwrap();
+        let (reference, _) =
+            run_pdftsp_with_faults(&sc, PdftspConfig::default(), &plan, Telemetry::disabled());
+        assert_eq!(
+            out.welfare.social_welfare.to_bits(),
+            reference.welfare.social_welfare.to_bits()
+        );
+        assert_eq!(
+            out.welfare.payments.to_bits(),
+            reference.welfare.payments.to_bits()
+        );
+        assert_eq!(out.welfare.completed, reference.welfare.completed);
+        assert_eq!(out.welfare.aborted, reference.welfare.aborted);
+        assert_eq!(out.disrupted, reference.disrupted);
+        assert_eq!(out.recovered, reference.recovered);
+    }
+
+    #[test]
+    fn epoch_stepping_equals_one_shot_run() {
+        let sc = scenario();
+        let plan = plan(&sc);
+        let mut svc = AuctionService::new(&sc, cfg(2), &plan).unwrap();
+        let mut reports = Vec::new();
+        while !svc.is_done() {
+            reports.push(svc.run_epoch().unwrap());
+        }
+        let decided: usize = reports.iter().map(|r| r.decided).sum();
+        assert_eq!(decided, sc.tasks.len());
+        let stepped = svc.finish().unwrap();
+        let oneshot = AuctionService::run(&sc, cfg(2), &plan).unwrap();
+        assert_eq!(
+            stepped.welfare.social_welfare.to_bits(),
+            oneshot.welfare.social_welfare.to_bits()
+        );
+        assert_eq!(stepped.ledger_digest, oneshot.ledger_digest);
+    }
+
+    #[test]
+    fn too_many_shards_is_an_error() {
+        let sc = scenario();
+        assert!(matches!(
+            AuctionService::run(&sc, cfg(sc.nodes.len() + 1), &plan(&sc)),
+            Err(ServiceError::Shard(ShardError::TooFewItems { .. }))
+        ));
+        let bad_epoch = ServiceConfig {
+            epoch_slots: 0,
+            ..cfg(2)
+        };
+        assert!(matches!(
+            AuctionService::run(&sc, bad_epoch, &plan(&sc)),
+            Err(ServiceError::ZeroEpoch)
+        ));
+    }
+}

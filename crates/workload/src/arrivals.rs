@@ -90,6 +90,30 @@ impl ArrivalProcess {
         }
     }
 
+    /// Thins the process to a fraction `frac ∈ [0, 1]` of its intensity
+    /// without changing its law: a Poisson stays Poisson and a trace
+    /// keeps its [`TraceKind`] (diurnal/burst profile intact), only the
+    /// normalization scales. This is exact probabilistic thinning for
+    /// both variants — each is a (doubly stochastic) Poisson process
+    /// whose slot intensities are proportional to `mean_per_slot` — so
+    /// hash-splitting a demand stream across zones by share is
+    /// equivalent to giving each zone the thinned process.
+    #[must_use]
+    pub fn thin(self, frac: f64) -> ArrivalProcess {
+        match self {
+            ArrivalProcess::Poisson { mean_per_slot } => ArrivalProcess::Poisson {
+                mean_per_slot: mean_per_slot * frac,
+            },
+            ArrivalProcess::Trace {
+                kind,
+                mean_per_slot,
+            } => ArrivalProcess::Trace {
+                kind,
+                mean_per_slot: mean_per_slot * frac,
+            },
+        }
+    }
+
     /// Generates the arrival counts for `horizon` slots.
     pub fn generate<R: Rng>(&self, horizon: usize, rng: &mut R) -> Vec<u64> {
         match *self {

@@ -39,7 +39,7 @@ fn main() {
             1.0,
         ),
     ];
-    let zones = partition_zones(&base, &splits);
+    let zones = partition_zones(&base, &splits).expect("positive shares over enough nodes");
 
     println!(
         "zoned data center: {} nodes total, one market per base model\n",

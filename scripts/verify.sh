@@ -22,6 +22,9 @@ grep -q "replay           : OK" /tmp/pdftsp-faults-a.txt
 cmp /tmp/pdftsp-faults-a.txt /tmp/pdftsp-faults-b.txt
 rm -f /tmp/pdftsp-faults-a.txt /tmp/pdftsp-faults-b.txt
 
+echo "==> bench_service smoke (sharded-service determinism, open-loop rates)"
+./target/release/bench_service --smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -1,0 +1,144 @@
+//! Determinism suite for the sharded auction service: the same faulted
+//! scenario must produce byte-identical economics and ledger state
+//! regardless of worker count, and a service killed mid-run and rebuilt
+//! must re-join the exact trajectory of an uninterrupted run.
+
+use pdftsp_cluster::set_thread_override;
+use pdftsp_sim::{replay, AuctionService, FaultPlan, FaultSpec, ServiceConfig, ServiceOutcome};
+use pdftsp_types::Scenario;
+use pdftsp_workload::ScenarioBuilder;
+
+fn faulted_case(workload_seed: u64) -> (Scenario, FaultPlan) {
+    let scenario = ScenarioBuilder::smoke(workload_seed).build();
+    let spec = FaultSpec {
+        crashes: 3,
+        outage: 4,
+        degrade: 0.25,
+        seed: 21,
+    };
+    let plan = FaultPlan::generate(&scenario, &spec);
+    (scenario, plan)
+}
+
+fn service_cfg() -> ServiceConfig {
+    ServiceConfig {
+        shards: 3,
+        epoch_slots: 5,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Everything decision-derived in the outcome, bit-exact, excluding the
+/// wall-clock fields (latency histograms, `wall_seconds`).
+fn fingerprint(out: &ServiceOutcome) -> Vec<u64> {
+    let w = &out.welfare;
+    let mut fp = vec![
+        w.social_welfare.to_bits(),
+        w.payments.to_bits(),
+        w.refunds.to_bits(),
+        w.vendor_cost.to_bits(),
+        w.energy_cost.to_bits(),
+        w.provider_utility.to_bits(),
+        w.user_utility.to_bits(),
+        w.completed as u64,
+        w.aborted as u64,
+        w.rejected as u64,
+        out.disrupted as u64,
+        out.recovered as u64,
+        out.ledger_digest,
+        out.epochs as u64,
+    ];
+    for s in &out.per_shard {
+        fp.push(s.ledger_digest);
+        fp.push(s.routed as u64);
+        fp.push(s.admitted);
+        fp.push(s.rejected);
+        fp.push(s.tasks_resubmitted);
+    }
+    for d in &out.decisions {
+        fp.push(d.task as u64);
+        fp.push(u64::from(d.is_admitted()));
+        fp.push(d.payment().to_bits());
+    }
+    for a in &out.aborted {
+        fp.push(a.task as u64);
+        fp.push(a.refund.to_bits());
+        fp.push(a.consumed.to_bits());
+    }
+    fp
+}
+
+/// The headline contract: 1, 2, and 4 phase-1 workers replay the
+/// single-thread schedule bit-for-bit, with faults enabled. Worker
+/// override is process-global, so the whole sweep lives in one test.
+#[test]
+fn worker_count_never_changes_the_schedule() {
+    for wseed in [11u64, 23, 57] {
+        let (scenario, plan) = faulted_case(wseed);
+        let mut baseline: Option<Vec<u64>> = None;
+        let mut disrupted = 0;
+        for workers in [1usize, 2, 4] {
+            set_thread_override(Some(workers));
+            let out = AuctionService::run(&scenario, service_cfg(), &plan);
+            set_thread_override(None);
+            let out = out.unwrap_or_else(|e| panic!("seed {wseed}/{workers} workers: {e}"));
+            disrupted = out.disrupted;
+            let fp = fingerprint(&out);
+            match &baseline {
+                None => baseline = Some(fp),
+                Some(expected) => assert_eq!(
+                    expected, &fp,
+                    "seed {wseed}: outcome diverged at {workers} workers"
+                ),
+            }
+        }
+        // The sweep must actually exercise the fault path, not pass
+        // vacuously on a quiet schedule.
+        assert!(disrupted > 0, "seed {wseed}: no disruptions exercised");
+    }
+}
+
+/// Kill-and-resume: drive a service halfway, drop it mid-run, rebuild
+/// from the same inputs and replay to the same epoch — the rebuilt
+/// coordinator's ledger digest must match at the cut, and finishing it
+/// must reproduce the uninterrupted outcome exactly.
+#[test]
+fn kill_and_resume_mid_run_rejoins_the_trajectory() {
+    let (scenario, plan) = faulted_case(23);
+    let cfg = service_cfg();
+
+    let uninterrupted = AuctionService::run(&scenario, cfg, &plan).expect("run");
+    assert!(uninterrupted.epochs >= 2, "need ≥ 2 epochs to cut between");
+    let cut = uninterrupted.epochs / 2;
+
+    // First incarnation: killed (dropped) after `cut` epochs.
+    let mut first = AuctionService::new(&scenario, cfg, &plan).expect("service");
+    for _ in 0..cut {
+        first.run_epoch().expect("epoch");
+    }
+    let digest_at_cut = first.global_digest();
+    drop(first);
+
+    // Second incarnation: same inputs, replayed to the cut, then run to
+    // completion.
+    let mut second = AuctionService::new(&scenario, cfg, &plan).expect("service");
+    for _ in 0..cut {
+        second.run_epoch().expect("epoch");
+    }
+    assert_eq!(
+        second.global_digest(),
+        digest_at_cut,
+        "rebuilt service diverged before the cut"
+    );
+    let resumed = second.finish().expect("finish");
+
+    assert_eq!(
+        fingerprint(&uninterrupted),
+        fingerprint(&resumed),
+        "kill-and-resume outcome differs from the uninterrupted run"
+    );
+
+    // And the resumed decision set still passes the execution-engine
+    // oracle (the PR 4 replay harness) on its own.
+    replay(&scenario, &resumed.decisions).expect("resumed decisions replay cleanly");
+}
