@@ -18,8 +18,10 @@ use pdftsp_cluster::{
 };
 use pdftsp_core::{kernel, KernelChoice, Pdftsp, PdftspConfig};
 use pdftsp_sim::run_scheduler;
+use pdftsp_telemetry::{SpanLog, Telemetry};
 use pdftsp_types::Scenario;
 use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+use std::sync::Arc;
 
 const REPS: usize = 5;
 const COARSE_REFINEMENT: u64 = 8;
@@ -274,6 +276,45 @@ fn vendor_scaling_json(sc: &Scenario) -> String {
     rows.join(",\n")
 }
 
+/// Measured cost of turning the span path ON: the multi-vendor day with
+/// disabled telemetry vs with a live [`SpanLog`] sink capturing one
+/// propose span per decision. The disabled side of this comparison is
+/// separately proven allocation-free by the overhead-guard test.
+fn span_overhead_json(sc: &Scenario) -> String {
+    fn day_mean_us(sc: &Scenario, tel: Telemetry) -> f64 {
+        let mut s = Pdftsp::with_telemetry(sc, PdftspConfig::default(), tel);
+        let r = run_scheduler(sc, &mut s);
+        let total: f64 = r.decisions.iter().map(|d| d.decide_seconds).sum();
+        total / r.decisions.len().max(1) as f64 * 1e6
+    }
+    let mut disabled_us = 0.0;
+    let mut enabled_us = 0.0;
+    let mut spans_recorded = 0usize;
+    for _ in 0..REPS {
+        disabled_us += day_mean_us(sc, Telemetry::disabled());
+        let log = Arc::new(SpanLog::new());
+        enabled_us += day_mean_us(sc, Telemetry::new(log.clone()));
+        spans_recorded = log.len();
+    }
+    disabled_us /= REPS as f64;
+    enabled_us /= REPS as f64;
+    let overhead_frac = (enabled_us - disabled_us) / disabled_us.max(1e-9);
+    println!(
+        "span_overhead: disabled mean {disabled_us:.2} µs, spans-on mean {enabled_us:.2} µs \
+         ({:+.1}%, {spans_recorded} spans/run)",
+        overhead_frac * 100.0
+    );
+    format!(
+        concat!(
+            "    \"disabled_mean_us\": {:.3},\n",
+            "    \"spans_on_mean_us\": {:.3},\n",
+            "    \"overhead_frac\": {:.4},\n",
+            "    \"spans_recorded\": {}"
+        ),
+        disabled_us, enabled_us, overhead_frac, spans_recorded
+    )
+}
+
 fn main() {
     const MULTI_VENDORS: usize = 8;
     let single = scenario(0.0, 5);
@@ -305,6 +346,9 @@ fn main() {
             "    \"multi_vendor\": [\n",
             "{}\n",
             "    ]\n",
+            "  }},\n",
+            "  \"span_overhead\": {{\n",
+            "{}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -317,7 +361,8 @@ fn main() {
         kernel::simd_isa(),
         market_json("single_vendor", &single),
         market_json("multi_vendor", &multi),
-        vendor_scaling_json(&multi)
+        vendor_scaling_json(&multi),
+        span_overhead_json(&multi)
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
     std::fs::write(path, &body).expect("write BENCH_sched.json");

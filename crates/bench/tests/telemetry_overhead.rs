@@ -18,9 +18,37 @@
 
 use pdftsp_core::{Pdftsp, PdftspConfig};
 use pdftsp_sim::run_scheduler;
-use pdftsp_telemetry::{Counters, Event, Telemetry};
+use pdftsp_telemetry::{Counters, Event, Span, Telemetry};
 use pdftsp_types::Scenario;
 use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+// Allocation-counting global allocator backing the zero-allocation
+// proof below. The counter is a const-initialized thread-local `Cell`
+// (no lazy init, so counting never allocates or recurses) and
+// per-thread, so the parallel test harness cannot cross-contaminate it.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates verbatim to `System`; the counter bump has no
+// allocator interaction.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// The vendor-rich market of `BENCH_sched.json`.
 fn multi_vendor_scenario() -> Scenario {
@@ -59,18 +87,19 @@ fn noop_telemetry_costs_under_two_percent_of_decide() {
     let per_site = loop_seconds / (2 * ITERS) as f64;
 
     // (2) Sites hit per decision, from the real day. Every decide touches
-    // six fixed sites (decisions bump, ArrivalSeen emit, vendors_seen
-    // bump, outcome bump, outcome emit, latency record); each prune is a
-    // bump plus an emit; each DP run four bumps plus an emit; each grid
-    // build two bumps; each admission one dual-update bump plus one emit
-    // per placement.
+    // seven fixed sites (decisions bump, ArrivalSeen emit, vendors_seen
+    // bump, outcome bump, outcome emit, latency record, and the
+    // propose-span gate — an `is_enabled()` branch when disabled); each
+    // prune is a bump plus an emit; each DP run four bumps plus an emit;
+    // each grid build two bumps; each admission one dual-update bump plus
+    // one emit per placement.
     let sc = multi_vendor_scenario();
     let mut scheduler = Pdftsp::new(&sc, PdftspConfig::default());
     let run = run_scheduler(&sc, &mut scheduler);
     let c = &scheduler.telemetry().counters;
     let decisions = c.read(&c.decisions);
     assert!(decisions > 0, "scenario produced no decisions");
-    let sites = 6 * decisions
+    let sites = 7 * decisions
         + 2 * c.read(&c.vendors_pruned)
         + c.read(&c.vendors_memoized)
         + 5 * c.read(&c.dp_runs)
@@ -92,5 +121,37 @@ fn noop_telemetry_costs_under_two_percent_of_decide() {
         overhead * 100.0,
         per_site * 1e9,
         mean_decide * 1e6,
+    );
+}
+
+/// With telemetry disabled the span emit site must not allocate at all:
+/// the gate is a cached-bool branch and the `Event::Span` closure is
+/// never built. Measured, not argued — the counting global allocator
+/// above sees every heap allocation on this thread.
+#[test]
+fn disabled_span_path_never_allocates() {
+    let tel = Telemetry::disabled();
+    assert!(!tel.is_enabled());
+    let mut live = 0u64;
+    // Warm-up pass so any one-time lazy state is paid before counting.
+    for i in 0..8usize {
+        if tel.is_enabled() && !tel.spans.suppressed() {
+            tel.emit(|| Event::Span(Span::propose(i, 0, 0, tel.spans.next_propose_ts(0))));
+        }
+        live = live.wrapping_add(i as u64);
+    }
+    let start = ALLOCS.with(Cell::get);
+    for i in 0..100_000usize {
+        // The exact shape of the hot-path site in `finish_decide`.
+        if tel.is_enabled() && !tel.spans.suppressed() {
+            tel.emit(|| Event::Span(Span::propose(i, 0, 0, tel.spans.next_propose_ts(0))));
+        }
+        live = live.wrapping_add(i as u64);
+    }
+    let allocations = ALLOCS.with(Cell::get) - start;
+    assert!(live > 0, "loop must not be optimized away");
+    assert_eq!(
+        allocations, 0,
+        "disabled span path allocated {allocations} times over 100k sites"
     );
 }

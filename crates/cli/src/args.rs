@@ -48,6 +48,14 @@ serve-sim options:
                    and measures admission latency; omit for unpaced)
   --faults SPEC    inject seeded node failures through the service path
                    (same SPEC syntax as simulate)
+  --metrics-file F write a Prometheus text exposition snapshot to F at
+                   run end (per-shard labeled series + totals)
+  --trace-out F    record lifecycle spans (route/propose/commit/settle)
+                   and write a Chrome trace_event JSON file to F
+  --progress       print one progress line per epoch to stderr
+                   (decisions/sec, admission p50/p99, queue depths)
+  --flight DIR     arm the per-shard flight recorder; crash dumps land
+                   in DIR as flightrec-shard<k>.jsonl
 
 ratio options (offline branch-and-bound limits):
   --milp-nodes N   node budget for the offline solve   [default 300]
@@ -98,6 +106,16 @@ pub struct Cli {
     pub milp: MilpArgs,
     /// Sharded-service knobs (`serve-sim`).
     pub service: ServiceArgs,
+    /// Write a Prometheus exposition snapshot here (`serve-sim`).
+    pub metrics_file: Option<String>,
+    /// Record spans and write a Chrome trace_event file here
+    /// (`serve-sim`).
+    pub trace_out: Option<String>,
+    /// Print one per-epoch progress line to stderr (`serve-sim`).
+    pub progress: bool,
+    /// Arm the flight recorder; crash dumps land in this directory
+    /// (`serve-sim`).
+    pub flight: Option<String>,
 }
 
 /// Knobs for the sharded auction service behind `serve-sim`.
@@ -262,6 +280,10 @@ impl Cli {
         let mut json = false;
         let mut milp = MilpArgs::default();
         let mut service = ServiceArgs::default();
+        let mut metrics_file = None;
+        let mut trace_out = None;
+        let mut progress = false;
+        let mut flight = None;
 
         while let Some(arg) = it.next() {
             let mut value_for = |name: &str| -> Result<&String, ParseError> {
@@ -277,6 +299,10 @@ impl Cli {
                 "--telemetry" => telemetry = Some(value_for("--telemetry")?.clone()),
                 "--duals" => duals = Some(value_for("--duals")?.clone()),
                 "--faults" => faults = Some(value_for("--faults")?.clone()),
+                "--metrics-file" => metrics_file = Some(value_for("--metrics-file")?.clone()),
+                "--trace-out" => trace_out = Some(value_for("--trace-out")?.clone()),
+                "--progress" => progress = true,
+                "--flight" => flight = Some(value_for("--flight")?.clone()),
                 "--nodes" => scenario.nodes = parse_num(value_for("--nodes")?, "--nodes")?,
                 "--slots" => scenario.slots = parse_num(value_for("--slots")?, "--slots")?,
                 "--seed" => scenario.seed = parse_num(value_for("--seed")?, "--seed")?,
@@ -393,6 +419,10 @@ impl Cli {
             json,
             milp,
             service,
+            metrics_file,
+            trace_out,
+            progress,
+            flight,
         })
     }
 }
@@ -511,6 +541,25 @@ mod tests {
         assert!(parse("serve-sim --epoch 0").is_err());
         assert!(parse("serve-sim --rate -3").is_err());
         assert!(parse("serve-sim --rate banana").is_err());
+    }
+
+    #[test]
+    fn serve_sim_parses_observability_flags() {
+        let cli = parse("serve-sim").unwrap();
+        assert!(cli.metrics_file.is_none());
+        assert!(cli.trace_out.is_none());
+        assert!(!cli.progress);
+        assert!(cli.flight.is_none());
+        let cli =
+            parse("serve-sim --metrics-file m.prom --trace-out t.json --progress --flight results")
+                .unwrap();
+        assert_eq!(cli.metrics_file.as_deref(), Some("m.prom"));
+        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        assert!(cli.progress);
+        assert_eq!(cli.flight.as_deref(), Some("results"));
+        assert!(parse("serve-sim --metrics-file").is_err());
+        assert!(parse("serve-sim --trace-out").is_err());
+        assert!(parse("serve-sim --flight").is_err());
     }
 
     #[test]

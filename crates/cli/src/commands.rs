@@ -8,13 +8,13 @@ use pdftsp_sim::{
     empirical_ratio_with_telemetry, parallel_map, partition_zones, render_gantt, render_timeline,
     run_algo, run_pdftsp_instrumented, run_pdftsp_with_faults, run_scheduler, run_zoned,
     try_run_algo, write_dual_grid, Algo, AuctionService, FaultEvent, FaultPlan, FaultSpec,
-    FigureTable, RunResult, ServiceConfig,
+    FigureTable, Observability, RunResult, ServiceConfig, ServiceOutcome,
 };
 use pdftsp_solver::milp::MilpConfig;
-use pdftsp_telemetry::{JsonlSink, Telemetry};
+use pdftsp_telemetry::{chrome, prometheus, JsonlSink, Stage, Telemetry};
 use pdftsp_types::Scenario;
 use pdftsp_workload::ScenarioBuilder;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Builds the scenario the shared arguments describe.
@@ -142,7 +142,9 @@ fn report(scenario: &Scenario, cli: &Cli) -> String {
                 json.push('\n');
                 json
             } else {
-                result.report.render_text()
+                let mut text = result.report.render_text();
+                text.push_str(&span_sections(scenario, cli));
+                text
             };
             for note in notes {
                 out.push_str(&note);
@@ -151,6 +153,95 @@ fn report(scenario: &Scenario, cli: &Cli) -> String {
             out
         }
     }
+}
+
+/// Per-stage and per-shard sections of the `report` command, derived
+/// from the span stream of a spans-enabled sharded-service run over the
+/// same scenario. The causal-coverage line checks that every admitted
+/// task carries the full `route -> propose -> commit` parent chain.
+fn span_sections(scenario: &Scenario, cli: &Cli) -> String {
+    let plan = match &cli.faults {
+        Some(spec_text) => match FaultSpec::parse(spec_text) {
+            Ok(spec) => FaultPlan::generate(scenario, &spec),
+            Err(e) => return format!("span sections: error: {e}\n"),
+        },
+        None => FaultPlan::none(),
+    };
+    let shards = cli.service.shards.min(scenario.num_nodes()).max(1);
+    let cfg = ServiceConfig {
+        shards,
+        epoch_slots: cli.service.epoch,
+        ..ServiceConfig::default()
+    };
+    let run = AuctionService::with_observability(scenario, cfg, &plan, Observability::with_spans())
+        .and_then(AuctionService::finish);
+    let out = match run {
+        Ok(out) => out,
+        Err(e) => return format!("span sections: error: {e}\n"),
+    };
+
+    // Per-stage counts plus the per-task causal index.
+    let mut stage_counts = [0usize; 5];
+    let mut route_span = vec![0u64; scenario.tasks.len()];
+    let mut propose_parent = vec![(0u64, 0u64); scenario.tasks.len()];
+    let mut commit_parent = vec![0u64; scenario.tasks.len()];
+    let mut per_shard = vec![[0usize; 5]; shards];
+    for sp in &out.spans {
+        stage_counts[sp.stage.index() as usize] += 1;
+        if sp.shard < shards {
+            per_shard[sp.shard][sp.stage.index() as usize] += 1;
+        }
+        if sp.task < scenario.tasks.len() {
+            match sp.stage {
+                Stage::Route => route_span[sp.task] = sp.span,
+                Stage::Propose => propose_parent[sp.task] = (sp.span, sp.parent),
+                Stage::Commit => commit_parent[sp.task] = sp.parent,
+                Stage::Settle | Stage::FaultRecover => {}
+            }
+        }
+    }
+    let admitted: Vec<usize> = out
+        .decisions
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_admitted())
+        .map(|(t, _)| t)
+        .collect();
+    let covered = admitted
+        .iter()
+        .filter(|&&t| {
+            let (propose, parent) = propose_parent[t];
+            route_span[t] != 0 && parent == route_span[t] && commit_parent[t] == propose
+        })
+        .count();
+    let coverage = if admitted.is_empty() {
+        100.0
+    } else {
+        100.0 * covered as f64 / admitted.len() as f64
+    };
+
+    let mut text = format!("\nspan stream ({shards}-shard service run of the same scenario):\n");
+    text.push_str("  stage          spans\n");
+    for (i, count) in stage_counts.iter().enumerate() {
+        let stage = Stage::from_index(i as u64).expect("stage index in range");
+        text.push_str(&format!("  {:<13} {count:>6}\n", stage.as_str()));
+    }
+    text.push_str(&format!(
+        "causal coverage: {covered}/{} admitted tasks carry route->propose->commit \
+         parentage ({coverage:.1}%)\n",
+        admitted.len(),
+    ));
+    text.push_str("per-shard spans:\n  shard  route  propose  commit  fault_recover\n");
+    for (k, row) in per_shard.iter().enumerate() {
+        text.push_str(&format!(
+            "  {k:>5} {:>6} {:>8} {:>7} {:>14}\n",
+            row[Stage::Route.index() as usize],
+            row[Stage::Propose.index() as usize],
+            row[Stage::Commit.index() as usize],
+            row[Stage::FaultRecover.index() as usize],
+        ));
+    }
+    text
 }
 
 fn zones(args: &ScenarioArgs) -> String {
@@ -224,7 +315,50 @@ fn serve_sim(scenario: &Scenario, cli: &Cli) -> String {
         open_loop_rate: cli.service.rate,
         ..ServiceConfig::default()
     };
-    let out = match AuctionService::run(scenario, cfg, &plan) {
+    let obs = Observability {
+        spans: cli.trace_out.is_some(),
+        flight_capacity: if cli.flight.is_some() { 4096 } else { 0 },
+        flight_dir: cli.flight.as_ref().map(PathBuf::from),
+    };
+    let mut svc = match AuctionService::with_observability(scenario, cfg, &plan, obs) {
+        Ok(svc) => svc,
+        Err(e) => return format!("error: {e}\n"),
+    };
+    let total_epochs = svc.total_epochs();
+    while !svc.is_done() {
+        let epoch_started = std::time::Instant::now();
+        let report = match svc.run_epoch() {
+            Ok(r) => r,
+            Err(e) => return format!("error: {e}\n"),
+        };
+        // Progress goes to stderr so the returned report stays
+        // byte-deterministic (and quiet in tests / pipelines).
+        if cli.progress {
+            let secs = epoch_started.elapsed().as_secs_f64().max(1e-9);
+            let adm = svc.admission();
+            let latency = if adm.count() > 0 {
+                format!(
+                    "admission p50 {:.3} ms p99 {:.3} ms",
+                    adm.quantile_nanos(0.50) / 1e6,
+                    adm.quantile_nanos(0.99) / 1e6,
+                )
+            } else {
+                "admission unpaced".to_owned()
+            };
+            let depths: Vec<String> = report.queue_depth.iter().map(usize::to_string).collect();
+            eprintln!(
+                "epoch {:>3}/{} slots {:>3}..{:<3} decided {:>4} ({:>7.0}/s) {latency} queue [{}]",
+                report.epoch + 1,
+                total_epochs,
+                report.first_slot,
+                report.end_slot,
+                report.decided,
+                report.decided as f64 / secs,
+                depths.join(","),
+            );
+        }
+    }
+    let out = match svc.finish() {
         Ok(out) => out,
         Err(e) => return format!("error: {e}\n"),
     };
@@ -285,6 +419,127 @@ fn serve_sim(scenario: &Scenario, cli: &Cli) -> String {
             out.admission.count(),
         ));
     }
+    if let Some(p) = &cli.metrics_file {
+        if let Err(e) = std::fs::write(p, render_service_metrics(&out)) {
+            return format!("error: --metrics-file {p}: {e}\n");
+        }
+        text.push_str(&format!("metrics exposition -> {p}\n"));
+    }
+    if let Some(p) = &cli.trace_out {
+        if let Err(e) = std::fs::write(p, chrome::render_trace(&out.spans)) {
+            return format!("error: --trace-out {p}: {e}\n");
+        }
+        text.push_str(&format!(
+            "chrome trace       -> {p} ({} spans)\n",
+            out.spans.len()
+        ));
+    }
+    if let Some(dir) = &cli.flight {
+        text.push_str(&format!(
+            "flight recorder    -> armed; crash dumps land in {dir}/flightrec-shard<k>.jsonl\n"
+        ));
+    }
+    text
+}
+
+/// Prometheus text exposition for one service run: per-shard labeled
+/// counters, run-level totals, and the admission-latency histogram.
+/// One per-shard metric family: name, help text, and the stat it reads.
+type ShardFamily<'a> = (&'a str, &'a str, &'a dyn Fn(&pdftsp_sim::ShardStats) -> f64);
+
+fn render_service_metrics(out: &ServiceOutcome) -> String {
+    use prometheus::{push_header, push_sample, render_histogram};
+    let mut text = String::with_capacity(4096);
+    let shard_families: [ShardFamily; 7] = [
+        ("pdftsp_shard_nodes", "nodes owned by the shard", &|s| {
+            s.num_nodes as f64
+        }),
+        (
+            "pdftsp_shard_routed_total",
+            "tasks routed to the shard",
+            &|s| s.routed as f64,
+        ),
+        (
+            "pdftsp_shard_admitted_total",
+            "tasks admitted by the shard",
+            &|s| s.admitted as f64,
+        ),
+        (
+            "pdftsp_shard_rejected_total",
+            "tasks rejected by the shard",
+            &|s| s.rejected as f64,
+        ),
+        (
+            "pdftsp_shard_node_failures_total",
+            "injected crashes on the shard's nodes",
+            &|s| s.node_failures as f64,
+        ),
+        (
+            "pdftsp_shard_tasks_resubmitted_total",
+            "disrupted-task remnants re-auctioned",
+            &|s| s.tasks_resubmitted as f64,
+        ),
+        (
+            "pdftsp_shard_refunds_issued_total",
+            "refunds issued to unrecoverable tasks",
+            &|s| s.refunds_issued as f64,
+        ),
+    ];
+    for (name, help, value) in shard_families {
+        let mtype = if name.ends_with("_total") {
+            "counter"
+        } else {
+            "gauge"
+        };
+        push_header(&mut text, name, help, mtype);
+        for s in &out.per_shard {
+            push_sample(&mut text, name, &format!("shard=\"{}\"", s.shard), value(s));
+        }
+    }
+    let totals: [(&str, &str, &str, f64); 5] = [
+        (
+            "pdftsp_service_epochs_total",
+            "epochs committed",
+            "counter",
+            out.epochs as f64,
+        ),
+        (
+            "pdftsp_service_disrupted_total",
+            "task-disruptions handled",
+            "counter",
+            out.disrupted as f64,
+        ),
+        (
+            "pdftsp_service_recovered_total",
+            "disrupted tasks re-admitted",
+            "counter",
+            out.recovered as f64,
+        ),
+        (
+            "pdftsp_service_social_welfare",
+            "refund-adjusted social welfare of the run",
+            "gauge",
+            out.welfare.social_welfare,
+        ),
+        (
+            "pdftsp_service_spans_recorded",
+            "lifecycle spans captured this run",
+            "gauge",
+            out.spans.len() as f64,
+        ),
+    ];
+    for (name, help, mtype, value) in totals {
+        push_header(&mut text, name, help, mtype);
+        push_sample(&mut text, name, "", value);
+    }
+    render_histogram(
+        &mut text,
+        "pdftsp_admission_latency_seconds",
+        "open-loop admission latency",
+        "",
+        &out.admission,
+        true,
+    );
     text
 }
 
@@ -795,6 +1050,53 @@ mod tests {
         // Same seed → byte-identical report (nothing latency-dependent
         // is printed on the unpaced path).
         assert_eq!(out, run_words(words));
+    }
+
+    #[test]
+    fn serve_sim_writes_metrics_and_trace_files() {
+        let dir = std::env::temp_dir().join(format!("pdftsp-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.prom");
+        let trace = dir.join("t.json");
+        let out = run_words(&format!(
+            "serve-sim --nodes 6 --slots 24 --mean 3 --seed 11 --shards 3 --epoch 5 \
+             --metrics-file {} --trace-out {}",
+            metrics.display(),
+            trace.display()
+        ));
+        assert!(out.contains("metrics exposition ->"), "{out}");
+        assert!(out.contains("chrome trace       ->"), "{out}");
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            prom.contains("# TYPE pdftsp_shard_routed_total counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("pdftsp_shard_routed_total{shard=\"2\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("pdftsp_service_epochs_total 5"), "{prom}");
+        let chrome_json = std::fs::read_to_string(&trace).unwrap();
+        assert!(
+            chrome_json.starts_with("{\"traceEvents\":["),
+            "{chrome_json}"
+        );
+        for stage in ["\"route\"", "\"propose\"", "\"commit\"", "\"settle\""] {
+            assert!(chrome_json.contains(stage), "missing {stage}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_appends_span_stream_sections() {
+        let out = run_words("report --nodes 4 --slots 16 --mean 2 --seed 1 --shards 2");
+        assert!(out.contains("span stream (2-shard service run"), "{out}");
+        assert!(out.contains("causal coverage:"), "{out}");
+        assert!(out.contains("(100.0%)"), "{out}");
+        assert!(out.contains("per-shard spans:"), "{out}");
+        // JSON mode is unchanged by the span sections.
+        let json = run_words("report --nodes 4 --slots 16 --mean 2 --seed 1 --json");
+        assert!(!json.contains("span stream"), "{json}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::grid::DeltaGrid;
 use crate::kernel::KernelDispatch;
 use crate::pricing::payment;
 use pdftsp_cluster::{configured_threads, parallel_map, CapacityLedger, LedgerError, Released};
-use pdftsp_telemetry::{Event, Reason, Telemetry};
+use pdftsp_telemetry::{Event, Reason, Span, Telemetry};
 use pdftsp_types::{
     Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task, TaskId,
     VendorQuote,
@@ -498,6 +498,23 @@ impl Pdftsp {
         let secs = t0.elapsed().as_secs_f64();
         let c = &self.telemetry.counters;
         c.decide_latency.record_seconds(secs);
+        // One `propose` span per decide (admitted or not), timestamped on
+        // the sim clock by the arrival slot plus a per-slot sequence —
+        // never the wall clock, so traces are worker-count invariant.
+        // Suppressed while a crash-recovery resubmission re-enters
+        // `decide()`: the remnant's detour is covered by its
+        // `fault_recover` span instead of a colliding duplicate.
+        if self.telemetry.is_enabled() && !self.telemetry.spans.suppressed() {
+            self.telemetry.emit(|| {
+                let ctx = &self.telemetry.spans;
+                Event::Span(Span::propose(
+                    task.id,
+                    ctx.shard(),
+                    ctx.epoch(),
+                    ctx.next_propose_ts(task.arrival),
+                ))
+            });
+        }
         match reject {
             None => c.bump(&c.admitted, 1),
             Some(reason) => {
@@ -716,7 +733,13 @@ impl Pdftsp {
     /// clean-path `decide`, plus recovery telemetry. `fail_slot` is the
     /// slot of the failure that disrupted the original schedule.
     pub fn resubmit(&mut self, remnant: &Task, scenario: &Scenario, fail_slot: Slot) -> Decision {
+        // Suppress the propose span for the inner decide: the remnant
+        // shares its task id with the original admission, and its detour
+        // through recovery is already covered by the `fault_recover`
+        // span; a second propose span would collide with the first.
+        self.telemetry.spans.set_suppressed(true);
         let decision = self.decide(remnant, scenario);
+        self.telemetry.spans.set_suppressed(false);
         let c = &self.telemetry.counters;
         c.bump(&c.tasks_resubmitted, 1);
         if decision.is_admitted() {

@@ -30,7 +30,7 @@
 //! refund-adjusted welfare reproduces bit-for-bit.
 
 use pdftsp_core::{Pdftsp, PdftspConfig};
-use pdftsp_telemetry::{Event, Telemetry};
+use pdftsp_telemetry::{Event, Span, Telemetry};
 use pdftsp_types::{AuctionOutcome, Decision, NodeId, Rejection, Scenario, Schedule, Slot, TaskId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -544,6 +544,24 @@ pub(crate) fn handle_crash(
                 });
                 states[id] = TaskState::Aborted { decide_seconds };
             }
+        }
+    }
+    // One `fault_recover` span for the whole recovery pass (deterministic
+    // id/timestamp from shard/node/slot), then — with a flight recorder
+    // behind the sink — dump the ring so the crash post-mortem includes
+    // the NodeDown, releases, resubmissions and refunds just recorded.
+    let tel = pdftsp.telemetry();
+    if tel.is_enabled() {
+        tel.emit(|| {
+            Event::Span(Span::fault_recover(
+                tel.spans.shard(),
+                tel.spans.epoch(),
+                node,
+                slot,
+            ))
+        });
+        if let Some(fr) = tel.sink().flight() {
+            let _ = fr.dump();
         }
     }
     (disrupted, recovered)

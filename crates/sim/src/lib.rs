@@ -55,7 +55,8 @@ pub use faults::{
 pub use parallel::{effective_workers, parallel_map};
 pub use report::FigureTable;
 pub use service::{
-    AuctionService, EpochReport, ServiceConfig, ServiceError, ServiceOutcome, ShardStats,
+    AuctionService, EpochReport, Observability, ServiceConfig, ServiceError, ServiceOutcome,
+    ShardStats,
 };
 pub use timeline::{render_gantt, render_timeline, replay};
 pub use welfare::WelfareReport;

@@ -45,9 +45,10 @@ use crate::faults::{
 use crate::parallel::parallel_map;
 use pdftsp_cluster::{effective_workers, CapacityLedger, LedgerError, ShardError, ShardMap};
 use pdftsp_core::{Pdftsp, PdftspConfig};
-use pdftsp_telemetry::{LatencyHistogram, Telemetry};
+use pdftsp_telemetry::{FlightRecorder, LatencyHistogram, Sink, Span, SpanLog, TeeSink, Telemetry};
 use pdftsp_types::{AuctionOutcome, CostGrid, Decision, NodeId, Scenario, Schedule, Slot, TaskId};
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Service configuration.
@@ -81,6 +82,38 @@ impl Default for ServiceConfig {
             route_seed: 0x0005_EED0_F5EA_C0DE,
             open_loop_rate: None,
         }
+    }
+}
+
+/// Observability knobs for a service run. The default is everything
+/// off — identical cost and behavior to the pre-observability service
+/// ([`Telemetry::disabled`] on every shard).
+#[derive(Debug, Clone, Default)]
+pub struct Observability {
+    /// Collect task-lifecycle spans (route/propose/commit/settle and
+    /// fault_recover) into [`ServiceOutcome::spans`].
+    pub spans: bool,
+    /// Flight-recorder ring capacity per shard; 0 disables the recorder.
+    pub flight_capacity: usize,
+    /// Directory crash dumps are written to (`flightrec-shard<k>.jsonl`).
+    /// `None` keeps the ring in memory only.
+    pub flight_dir: Option<PathBuf>,
+}
+
+impl Observability {
+    /// Spans only — what `--trace-out` and trace tests need.
+    #[must_use]
+    pub fn with_spans() -> Observability {
+        Observability {
+            spans: true,
+            ..Observability::default()
+        }
+    }
+
+    /// Whether any sink must be attached to shard telemetry.
+    #[must_use]
+    fn any_enabled(&self) -> bool {
+        self.spans || self.flight_capacity > 0
     }
 }
 
@@ -175,7 +208,7 @@ pub struct ShardStats {
 }
 
 /// Report for one committed epoch.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EpochReport {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -187,6 +220,10 @@ pub struct EpochReport {
     pub decided: usize,
     /// Ledger ops committed in phase 2.
     pub ops: usize,
+    /// Arrivals still queued per shard after this epoch (routed tasks
+    /// whose slot has not been reached yet) — the queue-depth figure the
+    /// `--progress` line reports.
+    pub queue_depth: Vec<usize>,
 }
 
 /// Outcome of a full service run.
@@ -218,6 +255,11 @@ pub struct ServiceOutcome {
     pub admission_seconds: Vec<f64>,
     /// Wall-clock seconds from service start to the last commit.
     pub wall_seconds: f64,
+    /// Task-lifecycle spans, sorted by `(ts, span id)` — empty unless
+    /// [`Observability::spans`] was set. Sim-clock timestamped, so the
+    /// list (and any trace rendered from it) is byte-identical across
+    /// worker counts.
+    pub spans: Vec<Span>,
 }
 
 impl ServiceOutcome {
@@ -248,12 +290,23 @@ struct ShardState {
     next_arrival: usize,
     disrupted: usize,
     recovered: usize,
+    /// The shard's flight recorder when armed — held here so `propose`
+    /// can arm a panic-dump guard around its work loop.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl ShardState {
     /// Phase 1: sequentially processes `slots`, returning the op log and
-    /// the ids decided this epoch.
-    fn propose(&mut self, slots: std::ops::Range<Slot>) -> (Vec<LedgerOp>, Vec<TaskId>) {
+    /// the ids decided this epoch. `epoch` feeds span attribution.
+    fn propose(
+        &mut self,
+        slots: std::ops::Range<Slot>,
+        epoch: usize,
+    ) -> (Vec<LedgerOp>, Vec<TaskId>) {
+        // If this shard's worker panics mid-epoch, dump the flight ring
+        // on the way out so the post-mortem survives the unwind.
+        let _panic_dump = self.flight.as_ref().map(FlightRecorder::panic_dump_guard);
+        self.pdftsp.telemetry().spans.set_epoch(epoch);
         let mut ops = Vec::new();
         let mut decided = Vec::new();
         for slot in slots {
@@ -339,6 +392,16 @@ pub struct AuctionService {
     next_global_task: usize,
     started: Instant,
     last_commit_seconds: f64,
+    obs: Observability,
+    /// Per-shard span logs (propose/fault_recover spans emitted inside
+    /// the shard schedulers), drained at settlement.
+    span_logs: Vec<Option<Arc<SpanLog>>>,
+    /// Coordinator-side spans: route (at construction), commit (phase
+    /// 2) and settle (at finish).
+    coord_spans: Vec<Span>,
+    /// Tasks whose commit span was emitted — recovery re-commits of the
+    /// same task must not emit a second, colliding commit span.
+    commit_span_done: Vec<bool>,
 }
 
 /// splitmix64: the routing hash (also used for deterministic trace
@@ -370,6 +433,21 @@ impl AuctionService {
         cfg: ServiceConfig,
         plan: &FaultPlan,
     ) -> Result<AuctionService, ServiceError> {
+        AuctionService::with_observability(scenario, cfg, plan, Observability::default())
+    }
+
+    /// [`AuctionService::new`] with spans and/or a flight recorder
+    /// attached to every shard's telemetry. The default observability is
+    /// fully off, so `new` keeps the zero-overhead disabled fast path.
+    ///
+    /// # Errors
+    /// Same as [`AuctionService::new`].
+    pub fn with_observability(
+        scenario: &Scenario,
+        cfg: ServiceConfig,
+        plan: &FaultPlan,
+        obs: Observability,
+    ) -> Result<AuctionService, ServiceError> {
         if cfg.epoch_slots == 0 {
             return Err(ServiceError::ZeroEpoch);
         }
@@ -390,6 +468,7 @@ impl AuctionService {
             .collect();
 
         let mut shards = Vec::with_capacity(map.num_shards());
+        let mut span_logs = Vec::with_capacity(map.num_shards());
         for spec in map.shards() {
             let lo = spec.node_base;
             let hi = spec.node_base + spec.num_nodes;
@@ -456,8 +535,38 @@ impl AuctionService {
                 .filter(|t| routes[t.id] == spec.id)
                 .map(|t| t.id)
                 .collect();
-            let pdftsp =
-                Pdftsp::with_workers(&shard_scenario, cfg.scheduler, Telemetry::disabled(), 1);
+            // Shard telemetry: disabled unless observability asks for a
+            // span log and/or flight recorder, in which case the sinks
+            // are teed together and the span context pinned to the shard.
+            let flight = (obs.flight_capacity > 0).then(|| {
+                Arc::new(match &obs.flight_dir {
+                    Some(dir) => {
+                        FlightRecorder::with_dump_dir(spec.id, obs.flight_capacity, dir.clone())
+                    }
+                    None => FlightRecorder::new(spec.id, obs.flight_capacity),
+                })
+            });
+            let span_log = obs.spans.then(|| Arc::new(SpanLog::new()));
+            let telemetry = if obs.any_enabled() {
+                let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+                if let Some(fr) = &flight {
+                    sinks.push(fr.clone() as Arc<dyn Sink>);
+                }
+                if let Some(log) = &span_log {
+                    sinks.push(log.clone() as Arc<dyn Sink>);
+                }
+                let tel = if sinks.len() == 1 {
+                    Telemetry::new(sinks.pop().expect("one sink"))
+                } else {
+                    Telemetry::new(Arc::new(TeeSink::new(sinks)))
+                };
+                tel.spans.set_shard(spec.id);
+                tel
+            } else {
+                Telemetry::disabled()
+            };
+            span_logs.push(span_log);
+            let pdftsp = Pdftsp::with_workers(&shard_scenario, cfg.scheduler, telemetry, 1);
             shards.push(Mutex::new(ShardState {
                 scenario: shard_scenario,
                 pdftsp,
@@ -469,8 +578,21 @@ impl AuctionService {
                 next_arrival: 0,
                 disrupted: 0,
                 recovered: 0,
+                flight,
             }));
         }
+        // Route spans are coordinator facts known up front: one root per
+        // task, timestamped at its arrival slot on the sim clock.
+        let coord_spans = if obs.spans {
+            scenario
+                .tasks
+                .iter()
+                .map(|t| Span::route(t.id, routes[t.id], t.arrival, t.arrival / cfg.epoch_slots))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let commit_span_done = vec![false; scenario.tasks.len()];
         Ok(AuctionService {
             scenario: scenario.clone(),
             cfg,
@@ -485,7 +607,18 @@ impl AuctionService {
             next_global_task: 0,
             started: Instant::now(),
             last_commit_seconds: 0.0,
+            obs,
+            span_logs,
+            coord_spans,
+            commit_span_done,
         })
+    }
+
+    /// Admission-latency histogram accumulated so far (arrival →
+    /// phase-2 commit) — what the `--progress` line reads mid-run.
+    #[must_use]
+    pub fn admission(&self) -> &LatencyHistogram {
+        &self.admission
     }
 
     /// Total epochs a full run commits.
@@ -558,22 +691,38 @@ impl AuctionService {
         let epoch_entry = self.started.elapsed().as_secs_f64();
 
         // Phase 1: parallel proposals, one sequential world per shard.
+        let epoch = self.epochs_done;
         let idx: Vec<usize> = (0..self.shards.len()).collect();
         let shards = &self.shards;
         let batches = parallel_map(&idx, |&s| {
             shards[s]
                 .lock()
                 .expect("shard worker panicked")
-                .propose(first_slot..end_slot)
+                .propose(first_slot..end_slot, epoch)
         });
 
         // Phase 2: epoch-ordered commit in shard-id order.
         let paced = self.cfg.open_loop_rate.is_some();
         let mut decided_total = 0usize;
         let mut ops_total = 0usize;
+        let mut commit_seq = 0u64;
         for (s, (ops, decided)) in batches.into_iter().enumerate() {
             ops_total += ops.len();
             for op in ops {
+                // A commit span per first-time committed task, sequenced
+                // by (shard order, op order) — both deterministic. A
+                // recovery re-commit of an already-committed task keeps
+                // its original commit span.
+                if self.obs.spans {
+                    if let LedgerOp::Commit { task, .. } = &op {
+                        if !self.commit_span_done[*task] {
+                            self.commit_span_done[*task] = true;
+                            self.coord_spans
+                                .push(Span::commit(*task, s, epoch, end_slot, commit_seq));
+                            commit_seq += 1;
+                        }
+                    }
+                }
                 self.apply_global(s, op)?;
             }
             let now = self.started.elapsed().as_secs_f64();
@@ -592,12 +741,21 @@ impl AuctionService {
         }
         self.next_slot = end_slot;
         self.epochs_done += 1;
+        let queue_depth = self
+            .shards
+            .iter()
+            .map(|m| {
+                let g = m.lock().expect("shard worker panicked");
+                g.arrivals.len() - g.next_arrival
+            })
+            .collect();
         Ok(EpochReport {
             epoch: self.epochs_done - 1,
             first_slot,
             end_slot,
             decided: decided_total,
             ops: ops_total,
+            queue_depth,
         })
     }
 
@@ -751,6 +909,24 @@ impl AuctionService {
         crate::timeline::replay(&self.scenario, &decisions)
             .map_err(|e| ServiceError::Replay(format!("{e:?}")))?;
 
+        // Assemble the run's trace: shard-emitted spans (propose,
+        // fault_recover) in shard order, the coordinator's route/commit
+        // spans, and one settle span — then a total deterministic order
+        // by (sim timestamp, span id). Span ids are distinct by
+        // construction, so the sort is unambiguous and the resulting
+        // list is byte-stable across worker counts.
+        let mut spans = std::mem::take(&mut self.coord_spans);
+        for log in self.span_logs.iter().flatten() {
+            spans.extend(log.drain());
+        }
+        if self.obs.spans {
+            spans.push(Span::settle(
+                self.scenario.horizon,
+                self.epochs_done.saturating_sub(1),
+            ));
+        }
+        spans.sort_by_key(|sp| (sp.ts, sp.span));
+
         Ok(ServiceOutcome {
             decisions,
             welfare,
@@ -764,6 +940,7 @@ impl AuctionService {
             admission: self.admission,
             admission_seconds: self.admission_seconds,
             wall_seconds: self.last_commit_seconds,
+            spans,
         })
     }
 

@@ -1,0 +1,99 @@
+//! Chrome `trace_event` JSON export of spans, loadable in
+//! `about://tracing` / Perfetto.
+//!
+//! Every [`Span`] becomes one complete ("ph":"X") event: `ts`/`dur` are
+//! the span's sim-clock ticks (microseconds — one scenario slot renders
+//! as one second), `pid` is the shard, and `tid` is the task, so each
+//! task's route → propose → commit slices line up on its own row inside
+//! its shard's process group. Trace/span/parent ids ride along in
+//! `args` for causal reconstruction. The output is a deterministic pure
+//! function of the span list: callers sort spans first (the service
+//! sorts by `(ts, span)`), and the rendered bytes are then identical
+//! across worker counts.
+
+use std::fmt::Write;
+
+use crate::span::Span;
+
+/// `tid`/`pid` shown for node/run-scoped spans whose task is
+/// `usize::MAX` (Chrome wants small non-negative ids).
+const SCOPE_TID: u64 = 0;
+
+/// Renders a complete `trace_event` JSON document for `spans`, in the
+/// given order.
+#[must_use]
+pub fn render_trace(spans: &[Span]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    for (i, sp) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let tid = if sp.task == usize::MAX {
+            SCOPE_TID
+        } else {
+            sp.task as u64
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"pdftsp\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{},\"args\":{{\"trace\":{},\"span\":{},\"parent\":{},\
+             \"task\":{},\"epoch\":{}}}}}",
+            sp.stage.as_str(),
+            sp.ts,
+            sp.dur,
+            sp.shard,
+            tid,
+            sp.trace,
+            sp.span,
+            sp.parent,
+            sp.task,
+            sp.epoch,
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_document_is_deterministic_and_well_formed() {
+        let spans = vec![
+            Span::route(3, 1, 0, 0),
+            Span::propose(3, 1, 0, 100_200),
+            Span::commit(3, 1, 0, 4, 0),
+        ];
+        let a = render_trace(&spans);
+        let b = render_trace(&spans);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"traceEvents\":["));
+        assert!(a.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(a.contains("\"name\":\"route\""));
+        assert!(a.contains("\"name\":\"propose\""));
+        assert!(a.contains("\"name\":\"commit\""));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert_eq!(a.matches("\"pid\":1").count(), 3);
+        // Exactly one object per span, comma separated.
+        assert_eq!(a.matches("\"cat\":\"pdftsp\"").count(), 3);
+    }
+
+    #[test]
+    fn node_scoped_spans_render_on_the_reserved_tid() {
+        let s = Span::fault_recover(2, 0, 1, 5);
+        let doc = render_trace(std::slice::from_ref(&s));
+        assert!(doc.contains("\"tid\":0"));
+        assert!(doc.contains("\"pid\":2"));
+        assert!(doc.contains(&format!("\"task\":{}", usize::MAX)));
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        assert_eq!(
+            render_trace(&[]),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+}

@@ -234,6 +234,35 @@ impl LatencyHistogram {
         Self::bucket_midpoint(LATENCY_BUCKETS - 1)
     }
 
+    /// Sum of all samples in nanoseconds (exact).
+    #[must_use]
+    pub fn sum_nanos(&self) -> u64 {
+        get(&self.sum_nanos)
+    }
+
+    /// Count in bucket `i` (see [`Self::bucket_upper_nanos`] for its
+    /// range) — exposed for Prometheus cumulative-bucket rendering.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ LATENCY_BUCKETS`.
+    #[must_use]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        get(&self.buckets[i])
+    }
+
+    /// Exclusive upper bound of bucket `i` in nanoseconds: bucket `i`
+    /// holds samples in `[2^(i-1), 2^i)` (bucket 0 holds only 0), so its
+    /// Prometheus `le` bound is `2^i − 1 ≈ 2^i`. The last bucket is
+    /// unbounded and reports `u64::MAX`.
+    #[must_use]
+    pub fn bucket_upper_nanos(i: usize) -> u64 {
+        if i + 1 >= LATENCY_BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << i).saturating_sub(1)
+        }
+    }
+
     /// Geometric midpoint of bucket `i`, whose range is `[2^(i-1), 2^i)`
     /// (bucket 0 holds only the value 0).
     fn bucket_midpoint(i: usize) -> f64 {

@@ -15,6 +15,8 @@
 
 use std::fmt;
 
+use crate::span::{Span, Stage};
+
 /// Why a task was rejected (mirrors `pdftsp_types::Rejection`; kept
 /// separate so this crate stays dependency-free).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +166,11 @@ pub enum Event {
         /// Charge retained for the executed prefix.
         consumed: f64,
     },
+    /// One task-lifecycle span (see [`crate::span`]): causal stage
+    /// records with parent links and sim-clock timestamps, carried on
+    /// the same wire so every sink (JSONL, ring, flight recorder)
+    /// handles them unchanged.
+    Span(Span),
 }
 
 impl Event {
@@ -181,6 +188,7 @@ impl Event {
             Event::NodeUp { .. } => "node_up",
             Event::TaskResubmitted { .. } => "task_resubmitted",
             Event::RefundIssued { .. } => "refund_issued",
+            Event::Span(_) => "span",
         }
     }
 
@@ -197,6 +205,7 @@ impl Event {
             | Event::DualUpdate { task, .. }
             | Event::TaskResubmitted { task, .. }
             | Event::RefundIssued { task, .. } => task,
+            Event::Span(ref sp) => sp.task,
             Event::NodeDown { .. } | Event::NodeUp { .. } => usize::MAX,
         }
     }
@@ -300,6 +309,19 @@ impl Event {
                 push_f64(&mut s, "refund", refund);
                 push_f64(&mut s, "consumed", consumed);
             }
+            Event::Span(ref sp) => {
+                s.push_str(",\"stage\":\"");
+                s.push_str(sp.stage.as_str());
+                s.push('"');
+                push_u64(&mut s, "trace", sp.trace);
+                push_u64(&mut s, "span", sp.span);
+                push_u64(&mut s, "parent", sp.parent);
+                push_usize(&mut s, "task", sp.task);
+                push_usize(&mut s, "shard", sp.shard);
+                push_usize(&mut s, "epoch", sp.epoch);
+                push_u64(&mut s, "ts", sp.ts);
+                push_u64(&mut s, "dur", sp.dur);
+            }
         }
         s.push('}');
         s
@@ -366,6 +388,22 @@ impl Event {
                 refund: get_f64(&fields, "refund")?,
                 consumed: get_f64(&fields, "consumed")?,
             }),
+            "span" => {
+                let token = get_str(&fields, "stage")?;
+                let stage = Stage::parse(token)
+                    .ok_or_else(|| err(format!("unknown span stage `{token}`")))?;
+                Ok(Event::Span(Span {
+                    stage,
+                    trace: get_u64(&fields, "trace")?,
+                    span: get_u64(&fields, "span")?,
+                    parent: get_u64(&fields, "parent")?,
+                    task: get_usize(&fields, "task")?,
+                    shard: get_usize(&fields, "shard")?,
+                    epoch: get_usize(&fields, "epoch")?,
+                    ts: get_u64(&fields, "ts")?,
+                    dur: get_u64(&fields, "dur")?,
+                }))
+            }
             other => Err(EventParseError(format!("unknown event tag `{other}`"))),
         }
     }
@@ -541,6 +579,11 @@ mod tests {
                 refund: 4.099_999_999_999_999,
                 consumed: 1.0e-3,
             },
+            Event::Span(Span::route(17, 2, 3, 0)),
+            Event::Span(Span::propose(17, 2, 0, 3_100_200)),
+            Event::Span(Span::commit(17, 2, 0, 4, 7)),
+            Event::Span(Span::settle(48, 9)),
+            Event::Span(Span::fault_recover(1, 2, 3, 12)),
         ]
     }
 
@@ -565,6 +608,22 @@ mod tests {
             "{\"ev\":\"rejected\",\"task\":9,\"reason\":\"non_positive_surplus\"}"
         );
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn span_wire_shape_is_one_flat_tagged_object() {
+        let line = Event::Span(Span::propose(17, 2, 1, 3_100_200)).to_json();
+        let expected = format!(
+            "{{\"ev\":\"span\",\"stage\":\"propose\",\"trace\":17,\"span\":{},\"parent\":{},\
+             \"task\":17,\"shard\":2,\"epoch\":1,\"ts\":3100200,\"dur\":50000}}",
+            Span::propose(17, 2, 1, 0).span,
+            Span::route(17, 2, 0, 0).span,
+        );
+        assert_eq!(line, expected);
+        assert!(!line.contains('\n'));
+        // Malformed stage tokens are rejected like any other bad field.
+        let bad = line.replace("propose", "beige");
+        assert!(Event::from_json(&bad).is_err());
     }
 
     #[test]

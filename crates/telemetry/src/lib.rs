@@ -19,7 +19,14 @@
 //!   `fetch_add` costs ~1 ns);
 //! * [`report`] — [`RunReport`], the single aggregate summary of one run
 //!   (decision counts, prune/DP-work statistics, decide-latency
-//!   percentiles, cluster utilization).
+//!   percentiles, cluster utilization);
+//! * [`span`] — causal task-lifecycle [`Span`]s (`route → propose →
+//!   commit → settle`, plus `fault_recover`) with parent links and
+//!   sim-clock timestamps, carried as [`Event::Span`] through any sink;
+//! * [`flight`] — the per-shard lock-free [`FlightRecorder`] ring that
+//!   dumps the last N events as JSONL on crash/quarantine/panic;
+//! * [`prometheus`] / [`chrome`] — text exposition of counters and
+//!   histograms, and `trace_event` JSON export of spans.
 //!
 //! ## Zero cost when disabled
 //!
@@ -35,15 +42,21 @@
 //! This crate depends only on `std`, so every workspace crate (including
 //! `pdftsp-cluster` below `pdftsp-core`) can use it.
 
+pub mod chrome;
 pub mod counters;
 pub mod event;
+pub mod flight;
+pub mod prometheus;
 pub mod report;
 pub mod sink;
+pub mod span;
 
 pub use counters::{Counters, LatencyHistogram};
 pub use event::{Event, EventParseError, Reason};
+pub use flight::FlightRecorder;
 pub use report::{LatencySummary, RunReport, UtilizationSummary};
-pub use sink::{parse_jsonl, JsonlSink, NoopSink, RingSink, Sink};
+pub use sink::{parse_jsonl, JsonlSink, NoopSink, RingSink, Sink, SpanLog, TeeSink};
+pub use span::{Span, SpanContext, Stage, SIM_TICKS_PER_SLOT};
 
 use std::sync::Arc;
 
@@ -58,6 +71,10 @@ pub struct Telemetry {
     enabled: bool,
     /// Hot-path counters (always on).
     pub counters: Counters,
+    /// Span attribution (shard/epoch) and the deterministic within-slot
+    /// propose sequencer. Plain relaxed atomics; only consulted when the
+    /// sink is enabled, so the disabled fast path is untouched.
+    pub spans: SpanContext,
 }
 
 impl Telemetry {
@@ -69,6 +86,7 @@ impl Telemetry {
             sink,
             enabled,
             counters: Counters::default(),
+            spans: SpanContext::default(),
         }
     }
 

@@ -1,0 +1,252 @@
+//! Prometheus text exposition (version 0.0.4) of the telemetry
+//! counters and latency histograms.
+//!
+//! The renderer is a plain string builder — no HTTP server, no
+//! dependencies — because the consumer here is `pdftsp serve-sim
+//! --metrics-file`, which writes one exposition snapshot at run end (and
+//! node-exporter-style file collectors pick it up from there). Counter
+//! names follow the `pdftsp_<name>_total` convention; histograms render
+//! cumulative `le` buckets in seconds with `_sum`/`_count`, mapping the
+//! power-of-two nanosecond buckets of
+//! [`LatencyHistogram`](crate::Counters) directly to `le` bounds.
+
+use std::fmt::Write;
+
+use crate::counters::{Counters, LatencyHistogram, LATENCY_BUCKETS};
+
+/// Writes one `# HELP` + `# TYPE` header pair.
+pub fn push_header(out: &mut String, name: &str, help: &str, mtype: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {mtype}");
+}
+
+/// Writes one sample line. `labels` is either empty or a
+/// comma-separated `k="v"` list (no surrounding braces).
+pub fn push_sample(out: &mut String, name: &str, labels: &str, value: f64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {}", fmt_value(value));
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {}", fmt_value(value));
+    }
+}
+
+/// Prometheus-flavored value formatting: integers render bare,
+/// non-integers use Rust's shortest round-trip form, and non-finite
+/// values use the exposition tokens `+Inf`/`-Inf`/`NaN`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_owned();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Renders one histogram family (`<name>_bucket`/`_sum`/`_count`) in
+/// seconds, with cumulative `le` bounds derived from the histogram's
+/// power-of-two nanosecond buckets. Headers are written only when
+/// `with_headers` is set (so per-shard labeled series share one family
+/// header).
+pub fn render_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &str,
+    h: &LatencyHistogram,
+    with_headers: bool,
+) {
+    if with_headers {
+        push_header(out, name, help, "histogram");
+    }
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for i in 0..LATENCY_BUCKETS {
+        let c = h.bucket_count(i);
+        // Skip empty power-of-two buckets to keep the exposition
+        // readable; cumulative semantics are preserved by the running
+        // sum and the +Inf bound below.
+        cumulative += c;
+        if c == 0 && i + 1 < LATENCY_BUCKETS {
+            continue;
+        }
+        if i + 1 >= LATENCY_BUCKETS {
+            break;
+        }
+        let le = LatencyHistogram::bucket_upper_nanos(i) as f64 * 1e-9;
+        let le_label = if labels.is_empty() {
+            format!("le=\"{}\"", fmt_value(le))
+        } else {
+            format!("{labels},le=\"{}\"", fmt_value(le))
+        };
+        push_sample(out, &bucket_name, &le_label, cumulative as f64);
+    }
+    let inf_label = if labels.is_empty() {
+        "le=\"+Inf\"".to_owned()
+    } else {
+        format!("{labels},le=\"+Inf\"")
+    };
+    push_sample(out, &bucket_name, &inf_label, h.count() as f64);
+    push_sample(
+        out,
+        &format!("{name}_sum"),
+        labels,
+        h.sum_nanos() as f64 * 1e-9,
+    );
+    push_sample(out, &format!("{name}_count"), labels, h.count() as f64);
+}
+
+/// `(suffix, help, value)` triples for every scalar counter — the
+/// single source of truth for [`render`] and for labeled per-shard
+/// variants composed by callers.
+#[must_use]
+pub fn counter_samples(c: &Counters) -> Vec<(&'static str, &'static str, u64)> {
+    vec![
+        ("decisions", "decide() calls", c.read(&c.decisions)),
+        ("admitted", "admitted tasks", c.read(&c.admitted)),
+        (
+            "rejected_infeasible",
+            "rejections with no feasible schedule",
+            c.read(&c.rejected_infeasible),
+        ),
+        (
+            "rejected_surplus",
+            "rejections with non-positive surplus",
+            c.read(&c.rejected_surplus),
+        ),
+        (
+            "rejected_capacity",
+            "rejections by the capacity check",
+            c.read(&c.rejected_capacity),
+        ),
+        (
+            "vendors_seen",
+            "vendor quotes examined",
+            c.read(&c.vendors_seen),
+        ),
+        (
+            "vendors_pruned",
+            "vendor quotes pruned by the delta-grid bound",
+            c.read(&c.vendors_pruned),
+        ),
+        (
+            "vendors_memoized",
+            "vendor quotes served from the start-slot memo",
+            c.read(&c.vendors_memoized),
+        ),
+        ("dp_runs", "findSchedule DP executions", c.read(&c.dp_runs)),
+        ("dp_rows", "DP rows swept", c.read(&c.dp_rows)),
+        ("dp_cells", "DP cells touched", c.read(&c.dp_cells)),
+        (
+            "dp_early_exits",
+            "DP lower-bound early exits",
+            c.read(&c.dp_early_exits),
+        ),
+        (
+            "dual_updates",
+            "dual price cell updates",
+            c.read(&c.dual_updates),
+        ),
+        (
+            "node_failures",
+            "injected node crashes",
+            c.read(&c.node_failures),
+        ),
+        (
+            "node_recoveries",
+            "node quarantine lifts",
+            c.read(&c.node_recoveries),
+        ),
+        (
+            "tasks_resubmitted",
+            "disrupted-task remnants re-auctioned",
+            c.read(&c.tasks_resubmitted),
+        ),
+        (
+            "recoveries_admitted",
+            "remnants re-admitted",
+            c.read(&c.recoveries_admitted),
+        ),
+        (
+            "refunds_issued",
+            "refunds for unrecoverable tasks",
+            c.read(&c.refunds_issued),
+        ),
+    ]
+}
+
+/// Renders the full exposition for one [`Counters`] instance: every
+/// scalar counter as `pdftsp_<name>_total` plus the decide-latency
+/// histogram as `pdftsp_decide_latency_seconds`.
+#[must_use]
+pub fn render(c: &Counters) -> String {
+    let mut out = String::with_capacity(4096);
+    for (suffix, help, value) in counter_samples(c) {
+        let name = format!("pdftsp_{suffix}_total");
+        push_header(&mut out, &name, help, "counter");
+        push_sample(&mut out, &name, "", value as f64);
+    }
+    render_histogram(
+        &mut out,
+        "pdftsp_decide_latency_seconds",
+        "decide() wall latency",
+        "",
+        &c.decide_latency,
+        true,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_has_headers_totals_and_histogram() {
+        let c = Counters::default();
+        c.bump(&c.decisions, 41);
+        c.bump(&c.admitted, 7);
+        c.decide_latency.record_nanos(900);
+        c.decide_latency.record_nanos(1_500);
+        let text = render(&c);
+        assert!(text.contains("# HELP pdftsp_decisions_total decide() calls\n"));
+        assert!(text.contains("# TYPE pdftsp_decisions_total counter\n"));
+        assert!(text.contains("pdftsp_decisions_total 41\n"));
+        assert!(text.contains("pdftsp_admitted_total 7\n"));
+        assert!(text.contains("# TYPE pdftsp_decide_latency_seconds histogram\n"));
+        assert!(text.contains("pdftsp_decide_latency_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("pdftsp_decide_latency_seconds_count 2\n"));
+        // sum = 2400 ns ≈ 2.4 µs (shortest round-trip formatting of
+        // 2400 × 1e-9 carries the usual binary rounding tail).
+        assert!(text.contains("pdftsp_decide_latency_seconds_sum 2.4"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = LatencyHistogram::default();
+        // 900 ns → bucket 10 (le ≈ 1023 ns); 1500 ns → bucket 11.
+        h.record_nanos(900);
+        h.record_nanos(1_500);
+        let mut out = String::new();
+        render_histogram(&mut out, "t_seconds", "test", "shard=\"2\"", &h, false);
+        assert!(out.contains("t_seconds_bucket{shard=\"2\",le=\"1.023e-6\"} 1\n"));
+        assert!(out.contains("t_seconds_bucket{shard=\"2\",le=\"2.047e-6\"} 2\n"));
+        assert!(out.contains("t_seconds_bucket{shard=\"2\",le=\"+Inf\"} 2\n"));
+        assert!(out.contains("t_seconds_count{shard=\"2\"} 2\n"));
+        assert!(!out.contains("# HELP"));
+    }
+
+    #[test]
+    fn values_format_like_prometheus_expects() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(41.0), "41");
+        assert_eq!(fmt_value(2.5), "2.5");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+    }
+}

@@ -7,12 +7,20 @@
 //! * [`RingSink`] — bounded in-memory buffer. Used by the invariant tests
 //!   and for live inspection; keeps the most recent `capacity` events.
 //! * [`JsonlSink`] — buffered JSON-lines writer for `--telemetry <path>`.
+//!
+//! Two composition sinks support the observability layer:
+//!
+//! * [`TeeSink`] — fans every event out to several sinks (e.g. a flight
+//!   recorder plus a span log).
+//! * [`SpanLog`] — keeps only [`Event::Span`] records, for trace export.
 
 use crate::event::Event;
+use crate::flight::FlightRecorder;
+use crate::span::Span;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Receives emitted events. Implementations must be internally
 /// synchronized: parallel vendor workers may emit concurrently.
@@ -30,6 +38,14 @@ pub trait Sink: Send + Sync {
     /// Flushes any buffered output (no-op for in-memory sinks).
     fn flush(&self) -> io::Result<()> {
         Ok(())
+    }
+
+    /// The flight recorder behind this sink, if any — lets fault
+    /// handlers trigger a crash dump through the `dyn Sink` handle
+    /// without downcasting. [`TeeSink`] forwards to the first member
+    /// that has one.
+    fn flight(&self) -> Option<&FlightRecorder> {
+        None
     }
 }
 
@@ -163,6 +179,102 @@ impl Drop for JsonlSink {
     }
 }
 
+/// Fans every event out to several sinks — e.g. a [`FlightRecorder`]
+/// plus a [`SpanLog`] on a service shard.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn Sink>>,
+    enabled: bool,
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeSink")
+            .field("sinks", &self.sinks.len())
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl TeeSink {
+    /// A tee over `sinks`; enabled iff any member is enabled (cached,
+    /// honoring the [`Sink::enabled`] constancy contract).
+    #[must_use]
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> TeeSink {
+        let enabled = sinks.iter().any(|s| s.enabled());
+        TeeSink { sinks, enabled }
+    }
+}
+
+impl Sink for TeeSink {
+    fn emit(&self, event: &Event) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        for s in &self.sinks {
+            s.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flight(&self) -> Option<&FlightRecorder> {
+        self.sinks.iter().find_map(|s| s.flight())
+    }
+}
+
+/// Retains only [`Event::Span`] records — the service drains one per
+/// shard to assemble the run's trace for Chrome export.
+#[derive(Debug, Default)]
+pub struct SpanLog {
+    spans: Mutex<Vec<Span>>,
+}
+
+impl SpanLog {
+    /// An empty span log.
+    #[must_use]
+    pub fn new() -> SpanLog {
+        SpanLog::default()
+    }
+
+    /// A copy of the spans recorded so far, in emission order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().expect("span log poisoned").clone()
+    }
+
+    /// Removes and returns the recorded spans.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Span> {
+        std::mem::take(&mut *self.spans.lock().expect("span log poisoned"))
+    }
+
+    /// Number of spans currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("span log poisoned").len()
+    }
+
+    /// Whether no spans have been recorded (or all were drained).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for SpanLog {
+    fn emit(&self, event: &Event) {
+        if let Event::Span(sp) = event {
+            self.spans.lock().expect("span log poisoned").push(*sp);
+        }
+    }
+}
+
 /// Parses a JSONL stream (e.g. a file written by [`JsonlSink`]) back into
 /// events. Blank lines are skipped; any malformed line aborts with its
 /// 1-based line number for diagnosis.
@@ -263,5 +375,34 @@ mod tests {
         let text = format!("{}\nnot json\n", ev(1).to_json());
         let (line, _) = parse_jsonl(&text).unwrap_err();
         assert_eq!(line, 2);
+    }
+
+    #[test]
+    fn tee_fans_out_and_surfaces_the_flight_recorder() {
+        let ring = Arc::new(RingSink::new(8));
+        let fr = Arc::new(FlightRecorder::new(2, 8));
+        let tee = TeeSink::new(vec![ring.clone(), fr.clone()]);
+        assert!(tee.enabled());
+        tee.emit(&ev(5));
+        assert_eq!(ring.total_emitted(), 1);
+        assert_eq!(fr.total_emitted(), 1);
+        assert_eq!(tee.flight().map(FlightRecorder::shard), Some(2));
+        assert!(tee.flush().is_ok());
+        // A tee of disabled sinks is disabled.
+        assert!(!TeeSink::new(vec![Arc::new(NoopSink)]).enabled());
+    }
+
+    #[test]
+    fn span_log_keeps_only_spans() {
+        let log = SpanLog::new();
+        assert!(log.is_empty());
+        log.emit(&ev(1));
+        log.emit(&Event::Span(Span::route(1, 0, 2, 0)));
+        log.emit(&Event::Span(Span::propose(1, 0, 0, 42)));
+        assert_eq!(log.len(), 2);
+        let spans = log.drain();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].task, 1);
+        assert!(log.is_empty());
     }
 }

@@ -1,0 +1,428 @@
+//! Causal task-lifecycle spans: allocation-free, deterministic, and
+//! emitted through the existing [`crate::Sink`] machinery as
+//! [`crate::Event::Span`] records.
+//!
+//! A task's journey through the sharded auction service is five stages —
+//! `route → propose → commit → settle`, with `fault_recover` detours —
+//! and each stage becomes one [`Span`] carrying task/shard/epoch
+//! attribution plus a parent link. Two design rules keep the layer
+//! byte-deterministic across worker counts:
+//!
+//! * **Ids are pure functions.** [`Span::route`]/[`Span::propose`]/
+//!   [`Span::commit`] derive their ids by hashing the task id with a
+//!   per-stage salt (splitmix64), so a propose span emitted inside a
+//!   shard worker and the commit span emitted later by the coordinator
+//!   agree on the parent link without sharing any state.
+//! * **Timestamps come from the sim clock.** One scenario slot is
+//!   [`SIM_TICKS_PER_SLOT`] microseconds of trace time; within a slot,
+//!   stages occupy fixed offsets and same-slot proposals are sequenced
+//!   by a per-scheduler counter ([`SpanContext`]) that only ever runs on
+//!   the shard's own sequential loop. No wall clock is read anywhere, so
+//!   a 4-worker service run emits the byte-identical trace of the
+//!   single-worker run (asserted in `tests/tests/service_determinism.rs`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Trace-time microseconds per scenario slot: 1 slot renders as one
+/// second in `about://tracing`, and slot boundaries land on round
+/// numbers.
+pub const SIM_TICKS_PER_SLOT: u64 = 1_000_000;
+
+/// Within-slot offset of `route` spans.
+const ROUTE_OFFSET: u64 = 10_000;
+/// Nominal `route` duration.
+const ROUTE_DUR: u64 = 20_000;
+/// Within-slot offset of `fault_recover` spans (faults apply before
+/// same-slot arrivals).
+const FAULT_OFFSET: u64 = 40_000;
+/// Nominal `fault_recover` duration.
+const FAULT_DUR: u64 = 30_000;
+/// Within-slot offset of the first `propose` span.
+const PROPOSE_OFFSET: u64 = 100_000;
+/// Tick stride between same-slot `propose` spans.
+const PROPOSE_STRIDE: u64 = 100;
+/// Nominal `propose` duration.
+const PROPOSE_DUR: u64 = 50_000;
+/// `commit` spans sit this far before the epoch's end-slot boundary.
+const COMMIT_BACKOFF: u64 = 50_000;
+/// Tick stride between same-epoch `commit` spans.
+const COMMIT_STRIDE: u64 = 10;
+/// Nominal `commit` duration.
+const COMMIT_DUR: u64 = 8;
+/// Nominal `settle` duration.
+const SETTLE_DUR: u64 = 50_000;
+
+const ROUTE_SALT: u64 = 0x526F_7574_6511_1111;
+const PROPOSE_SALT: u64 = 0x5072_6F70_6F22_2222;
+const COMMIT_SALT: u64 = 0x436F_6D6D_6933_3333;
+const SETTLE_SALT: u64 = 0x5365_7474_6C44_4444;
+const FAULT_SALT: u64 = 0x4661_756C_7455_5555;
+
+/// The trace id node-scoped spans (`fault_recover`, `settle`) carry —
+/// they belong to no single task.
+pub const NODE_TRACE: u64 = u64::MAX;
+
+/// splitmix64 — the same mixer the service's router uses; kept local so
+/// this crate stays dependency-free.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pure-function span id: hash of a per-stage salt and a stage-specific
+/// key. 0 is reserved for "no parent", so the one input hashing to 0 is
+/// nudged to 1.
+fn span_id(salt: u64, key: u64) -> u64 {
+    let h = splitmix64(salt ^ key);
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Task-lifecycle stage a span records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The coordinator assigned the task to a shard.
+    Route,
+    /// One `decide()` on the owning shard (phase 1, admitted or not).
+    Propose,
+    /// The coordinator committed the admission against the global ledger
+    /// (phase 2).
+    Commit,
+    /// The end-of-run settlement over all shards.
+    Settle,
+    /// A crash's release/quarantine/resubmit recovery pass.
+    FaultRecover,
+}
+
+impl Stage {
+    /// The wire token (`snake_case`), also the Chrome trace event name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Route => "route",
+            Stage::Propose => "propose",
+            Stage::Commit => "commit",
+            Stage::Settle => "settle",
+            Stage::FaultRecover => "fault_recover",
+        }
+    }
+
+    /// Parses the wire token.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Stage> {
+        match s {
+            "route" => Some(Stage::Route),
+            "propose" => Some(Stage::Propose),
+            "commit" => Some(Stage::Commit),
+            "settle" => Some(Stage::Settle),
+            "fault_recover" => Some(Stage::FaultRecover),
+            _ => None,
+        }
+    }
+
+    /// Stable small integer for the flight recorder's word encoding.
+    #[must_use]
+    pub fn index(self) -> u64 {
+        match self {
+            Stage::Route => 0,
+            Stage::Propose => 1,
+            Stage::Commit => 2,
+            Stage::Settle => 3,
+            Stage::FaultRecover => 4,
+        }
+    }
+
+    /// Inverse of [`Stage::index`].
+    #[must_use]
+    pub fn from_index(i: u64) -> Option<Stage> {
+        match i {
+            0 => Some(Stage::Route),
+            1 => Some(Stage::Propose),
+            2 => Some(Stage::Commit),
+            3 => Some(Stage::Settle),
+            4 => Some(Stage::FaultRecover),
+            _ => None,
+        }
+    }
+}
+
+/// One stage of one task's journey: plain scalars only, so emission
+/// never allocates and the flight recorder can store spans as fixed
+/// word blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Which lifecycle stage.
+    pub stage: Stage,
+    /// Trace id: the task id for task-scoped spans, [`NODE_TRACE`] for
+    /// node/run-scoped ones.
+    pub trace: u64,
+    /// This span's id (pure hash of stage salt + key; never 0).
+    pub span: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Task id (`usize::MAX` for node/run-scoped spans).
+    pub task: usize,
+    /// Owning shard (coordinator spans use the task's routed shard;
+    /// `settle` uses 0).
+    pub shard: usize,
+    /// Service epoch the span was recorded in (0 outside the service).
+    pub epoch: usize,
+    /// Start timestamp in sim ticks (µs of trace time).
+    pub ts: u64,
+    /// Nominal duration in sim ticks.
+    pub dur: u64,
+}
+
+impl Span {
+    /// Root of a task's trace: the coordinator routed it to `shard`.
+    /// Timestamped at the task's arrival slot; `epoch` is the epoch the
+    /// arrival slot falls in.
+    #[must_use]
+    pub fn route(task: usize, shard: usize, arrival_slot: usize, epoch: usize) -> Span {
+        Span {
+            stage: Stage::Route,
+            trace: task as u64,
+            span: span_id(ROUTE_SALT, task as u64),
+            parent: 0,
+            task,
+            shard,
+            epoch,
+            ts: arrival_slot as u64 * SIM_TICKS_PER_SLOT + ROUTE_OFFSET,
+            dur: ROUTE_DUR,
+        }
+    }
+
+    /// One `decide()` on the owning shard, child of the route span. `ts`
+    /// comes from [`SpanContext::next_propose_ts`] so same-slot decides
+    /// are sequenced deterministically.
+    #[must_use]
+    pub fn propose(task: usize, shard: usize, epoch: usize, ts: u64) -> Span {
+        Span {
+            stage: Stage::Propose,
+            trace: task as u64,
+            span: span_id(PROPOSE_SALT, task as u64),
+            parent: span_id(ROUTE_SALT, task as u64),
+            task,
+            shard,
+            epoch,
+            ts,
+            dur: PROPOSE_DUR,
+        }
+    }
+
+    /// The coordinator's phase-2 commit of an admission, child of the
+    /// propose span. `seq` is the commit's emission index within the
+    /// epoch (deterministic: shard order, then op order).
+    #[must_use]
+    pub fn commit(task: usize, shard: usize, epoch: usize, end_slot: usize, seq: u64) -> Span {
+        let base = (end_slot as u64 * SIM_TICKS_PER_SLOT).saturating_sub(COMMIT_BACKOFF);
+        Span {
+            stage: Stage::Commit,
+            trace: task as u64,
+            span: span_id(COMMIT_SALT, task as u64),
+            parent: span_id(PROPOSE_SALT, task as u64),
+            task,
+            shard,
+            epoch,
+            ts: base + seq * COMMIT_STRIDE,
+            dur: COMMIT_DUR,
+        }
+    }
+
+    /// The end-of-run settlement (one per service run).
+    #[must_use]
+    pub fn settle(horizon: usize, epoch: usize) -> Span {
+        Span {
+            stage: Stage::Settle,
+            trace: NODE_TRACE,
+            span: span_id(SETTLE_SALT, horizon as u64),
+            parent: 0,
+            task: usize::MAX,
+            shard: 0,
+            epoch,
+            ts: horizon as u64 * SIM_TICKS_PER_SLOT + ROUTE_OFFSET,
+            dur: SETTLE_DUR,
+        }
+    }
+
+    /// One crash-recovery pass on `shard` for local node `node` at
+    /// `slot` (release, quarantine, resubmissions).
+    #[must_use]
+    pub fn fault_recover(shard: usize, epoch: usize, node: usize, slot: usize) -> Span {
+        let key = ((shard as u64) << 40) ^ ((slot as u64) << 20) ^ node as u64;
+        Span {
+            stage: Stage::FaultRecover,
+            trace: NODE_TRACE,
+            span: span_id(FAULT_SALT, key),
+            parent: 0,
+            task: usize::MAX,
+            shard,
+            epoch,
+            ts: slot as u64 * SIM_TICKS_PER_SLOT + FAULT_OFFSET + node as u64 * PROPOSE_STRIDE,
+            dur: FAULT_DUR,
+        }
+    }
+}
+
+/// Per-scheduler span context: shard/epoch attribution plus the
+/// within-slot sequence counter behind propose timestamps.
+///
+/// All fields are relaxed atomics only so the context can live inside
+/// the shared [`crate::Telemetry`] handle; every writer is the owning
+/// scheduler's single sequential loop, so ordering never matters.
+#[derive(Debug, Default)]
+pub struct SpanContext {
+    shard: AtomicU64,
+    epoch: AtomicU64,
+    slot: AtomicU64,
+    seq: AtomicU64,
+    /// Set while a recovery resubmission re-enters `decide()`, so the
+    /// remnant does not emit a second propose span colliding with the
+    /// original admission's (the detour is covered by `fault_recover`).
+    suppress: AtomicBool,
+}
+
+impl SpanContext {
+    /// Pins the owning shard (set once at service construction).
+    pub fn set_shard(&self, shard: usize) {
+        self.shard.store(shard as u64, Ordering::Relaxed);
+    }
+
+    /// The owning shard (0 outside the service).
+    #[must_use]
+    pub fn shard(&self) -> usize {
+        self.shard.load(Ordering::Relaxed) as usize
+    }
+
+    /// Sets the current service epoch (once per shard per epoch).
+    pub fn set_epoch(&self, epoch: usize) {
+        self.epoch.store(epoch as u64, Ordering::Relaxed);
+    }
+
+    /// The current service epoch (0 outside the service).
+    #[must_use]
+    pub fn epoch(&self) -> usize {
+        self.epoch.load(Ordering::Relaxed) as usize
+    }
+
+    /// Suppresses (or re-enables) span emission — used around recovery
+    /// resubmissions.
+    pub fn set_suppressed(&self, v: bool) {
+        self.suppress.store(v, Ordering::Relaxed);
+    }
+
+    /// Whether span emission is currently suppressed.
+    #[must_use]
+    pub fn suppressed(&self) -> bool {
+        self.suppress.load(Ordering::Relaxed)
+    }
+
+    /// Deterministic sim-clock timestamp for the next propose span in
+    /// `slot`: the j-th same-slot decide lands at
+    /// `slot · SIM_TICKS_PER_SLOT + PROPOSE_OFFSET + j · stride`. The
+    /// sequence resets when the slot advances; the scheduler's arrival
+    /// loop is sequential and slot-monotonic, so this is a pure function
+    /// of the decision order.
+    #[must_use]
+    pub fn next_propose_ts(&self, slot: usize) -> u64 {
+        let s = slot as u64;
+        if self.slot.swap(s, Ordering::Relaxed) != s {
+            self.seq.store(0, Ordering::Relaxed);
+        }
+        let j = self.seq.fetch_add(1, Ordering::Relaxed);
+        s * SIM_TICKS_PER_SLOT + PROPOSE_OFFSET + j * PROPOSE_STRIDE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_tokens_round_trip() {
+        for s in [
+            Stage::Route,
+            Stage::Propose,
+            Stage::Commit,
+            Stage::Settle,
+            Stage::FaultRecover,
+        ] {
+            assert_eq!(Stage::parse(s.as_str()), Some(s));
+            assert_eq!(Stage::from_index(s.index()), Some(s));
+        }
+        assert_eq!(Stage::parse("beige"), None);
+        assert_eq!(Stage::from_index(99), None);
+    }
+
+    #[test]
+    fn parent_links_chain_route_propose_commit() {
+        let r = Span::route(7, 1, 3, 0);
+        let p = Span::propose(7, 1, 0, 12345);
+        let c = Span::commit(7, 1, 0, 4, 2);
+        assert_eq!(p.parent, r.span);
+        assert_eq!(c.parent, p.span);
+        assert_eq!(r.parent, 0);
+        assert_eq!(r.trace, 7);
+        assert_eq!(p.trace, 7);
+        assert_eq!(c.trace, 7);
+        // Ids are distinct across stages and never the no-parent
+        // sentinel.
+        assert_ne!(r.span, p.span);
+        assert_ne!(p.span, c.span);
+        assert_ne!(r.span, 0);
+    }
+
+    #[test]
+    fn timestamps_are_slot_ordered_and_deterministic() {
+        let ctx = SpanContext::default();
+        let a = ctx.next_propose_ts(2);
+        let b = ctx.next_propose_ts(2);
+        let c = ctx.next_propose_ts(3);
+        assert_eq!(a, 2 * SIM_TICKS_PER_SLOT + PROPOSE_OFFSET);
+        assert_eq!(b, a + PROPOSE_STRIDE);
+        assert_eq!(c, 3 * SIM_TICKS_PER_SLOT + PROPOSE_OFFSET);
+        // A fresh context replays the same sequence.
+        let ctx2 = SpanContext::default();
+        assert_eq!(ctx2.next_propose_ts(2), a);
+        assert_eq!(ctx2.next_propose_ts(2), b);
+        // Route precedes fault which precedes propose within a slot.
+        let r = Span::route(0, 0, 2, 0);
+        let f = Span::fault_recover(0, 0, 1, 2);
+        assert!(r.ts < f.ts && f.ts < a);
+    }
+
+    #[test]
+    fn fault_span_ids_separate_shards_nodes_and_slots() {
+        let a = Span::fault_recover(0, 0, 1, 5);
+        let b = Span::fault_recover(1, 0, 1, 5);
+        let c = Span::fault_recover(0, 0, 2, 5);
+        let d = Span::fault_recover(0, 0, 1, 6);
+        let ids = [a.span, b.span, c.span, d.span];
+        for (i, x) in ids.iter().enumerate() {
+            for y in &ids[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+        assert_eq!(a.trace, NODE_TRACE);
+        assert_eq!(a.task, usize::MAX);
+    }
+
+    #[test]
+    fn suppression_gates_and_clears() {
+        let ctx = SpanContext::default();
+        assert!(!ctx.suppressed());
+        ctx.set_suppressed(true);
+        assert!(ctx.suppressed());
+        ctx.set_suppressed(false);
+        assert!(!ctx.suppressed());
+        ctx.set_shard(3);
+        ctx.set_epoch(9);
+        assert_eq!(ctx.shard(), 3);
+        assert_eq!(ctx.epoch(), 9);
+    }
+}

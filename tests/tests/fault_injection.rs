@@ -8,9 +8,10 @@
 use pdftsp_cluster::CapacityLedger;
 use pdftsp_core::PdftspConfig;
 use pdftsp_sim::{
-    replay, run_pdftsp_with_faults, FaultEvent, FaultPlan, FaultRunResult, FaultSpec,
+    replay, run_pdftsp_with_faults, AuctionService, FaultEvent, FaultPlan, FaultRunResult,
+    FaultSpec, Observability, ServiceConfig,
 };
-use pdftsp_telemetry::Telemetry;
+use pdftsp_telemetry::{parse_jsonl, Event, Telemetry};
 use pdftsp_types::{Scenario, Schedule, Slot};
 use pdftsp_workload::ScenarioBuilder;
 use rand::rngs::StdRng;
@@ -247,6 +248,67 @@ fn ledger_commit_release_round_trip_is_exact_under_random_load() {
             assert!(ledger.is_node_empty(k));
         }
     }
+}
+
+/// Flight recorder end-to-end: a faulted service run with an armed
+/// recorder must dump `flightrec-shard<k>.jsonl` files when injected
+/// crashes hit, and the dumped stream must parse back bit-exactly (the
+/// JSONL round-trip contract) and actually contain the crash events.
+#[test]
+fn flight_recorder_dumps_on_injected_crash_and_replays() {
+    let scenario = ScenarioBuilder::smoke(23).build();
+    let spec = FaultSpec {
+        crashes: 3,
+        outage: 4,
+        degrade: 0.25,
+        seed: 21,
+    };
+    let plan = FaultPlan::generate(&scenario, &spec);
+    let dir = std::env::temp_dir().join(format!("pdftsp-flightrec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServiceConfig {
+        shards: 3,
+        epoch_slots: 5,
+        ..ServiceConfig::default()
+    };
+    let obs = Observability {
+        spans: true,
+        flight_capacity: 1024,
+        flight_dir: Some(dir.clone()),
+    };
+    let out = AuctionService::with_observability(&scenario, cfg, &plan, obs)
+        .and_then(AuctionService::finish)
+        .expect("faulted service run");
+    assert!(out.disrupted > 0, "plan must actually disrupt tasks");
+
+    let mut dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flightrec-shard") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    dumps.sort();
+    assert!(!dumps.is_empty(), "crash produced no flight-recorder dump");
+
+    let mut saw_node_down = false;
+    for path in &dumps {
+        let text = std::fs::read_to_string(path).expect("read dump");
+        let events = parse_jsonl(&text).expect("dump parses as event JSONL");
+        assert!(!events.is_empty(), "{} is empty", path.display());
+        // Bit-exact round trip: re-serializing reproduces the file.
+        let mut rendered = String::new();
+        for ev in &events {
+            rendered.push_str(&ev.to_json());
+            rendered.push('\n');
+        }
+        assert_eq!(&rendered, &text, "{} round-trip drifted", path.display());
+        saw_node_down |= events.iter().any(|e| matches!(e, Event::NodeDown { .. }));
+    }
+    assert!(saw_node_down, "no dump recorded the injected crash");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
 /// Bit-exact residual grid: `(compute, memory-in-units)` per cell; memory

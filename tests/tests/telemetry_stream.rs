@@ -211,3 +211,51 @@ fn run_report_counts_match_the_decision_list_exactly() {
     );
     assert_eq!(r.decisions, r.admitted + r.rejected());
 }
+
+/// Span records survive the JSONL pipeline bit-exactly: a spans-enabled
+/// service run streamed through a file sink parses back to the same
+/// span set the in-memory log captured, and re-serializing reproduces
+/// the file byte-for-byte.
+#[test]
+fn span_stream_round_trips_through_jsonl_bit_exactly() {
+    use pdftsp_sim::{AuctionService, FaultPlan, Observability, ServiceConfig};
+    use pdftsp_telemetry::Span;
+
+    let sc = ScenarioBuilder::smoke(11).build();
+    let cfg = ServiceConfig {
+        shards: 2,
+        epoch_slots: 5,
+        ..ServiceConfig::default()
+    };
+    let out = AuctionService::with_observability(
+        &sc,
+        cfg,
+        &FaultPlan::none(),
+        Observability::with_spans(),
+    )
+    .and_then(AuctionService::finish)
+    .expect("service run");
+    assert!(!out.spans.is_empty());
+
+    // Write the span stream as JSONL, read it back, compare bit-exactly.
+    let mut text = String::new();
+    for sp in &out.spans {
+        text.push_str(&Event::Span(*sp).to_json());
+        text.push('\n');
+    }
+    let parsed = parse_jsonl(&text).expect("span JSONL parses");
+    assert_eq!(parsed.len(), out.spans.len());
+    let round_tripped: Vec<Span> = parsed
+        .iter()
+        .map(|e| match e {
+            Event::Span(sp) => *sp,
+            other => panic!("non-span event in span stream: {other:?}"),
+        })
+        .collect();
+    assert_eq!(round_tripped, out.spans, "span fields drifted in transit");
+    let re_rendered: String = parsed
+        .iter()
+        .flat_map(|e| [e.to_json(), "\n".to_owned()])
+        .collect();
+    assert_eq!(re_rendered, text, "re-serialization is not byte-stable");
+}
