@@ -7,11 +7,14 @@
 //! Policy (headline numbers only — the full files stay human-diffable):
 //!
 //! * **fail** — `speedup_p50` / `speedup_mean` dropping more than 25%
-//!   below baseline, and span-path overhead (`overhead_frac`) growing
-//!   beyond `baseline × 1.25 + 0.02`;
-//! * **warn** — absolute throughput (`sustained_decisions_per_s`) and
-//!   determinism digests (`welfare_bits` / `ledger_digest` /
-//!   `decision_fingerprint`), which are host- and thread-count-shaped.
+//!   below baseline, span-path overhead (`overhead_frac`) growing
+//!   beyond `baseline × 1.25 + 0.02`, and pool dispatch overhead
+//!   (`pool_ns_per_task`) growing beyond `baseline × 1.25 + 300 ns`;
+//! * **warn** — absolute throughput (`sustained_decisions_per_s`,
+//!   `pipelined_decisions_per_s`, `pipeline_speedup`) and determinism
+//!   digests (`welfare_bits` / `ledger_digest` /
+//!   `decision_fingerprint`), which are host- and thread-count-shaped
+//!   (a single-core runner cannot show any pipeline speedup at all).
 //!   Setting `PDFTSP_BENCH_STRICT=1` promotes warnings to failures.
 //!
 //! The parser is a dependency-free key scanner: for every occurrence of
@@ -28,6 +31,9 @@ const MAX_DROP: f64 = 0.25;
 /// slack plus an absolute floor (the fraction is noisy near zero).
 const OVERHEAD_REL_SLACK: f64 = 1.25;
 const OVERHEAD_ABS_SLACK: f64 = 0.02;
+/// Absolute slack for the pool dispatch-overhead gate: per-task
+/// nanoseconds are dominated by scheduler jitter at the low end.
+const POOL_NS_ABS_SLACK: f64 = 300.0;
 
 /// Every numeric value following `"key":`, in document order.
 fn numbers_for(text: &str, key: &str) -> Vec<f64> {
@@ -183,13 +189,38 @@ fn check_service(gate: &mut Gate, base: &str, fresh: &str) {
             "{file}: run shape differs from baseline — skipping digest comparison"
         ));
     }
-    gate.check_drop(
-        file,
+    for key in [
         "sustained_decisions_per_s",
-        &numbers_for(base, "sustained_decisions_per_s"),
-        &numbers_for(fresh, "sustained_decisions_per_s"),
-        false,
-    );
+        "pipelined_decisions_per_s",
+        "pipeline_speedup",
+    ] {
+        gate.check_drop(
+            file,
+            key,
+            &numbers_for(base, key),
+            &numbers_for(fresh, key),
+            false,
+        );
+    }
+    // Pool dispatch overhead: smaller is better, relative + absolute
+    // slack (same shape as the span-overhead gate, in nanoseconds).
+    let b = numbers_for(base, "pool_ns_per_task");
+    let f = numbers_for(fresh, "pool_ns_per_task");
+    match (b.first(), f.first()) {
+        (Some(b), Some(f)) => {
+            gate.checks += 1;
+            let budget = b.max(0.0) * OVERHEAD_REL_SLACK + POOL_NS_ABS_SLACK;
+            if *f > budget {
+                gate.fail(format!(
+                    "{file}: `pool_ns_per_task` grew to {f:.0} ns (baseline {b:.0}, budget {budget:.0})"
+                ));
+            }
+        }
+        (None, _) => gate.warn(format!(
+            "{file}: baseline has no `pool_ns_per_task` — re-emit the committed baseline"
+        )),
+        (_, None) => gate.fail(format!("{file}: fresh emission lost `pool_ns_per_task`")),
+    }
 }
 
 fn main() -> ExitCode {
@@ -293,5 +324,46 @@ mod tests {
         gate.check_drop("f", "k", &[10.0], &[7.0], false);
         assert_eq!(gate.warnings.len(), 1);
         assert_eq!(gate.failures.len(), 1);
+    }
+
+    fn service_doc(piped: f64, pool_ns: f64) -> String {
+        format!(
+            r#"{{
+  "config": {{"shards": 2, "configured_threads": 1, "epoch_slots": 8}},
+  "rates": [{{"sustained_decisions_per_s": 140000.0,
+              "pipelined_decisions_per_s": {piped},
+              "pipeline_speedup": 1.0}}],
+  "determinism": [{{"welfare_bits": "40ce7a80a2a14858",
+                    "ledger_digest": "11", "decision_fingerprint": "22"}}],
+  "spawn_overhead": {{"pool_ns_per_task": {pool_ns}}}
+}}"#
+        )
+    }
+
+    #[test]
+    fn pool_overhead_gate_fails_only_past_the_budget() {
+        let base = service_doc(100_000.0, 600.0);
+        // Within budget: 600 * 1.25 + 300 = 1050 ns.
+        let mut gate = Gate {
+            failures: Vec::new(),
+            warnings: Vec::new(),
+            checks: 0,
+            strict: false,
+        };
+        check_service(&mut gate, &base, &service_doc(100_000.0, 1000.0));
+        assert!(gate.failures.is_empty(), "{:?}", gate.failures);
+        // Past budget: hard failure.
+        check_service(&mut gate, &base, &service_doc(100_000.0, 1200.0));
+        assert_eq!(gate.failures.len(), 1);
+        // Pipelined throughput collapse is warn-only (host-shaped).
+        let mut gate = Gate {
+            failures: Vec::new(),
+            warnings: Vec::new(),
+            checks: 0,
+            strict: false,
+        };
+        check_service(&mut gate, &base, &service_doc(50_000.0, 600.0));
+        assert!(gate.failures.is_empty(), "{:?}", gate.failures);
+        assert_eq!(gate.warnings.len(), 1, "{:?}", gate.warnings);
     }
 }

@@ -11,18 +11,30 @@
 //! of the whole run, pacing included. The same fault plan (crashes,
 //! outages, degradations) runs through the service path at every rate.
 //!
-//! A determinism block then re-runs the service unpaced with the worker
-//! pool forced to 1, 2, and 4 threads and asserts bit-identical welfare,
-//! ledger digests, and a per-decision fingerprint — the service's
-//! "any worker count replays the single-thread schedule" contract, with
-//! faults enabled.
+//! Every rate row also runs the **pipelined** service (epoch *e+1*
+//! phase-1 proposals overlapping epoch-*e* phase-2 commits on the
+//! persistent worker pool) and asserts its decision fingerprint matches
+//! the serial run exactly — the speedup must be free of behavior drift.
+//!
+//! A determinism block then re-runs the service unpaced across the
+//! {1, 2, 4 workers} × {pipeline off, on} grid and asserts bit-identical
+//! welfare, ledger digests, a per-decision fingerprint, and the span
+//! stream's rendered bytes — the service's "any worker count replays the
+//! single-thread schedule" contract, with faults enabled.
+//!
+//! A `spawn_overhead` microbench compares the historical per-batch
+//! scoped-spawn dispatch (fresh OS threads every `parallel_map`) against
+//! the persistent pool's dispatch, in ns per work item.
 //!
 //! `--smoke` shrinks the scenario for CI and, like `bench_milp --smoke`,
 //! still runs every rate and the full determinism sweep but leaves the
 //! committed full-run artifact untouched.
 
-use pdftsp_cluster::{configured_threads, hardware_threads, set_thread_override};
-use pdftsp_sim::{AuctionService, FaultPlan, FaultSpec, ServiceConfig, ServiceOutcome};
+use pdftsp_cluster::{configured_threads, hardware_threads, pool_stats, set_thread_override};
+use pdftsp_sim::{
+    AuctionService, FaultPlan, FaultSpec, Observability, ServiceConfig, ServiceOutcome,
+};
+use pdftsp_telemetry::chrome;
 use pdftsp_types::Scenario;
 use pdftsp_workload::{ArrivalProcess, ScenarioBuilder};
 
@@ -60,6 +72,16 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// FNV-1a over a byte stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &byte in bytes {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// FNV-1a over the decision sequence (task id, admission, payment bits)
 /// — the replayable content, excluding wall-clock latency fields.
 fn decision_fingerprint(out: &ServiceOutcome) -> u64 {
@@ -79,23 +101,68 @@ fn decision_fingerprint(out: &ServiceOutcome) -> u64 {
     h
 }
 
-/// One paced run at `rate` tasks/sec; returns the JSON row.
-fn rate_json(sc: &Scenario, plan: &FaultPlan, shards: usize, rate: f64) -> String {
+/// Best-of-`reps` paced run (decisions/sec) — decision content is
+/// asserted identical across reps, so taking the fastest rep only
+/// de-noises the wall clock.
+fn best_of(sc: &Scenario, plan: &FaultPlan, cfg: ServiceConfig, reps: usize) -> ServiceOutcome {
+    let mut best: Option<ServiceOutcome> = None;
+    for _ in 0..reps {
+        let out = AuctionService::run(sc, cfg, plan).expect("service run");
+        best = Some(match best.take() {
+            None => out,
+            Some(prev) => {
+                assert_eq!(
+                    decision_fingerprint(&prev),
+                    decision_fingerprint(&out),
+                    "service run is not replay-stable across reps"
+                );
+                if out.decisions_per_second() > prev.decisions_per_second() {
+                    out
+                } else {
+                    prev
+                }
+            }
+        });
+    }
+    best.expect("reps >= 1")
+}
+
+/// One paced rate point, serial and pipelined; returns the JSON row.
+fn rate_json(sc: &Scenario, plan: &FaultPlan, shards: usize, rate: f64, reps: usize) -> String {
     let cfg = ServiceConfig {
         shards,
         epoch_slots: 4,
         open_loop_rate: Some(rate),
         ..ServiceConfig::default()
     };
-    let out = AuctionService::run(sc, cfg, plan).expect("service run");
+    let out = best_of(sc, plan, cfg, reps);
+    let piped = best_of(
+        sc,
+        plan,
+        ServiceConfig {
+            pipeline: true,
+            ..cfg
+        },
+        reps,
+    );
+    assert_eq!(
+        decision_fingerprint(&out),
+        decision_fingerprint(&piped),
+        "pipelined run diverged from serial at rate {rate}"
+    );
+    assert_eq!(out.ledger_digest, piped.ledger_digest);
+    let speedup = piped.decisions_per_second() / out.decisions_per_second().max(1e-12);
     let mut lat: Vec<f64> = out.admission_seconds.clone();
     lat.sort_by(f64::total_cmp);
     let p50_ms = percentile(&lat, 0.50) * 1e3;
     let p99_ms = percentile(&lat, 0.99) * 1e3;
     println!(
-        "rate {:>9.0}/s: {:>8.0} decisions/s sustained, admission p50 {:.3} ms p99 {:.3} ms ({} workers)",
+        "rate {:>9.0}/s: {:>8.0} decisions/s serial, {:>8.0}/s pipelined ({:.2}x, {} epochs overlapped), admission p50 {:.3} ms p99 {:.3} ms ({} workers)",
         rate,
         out.decisions_per_second(),
+        piped.decisions_per_second(),
+        speedup,
+        piped.epochs_overlapped,
         p50_ms,
         p99_ms,
         out.effective_workers
@@ -104,6 +171,8 @@ fn rate_json(sc: &Scenario, plan: &FaultPlan, shards: usize, rate: f64) -> Strin
         concat!(
             "    {{\"offered_rate_per_s\": {:.0}, \"decisions\": {}, ",
             "\"sustained_decisions_per_s\": {:.1}, \"wall_s\": {:.6}, ",
+            "\"pipelined_decisions_per_s\": {:.1}, \"pipelined_wall_s\": {:.6}, ",
+            "\"pipeline_speedup\": {:.4}, \"epochs_overlapped\": {}, ",
             "\"admission_p50_ms\": {:.4}, \"admission_p99_ms\": {:.4}, ",
             "\"admission_max_ms\": {:.4}, \"admitted\": {}, \"aborted\": {}, ",
             "\"disrupted\": {}, \"recovered\": {}, \"epochs\": {}, ",
@@ -113,6 +182,10 @@ fn rate_json(sc: &Scenario, plan: &FaultPlan, shards: usize, rate: f64) -> Strin
         out.decisions.len(),
         out.decisions_per_second(),
         out.wall_seconds,
+        piped.decisions_per_second(),
+        piped.wall_seconds,
+        speedup,
+        piped.epochs_overlapped,
         p50_ms,
         p99_ms,
         percentile(&lat, 1.0) * 1e3,
@@ -125,46 +198,104 @@ fn rate_json(sc: &Scenario, plan: &FaultPlan, shards: usize, rate: f64) -> Strin
     )
 }
 
-/// Unpaced determinism sweep: the same faulted scenario under 1, 2, and
-/// 4 workers must produce bit-identical economics and ledgers.
+/// Unpaced determinism sweep: the same faulted scenario across the
+/// {1, 2, 4 workers} × {pipeline off, on} grid must produce
+/// bit-identical economics, ledgers, decisions, and span streams.
 fn determinism_json(sc: &Scenario, plan: &FaultPlan, shards: usize) -> String {
-    let cfg = ServiceConfig {
-        shards,
-        epoch_slots: 4,
-        ..ServiceConfig::default()
-    };
-    let mut baseline: Option<(u64, u64, u64)> = None;
+    let mut baseline: Option<(u64, u64, u64, u64)> = None;
     let mut rows = Vec::new();
     for threads in [1usize, 2, 4] {
-        set_thread_override(Some(threads));
-        let out = AuctionService::run(sc, cfg, plan).expect("service run");
-        set_thread_override(None);
-        let key = (
-            out.welfare.social_welfare.to_bits(),
-            out.ledger_digest,
-            decision_fingerprint(&out),
-        );
-        match baseline {
-            None => baseline = Some(key),
-            Some(expected) => assert_eq!(
-                expected, key,
-                "service diverged at {threads} workers (welfare bits / ledger digest / decisions)"
-            ),
+        for pipeline in [false, true] {
+            let cfg = ServiceConfig {
+                shards,
+                epoch_slots: 4,
+                pipeline,
+                ..ServiceConfig::default()
+            };
+            set_thread_override(Some(threads));
+            let out =
+                AuctionService::with_observability(sc, cfg, plan, Observability::with_spans())
+                    .and_then(AuctionService::finish)
+                    .expect("service run");
+            set_thread_override(None);
+            let key = (
+                out.welfare.social_welfare.to_bits(),
+                out.ledger_digest,
+                decision_fingerprint(&out),
+                fnv1a(chrome::render_trace(&out.spans).as_bytes()),
+            );
+            match baseline {
+                None => baseline = Some(key),
+                Some(expected) => assert_eq!(
+                    expected, key,
+                    "service diverged at {threads} workers, pipeline {pipeline} \
+                     (welfare bits / ledger digest / decisions / span stream)"
+                ),
+            }
+            println!(
+                "determinism {threads} workers, pipeline {}: welfare {:.2}, ledger digest {:016x}, span stream {:016x} — identical",
+                if pipeline { "on " } else { "off" },
+                out.welfare.social_welfare,
+                out.ledger_digest,
+                key.3
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"workers\": {}, \"pipeline\": {}, \"effective_workers\": {}, ",
+                    "\"welfare_bits\": \"{:016x}\", \"ledger_digest\": \"{:016x}\", ",
+                    "\"decision_fingerprint\": \"{:016x}\", \"span_stream_fnv\": \"{:016x}\"}}"
+                ),
+                threads, pipeline, out.effective_workers, key.0, key.1, key.2, key.3
+            ));
         }
-        println!(
-            "determinism {threads} workers: welfare {:.2}, ledger digest {:016x} — identical",
-            out.welfare.social_welfare, out.ledger_digest
-        );
-        rows.push(format!(
-            concat!(
-                "    {{\"workers\": {}, \"effective_workers\": {}, ",
-                "\"welfare_bits\": \"{:016x}\", \"ledger_digest\": \"{:016x}\", ",
-                "\"decision_fingerprint\": \"{:016x}\"}}"
-            ),
-            threads, out.effective_workers, key.0, key.1, key.2
-        ));
     }
     rows.join(",\n")
+}
+
+/// Dispatch-overhead microbench: the historical per-batch scoped-spawn
+/// path (fresh OS threads every call, as `parallel_map` worked before
+/// the persistent pool) vs pool dispatch, ns per trivial work item.
+fn spawn_overhead_json(reps: usize) -> String {
+    use std::hint::black_box;
+    const ITEMS: usize = 64;
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    let work = |&x: &u64| black_box(x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+    // Warm the pool so thread creation isn't billed to dispatch.
+    black_box(pdftsp_cluster::parallel_map(&items, work));
+    let pool_start = std::time::Instant::now();
+    for _ in 0..reps {
+        black_box(pdftsp_cluster::parallel_map(&items, work));
+    }
+    let pool_ns = pool_start.elapsed().as_nanos() as f64 / (reps * ITEMS) as f64;
+
+    let workers = configured_threads().clamp(2, ITEMS);
+    let chunk = ITEMS.div_ceil(workers);
+    let scoped_start = std::time::Instant::now();
+    for _ in 0..reps {
+        let mut out = vec![0u64; ITEMS];
+        std::thread::scope(|scope| {
+            for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+                let items = &items;
+                scope.spawn(move || {
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        *slot = work(&items[ci * chunk + i]);
+                    }
+                });
+            }
+        });
+        black_box(out);
+    }
+    let scoped_ns = scoped_start.elapsed().as_nanos() as f64 / (reps * ITEMS) as f64;
+    println!(
+        "spawn overhead: scoped {scoped_ns:.0} ns/task vs pool {pool_ns:.0} ns/task ({ITEMS}-item batches, {reps} reps)"
+    );
+    format!(
+        concat!(
+            "{{\"items_per_batch\": {}, \"reps\": {}, ",
+            "\"scoped_ns_per_task\": {:.1}, \"pool_ns_per_task\": {:.1}}}"
+        ),
+        ITEMS, reps, scoped_ns, pool_ns
+    )
 }
 
 fn main() {
@@ -192,13 +323,16 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
 
+    let reps = if smoke { 1 } else { 3 };
     set_thread_override(Some(workers));
     let rate_rows: Vec<String> = RATES
         .iter()
-        .map(|&r| rate_json(&sc, &plan, shards, r))
+        .map(|&r| rate_json(&sc, &plan, shards, r, reps))
         .collect();
     set_thread_override(None);
     let determinism = determinism_json(&sc, &plan, shards);
+    let spawn_overhead = spawn_overhead_json(if smoke { 50 } else { 400 });
+    let pool = pool_stats();
 
     let body = format!(
         concat!(
@@ -218,7 +352,9 @@ fn main() {
             "  ],\n",
             "  \"determinism\": [\n",
             "{}\n",
-            "  ]\n",
+            "  ],\n",
+            "  \"spawn_overhead\": {},\n",
+            "  \"pool\": {{\"workers\": {}, \"pool_tasks\": {}, \"pool_batches\": {}, \"pool_jobs\": {}, \"pool_park_ns\": {}}}\n",
             "}}\n"
         ),
         smoke,
@@ -235,10 +371,18 @@ fn main() {
         spec.degrade,
         spec.seed,
         rate_rows.join(",\n"),
-        determinism
+        determinism,
+        spawn_overhead,
+        pool.workers,
+        pool.tasks,
+        pool.batches,
+        pool.jobs,
+        pool.park_ns
     );
     if smoke {
-        println!("smoke ok: determinism held at 1/2/4 workers; artifact not rewritten");
+        println!(
+            "smoke ok: determinism held across 1/2/4 workers x pipeline on/off; artifact not rewritten"
+        );
         return;
     }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");

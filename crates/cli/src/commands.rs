@@ -313,6 +313,7 @@ fn serve_sim(scenario: &Scenario, cli: &Cli) -> String {
         shards: cli.service.shards,
         epoch_slots: cli.service.epoch,
         open_loop_rate: cli.service.rate,
+        pipeline: cli.service.pipeline,
         ..ServiceConfig::default()
     };
     let obs = Observability {
@@ -366,7 +367,7 @@ fn serve_sim(scenario: &Scenario, cli: &Cli) -> String {
     let w = &out.welfare;
     let mut text = format!(
         "scenario: {} tasks / {} nodes / {} slots (offered load {:.2})\n\
-         service : {} shards, {} slots/epoch, {} epochs, {} workers\n\
+         service : {} shards, {} slots/epoch, {} epochs, {} workers{}\n\
          completed        : {}/{} (rejected {}, aborted {})\n\
          disrupted        : {} task-disruptions, {} recovered\n\
          social welfare   : {:.2}\n\
@@ -383,6 +384,11 @@ fn serve_sim(scenario: &Scenario, cli: &Cli) -> String {
         cfg.epoch_slots,
         out.epochs,
         out.effective_workers,
+        if cfg.pipeline {
+            format!(", pipelined ({} epochs overlapped)", out.epochs_overlapped)
+        } else {
+            String::new()
+        },
         w.completed,
         stats.tasks,
         w.rejected,
@@ -496,7 +502,7 @@ fn render_service_metrics(out: &ServiceOutcome) -> String {
             push_sample(&mut text, name, &format!("shard=\"{}\"", s.shard), value(s));
         }
     }
-    let totals: [(&str, &str, &str, f64); 5] = [
+    let totals: [(&str, &str, &str, f64); 8] = [
         (
             "pdftsp_service_epochs_total",
             "epochs committed",
@@ -526,6 +532,24 @@ fn render_service_metrics(out: &ServiceOutcome) -> String {
             "lifecycle spans captured this run",
             "gauge",
             out.spans.len() as f64,
+        ),
+        (
+            "pdftsp_service_epochs_overlapped_total",
+            "epochs that consumed a pre-spawned pipelined proposal",
+            "counter",
+            out.epochs_overlapped as f64,
+        ),
+        (
+            "pdftsp_pool_tasks_total",
+            "worker-pool tasks executed during the run",
+            "counter",
+            out.pool_tasks as f64,
+        ),
+        (
+            "pdftsp_pool_park_seconds_total",
+            "pool-thread idle (parked) time during the run",
+            "counter",
+            out.pool_park_ns as f64 / 1e9,
         ),
     ];
     for (name, help, mtype, value) in totals {
@@ -1053,6 +1077,24 @@ mod tests {
     }
 
     #[test]
+    fn serve_sim_pipeline_flag_changes_no_decision_output() {
+        let base = "serve-sim --nodes 6 --slots 24 --mean 3 --seed 11 --shards 3 --epoch 5 \
+                    --faults crashes=2,outage=4,seed=7";
+        let serial = run_words(base);
+        let piped = run_words(&format!("{base} --pipeline"));
+        assert!(piped.contains(", pipelined ("), "{piped}");
+        // Everything except the service header line (which carries the
+        // pipelined marker) is byte-identical: same digest, same rows.
+        let strip = |text: &str| -> String {
+            text.lines()
+                .filter(|l| !l.starts_with("service :"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&serial), strip(&piped));
+    }
+
+    #[test]
     fn serve_sim_writes_metrics_and_trace_files() {
         let dir = std::env::temp_dir().join(format!("pdftsp-cli-obs-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -1076,6 +1118,12 @@ mod tests {
             "{prom}"
         );
         assert!(prom.contains("pdftsp_service_epochs_total 5"), "{prom}");
+        assert!(prom.contains("pdftsp_pool_tasks_total"), "{prom}");
+        assert!(
+            prom.contains("pdftsp_service_epochs_overlapped_total"),
+            "{prom}"
+        );
+        assert!(prom.contains("pdftsp_pool_park_seconds_total"), "{prom}");
         let chrome_json = std::fs::read_to_string(&trace).unwrap();
         assert!(
             chrome_json.starts_with("{\"traceEvents\":["),

@@ -1,19 +1,43 @@
-//! Scoped parallel map for independent work items.
+//! Persistent deterministic worker pool for independent work items.
 //!
-//! Each work item (a vendor candidate in the scheduler hot path, or a
-//! "build scenario, run scheduler" job in experiment sweeps) is
-//! independent: no shared mutable state, so data-race freedom by
-//! construction. Work is pulled from an atomic counter so uneven item
-//! costs (Titan's MILPs vs. EFT's greedy) balance automatically.
+//! Each work item (a vendor candidate in the scheduler hot path, a
+//! "build scenario, run scheduler" job in experiment sweeps, or a shard
+//! proposal in the auction service) is independent: no shared mutable
+//! state, so data-race freedom by construction. Work is pulled from an
+//! atomic claim counter so uneven item costs (Titan's MILPs vs. EFT's
+//! greedy) balance automatically.
 //!
-//! Each worker accumulates `(index, result)` pairs in a private vector;
-//! results are merged by index after the workers join. No lock or atomic
-//! write per item on the hot path (the mutex-per-item slots of the first
-//! version cost a lock round-trip per result), and the per-item type only
-//! needs `Send`, not `Sync`.
+//! Unlike the first scoped-spawn version, workers are **long-lived**:
+//! the first parallel batch spins up a process-global pool and every
+//! later batch is dispatched to the already-parked threads through a
+//! queue, removing the per-batch thread spawn/join cost from the epoch
+//! hot path. Three properties carry over from the scoped design and are
+//! load-bearing for the repo's determinism contracts:
+//!
+//! * **Order preservation** — results land in per-index slots, so the
+//!   output is a pure function of the input regardless of worker count
+//!   or interleaving.
+//! * **Caller-runs submission** — the submitting thread always works on
+//!   its own batch alongside the pool. Nested submission (a
+//!   `ratio_sweep` item that itself runs a vendor sweep) therefore
+//!   cannot deadlock even when every pool thread is busy: the submitter
+//!   drains its own batch unaided in the worst case.
+//! * **Panic containment** — a panicking work item is caught at the
+//!   item boundary and surfaced as a [`PoolPanic`] from
+//!   [`try_parallel_map`] (lowest panicking index wins, so the report
+//!   is deterministic). The pool threads never unwind, never poison,
+//!   and keep serving later batches.
+//!
+//! Worker-count semantics are unchanged: `PDFTSP_THREADS`, the
+//! programmatic [`set_thread_override`], and
+//! [`effective_workers`]`(items) = min(items, configured_threads())`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
 
 /// Sentinel for "no programmatic override installed".
 const UNSET: usize = usize::MAX;
@@ -66,7 +90,7 @@ pub fn configured_threads() -> usize {
     thread_override().unwrap_or_else(hardware_threads)
 }
 
-/// How many workers [`parallel_map`] will actually spawn for a batch of
+/// How many workers [`parallel_map`] will actually use for a batch of
 /// `items` work items: `min(items, configured_threads)`. Exposed so
 /// benchmark emitters can report the real thread count used by the
 /// parallel paths instead of guessing.
@@ -75,13 +99,355 @@ pub fn effective_workers(items: usize) -> usize {
     configured_threads().min(items)
 }
 
-/// Applies `f` to every item, in parallel, preserving order of results.
+/// A work item panicked inside a parallel batch. The pool catches the
+/// unwind at the item boundary, so the process (and the pool threads)
+/// survive; the lowest panicking index is reported for determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolPanic {
+    /// Index of the lowest-numbered item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for PoolPanic {}
+
+/// Snapshot of the process-global pool's lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Long-lived pool threads currently alive (grows on demand, never
+    /// shrinks; the submitting thread is not counted).
+    pub workers: usize,
+    /// Work items executed across all batches and spawned jobs since
+    /// process start.
+    pub tasks: u64,
+    /// Batches dispatched since process start.
+    pub batches: u64,
+    /// Single jobs dispatched via [`spawn`] since process start.
+    pub jobs: u64,
+    /// Cumulative nanoseconds pool threads spent parked waiting for
+    /// work (idle time, not contention).
+    pub park_ns: u64,
+}
+
+/// Lock acquisition that shrugs off poisoning: work items never unwind
+/// through pool internals (panics are caught at the item boundary), and
+/// the guarded state stays consistent even if a test thread died while
+/// holding an unrelated guard.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One submitted batch: a lifetime-erased runner plus claim/completion
+/// counters. Queued as `Arc<Batch>` tokens — one token per helper the
+/// submitter wants — so several pool threads can join the same batch.
 ///
-/// Spawns at most [`effective_workers`]`(items)` workers. Falls back to a
-/// sequential loop for 0/1 items or a single configured thread. Results
-/// are merged by item index, so the output is deterministic regardless of
-/// worker count.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// # Safety protocol for `run`
+///
+/// `run` points at a stack closure owned by the submitting thread. The
+/// pointer is only dereferenced for claimed indices `i < len`, and the
+/// submitter blocks in [`Batch::wait_done`] until `done == len`, which
+/// can only happen after every claimed item finished executing. A
+/// worker holding a stale token (queued token outliving the batch)
+/// observes `next >= len` and returns without touching `run`. Hence
+/// `run` is never dereferenced after the submitter resumes, and the
+/// closure (with everything it borrows) outlives every dereference.
+/// The runner must not unwind — callers wrap the work in
+/// `catch_unwind` at the item boundary.
+struct Batch {
+    run: *const (dyn Fn(usize) + Sync),
+    len: usize,
+    /// Next unclaimed item index.
+    next: AtomicUsize,
+    /// Completed item count; `done == len` releases the submitter.
+    done: AtomicUsize,
+    finished: Mutex<bool>,
+    fin_cv: Condvar,
+}
+
+// SAFETY: `run` is `Sync` (shared-call safe) and the protocol above
+// guarantees it is live for every dereference; all other fields are
+// plain sync primitives.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// Claim and execute items until the batch is exhausted. The thread
+    /// that completes the final item flips `finished` and wakes the
+    /// submitter.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                return;
+            }
+            // SAFETY: `i < len`, so per the protocol documented on
+            // `Batch` the closure is still live; it does not unwind.
+            unsafe { (*self.run)(i) };
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.len {
+                *lock(&self.finished) = true;
+                self.fin_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every item has finished executing.
+    fn wait_done(&self) {
+        let mut fin = lock(&self.finished);
+        while !*fin {
+            fin = self
+                .fin_cv
+                .wait(fin)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One fire-and-forget job submitted via [`spawn`]: the closure is
+/// claimed (taken) exactly once — by a pool worker or by the waiting
+/// [`JobHandle`] (caller-runs) — and the outcome is published under
+/// `done` for the handle to collect.
+struct Job {
+    f: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    done: Mutex<Option<Result<(), PoolPanic>>>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    /// Claims and runs the closure if nobody has yet; a panic is caught
+    /// at the job boundary and published as the job's outcome.
+    fn run(&self) {
+        let Some(f) = lock(&self.f).take() else {
+            return;
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(f)).map_err(|payload| PoolPanic {
+            index: 0,
+            message: panic_message(payload.as_ref()),
+        });
+        *lock(&self.done) = Some(outcome);
+        self.done_cv.notify_all();
+    }
+}
+
+/// Handle to a job submitted with [`spawn`]. Dropping the handle
+/// without waiting is safe: the job keeps running on the pool and its
+/// captures are freed when it finishes (the closure is `'static`).
+pub struct JobHandle {
+    job: Arc<Job>,
+}
+
+impl JobHandle {
+    /// Whether the job has finished executing (without blocking).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        lock(&self.job.done).is_some()
+    }
+
+    /// Blocks until the job has run, executing it inline if no pool
+    /// worker claimed it yet (caller-runs, so a starved pool can never
+    /// deadlock the waiter). A contained panic surfaces as the error.
+    ///
+    /// # Errors
+    /// [`PoolPanic`] when the job's closure panicked.
+    pub fn wait(self) -> Result<(), PoolPanic> {
+        self.job.run();
+        let mut done = lock(&self.job.done);
+        loop {
+            if let Some(outcome) = done.take() {
+                return outcome;
+            }
+            done = self
+                .job
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A unit of queued pool work: a shared batch token or a single job.
+enum Work {
+    Batch(Arc<Batch>),
+    Job(Arc<Job>),
+}
+
+/// The process-global pool: a queue of work tokens, a wake signal, and
+/// lifetime counters. Threads are spawned lazily up to the demand of
+/// the largest batch seen so far and then parked between batches.
+struct Pool {
+    queue: Mutex<VecDeque<Work>>,
+    work_cv: Condvar,
+    workers: AtomicUsize,
+    tasks: AtomicU64,
+    batches: AtomicU64,
+    jobs: AtomicU64,
+    park_ns: AtomicU64,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        workers: AtomicUsize::new(0),
+        tasks: AtomicU64::new(0),
+        batches: AtomicU64::new(0),
+        jobs: AtomicU64::new(0),
+        park_ns: AtomicU64::new(0),
+    })
+}
+
+/// Counter snapshot for telemetry ([`PoolStats`]).
+#[must_use]
+pub fn pool_stats() -> PoolStats {
+    let p = pool();
+    PoolStats {
+        workers: p.workers.load(Ordering::Relaxed),
+        tasks: p.tasks.load(Ordering::Relaxed),
+        batches: p.batches.load(Ordering::Relaxed),
+        jobs: p.jobs.load(Ordering::Relaxed),
+        park_ns: p.park_ns.load(Ordering::Relaxed),
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let work = {
+            let mut q = lock(&pool.queue);
+            loop {
+                if let Some(w) = q.pop_front() {
+                    break w;
+                }
+                let parked = Instant::now();
+                q = pool.work_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+                let ns = u64::try_from(parked.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                pool.park_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+        };
+        match work {
+            Work::Batch(batch) => batch.work(),
+            // Stale tokens for finished batches fall out of `work()`
+            // immediately (`next >= len`); a job already claimed by its
+            // waiting handle falls out of `run()` the same way.
+            Work::Job(job) => job.run(),
+        }
+    }
+}
+
+/// Submits one closure to the persistent pool and returns immediately.
+/// The job runs on a pool thread (the pool is grown toward
+/// [`configured_threads`] if needed); [`JobHandle::wait`] runs it
+/// inline if no worker got to it first. A panicking job is contained at
+/// the job boundary — the pool thread survives and the panic surfaces
+/// from `wait`.
+///
+/// This is the building block the pipelined auction service uses to
+/// overlap next-epoch shard proposals with the current epoch's commit;
+/// batch-shaped work should keep using [`parallel_map`].
+pub fn spawn(f: impl FnOnce() + Send + 'static) -> JobHandle {
+    let pool = pool();
+    pool.tasks.fetch_add(1, Ordering::Relaxed);
+    pool.jobs.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(Job {
+        f: Mutex::new(Some(Box::new(f))),
+        done: Mutex::new(None),
+        done_cv: Condvar::new(),
+    });
+    ensure_workers(pool, configured_threads());
+    lock(&pool.queue).push_back(Work::Job(Arc::clone(&job)));
+    pool.work_cv.notify_one();
+    JobHandle { job }
+}
+
+/// Grows the pool to at least `want` long-lived threads. Spawn failure
+/// degrades gracefully: the batch still completes via caller-runs.
+fn ensure_workers(pool: &'static Pool, want: usize) {
+    let mut cur = pool.workers.load(Ordering::Relaxed);
+    while cur < want {
+        match pool
+            .workers
+            .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                let spawned = std::thread::Builder::new()
+                    .name(format!("pdftsp-pool-{cur}"))
+                    .spawn(move || worker_loop(pool));
+                if spawned.is_err() {
+                    pool.workers.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+                cur += 1;
+            }
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Dispatches one batch to the pool and participates in draining it.
+/// `helpers` is how many pool threads are invited on top of the caller.
+fn run_batch(run: &(dyn Fn(usize) + Sync), len: usize, helpers: usize) {
+    let pool = pool();
+    pool.batches.fetch_add(1, Ordering::Relaxed);
+    pool.tasks.fetch_add(len as u64, Ordering::Relaxed);
+    // SAFETY: pure lifetime erasure on a fat pointer (the raw trait
+    // object defaults to `+ 'static`); liveness is guaranteed by the
+    // protocol documented on `Batch`.
+    let run: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(run as *const (dyn Fn(usize) + Sync + '_)) };
+    let batch = Arc::new(Batch {
+        run,
+        len,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        finished: Mutex::new(false),
+        fin_cv: Condvar::new(),
+    });
+    if helpers > 0 {
+        ensure_workers(pool, helpers);
+        let mut q = lock(&pool.queue);
+        for _ in 0..helpers {
+            q.push_back(Work::Batch(Arc::clone(&batch)));
+        }
+        drop(q);
+        pool.work_cv.notify_all();
+    }
+    batch.work();
+    batch.wait_done();
+}
+
+/// Per-index result slots written concurrently at disjoint indices.
+struct Slots<R>(Vec<UnsafeCell<Option<R>>>);
+
+// SAFETY: the claim counter hands every index to exactly one worker, so
+// all writes are to disjoint cells; reads happen only after the batch
+// completes (`done == len` is an acquire/release edge via `wait_done`).
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Applies `f` to every item in parallel on the persistent pool,
+/// preserving order of results. A panicking item is contained and
+/// reported as [`PoolPanic`] (lowest index wins); the remaining items
+/// still run, the pool drains, and later batches are unaffected.
+///
+/// Uses at most [`effective_workers`]`(items)` threads (the caller
+/// counts as one). Falls back to a sequential loop for 0/1 items or a
+/// single configured thread — with the same error surface.
+pub fn try_parallel_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, PoolPanic>
 where
     T: Sync,
     R: Send,
@@ -89,37 +455,71 @@ where
 {
     let workers = effective_workers(items.len());
     if items.len() <= 1 || workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        local.push((i, f(&items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-        for handle in handles {
-            for (i, r) in handle.join().expect("worker panicked") {
-                debug_assert!(out[i].is_none(), "index handed out twice");
-                out[i] = Some(r);
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    return Err(PoolPanic {
+                        index: i,
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
             }
         }
-        out.into_iter()
-            .map(|slot| slot.expect("every index was processed"))
-            .collect()
-    })
+        return Ok(out);
+    }
+
+    let slots = Slots((0..items.len()).map(|_| UnsafeCell::new(None)).collect());
+    let first_panic: Mutex<Option<PoolPanic>> = Mutex::new(None);
+    // Capture the `Sync` wrapper, not the inner Vec — edition-2021
+    // disjoint capture would otherwise grab the non-`Sync` field.
+    let slots_ref = &slots;
+    let run = |i: usize| match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+        Ok(r) => {
+            // SAFETY: index `i` was claimed by exactly one worker.
+            unsafe { *slots_ref.0[i].get() = Some(r) };
+        }
+        Err(payload) => {
+            let mut guard = lock(&first_panic);
+            if guard.as_ref().is_none_or(|prev| i < prev.index) {
+                *guard = Some(PoolPanic {
+                    index: i,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        }
+    };
+    run_batch(&run, items.len(), workers - 1);
+    if let Some(p) = lock(&first_panic).take() {
+        return Err(p);
+    }
+    Ok(slots
+        .0
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("every index was claimed and completed")
+        })
+        .collect())
+}
+
+/// Applies `f` to every item, in parallel, preserving order of results.
+///
+/// Thin compatibility wrapper over [`try_parallel_map`]: a panicking
+/// work item re-panics on the calling thread (with the original message
+/// and the item index) instead of returning an error. Callers that need
+/// to survive a poisoned item should use [`try_parallel_map`].
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match try_parallel_map(items, f) {
+        Ok(out) => out,
+        Err(p) => panic!("{p}"),
+    }
 }
 
 #[cfg(test)]
@@ -160,9 +560,36 @@ mod tests {
         assert_eq!(par, seq);
     }
 
-    /// Worker accounting, the programmatic override, and determinism
-    /// under forced threads — one test, because the override is process
-    /// global and the test runner is parallel.
+    /// A panic in one item is contained: the batch still reports every
+    /// other result path, the error carries the lowest panicking index,
+    /// and the pool keeps serving later batches. Runs on whatever
+    /// thread count the host gives us — the sequential fallback has the
+    /// same error surface by contract.
+    #[test]
+    fn panic_is_contained_and_reported() {
+        let items: Vec<u64> = (0..16).collect();
+        let err = try_parallel_map(&items, |&x| {
+            assert!(!(x == 5 || x == 11), "boom at {x}");
+            x + 1
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 5, "lowest panicking index wins: {err}");
+        assert!(
+            err.message.contains("boom at 5"),
+            "message: {}",
+            err.message
+        );
+
+        // The pool drains and rejoins: the very next batch succeeds and
+        // is bit-for-bit the sequential answer.
+        let ok = try_parallel_map(&items, |&x| x * 3).expect("pool recovered");
+        assert_eq!(ok, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    /// Worker accounting, the programmatic override, determinism under
+    /// forced threads, and the pool-path panic/recovery cycle — one
+    /// test, because the override is process global and the test runner
+    /// is parallel.
     #[test]
     fn worker_accounting_honours_items_and_overrides() {
         // Caps with no override installed.
@@ -180,13 +607,94 @@ mod tests {
         set_thread_override(Some(0)); // clamped to ≥ 1
         assert_eq!(configured_threads(), 1);
         // Forcing multiple workers on any host must not change results:
-        // the order-preserving merge is thread-count-agnostic.
+        // the order-preserving merge is thread-count-agnostic, and the
+        // persistent pool replays the scoped-spawn results bit-for-bit.
         let items: Vec<u64> = (0..64).collect();
         let seq: Vec<u64> = items.iter().map(|&x| x * 31 % 13).collect();
         set_thread_override(Some(4));
+        let stats_before = pool_stats();
         assert_eq!(parallel_map(&items, |&x| x * 31 % 13), seq);
+        let stats_after = pool_stats();
+        assert!(stats_after.workers >= 1, "pool threads were spawned");
+        assert!(
+            stats_after.tasks >= stats_before.tasks + items.len() as u64,
+            "every item was accounted as a pool task"
+        );
+        assert!(stats_after.batches > stats_before.batches);
+        // Pool-path panic containment: contained, reported, and the
+        // pool (with live threads this time) drains and rejoins.
+        let err = try_parallel_map(&items, |&x| {
+            assert!(x != 9, "pool boom");
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 9);
+        assert!(err.message.contains("pool boom"));
+        assert_eq!(parallel_map(&items, |&x| x * 31 % 13), seq);
+        // Nested submission must not deadlock: caller-runs guarantees
+        // forward progress even with every pool thread occupied.
+        let outer: Vec<u64> = (0..4).collect();
+        let nested = parallel_map(&outer, |&o| {
+            let inner: Vec<u64> = (0..8).collect();
+            parallel_map(&inner, |&i| o * 100 + i).iter().sum::<u64>()
+        });
+        assert_eq!(
+            nested,
+            (0..4)
+                .map(|o| (0..8).map(|i| o * 100 + i).sum())
+                .collect::<Vec<u64>>()
+        );
         set_thread_override(None);
         assert_eq!(configured_threads(), before);
+    }
+
+    /// Spawned jobs: results arrive through the captured slot, a
+    /// panicking job is contained (pool thread survives, error surfaces
+    /// from `wait`), a dropped handle leaks nothing, and caller-runs
+    /// guarantees completion even if every pool thread is busy.
+    #[test]
+    fn spawned_jobs_complete_contain_panics_and_survive_drops() {
+        use std::sync::Mutex;
+        let before = pool_stats();
+        // Plain completion through a shared slot.
+        let out = Arc::new(Mutex::new(None));
+        let out2 = Arc::clone(&out);
+        let h = spawn(move || *out2.lock().unwrap() = Some(40 + 2));
+        h.wait().expect("job ran");
+        assert_eq!(*out.lock().unwrap(), Some(42));
+        // Panic containment: the error carries the message, and the
+        // pool keeps serving later jobs and batches.
+        let err = spawn(|| panic!("job boom")).wait().unwrap_err();
+        assert!(err.message.contains("job boom"), "{err}");
+        let ok = Arc::new(AtomicUsize::new(0));
+        let ok2 = Arc::clone(&ok);
+        spawn(move || {
+            ok2.fetch_add(7, Ordering::SeqCst);
+        })
+        .wait()
+        .expect("pool recovered after job panic");
+        assert_eq!(ok.load(Ordering::SeqCst), 7);
+        let items: Vec<u64> = (0..16).collect();
+        assert_eq!(
+            parallel_map(&items, |&x| x + 1),
+            (1..=16).collect::<Vec<_>>()
+        );
+        // Dropped handle: the job still runs to completion on the pool
+        // (its captures keep everything alive); wait for the side
+        // effect rather than the handle.
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        drop(spawn(move || {
+            seen2.fetch_add(1, Ordering::SeqCst);
+        }));
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while seen.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 1, "dropped job still ran");
+        let after = pool_stats();
+        assert!(after.jobs >= before.jobs + 4, "jobs were accounted");
+        assert!(after.tasks >= before.tasks + 4, "jobs count as pool tasks");
     }
 
     #[test]

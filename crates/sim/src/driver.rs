@@ -283,12 +283,19 @@ pub fn run_pdftsp_instrumented(
     config: PdftspConfig,
     telemetry: Telemetry,
 ) -> (RunResult, Pdftsp) {
+    let pool_before = pdftsp_cluster::pool_stats();
     let mut scheduler = Pdftsp::with_telemetry(scenario, config, telemetry);
     let mut result = run_scheduler(scenario, &mut scheduler);
     let samples: Vec<f64> = result.decisions.iter().map(|d| d.decide_seconds).collect();
+    let pool_after = pdftsp_cluster::pool_stats();
     result.report = RunReport::from_counters(scheduler.name(), &scheduler.telemetry().counters)
         .with_exact_latency(&samples)
-        .with_utilization(result.metrics.utilization_summary());
+        .with_utilization(result.metrics.utilization_summary())
+        .with_pool(
+            pool_after.tasks.saturating_sub(pool_before.tasks),
+            pool_after.park_ns.saturating_sub(pool_before.park_ns),
+            0,
+        );
     (result, scheduler)
 }
 

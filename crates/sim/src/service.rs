@@ -11,8 +11,8 @@
 //! cross-shard contention with an **epoch-ordered two-phase commit**
 //! against the data-center's fixed-point ledger:
 //!
-//! * **Phase 1 (propose, parallel).** Every shard — under the scoped
-//!   [`parallel_map`], so any worker count — sequentially processes its
+//! * **Phase 1 (propose, parallel).** Every shard — on the persistent
+//!   worker pool, so any worker count — sequentially processes its
 //!   fault events and routed arrivals for the epoch's slots through its
 //!   own scheduler, provisionally committing to its shard-local ledger
 //!   and recording every mutation as a [`LedgerOp`].
@@ -23,10 +23,22 @@
 //!   and verifies at settlement that the global ledger mirrors every
 //!   shard ledger cell-for-cell.
 //!
+//! With [`ServiceConfig::pipeline`] set, the two phases overlap across
+//! epochs: shard *s* starts proposing epoch *e+1* (a [`spawn`]ed pool
+//! job writing into a second, recycled proposal buffer) as soon as its
+//! own epoch-*e* ops are committed, while the coordinator keeps
+//! draining phase-2 commits in strict `(epoch, shard)` order. Shard
+//! proposals only read state the shard itself owns — never the global
+//! ledger — so the overlap cannot change any decision, and the commit
+//! stream the global ledger sees is the same sequence in the same
+//! order. Welfare bits, ledger digests, decision fingerprints, and span
+//! streams are bit-identical with the pipeline on or off.
+//!
 //! **Determinism argument.** Routing is a pure function of `(task id,
 //! route seed, shard sizes)`; each shard's phase-1 work is a sequential
-//! loop over state only that shard owns; [`parallel_map`] merges results
-//! by item index; and phase 2 applies ops in fixed shard order. No step
+//! loop over state only that shard owns; [`try_parallel_map`] merges
+//! results by item index (and the pipelined path drains spawned jobs in
+//! the same order); and phase 2 applies ops in fixed shard order. No step
 //! observes wall-clock time, scheduling order, or worker count, so a
 //! 16-worker run replays the single-thread schedule — welfare bits,
 //! ledger digest, payments — bit-for-bit. The only nondeterministic
@@ -42,8 +54,10 @@
 use crate::faults::{
     handle_crash, settle, AbortedTask, FaultEvent, FaultPlan, FaultWelfare, LedgerOp, TaskState,
 };
-use crate::parallel::parallel_map;
-use pdftsp_cluster::{effective_workers, CapacityLedger, LedgerError, ShardError, ShardMap};
+use pdftsp_cluster::{
+    effective_workers, pool_stats, spawn, try_parallel_map, CapacityLedger, JobHandle, LedgerError,
+    PoolStats, ShardError, ShardMap,
+};
 use pdftsp_core::{Pdftsp, PdftspConfig};
 use pdftsp_telemetry::{FlightRecorder, LatencyHistogram, Sink, Span, SpanLog, TeeSink, Telemetry};
 use pdftsp_types::{AuctionOutcome, CostGrid, Decision, NodeId, Scenario, Schedule, Slot, TaskId};
@@ -71,6 +85,13 @@ pub struct ServiceConfig {
     /// admission latency is measured from epoch entry (pure batch
     /// processing time).
     pub open_loop_rate: Option<f64>,
+    /// Pipelined epoch execution: shard *s* begins phase-1 proposals
+    /// for epoch *e+1* (double-buffered op logs, spawned on the
+    /// persistent worker pool) as soon as its epoch-*e* ops are
+    /// committed, overlapping proposals with the coordinator's phase-2
+    /// drain. Decision content is bit-identical either way; only
+    /// wall-clock throughput changes. Off by default.
+    pub pipeline: bool,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +102,7 @@ impl Default for ServiceConfig {
             scheduler: PdftspConfig::default(),
             route_seed: 0x0005_EED0_F5EA_C0DE,
             open_loop_rate: None,
+            pipeline: false,
         }
     }
 }
@@ -145,6 +167,15 @@ pub enum ServiceError {
     },
     /// The settled decision set failed execution-engine replay.
     Replay(String),
+    /// [`AuctionService::run_epoch`] was called after every epoch was
+    /// already committed ([`AuctionService::is_done`]).
+    AlreadyDone,
+    /// A shard's phase-1 worker panicked. The panic is contained on the
+    /// pool (the process and the other shards survive), but the
+    /// panicking shard's state is poisoned: every later epoch returns
+    /// this error again, so the run cannot silently continue on a
+    /// half-proposed schedule.
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -160,6 +191,8 @@ impl std::fmt::Display for ServiceError {
                 "global ledger diverged from shard {shard} at node {node}, slot {slot}"
             ),
             ServiceError::Replay(e) => write!(f, "settled decisions failed replay: {e}"),
+            ServiceError::AlreadyDone => write!(f, "all epochs already committed"),
+            ServiceError::WorkerPanicked(e) => write!(f, "shard worker panicked: {e}"),
         }
     }
 }
@@ -260,6 +293,17 @@ pub struct ServiceOutcome {
     /// list (and any trace rendered from it) is byte-identical across
     /// worker counts.
     pub spans: Vec<Span>,
+    /// Epochs that consumed at least one pre-spawned (overlapped)
+    /// phase-1 proposal — 0 unless [`ServiceConfig::pipeline`] was on
+    /// and more than one worker was available.
+    pub epochs_overlapped: u64,
+    /// Worker-pool tasks executed during this run (batch items plus
+    /// spawned proposal jobs). The pool is process-global, so the delta
+    /// is best-effort when other pool users run concurrently.
+    pub pool_tasks: u64,
+    /// Nanoseconds pool threads spent parked during this run (same
+    /// best-effort caveat as [`ServiceOutcome::pool_tasks`]).
+    pub pool_park_ns: u64,
 }
 
 impl ServiceOutcome {
@@ -295,20 +339,34 @@ struct ShardState {
     flight: Option<Arc<FlightRecorder>>,
 }
 
+/// One epoch's phase-1 output for one shard: the op log and the ids
+/// decided. The vectors are retained arena buffers — cleared and
+/// recycled across epochs (double-buffered per shard when the pipeline
+/// is on: one buffer draining in phase 2 while the next epoch's fills).
+#[derive(Debug, Default)]
+struct Proposal {
+    ops: Vec<LedgerOp>,
+    decided: Vec<TaskId>,
+}
+
+/// An in-flight pipelined proposal: the pool job handle plus the slot
+/// the job publishes its [`Proposal`] into.
+struct Pending {
+    handle: JobHandle,
+    out: Arc<Mutex<Option<Proposal>>>,
+}
+
 impl ShardState {
-    /// Phase 1: sequentially processes `slots`, returning the op log and
-    /// the ids decided this epoch. `epoch` feeds span attribution.
-    fn propose(
-        &mut self,
-        slots: std::ops::Range<Slot>,
-        epoch: usize,
-    ) -> (Vec<LedgerOp>, Vec<TaskId>) {
+    /// Phase 1: sequentially processes `slots`, appending the op log and
+    /// the ids decided this epoch to `prop`'s (cleared, retained)
+    /// buffers. `epoch` feeds span attribution.
+    fn propose_into(&mut self, slots: std::ops::Range<Slot>, epoch: usize, prop: &mut Proposal) {
         // If this shard's worker panics mid-epoch, dump the flight ring
         // on the way out so the post-mortem survives the unwind.
         let _panic_dump = self.flight.as_ref().map(FlightRecorder::panic_dump_guard);
         self.pdftsp.telemetry().spans.set_epoch(epoch);
-        let mut ops = Vec::new();
-        let mut decided = Vec::new();
+        let ops = &mut prop.ops;
+        let decided = &mut prop.decided;
         for slot in slots {
             while self.next_event < self.events.len() && self.events[self.next_event].slot() == slot
             {
@@ -333,7 +391,7 @@ impl ShardState {
                             &mut self.aborted,
                             node,
                             slot,
-                            &mut ops,
+                            ops,
                         );
                         self.disrupted += d;
                         self.recovered += r;
@@ -368,7 +426,6 @@ impl ShardState {
                 self.next_arrival += 1;
             }
         }
-        (ops, decided)
     }
 }
 
@@ -379,9 +436,15 @@ pub struct AuctionService {
     scenario: Scenario,
     cfg: ServiceConfig,
     map: ShardMap,
-    shards: Vec<Mutex<ShardState>>,
+    /// Shard worlds behind `Arc` so pipelined proposal jobs (which are
+    /// `'static` pool work) can hold them across `run_epoch` calls —
+    /// and keep them alive if the service is dropped mid-pipeline.
+    shards: Vec<Arc<Mutex<ShardState>>>,
     /// `routes[task id]` = owning shard.
     routes: Vec<usize>,
+    /// Per-shard arrival slots of routed tasks, ascending — the
+    /// coordinator's lock-free source for queue-depth reporting.
+    arrival_slots: Vec<Vec<Slot>>,
     global: CapacityLedger,
     admission: LatencyHistogram,
     admission_seconds: Vec<f64>,
@@ -392,6 +455,18 @@ pub struct AuctionService {
     next_global_task: usize,
     started: Instant,
     last_commit_seconds: f64,
+    /// In-flight pipelined proposal per shard — always for the epoch
+    /// `epochs_done` is about to commit.
+    pending: Vec<Option<Pending>>,
+    /// Recycled proposal buffers (op logs + decided ids) — capacity is
+    /// retained across epochs instead of reallocating per epoch.
+    arena: Vec<Proposal>,
+    /// Shard indices `0..K`, built once for the phase-1 parallel map.
+    shard_idx: Vec<usize>,
+    /// Set when a shard worker panicked; every later epoch fails fast.
+    poisoned: Option<String>,
+    epochs_overlapped: u64,
+    pool_at_start: PoolStats,
     obs: Observability,
     /// Per-shard span logs (propose/fault_recover spans emitted inside
     /// the shard schedulers), drained at settlement.
@@ -411,6 +486,26 @@ fn splitmix64(seed: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Hybrid sleep/spin wait until `target` seconds after `start`. A bare
+/// `thread::sleep` oversleeps by OS timer granularity (~1 ms), which at
+/// a 1 M/s offered rate dwarfs the sub-millisecond inter-epoch gap and
+/// shows up as spurious admission latency; sleeping until shortly
+/// before the target and spinning the remainder hits it precisely.
+fn pace_until(start: &Instant, target: f64) {
+    const SPIN_WINDOW: f64 = 500e-6;
+    loop {
+        let remaining = target - start.elapsed().as_secs_f64();
+        if remaining <= 0.0 {
+            return;
+        }
+        if remaining > SPIN_WINDOW {
+            std::thread::sleep(std::time::Duration::from_secs_f64(remaining - SPIN_WINDOW));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
 }
 
 impl AuctionService {
@@ -567,7 +662,7 @@ impl AuctionService {
             };
             span_logs.push(span_log);
             let pdftsp = Pdftsp::with_workers(&shard_scenario, cfg.scheduler, telemetry, 1);
-            shards.push(Mutex::new(ShardState {
+            shards.push(Arc::new(Mutex::new(ShardState {
                 scenario: shard_scenario,
                 pdftsp,
                 states: vec![TaskState::Pending; scenario.tasks.len()],
@@ -579,7 +674,7 @@ impl AuctionService {
                 disrupted: 0,
                 recovered: 0,
                 flight,
-            }));
+            })));
         }
         // Route spans are coordinator facts known up front: one root per
         // task, timestamped at its arrival slot on the sim clock.
@@ -593,12 +688,25 @@ impl AuctionService {
             Vec::new()
         };
         let commit_span_done = vec![false; scenario.tasks.len()];
+        let arrival_slots: Vec<Vec<Slot>> = shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.lock().expect("fresh shard lock");
+                guard
+                    .arrivals
+                    .iter()
+                    .map(|&id| scenario.tasks[id].arrival)
+                    .collect()
+            })
+            .collect();
+        let num_shards = map.num_shards();
         Ok(AuctionService {
             scenario: scenario.clone(),
             cfg,
             map,
             shards,
             routes,
+            arrival_slots,
             global: CapacityLedger::new(scenario),
             admission: LatencyHistogram::default(),
             admission_seconds: Vec::new(),
@@ -607,6 +715,12 @@ impl AuctionService {
             next_global_task: 0,
             started: Instant::now(),
             last_commit_seconds: 0.0,
+            pending: (0..num_shards).map(|_| None).collect(),
+            arena: Vec::new(),
+            shard_idx: (0..num_shards).collect(),
+            poisoned: None,
+            epochs_overlapped: 0,
+            pool_at_start: pool_stats(),
             obs,
             span_logs,
             coord_spans,
@@ -656,24 +770,36 @@ impl AuctionService {
     }
 
     /// Runs one epoch: waits for the batch's open-loop arrivals (when
-    /// paced), proposes in parallel across shards, commits the op logs
-    /// in shard order against the global ledger, and records admission
-    /// latency for every decided task.
+    /// paced), proposes across shards — spawned pool jobs when
+    /// pipelined, one order-preserving parallel map otherwise — commits
+    /// the op logs in `(epoch, shard)` order against the global ledger,
+    /// and records admission latency for every decided task. With
+    /// [`ServiceConfig::pipeline`] set, committing shard *s* immediately
+    /// re-arms its epoch-*e+1* proposal, so the next epoch's phase 1
+    /// overlaps the remainder of this epoch's phase 2.
     ///
     /// # Errors
-    /// [`ServiceError::Commit`] if a phase-2 op fails global validation
-    /// (protocol invariant; cannot happen with disjoint shards).
-    ///
-    /// # Panics
-    /// If called after [`AuctionService::is_done`] or a shard worker
-    /// panicked (poisoned lock).
+    /// [`ServiceError::AlreadyDone`] when called after
+    /// [`AuctionService::is_done`]; [`ServiceError::WorkerPanicked`]
+    /// when a shard's phase-1 worker panicked — the panic is contained
+    /// on the pool, but the service is poisoned and every later call
+    /// reports it again; [`ServiceError::Commit`] if a phase-2 op fails
+    /// global validation (protocol invariant; cannot happen with
+    /// disjoint shards).
     pub fn run_epoch(&mut self) -> Result<EpochReport, ServiceError> {
-        assert!(!self.is_done(), "all epochs already committed");
+        if let Some(msg) = &self.poisoned {
+            return Err(ServiceError::WorkerPanicked(msg.clone()));
+        }
+        if self.is_done() {
+            return Err(ServiceError::AlreadyDone);
+        }
         let first_slot = self.next_slot;
         let end_slot = (first_slot + self.cfg.epoch_slots).min(self.scenario.horizon);
 
         // Advance the open-loop generator: every task arriving inside
-        // this batch must exist before the batch is proposed.
+        // this batch must exist before the batch is proposed. (When this
+        // epoch was pre-spawned down the pipeline, the pre-spawn was
+        // gated on the same condition, so the wait below is a no-op.)
         let mut last_arrival = None;
         while self.next_global_task < self.scenario.tasks.len()
             && self.scenario.tasks[self.next_global_task].arrival < end_slot
@@ -682,72 +808,126 @@ impl AuctionService {
             self.next_global_task += 1;
         }
         if let Some(id) = last_arrival {
-            let target = self.arrival_offset(id);
-            let elapsed = self.started.elapsed().as_secs_f64();
-            if target > elapsed {
-                std::thread::sleep(std::time::Duration::from_secs_f64(target - elapsed));
-            }
+            pace_until(&self.started, self.arrival_offset(id));
         }
         let epoch_entry = self.started.elapsed().as_secs_f64();
 
-        // Phase 1: parallel proposals, one sequential world per shard.
         let epoch = self.epochs_done;
-        let idx: Vec<usize> = (0..self.shards.len()).collect();
-        let shards = &self.shards;
-        let batches = parallel_map(&idx, |&s| {
-            shards[s]
-                .lock()
-                .expect("shard worker panicked")
-                .propose(first_slot..end_slot, epoch)
-        });
-
-        // Phase 2: epoch-ordered commit in shard-id order.
         let paced = self.cfg.open_loop_rate.is_some();
         let mut decided_total = 0usize;
         let mut ops_total = 0usize;
         let mut commit_seq = 0u64;
-        for (s, (ops, decided)) in batches.into_iter().enumerate() {
-            ops_total += ops.len();
-            for op in ops {
-                // A commit span per first-time committed task, sequenced
-                // by (shard order, op order) — both deterministic. A
-                // recovery re-commit of an already-committed task keeps
-                // its original commit span.
-                if self.obs.spans {
-                    if let LedgerOp::Commit { task, .. } = &op {
-                        if !self.commit_span_done[*task] {
-                            self.commit_span_done[*task] = true;
-                            self.coord_spans
-                                .push(Span::commit(*task, s, epoch, end_slot, commit_seq));
-                            commit_seq += 1;
-                        }
-                    }
+
+        if self.cfg.pipeline {
+            // Pipelined: drain this epoch's (possibly pre-spawned)
+            // proposals in shard order, re-arming each shard's next
+            // epoch the moment its commits land so phase 1 of e+1 runs
+            // behind the remaining phase-2 work.
+            if self.pending.iter().any(Option::is_some) {
+                self.epochs_overlapped += 1;
+            }
+            for s in 0..self.shards.len() {
+                if self.pending[s].is_none() {
+                    let prop = self.arena.pop().unwrap_or_default();
+                    self.pending[s] =
+                        Some(self.spawn_propose(s, epoch, first_slot..end_slot, prop));
                 }
-                self.apply_global(s, op)?;
             }
-            let now = self.started.elapsed().as_secs_f64();
-            self.last_commit_seconds = now;
-            for id in decided {
-                let since = if paced {
-                    self.arrival_offset(id)
+            let next_first = end_slot;
+            let next_end = (next_first + self.cfg.epoch_slots).min(self.scenario.horizon);
+            // Pre-spawning only helps with a second worker, and under
+            // pacing it must wait for the whole next batch to arrive.
+            let prespawn = next_first < self.scenario.horizon
+                && effective_workers(self.shards.len()) > 1
+                && self.batch_arrived(next_end);
+            for s in 0..self.shards.len() {
+                let pend = self.pending[s].take().expect("proposal just armed");
+                if let Err(p) = pend.handle.wait() {
+                    let msg = format!("shard {s} epoch {epoch}: {p}");
+                    self.poisoned = Some(msg.clone());
+                    return Err(ServiceError::WorkerPanicked(msg));
+                }
+                let prop = pend
+                    .out
+                    .lock()
+                    .expect("proposal slot")
+                    .take()
+                    .expect("finished proposal job published its buffers");
+                let (d, o) = self.commit_shard(
+                    s,
+                    &prop,
+                    epoch,
+                    end_slot,
+                    paced,
+                    epoch_entry,
+                    &mut commit_seq,
+                )?;
+                decided_total += d;
+                ops_total += o;
+                if prespawn {
+                    self.pending[s] =
+                        Some(self.spawn_propose(s, epoch + 1, next_first..next_end, prop));
                 } else {
-                    epoch_entry
-                };
-                let latency = (now - since).max(0.0);
-                self.admission.record_seconds(latency);
-                self.admission_seconds.push(latency);
-                decided_total += 1;
+                    self.arena.push(prop);
+                }
             }
+        } else {
+            // Serial (non-pipelined): one order-preserving parallel map
+            // across shards, then commit in shard order. Proposal
+            // buffers are popped from the retained arena (which buffer a
+            // shard gets is irrelevant: all are cleared before use).
+            let mut bufs = Vec::with_capacity(self.shards.len());
+            for _ in 0..self.shards.len() {
+                bufs.push(self.arena.pop().unwrap_or_default());
+            }
+            let stack = Mutex::new(bufs);
+            let shards = &self.shards;
+            let result = try_parallel_map(&self.shard_idx, |&s| {
+                let mut prop = match stack.lock() {
+                    Ok(mut v) => v.pop().unwrap_or_default(),
+                    Err(_) => Proposal::default(),
+                };
+                prop.ops.clear();
+                prop.decided.clear();
+                shards[s]
+                    .lock()
+                    .expect("shard state poisoned by an earlier panic")
+                    .propose_into(first_slot..end_slot, epoch, &mut prop);
+                prop
+            });
+            let props = match result {
+                Ok(p) => p,
+                Err(p) => {
+                    let msg = format!("epoch {epoch}: {p}");
+                    self.poisoned = Some(msg.clone());
+                    return Err(ServiceError::WorkerPanicked(msg));
+                }
+            };
+            for (s, prop) in props.iter().enumerate() {
+                let (d, o) = self.commit_shard(
+                    s,
+                    prop,
+                    epoch,
+                    end_slot,
+                    paced,
+                    epoch_entry,
+                    &mut commit_seq,
+                )?;
+                decided_total += d;
+                ops_total += o;
+            }
+            self.arena.extend(props);
         }
+
         self.next_slot = end_slot;
         self.epochs_done += 1;
+        // Queue depth from the precomputed arrival slots — the live
+        // shard states may already be proposing epoch e+1 down the
+        // pipeline, so the coordinator never reads them here.
         let queue_depth = self
-            .shards
+            .arrival_slots
             .iter()
-            .map(|m| {
-                let g = m.lock().expect("shard worker panicked");
-                g.arrivals.len() - g.next_arrival
-            })
+            .map(|slots| slots.len() - slots.partition_point(|&a| a < end_slot))
             .collect();
         Ok(EpochReport {
             epoch: self.epochs_done - 1,
@@ -759,14 +939,109 @@ impl AuctionService {
         })
     }
 
+    /// Arms shard `s`'s phase-1 proposal for `epoch` as a job on the
+    /// persistent worker pool, recycling `prop`'s retained buffers. The
+    /// job owns an `Arc` clone of the shard state, so dropping the
+    /// service mid-pipeline leaves the job sound (it finishes against
+    /// state it keeps alive).
+    fn spawn_propose(
+        &self,
+        s: usize,
+        epoch: usize,
+        slots: std::ops::Range<Slot>,
+        mut prop: Proposal,
+    ) -> Pending {
+        prop.ops.clear();
+        prop.decided.clear();
+        let shard = Arc::clone(&self.shards[s]);
+        let out = Arc::new(Mutex::new(None));
+        let publish = Arc::clone(&out);
+        let handle = spawn(move || {
+            shard
+                .lock()
+                .expect("shard state poisoned by an earlier panic")
+                .propose_into(slots, epoch, &mut prop);
+            *publish.lock().expect("proposal slot") = Some(prop);
+        });
+        Pending { handle, out }
+    }
+
+    /// Whether every open-loop arrival strictly before `end_slot` has
+    /// already occurred on the wall clock (vacuously true unpaced).
+    /// Pipelined pre-spawns are gated on this so proposals never run
+    /// ahead of the arrival generator.
+    fn batch_arrived(&self, end_slot: Slot) -> bool {
+        let rate = match self.cfg.open_loop_rate {
+            Some(r) if r > 0.0 => r,
+            _ => return true,
+        };
+        let mut last = None;
+        let mut i = self.next_global_task;
+        while i < self.scenario.tasks.len() && self.scenario.tasks[i].arrival < end_slot {
+            last = Some(i);
+            i += 1;
+        }
+        match last {
+            Some(id) => self.started.elapsed().as_secs_f64() >= id as f64 / rate,
+            None => true,
+        }
+    }
+
+    /// Phase 2 for one shard: replays the proposal's op log against the
+    /// global ledger (emitting commit spans) and records admission
+    /// latency for every task the shard decided this epoch.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_shard(
+        &mut self,
+        s: usize,
+        prop: &Proposal,
+        epoch: usize,
+        end_slot: Slot,
+        paced: bool,
+        epoch_entry: f64,
+        commit_seq: &mut u64,
+    ) -> Result<(usize, usize), ServiceError> {
+        for op in &prop.ops {
+            // A commit span per first-time committed task, sequenced
+            // by (shard order, op order) — both deterministic. A
+            // recovery re-commit of an already-committed task keeps
+            // its original commit span.
+            if self.obs.spans {
+                if let LedgerOp::Commit { task, .. } = op {
+                    if !self.commit_span_done[*task] {
+                        self.commit_span_done[*task] = true;
+                        self.coord_spans
+                            .push(Span::commit(*task, s, epoch, end_slot, *commit_seq));
+                        *commit_seq += 1;
+                    }
+                }
+            }
+            self.apply_global(s, op)?;
+        }
+        let now = self.started.elapsed().as_secs_f64();
+        self.last_commit_seconds = now;
+        for &id in &prop.decided {
+            let since = if paced {
+                self.arrival_offset(id)
+            } else {
+                epoch_entry
+            };
+            let latency = (now - since).max(0.0);
+            self.admission.record_seconds(latency);
+            self.admission_seconds.push(latency);
+        }
+        Ok((prop.decided.len(), prop.ops.len()))
+    }
+
     /// Replays one shard-local op against the global ledger, remapping
     /// node ids. Commits validate atomically; quarantine/degrade mirror
     /// the scheduler's own arithmetic over identical residuals, so the
     /// global ledger tracks every shard ledger exactly.
-    fn apply_global(&mut self, shard: usize, op: LedgerOp) -> Result<(), ServiceError> {
+    fn apply_global(&mut self, shard: usize, op: &LedgerOp) -> Result<(), ServiceError> {
         let base = self.map.spec(shard).node_base;
         match op {
             LedgerOp::Commit { task, schedule } => {
+                let task = *task;
                 let placements: Vec<(NodeId, Slot)> = schedule
                     .placements
                     .iter()
@@ -778,6 +1053,7 @@ impl AuctionService {
                     .map_err(|error| ServiceError::Commit { task, error })
             }
             LedgerOp::Release { task, placements } => {
+                let task = *task;
                 let placements: Vec<(NodeId, Slot)> =
                     placements.iter().map(|&(k, t)| (k + base, t)).collect();
                 self.global
@@ -786,15 +1062,16 @@ impl AuctionService {
                     .map_err(|error| ServiceError::Commit { task, error })
             }
             LedgerOp::Quarantine { node, from } => {
-                self.global.quarantine(node + base, from);
+                self.global.quarantine(*node + base, *from);
                 Ok(())
             }
             LedgerOp::Lift { node } => {
-                self.global.lift_quarantine(node + base);
+                self.global.lift_quarantine(*node + base);
                 Ok(())
             }
             LedgerOp::Degrade { node, from, frac } => {
-                let k = node + base;
+                let k = *node + base;
+                let from = *from;
                 let frac = frac.clamp(0.0, 1.0);
                 for t in from.min(self.global.horizon())..self.global.horizon() {
                     let compute = ((self.global.compute_capacity(k) as f64 * frac) as u64)
@@ -826,10 +1103,9 @@ impl AuctionService {
     ///
     /// # Errors
     /// [`ServiceError::Mirror`] / [`ServiceError::Replay`] on protocol
-    /// violations; any remaining-epoch error when the run was partial.
-    ///
-    /// # Panics
-    /// If a shard lock is poisoned.
+    /// violations; [`ServiceError::WorkerPanicked`] when a shard's
+    /// state was poisoned by a contained phase-1 panic; any
+    /// remaining-epoch error when the run was partial.
     pub fn finish(mut self) -> Result<ServiceOutcome, ServiceError> {
         self.run_to_completion()?;
         self.verify_mirror()?;
@@ -855,8 +1131,12 @@ impl AuctionService {
         let shard_guards: Vec<_> = self
             .shards
             .iter()
-            .map(|m| m.lock().expect("shard worker panicked"))
-            .collect();
+            .enumerate()
+            .map(|(s, m)| {
+                m.lock()
+                    .map_err(|_| ServiceError::WorkerPanicked(format!("shard {s} state poisoned")))
+            })
+            .collect::<Result<_, _>>()?;
         for task in &self.scenario.tasks {
             let s = self.routes[task.id];
             let st = match &shard_guards[s].states[task.id] {
@@ -927,6 +1207,10 @@ impl AuctionService {
         }
         spans.sort_by_key(|sp| (sp.ts, sp.span));
 
+        // Pool counters are process-global lifetime totals; the delta
+        // since construction is this run's share (best-effort when other
+        // pool users run concurrently).
+        let pool_now = pool_stats();
         Ok(ServiceOutcome {
             decisions,
             welfare,
@@ -941,6 +1225,9 @@ impl AuctionService {
             admission_seconds: self.admission_seconds,
             wall_seconds: self.last_commit_seconds,
             spans,
+            epochs_overlapped: self.epochs_overlapped,
+            pool_tasks: pool_now.tasks.saturating_sub(self.pool_at_start.tasks),
+            pool_park_ns: pool_now.park_ns.saturating_sub(self.pool_at_start.park_ns),
         })
     }
 
@@ -949,7 +1236,9 @@ impl AuctionService {
     /// memory, quarantine flag).
     fn verify_mirror(&self) -> Result<(), ServiceError> {
         for (s, shard) in self.shards.iter().enumerate() {
-            let guard = shard.lock().expect("shard worker panicked");
+            let guard = shard
+                .lock()
+                .map_err(|_| ServiceError::WorkerPanicked(format!("shard {s} state poisoned")))?;
             let ledger = guard.pdftsp.ledger();
             let spec = self.map.spec(s);
             for local in 0..spec.num_nodes {
@@ -1088,6 +1377,80 @@ mod tests {
             oneshot.welfare.social_welfare.to_bits()
         );
         assert_eq!(stepped.ledger_digest, oneshot.ledger_digest);
+    }
+
+    #[test]
+    fn pipelined_run_is_bit_identical_to_serial() {
+        let sc = scenario();
+        let plan = plan(&sc);
+        let serial = AuctionService::run(&sc, cfg(3), &plan).unwrap();
+        let piped_cfg = ServiceConfig {
+            pipeline: true,
+            ..cfg(3)
+        };
+        let piped = AuctionService::run(&sc, piped_cfg, &plan).unwrap();
+        assert_eq!(
+            serial.welfare.social_welfare.to_bits(),
+            piped.welfare.social_welfare.to_bits()
+        );
+        assert_eq!(
+            serial.welfare.payments.to_bits(),
+            piped.welfare.payments.to_bits()
+        );
+        assert_eq!(serial.ledger_digest, piped.ledger_digest);
+        assert_eq!(serial.decisions.len(), piped.decisions.len());
+        for (a, b) in serial.decisions.iter().zip(&piped.decisions) {
+            match (&a.outcome, &b.outcome) {
+                (
+                    AuctionOutcome::Admitted {
+                        schedule: sa,
+                        payment: pa,
+                    },
+                    AuctionOutcome::Admitted {
+                        schedule: sb,
+                        payment: pb,
+                    },
+                ) => {
+                    assert_eq!(pa.to_bits(), pb.to_bits());
+                    assert_eq!(sa.vendor, sb.vendor);
+                    assert_eq!(sa.placements, sb.placements);
+                }
+                (AuctionOutcome::Rejected(_), AuctionOutcome::Rejected(_)) => {}
+                _ => panic!("pipeline flipped the admission of task {}", a.task),
+            }
+        }
+        // With >1 worker the pipeline must actually have overlapped.
+        if piped.effective_workers > 1 {
+            assert!(piped.epochs_overlapped > 0);
+        }
+        assert!(piped.pool_tasks > 0);
+    }
+
+    #[test]
+    fn run_epoch_after_completion_is_already_done() {
+        let sc = scenario();
+        let plan = plan(&sc);
+        let mut svc = AuctionService::new(&sc, cfg(2), &plan).unwrap();
+        svc.run_to_completion().unwrap();
+        assert!(matches!(svc.run_epoch(), Err(ServiceError::AlreadyDone)));
+        // The error is non-destructive: settlement still works.
+        svc.finish().unwrap();
+    }
+
+    #[test]
+    fn dropping_a_pipelined_service_mid_run_is_safe() {
+        let sc = scenario();
+        let plan = plan(&sc);
+        let piped = ServiceConfig {
+            pipeline: true,
+            ..cfg(3)
+        };
+        let mut svc = AuctionService::new(&sc, piped, &plan).unwrap();
+        svc.run_epoch().unwrap();
+        // Epoch 1's proposals may still be in flight on the pool; the
+        // jobs hold their own Arcs to the shard states, so the drop
+        // must not race them.
+        drop(svc);
     }
 
     #[test]

@@ -101,6 +101,14 @@ pub struct RunReport {
     pub dual_updates: u64,
     /// Decide-call latency percentiles.
     pub latency: LatencySummary,
+    /// Worker-pool tasks executed during the run (batch items plus
+    /// spawned jobs) — 0 when no pool snapshot was attached.
+    pub pool_tasks: u64,
+    /// Nanoseconds pool threads spent parked (idle) during the run.
+    pub pool_park_ns: u64,
+    /// Epochs that consumed a pre-spawned pipelined proposal (service
+    /// runs only; 0 otherwise).
+    pub epochs_overlapped: u64,
     /// Cluster utilization, when a post-run replay is available.
     pub utilization: Option<UtilizationSummary>,
 }
@@ -141,6 +149,9 @@ impl RunReport {
                 max_nanos: h.max_nanos() as f64,
                 exact: false,
             },
+            pool_tasks: 0,
+            pool_park_ns: 0,
+            epochs_overlapped: 0,
             utilization: None,
         }
     }
@@ -215,6 +226,18 @@ impl RunReport {
         self
     }
 
+    /// Attaches worker-pool / pipeline counters: tasks executed, park
+    /// (idle) nanoseconds, and epochs that overlapped a pre-spawned
+    /// proposal. Callers compute the run's delta from process-global
+    /// pool snapshots before handing it here.
+    #[must_use]
+    pub fn with_pool(mut self, tasks: u64, park_ns: u64, epochs_overlapped: u64) -> Self {
+        self.pool_tasks = tasks;
+        self.pool_park_ns = park_ns;
+        self.epochs_overlapped = epochs_overlapped;
+        self
+    }
+
     /// The report as one pretty-printed JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -254,6 +277,9 @@ impl RunReport {
         let _ = writeln!(s, "  \"grid_builds\": {},", self.grid_builds);
         let _ = writeln!(s, "  \"grid_cells\": {},", self.grid_cells);
         let _ = writeln!(s, "  \"dual_updates\": {},", self.dual_updates);
+        let _ = writeln!(s, "  \"pool_tasks\": {},", self.pool_tasks);
+        let _ = writeln!(s, "  \"pool_park_ns\": {},", self.pool_park_ns);
+        let _ = writeln!(s, "  \"epochs_overlapped\": {},", self.epochs_overlapped);
         let _ = writeln!(s, "  \"latency\": {{");
         let _ = writeln!(s, "    \"count\": {},", self.latency.count);
         let _ = writeln!(s, "    \"p50_nanos\": {:?},", self.latency.p50_nanos);
@@ -329,6 +355,15 @@ impl RunReport {
             "  grids: {} built, {} cells; dual updates: {}",
             self.grid_builds, self.grid_cells, self.dual_updates
         );
+        if self.pool_tasks > 0 {
+            let _ = writeln!(
+                s,
+                "  pool: {} tasks, {:.1} ms parked, {} epochs overlapped",
+                self.pool_tasks,
+                self.pool_park_ns as f64 / 1e6,
+                self.epochs_overlapped
+            );
+        }
         if self.latency.count > 0 {
             let _ = writeln!(
                 s,
@@ -461,5 +496,21 @@ mod tests {
         assert!(!r.render_text().contains("decide latency"));
         let r = r.with_exact_latency(&[2e-6]);
         assert!(r.render_text().contains("decide latency (exact)"));
+    }
+
+    #[test]
+    fn pool_counters_flow_into_json_and_text() {
+        let bare = RunReport::named("x");
+        assert!(!bare.render_text().contains("pool:"));
+        assert!(bare.to_json().contains("\"pool_tasks\": 0"));
+        let r = RunReport::named("x").with_pool(12, 3_500_000, 4);
+        assert_eq!(r.pool_tasks, 12);
+        let json = r.to_json();
+        assert!(json.contains("\"pool_tasks\": 12"), "{json}");
+        assert!(json.contains("\"pool_park_ns\": 3500000"), "{json}");
+        assert!(json.contains("\"epochs_overlapped\": 4"), "{json}");
+        let text = r.render_text();
+        assert!(text.contains("pool: 12 tasks"), "{text}");
+        assert!(text.contains("4 epochs overlapped"), "{text}");
     }
 }
