@@ -1,0 +1,260 @@
+//! Deadline-aware-with-predictions baseline (the spot-market comparison
+//! point for `bench_spot`).
+//!
+//! A stronger heuristic than EFT, representative of the
+//! prediction-augmented admission controllers in the related work: it
+//! sees the same forecast signal pdFTSP's dual pre-heating consumes (an
+//! oracle view of arrival intensity over a lookahead window) and uses
+//! it for *admission control* instead of *pricing*:
+//!
+//! * **deadline-aware** — within a slot, arrivals are served
+//!   tightest-slack-first (EDF-style), so urgent tasks grab the
+//!   earliest cells before slack ones fragment them;
+//! * **with predictions** — when the lookahead window forecasts
+//!   overload (arriving work exceeding cluster capacity), the baseline
+//!   turns selective: it only admits tasks whose value density
+//!   (bid per unit of work) clears a reserve that scales with the
+//!   predicted overload, holding capacity for the burst.
+//!
+//! Like the other baselines it posts no prices (payments are 0), so
+//! budget caps never bind on it — the comparison against pdFTSP under
+//! identical budgets and revocations is exactly the point of the
+//! spot-market benchmark.
+
+use crate::greedy::greedy_asap;
+use pdftsp_cluster::CapacityLedger;
+use pdftsp_types::{
+    Decision, OnlineScheduler, Rejection, Scenario, Schedule, Slot, SlotOutcome, Task, VendorQuote,
+};
+use std::time::Instant;
+
+/// The deadline-aware-with-predictions scheduler.
+pub struct DeadlineAware {
+    ledger: CapacityLedger,
+    scratch: Vec<(usize, usize)>,
+    /// Forecast overload per slot: work arriving in `[t, t+lookahead)`
+    /// over the cluster's compute capacity across that window. Values
+    /// above 1 mean the predicted burst cannot all fit.
+    overload: Vec<f64>,
+    /// Mean value density (bid / work) over the whole scenario — the
+    /// unit for the congestion reserve.
+    mean_density: f64,
+}
+
+impl DeadlineAware {
+    /// Creates the scheduler with a `lookahead`-slot forecast window
+    /// (0 is treated as 1 — purely reactive).
+    #[must_use]
+    pub fn new(scenario: &Scenario, lookahead: usize) -> Self {
+        let horizon = scenario.horizon;
+        let lookahead = lookahead.max(1);
+        let mut arriving = vec![0.0_f64; horizon];
+        let mut density_sum = 0.0;
+        let mut density_n = 0usize;
+        for task in &scenario.tasks {
+            if task.arrival < horizon {
+                arriving[task.arrival] += task.work as f64;
+            }
+            if task.work > 0 {
+                density_sum += task.bid / task.work as f64;
+                density_n += 1;
+            }
+        }
+        let cap_per_slot: f64 = scenario
+            .nodes
+            .iter()
+            .map(|n| n.compute_capacity as f64)
+            .sum();
+        let overload = (0..horizon)
+            .map(|t| {
+                let end = (t + lookahead).min(horizon);
+                let work: f64 = arriving[t..end].iter().sum();
+                let cap = cap_per_slot * (end - t) as f64;
+                if cap > 0.0 {
+                    work / cap
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        DeadlineAware {
+            ledger: CapacityLedger::new(scenario),
+            scratch: Vec::new(),
+            overload,
+            mean_density: if density_n > 0 {
+                density_sum / density_n as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The admission reserve at `slot`: zero while the forecast window
+    /// is underloaded (admit-everything, EFT behaviour), then one mean
+    /// density per unit of predicted excess.
+    fn reserve_density(&self, slot: Slot) -> f64 {
+        let overload = self.overload.get(slot).copied().unwrap_or(0.0);
+        self.mean_density * (overload - 1.0).max(0.0)
+    }
+
+    fn decide(&mut self, task: &Task, slot: Slot, scenario: &Scenario) -> Decision {
+        let t0 = Instant::now();
+        if task.work > 0 {
+            let density = task.bid / task.work as f64;
+            if density < self.reserve_density(slot) {
+                // Predicted burst: hold the capacity for higher-value
+                // work. Economically a failed reserve price.
+                return Decision::rejected(
+                    task.id,
+                    Rejection::NonPositiveSurplus,
+                    t0.elapsed().as_secs_f64(),
+                );
+            }
+        }
+        let vendor = if task.needs_preprocessing {
+            scenario.quotes[task.id]
+                .iter()
+                .copied()
+                .min_by_key(|q| q.delay)
+                .unwrap_or_else(VendorQuote::none)
+        } else {
+            VendorQuote::none()
+        };
+        let start = task.arrival + vendor.delay;
+        match greedy_asap(task, start, scenario, &self.ledger, None, &mut self.scratch) {
+            Some(placements) => {
+                let schedule = Schedule::new(task.id, vendor, placements);
+                self.ledger
+                    .commit(task, &schedule)
+                    .expect("greedy_asap only uses fitting cells");
+                Decision::admitted(task.id, schedule, 0.0, t0.elapsed().as_secs_f64())
+            }
+            None => Decision::rejected(
+                task.id,
+                Rejection::NoFeasibleSchedule,
+                t0.elapsed().as_secs_f64(),
+            ),
+        }
+    }
+
+    /// Scheduling slack of a task: slots between its earliest possible
+    /// start and its deadline, minus the minimum slots of compute it
+    /// needs on its fastest node. Smaller = more urgent.
+    fn slack(task: &Task, scenario: &Scenario) -> i64 {
+        let fastest = (0..scenario.nodes.len())
+            .map(|k| task.rate(k))
+            .max()
+            .unwrap_or(0);
+        let min_slots = if fastest == 0 {
+            i64::MAX / 4
+        } else {
+            (task.work.div_ceil(fastest)) as i64
+        };
+        let window = task.deadline as i64 - task.arrival as i64 + 1;
+        window - min_slots
+    }
+}
+
+impl OnlineScheduler for DeadlineAware {
+    fn name(&self) -> &'static str {
+        "DeadlineAware+pred"
+    }
+
+    fn on_slot(&mut self, slot: Slot, arrivals: &[&Task], scenario: &Scenario) -> SlotOutcome {
+        // Serve tightest-slack-first, but report decisions in arrival
+        // order (the driver indexes outcomes by arrival position).
+        let mut order: Vec<usize> = (0..arrivals.len()).collect();
+        order.sort_by_key(|&i| (Self::slack(arrivals[i], scenario), arrivals[i].id));
+        let mut out: Vec<Option<Decision>> = (0..arrivals.len()).map(|_| None).collect();
+        for i in order {
+            out[i] = Some(self.decide(arrivals[i], slot, scenario));
+        }
+        out.into_iter()
+            .map(|d| d.expect("every arrival decided"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdftsp_types::{AuctionOutcome, CostGrid, GpuModel, NodeSpec, TaskBuilder};
+
+    fn scenario(tasks: Vec<Task>) -> Scenario {
+        let quotes = vec![vec![]; tasks.len()];
+        Scenario {
+            horizon: 8,
+            base_model_gb: 2.0,
+            nodes: vec![NodeSpec::new(0, GpuModel::A100_80, 1000)],
+            tasks,
+            quotes,
+            cost: CostGrid::flat(1, 8, 0.1),
+        }
+    }
+
+    fn t(id: usize, arrival: usize, deadline: usize, work: u64, bid: f64) -> Task {
+        TaskBuilder::new(id, arrival, deadline)
+            .dataset(work)
+            .memory_gb(5.0)
+            .bid(bid)
+            .rates(vec![1000])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn urgent_tasks_win_the_contested_slots() {
+        // Both need the full window; the tight-deadline task arrives
+        // second but must be served first or it misses.
+        let slack_task = t(0, 0, 7, 3000, 5.0);
+        let tight_task = t(1, 0, 2, 3000, 5.0);
+        let sc = scenario(vec![slack_task, tight_task]);
+        let mut s = DeadlineAware::new(&sc, 4);
+        let refs: Vec<&Task> = sc.tasks.iter().collect();
+        let out = s.on_slot(0, &refs, &sc);
+        assert!(out[1].is_admitted(), "tight task must be served first");
+        assert!(out[0].is_admitted(), "slack task still fits afterwards");
+        assert_eq!(
+            out[1].schedule().unwrap().placements,
+            vec![(0, 0), (0, 1), (0, 2)]
+        );
+        // EFT (arrival order) would have given slots 0-2 to task 0 and
+        // missed task 1's deadline entirely.
+        let mut eft = crate::Eft::new(&sc);
+        let eft_out = eft.on_slot(0, &refs, &sc);
+        assert!(!eft_out[1].is_admitted());
+    }
+
+    #[test]
+    fn forecast_overload_raises_a_reserve() {
+        // 14k work arriving at slot 0 against 8 slots x 1000 capacity:
+        // the lookahead-8 forecast says overload 1.75, so the reserve is
+        // 0.75 mean densities — the cheap task is turned away even
+        // though it would fit right now.
+        let mut tasks = vec![t(0, 0, 7, 2000, 0.2)]; // density 1e-4
+        for id in 1..4 {
+            tasks.push(t(id, 0, 7, 4000, 40.0)); // density 1e-2
+        }
+        let sc = scenario(tasks);
+        let mut s = DeadlineAware::new(&sc, 8);
+        assert!(s.overload[0] > 1.0);
+        let refs: Vec<&Task> = sc.tasks.iter().collect();
+        let out = s.on_slot(0, &refs, &sc);
+        assert!(matches!(
+            out[0].outcome,
+            AuctionOutcome::Rejected(Rejection::NonPositiveSurplus)
+        ));
+        assert!(out[1].is_admitted());
+    }
+
+    #[test]
+    fn underloaded_forecast_admits_everything_feasible() {
+        let sc = scenario(vec![t(0, 0, 7, 1000, 0.01), t(1, 2, 7, 1000, 0.01)]);
+        let mut s = DeadlineAware::new(&sc, 4);
+        assert!(s.overload.iter().all(|&o| o <= 1.0));
+        let refs0: Vec<&Task> = vec![&sc.tasks[0]];
+        assert!(s.on_slot(0, &refs0, &sc)[0].is_admitted());
+        let refs2: Vec<&Task> = vec![&sc.tasks[1]];
+        assert!(s.on_slot(2, &refs2, &sc)[0].is_admitted());
+    }
+}

@@ -22,16 +22,25 @@
 //!   with a randomly selected labor vendor per task. Uses the in-house
 //!   branch-and-bound of `pdftsp-solver` in place of Gurobi.
 //!
+//! The spot-market benchmark adds a stronger comparison point:
+//!
+//! * [`deadline_aware::DeadlineAware`] — **deadline-aware with
+//!   predictions**: EDF-style urgency ordering plus a congestion
+//!   reserve driven by the same arrival-intensity forecast pdFTSP's
+//!   dual pre-heating consumes.
+//!
 //! None of the baselines implements pricing (payments are reported as 0);
 //! social welfare — the paper's comparison metric — does not depend on
 //! payments, which cancel between users and provider.
 
+pub mod deadline_aware;
 pub mod eft;
 pub mod fixed_price;
 pub mod greedy;
 pub mod ntm;
 pub mod titan;
 
+pub use deadline_aware::DeadlineAware;
 pub use eft::Eft;
 pub use fixed_price::{FixedPrice, FixedPriceConfig};
 pub use ntm::Ntm;

@@ -1,6 +1,6 @@
 //! CI bench-regression gate: compares freshly emitted `BENCH_sched.json`
-//! / `BENCH_service.json` headline numbers against the committed
-//! baselines and exits nonzero on a real regression.
+//! / `BENCH_service.json` / `BENCH_spot.json` headline numbers against
+//! the committed baselines and exits nonzero on a real regression.
 //!
 //! Usage: `bench_regress --baseline DIR --fresh DIR`
 //!
@@ -223,6 +223,66 @@ fn check_service(gate: &mut Gate, base: &str, fresh: &str) {
     }
 }
 
+fn check_spot(gate: &mut Gate, base: &str, fresh: &str) {
+    let file = "BENCH_spot.json";
+    // The fresh determinism block must be *internally* identical: every
+    // {workers} × {pipeline} row carries the same welfare bits, refund
+    // bits, ledger digest, and decision fingerprint. The emitter asserts
+    // this too; re-checking here catches a hand-edited artifact.
+    for key in [
+        "welfare_bits",
+        "refund_bits",
+        "ledger_digest",
+        "decision_fingerprint",
+    ] {
+        let rows = strings_for(fresh, key);
+        gate.checks += 1;
+        if rows.windows(2).any(|w| w[0] != w[1]) {
+            gate.fail(format!(
+                "{file}: determinism `{key}` differs across worker/pipeline rows: {rows:?}"
+            ));
+        }
+    }
+    // Economics digests are exact per-seed reproductions — comparable
+    // only when the run shape matches the baseline emission.
+    let shape_matches = ["configured_threads", "horizon", "nodes", "tasks"]
+        .iter()
+        .all(|k| numbers_for(base, k) == numbers_for(fresh, k));
+    if !shape_matches {
+        gate.warn(format!(
+            "{file}: run shape differs from baseline — skipping digest comparison"
+        ));
+        return;
+    }
+    // Numeric digests: welfare and refund volume per seed and system
+    // (document order pairs pdFTSP/baseline rows one-to-one).
+    for key in ["welfare", "refund_volume", "deadline_miss_rate"] {
+        let b = numbers_for(base, key);
+        let f = numbers_for(fresh, key);
+        gate.checks += 1;
+        if b != f {
+            gate.warn(format!(
+                "{file}: `{key}` digests changed ({b:?} -> {f:?}) — spot economics drifted"
+            ));
+        }
+    }
+    for key in [
+        "welfare_bits",
+        "refund_bits",
+        "ledger_digest",
+        "decision_fingerprint",
+    ] {
+        let b = strings_for(base, key);
+        let f = strings_for(fresh, key);
+        gate.checks += 1;
+        if b != f {
+            gate.warn(format!(
+                "{file}: determinism `{key}` changed ({b:?} -> {f:?})"
+            ));
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut fresh: Option<PathBuf> = None;
@@ -264,6 +324,13 @@ fn main() -> ExitCode {
     ) {
         (Some(b), Some(f)) => check_service(&mut gate, &b, &f),
         _ => gate.fail("BENCH_service.json missing on one side".to_owned()),
+    }
+    match (
+        read(&baseline, "BENCH_spot.json"),
+        read(&fresh, "BENCH_spot.json"),
+    ) {
+        (Some(b), Some(f)) => check_spot(&mut gate, &b, &f),
+        _ => gate.fail("BENCH_spot.json missing on one side".to_owned()),
     }
 
     for w in &gate.warnings {
@@ -338,6 +405,53 @@ mod tests {
   "spawn_overhead": {{"pool_ns_per_task": {pool_ns}}}
 }}"#
         )
+    }
+
+    fn spot_doc(welfare: f64, bits: &str, bits2: &str) -> String {
+        format!(
+            r#"{{
+  "configured_threads": 1,
+  "scenario": {{"horizon": 48, "nodes": 12, "tasks": 380}},
+  "comparison": [{{"pdftsp": {{"welfare": {welfare}, "refund_volume": 12.5,
+                              "deadline_miss_rate": 0.1}},
+                  "baseline": {{"welfare": 200.0, "refund_volume": 0.0,
+                                "deadline_miss_rate": 0.3}}}}],
+  "determinism": [
+    {{"welfare_bits": "{bits}", "refund_bits": "aa", "ledger_digest": "bb",
+      "decision_fingerprint": "cc"}},
+    {{"welfare_bits": "{bits2}", "refund_bits": "aa", "ledger_digest": "bb",
+      "decision_fingerprint": "cc"}}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn spot_gate_fails_internal_divergence_and_warns_on_drift() {
+        let base = spot_doc(500.0, "11", "11");
+        // Identical: clean pass.
+        let mut gate = Gate {
+            failures: Vec::new(),
+            warnings: Vec::new(),
+            checks: 0,
+            strict: false,
+        };
+        check_spot(&mut gate, &base, &spot_doc(500.0, "11", "11"));
+        assert!(gate.failures.is_empty(), "{:?}", gate.failures);
+        assert!(gate.warnings.is_empty(), "{:?}", gate.warnings);
+        // Worker/pipeline rows disagreeing is a hard failure.
+        check_spot(&mut gate, &base, &spot_doc(500.0, "11", "22"));
+        assert_eq!(gate.failures.len(), 1, "{:?}", gate.failures);
+        // Welfare digest drift against the baseline is warn-only.
+        let mut gate = Gate {
+            failures: Vec::new(),
+            warnings: Vec::new(),
+            checks: 0,
+            strict: false,
+        };
+        check_spot(&mut gate, &base, &spot_doc(480.0, "33", "33"));
+        assert!(gate.failures.is_empty(), "{:?}", gate.failures);
+        assert_eq!(gate.warnings.len(), 2, "{:?}", gate.warnings);
     }
 
     #[test]

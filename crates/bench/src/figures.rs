@@ -336,6 +336,9 @@ pub fn fig12_competitive(scale: Scale) -> FigureTable {
                     arrivals: ArrivalProcess::Poisson {
                         mean_per_slot: mean,
                     },
+                    // Each instance is one compressed day (same
+                    // convention as `Scale::slots_per_day`).
+                    slots_per_day: h,
                     seed: BASE_SEED ^ (hi * 31 + mi) as u64,
                     ..ScenarioBuilder::default()
                 }

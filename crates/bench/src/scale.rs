@@ -36,6 +36,16 @@ impl Scale {
         }
     }
 
+    /// Slots per diurnal energy-price cycle. The quick scale shrinks the
+    /// day together with the horizon (20-minute slots instead of 10), so
+    /// one quick run still spans exactly one full diurnal cycle — the
+    /// price *shape* the figures compare under is preserved, not
+    /// truncated mid-cycle.
+    #[must_use]
+    pub fn slots_per_day(self) -> usize {
+        self.horizon()
+    }
+
     /// Number of seeds each cell is averaged over.
     #[must_use]
     pub fn seeds(self) -> u64 {
@@ -68,6 +78,7 @@ impl Scale {
             arrivals: ArrivalProcess::Poisson {
                 mean_per_slot: self.arrival_mean(50.0),
             },
+            slots_per_day: self.slots_per_day(),
             ..ScenarioBuilder::default()
         }
     }

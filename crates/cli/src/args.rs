@@ -40,6 +40,12 @@ simulate options:
   --faults SPEC    inject seeded node failures and run the recovery path
                    (pdftsp only); SPEC is key=value pairs, e.g.
                    crashes=2,outage=4,degrade=0.3,seed=7
+  --spot SPEC      spot-market run (pdftsp only): time-varying spot
+                   prices, budget-capped bidders, revocable leases
+                   through the recovery path, and the deadline-aware
+                   baseline comparison; SPEC is key=value pairs, e.g.
+                   jumps=0.1,mag=2.0,leases=4,lease_len=6,budgets=0.5,
+                   lookahead=8,gain=0.5,seed=7 (empty string = defaults)
 
 serve-sim options:
   --shards N       shard count (disjoint node ranges)  [default 2]
@@ -51,6 +57,9 @@ serve-sim options:
                    (decisions are bit-identical; only throughput changes)
   --faults SPEC    inject seeded node failures through the service path
                    (same SPEC syntax as simulate)
+  --spot SPEC      transform the scenario per the spot spec and drive
+                   the lease revocations through the service path
+                   (same SPEC syntax as simulate's --spot)
   --metrics-file F write a Prometheus text exposition snapshot to F at
                    run end (per-shard labeled series + totals)
   --trace-out F    record lifecycle spans (route/propose/commit/settle)
@@ -103,6 +112,9 @@ pub struct Cli {
     pub duals: Option<String>,
     /// Fault-injection spec for `simulate` (`--faults`), unparsed.
     pub faults: Option<String>,
+    /// Spot-market spec for `simulate` / `serve-sim` (`--spot`),
+    /// unparsed.
+    pub spot: Option<String>,
     /// Emit the run report as JSON instead of text (`report`).
     pub json: bool,
     /// Offline branch-and-bound limits (`ratio`).
@@ -283,6 +295,7 @@ impl Cli {
         let mut telemetry = None;
         let mut duals = None;
         let mut faults = None;
+        let mut spot = None;
         let mut json = false;
         let mut milp = MilpArgs::default();
         let mut service = ServiceArgs::default();
@@ -305,6 +318,7 @@ impl Cli {
                 "--telemetry" => telemetry = Some(value_for("--telemetry")?.clone()),
                 "--duals" => duals = Some(value_for("--duals")?.clone()),
                 "--faults" => faults = Some(value_for("--faults")?.clone()),
+                "--spot" => spot = Some(value_for("--spot")?.clone()),
                 "--metrics-file" => metrics_file = Some(value_for("--metrics-file")?.clone()),
                 "--trace-out" => trace_out = Some(value_for("--trace-out")?.clone()),
                 "--progress" => progress = true,
@@ -423,6 +437,7 @@ impl Cli {
             telemetry,
             duals,
             faults,
+            spot,
             json,
             milp,
             service,
@@ -533,6 +548,16 @@ mod tests {
         let cli = parse("simulate").unwrap();
         assert!(cli.faults.is_none());
         assert!(parse("run --faults").is_err());
+    }
+
+    #[test]
+    fn spot_spec_parses_on_run_and_serve_sim() {
+        let cli = parse("run --spot leases=4,budgets=0.5,seed=7").unwrap();
+        assert_eq!(cli.spot.as_deref(), Some("leases=4,budgets=0.5,seed=7"));
+        let cli = parse("serve-sim --spot lease_len=6 --shards 3").unwrap();
+        assert_eq!(cli.spot.as_deref(), Some("lease_len=6"));
+        assert!(parse("simulate").unwrap().spot.is_none());
+        assert!(parse("run --spot").is_err());
     }
 
     #[test]

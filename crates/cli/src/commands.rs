@@ -2,18 +2,19 @@
 //! (so the logic is unit-testable without capturing stdout).
 
 use crate::args::{Cli, Command, ScenarioArgs, USAGE};
+use pdftsp_core::PreheatSpec;
 use pdftsp_core::{probe_bid, Pdftsp, PdftspConfig};
 use pdftsp_lora::{CalibrationTable, TransformerConfig};
 use pdftsp_sim::{
-    empirical_ratio_with_telemetry, parallel_map, partition_zones, render_gantt, render_timeline,
-    run_algo, run_pdftsp_instrumented, run_pdftsp_with_faults, run_scheduler, run_zoned,
-    try_run_algo, write_dual_grid, Algo, AuctionService, FaultEvent, FaultPlan, FaultSpec,
-    FigureTable, Observability, RunResult, ServiceConfig, ServiceOutcome,
+    empirical_ratio_with_telemetry, lease_fault_plan, parallel_map, partition_zones, render_gantt,
+    render_timeline, run_algo, run_pdftsp_instrumented, run_pdftsp_with_faults, run_scheduler,
+    run_spot, run_zoned, try_run_algo, write_dual_grid, Algo, AuctionService, FaultEvent,
+    FaultPlan, FaultSpec, FigureTable, Observability, RunResult, ServiceConfig, ServiceOutcome,
 };
 use pdftsp_solver::milp::MilpConfig;
 use pdftsp_telemetry::{chrome, prometheus, JsonlSink, Stage, Telemetry};
 use pdftsp_types::Scenario;
-use pdftsp_workload::ScenarioBuilder;
+use pdftsp_workload::{ScenarioBuilder, SpotSpec};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -302,16 +303,47 @@ fn zones(args: &ScenarioArgs) -> String {
 /// epoch-batched admission, per-shard dual grids, and the two-phase
 /// commit against the global ledger — and print per-shard statistics.
 fn serve_sim(scenario: &Scenario, cli: &Cli) -> String {
-    let plan = match &cli.faults {
-        Some(spec_text) => match FaultSpec::parse(spec_text) {
-            Ok(spec) => FaultPlan::generate(scenario, &spec),
-            Err(e) => return format!("error: {e}\n"),
-        },
-        None => FaultPlan::none(),
+    if cli.spot.is_some() && cli.faults.is_some() {
+        return "error: --spot and --faults are mutually exclusive (--spot already \
+                drives revocations through the fault path)\n"
+            .to_string();
+    }
+    // `--spot` transforms the scenario (re-priced grid, budget caps),
+    // derives the revocation plan from the lease windows, and installs
+    // the prediction pre-heat; revocations then flow through the same
+    // two-phase-commit recovery path a `--faults` plan would.
+    let mut scheduler_cfg = PdftspConfig::default();
+    let (scenario, plan) = match &cli.spot {
+        Some(spec_text) => {
+            let spec = match SpotSpec::parse(spec_text) {
+                Ok(s) => s,
+                Err(e) => return format!("error: {e}\n"),
+            };
+            let transformed = spec.apply(scenario);
+            let leases = spec.lease_plan(transformed.nodes.len(), transformed.horizon);
+            let plan = lease_fault_plan(&leases, transformed.horizon);
+            scheduler_cfg.preheat = (spec.lookahead > 0).then_some(PreheatSpec {
+                lookahead: spec.lookahead,
+                gain: spec.gain,
+            });
+            (transformed, plan)
+        }
+        None => {
+            let plan = match &cli.faults {
+                Some(spec_text) => match FaultSpec::parse(spec_text) {
+                    Ok(spec) => FaultPlan::generate(scenario, &spec),
+                    Err(e) => return format!("error: {e}\n"),
+                },
+                None => FaultPlan::none(),
+            };
+            (scenario.clone(), plan)
+        }
     };
+    let scenario = &scenario;
     let cfg = ServiceConfig {
         shards: cli.service.shards,
         epoch_slots: cli.service.epoch,
+        scheduler: scheduler_cfg,
         open_loop_rate: cli.service.rate,
         pipeline: cli.service.pipeline,
         ..ServiceConfig::default()
@@ -577,6 +609,14 @@ fn calibrate(args: &ScenarioArgs) -> String {
 }
 
 fn simulate(scenario: &Scenario, args: &ScenarioArgs, algo: Algo, cli: &Cli) -> String {
+    if let Some(spec) = &cli.spot {
+        if cli.faults.is_some() {
+            return "error: --spot and --faults are mutually exclusive (--spot already \
+                    drives revocations through the fault path)\n"
+                .to_string();
+        }
+        return simulate_spot(scenario, algo, spec);
+    }
     if let Some(spec) = &cli.faults {
         return simulate_with_faults(scenario, algo, spec, cli);
     }
@@ -736,6 +776,66 @@ fn simulate_with_faults(scenario: &Scenario, algo: Algo, spec_text: &str, cli: &
     }
     if let Some(p) = &cli.telemetry {
         out.push_str(&format!("telemetry events -> {p}\n"));
+    }
+    out
+}
+
+/// `simulate --spot`: transform the scenario into its spot-market
+/// variant (re-priced grid, budget caps), drive the lease revocations
+/// through the recovery path, and print the pdFTSP-vs-baseline
+/// comparison on welfare, refund volume, and deadline-miss rate.
+fn simulate_spot(scenario: &Scenario, algo: Algo, spec_text: &str) -> String {
+    if !matches!(
+        algo,
+        Algo::Pdftsp | Algo::PdftspMasked | Algo::PdftspReference
+    ) {
+        return "error: --spot requires a pdFTSP algorithm (--algo pdftsp)\n".to_string();
+    }
+    let config = pdftsp_config_for(algo).expect("pdFTSP family has a config");
+    let spec = match SpotSpec::parse(spec_text) {
+        Ok(s) => s,
+        Err(e) => return format!("error: {e}\n"),
+    };
+    let cmp = run_spot(scenario, &spec, config);
+    let stats = scenario.stats();
+    let mut out = format!(
+        "scenario: {} tasks / {} nodes / {} slots (offered load {:.2})\n\
+         algorithm: pdFTSP vs {} (spot market)\n\
+         spot spec        : jumps={} mag={} revert={} diurnal={} leases={} (len {}) \
+         budgets={} lookahead={} gain={} seed={}\n\
+         market           : {} revocations, {} budget-capped bidders, \
+         {} budget rejections\n",
+        stats.tasks,
+        stats.nodes,
+        stats.horizon,
+        stats.offered_load,
+        cmp.baseline.name,
+        spec.jump_prob,
+        spec.jump_mag,
+        spec.revert,
+        spec.diurnal,
+        spec.leases,
+        spec.lease_len,
+        spec.budget_frac,
+        spec.lookahead,
+        spec.gain,
+        spec.seed,
+        cmp.revocations,
+        cmp.capped_bidders,
+        cmp.budget_rejections,
+    );
+    for m in [&cmp.pdftsp, &cmp.baseline] {
+        out.push_str(&format!(
+            "{:<18} welfare {:>10.2}  refunds {:>8.2}  miss-rate {:>5.1}%  \
+             completed {:>4}  aborted {:>3}  rejected {:>4}\n",
+            m.name,
+            m.social_welfare,
+            m.refund_volume,
+            100.0 * m.deadline_miss_rate,
+            m.completed,
+            m.aborted,
+            m.rejected,
+        ));
     }
     out
 }
@@ -1046,6 +1146,52 @@ mod tests {
             "run --nodes 4 --slots 24 --mean 3 --seed 11 --faults crashes=2,outage=4,seed=7",
         );
         assert_eq!(out, again);
+    }
+
+    #[test]
+    fn run_with_spot_compares_both_systems_deterministically() {
+        let words = "run --nodes 4 --slots 24 --mean 3 --seed 11 \
+                     --spot leases=3,lease_len=4,budgets=0.6,seed=5";
+        let out = run_words(words);
+        assert!(out.contains("spot market"), "{out}");
+        assert!(out.contains("spot spec"), "{out}");
+        assert!(out.contains("pdFTSP"), "{out}");
+        assert!(out.contains("DeadlineAware+pred"), "{out}");
+        assert!(out.contains("revocations"), "{out}");
+        assert!(out.contains("budget-capped bidders"), "{out}");
+        assert_eq!(out, run_words(words));
+    }
+
+    #[test]
+    fn spot_rejects_baselines_bad_specs_and_fault_mixing() {
+        let out = run_words("run --algo eft --nodes 4 --slots 12 --mean 1 --spot leases=1");
+        assert!(out.starts_with("error:"), "{out}");
+        let out = run_words("run --nodes 4 --slots 12 --mean 1 --spot leases=banana");
+        assert!(out.starts_with("error:"), "{out}");
+        let out = run_words("run --nodes 4 --slots 12 --mean 1 --spot leases=1 --faults crashes=1");
+        assert!(out.contains("mutually exclusive"), "{out}");
+        let out =
+            run_words("serve-sim --nodes 4 --slots 12 --mean 1 --spot leases=1 --faults crashes=1");
+        assert!(out.contains("mutually exclusive"), "{out}");
+    }
+
+    #[test]
+    fn serve_sim_spot_runs_revocations_through_the_service() {
+        let words = "serve-sim --nodes 6 --slots 24 --mean 3 --seed 11 --shards 3 --epoch 5 \
+                     --spot leases=4,lease_len=4,seed=9";
+        let out = run_words(words);
+        assert!(out.contains("service : 3 shards"), "{out}");
+        assert!(out.contains("ledger digest"), "{out}");
+        assert_eq!(out, run_words(words));
+        // Pipelining changes only the service header, never decisions.
+        let piped = run_words(&format!("{words} --pipeline"));
+        let strip = |text: &str| -> String {
+            text.lines()
+                .filter(|l| !l.starts_with("service :"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&out), strip(&piped));
     }
 
     #[test]

@@ -12,13 +12,22 @@
 use pdftsp_types::CostGrid;
 use rand::Rng;
 
+/// Slots per day for periodic price signals: the paper's horizon is
+/// 144 slots of 10 minutes, i.e. exactly one day, so the historical
+/// `phase = t / horizon` behaviour and the periodic behaviour coincide
+/// at the paper's canonical horizon (fig baselines are preserved).
+/// Runs longer than one day now see the sinusoid repeat instead of
+/// stretching a single "day" across the whole horizon.
+pub const SLOTS_PER_DAY: usize = 144;
+
 /// Price-signal shape.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PriceModel {
     /// Constant `base` at every slot.
     Flat,
-    /// `base · (1 + amplitude · sin(2π(t/T − 0.25)))`: trough at t=0
-    /// (midnight), peak mid-day. `amplitude ∈ [0, 1)`.
+    /// `base · (1 + amplitude · sin(2π((t mod P)/P − 0.25)))` with period
+    /// `P = slots_per_day`: trough at t=0 (midnight), peak mid-day.
+    /// `amplitude ∈ [0, 1)`.
     Diurnal { amplitude: f64 },
     /// Diurnal plus spikes: with probability `spike_prob` per slot the
     /// price is multiplied by `spike_factor`.
@@ -39,6 +48,11 @@ pub struct EnergySignal {
     /// Relative power draw per node (1.0 = baseline; an A100 node draws
     /// more power than an A40 node).
     pub node_power: Vec<f64>,
+    /// Period of the diurnal sinusoid in slots (default
+    /// [`SLOTS_PER_DAY`]). Historically the "day" was stretched across
+    /// the whole horizon, which made a 48-slot and a 4800-slot run see
+    /// entirely different price dynamics.
+    pub slots_per_day: usize,
 }
 
 impl EnergySignal {
@@ -49,6 +63,7 @@ impl EnergySignal {
             base,
             model,
             node_power: vec![1.0; nodes],
+            slots_per_day: SLOTS_PER_DAY,
         }
     }
 
@@ -77,7 +92,8 @@ impl EnergySignal {
                 let shape = match self.model {
                     PriceModel::Flat => 1.0,
                     PriceModel::Diurnal { amplitude } | PriceModel::Spiky { amplitude, .. } => {
-                        let phase = t as f64 / horizon.max(1) as f64;
+                        let period = self.slots_per_day.max(1);
+                        let phase = (t % period) as f64 / period as f64;
                         1.0 + amplitude * (std::f64::consts::TAU * (phase - 0.25)).sin()
                     }
                 };
@@ -129,6 +145,7 @@ mod tests {
             base: 1.0,
             model: PriceModel::Flat,
             node_power: vec![1.0, 2.5],
+            slots_per_day: SLOTS_PER_DAY,
         };
         let g = sig.grid(4, &mut rng);
         assert!((g.price(1, 0) / g.price(0, 0) - 2.5).abs() < 1e-12);
@@ -145,6 +162,7 @@ mod tests {
                 spike_factor: 3.0,
             },
             node_power: vec![1.0, 1.0],
+            slots_per_day: SLOTS_PER_DAY,
         };
         let g = sig.grid(40, &mut rng);
         let mut spiked = 0;
@@ -158,6 +176,31 @@ mod tests {
         }
         // With prob 0.5 over 40 slots, expect some spikes and some calm.
         assert!(spiked > 5 && spiked < 35, "spiked {spiked}");
+    }
+
+    #[test]
+    fn diurnal_shape_is_periodic_and_horizon_independent() {
+        // The per-day price shape must be identical whether the run
+        // lasts one day or three: the sinusoid is periodic in
+        // `slots_per_day`, not stretched across the horizon.
+        let sig = EnergySignal::uniform(1.0, PriceModel::Diurnal { amplitude: 0.7 }, 1);
+        let one_day = sig.grid(SLOTS_PER_DAY, &mut StdRng::seed_from_u64(1));
+        let three_days = sig.grid(3 * SLOTS_PER_DAY, &mut StdRng::seed_from_u64(1));
+        for t in 0..SLOTS_PER_DAY {
+            let p = one_day.price(0, t);
+            for day in 0..3 {
+                let q = three_days.price(0, day * SLOTS_PER_DAY + t);
+                assert!(
+                    (p - q).abs() < 1e-12,
+                    "slot {t} day {day}: {p} vs {q} — day shape depends on horizon"
+                );
+            }
+        }
+        // A shorter-than-a-day horizon sees a prefix of the same day.
+        let half_day = sig.grid(SLOTS_PER_DAY / 2, &mut StdRng::seed_from_u64(1));
+        for t in 0..SLOTS_PER_DAY / 2 {
+            assert!((half_day.price(0, t) - one_day.price(0, t)).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Revocable node leases (spot / preemptible capacity).
+//!
+//! In a spot market part of the cluster is rented rather than owned:
+//! the upstream provider may *revoke* a leased node with little notice
+//! and hand it back later. A revocation is operationally identical to a
+//! node crash followed by a recovery — the lease layer only decides
+//! *which* nodes go away *when*; the quarantine/resubmit/refund
+//! machinery of the fault driver handles the consequences verbatim.
+//!
+//! Lease plans are seeded and deterministic, like everything else in
+//! the workspace: the same `(nodes, horizon, spec, seed)` always
+//! produces the same revocation schedule.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One revocable lease window: the node is *lost* (revoked) at
+/// `revoke_slot` and returned at `restore_slot` (exclusive; a
+/// `restore_slot` past the horizon means it never comes back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLease {
+    /// The leased node.
+    pub node: usize,
+    /// First slot the node is unavailable.
+    pub revoke_slot: usize,
+    /// First slot the node is available again (exclusive end of the
+    /// revocation window).
+    pub restore_slot: usize,
+}
+
+impl NodeLease {
+    /// Whether `(node, slot)` falls inside this revocation window.
+    #[must_use]
+    pub fn covers(&self, node: usize, slot: usize) -> bool {
+        node == self.node && (self.revoke_slot..self.restore_slot).contains(&slot)
+    }
+}
+
+/// A seeded set of lease revocations for one cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LeasePlan {
+    /// Revocations sorted by `(revoke_slot, node)`.
+    pub leases: Vec<NodeLease>,
+}
+
+impl LeasePlan {
+    /// No revocable capacity: the run reduces to the owned-cluster path.
+    #[must_use]
+    pub fn none() -> LeasePlan {
+        LeasePlan::default()
+    }
+
+    /// Generates `count` revocation attempts over `nodes` nodes and a
+    /// `horizon`-slot run, each lasting `lease_len` slots. Revocations
+    /// land in `1..horizon` (slot 0 always executes cleanly, matching
+    /// the fault planner). Attempts overlapping an existing window on
+    /// the same node are dropped rather than re-rolled, so the RNG draw
+    /// sequence is independent of prior accepts — the same invariant
+    /// the crash planner keeps.
+    #[must_use]
+    pub fn generate(
+        nodes: usize,
+        horizon: usize,
+        count: usize,
+        lease_len: usize,
+        seed: u64,
+    ) -> LeasePlan {
+        let mut leases: Vec<NodeLease> = Vec::new();
+        if nodes == 0 || horizon < 2 {
+            return LeasePlan { leases };
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..count {
+            let node = rng.gen_range(0..nodes);
+            let revoke_slot = rng.gen_range(1..horizon);
+            let restore_slot = revoke_slot + lease_len.max(1);
+            let overlaps = leases.iter().any(|l| {
+                l.node == node && revoke_slot < l.restore_slot && restore_slot > l.revoke_slot
+            });
+            if overlaps {
+                continue;
+            }
+            leases.push(NodeLease {
+                node,
+                revoke_slot,
+                restore_slot,
+            });
+        }
+        leases.sort_by_key(|l| (l.revoke_slot, l.node));
+        LeasePlan { leases }
+    }
+
+    /// Whether `(node, slot)` is inside any revocation window.
+    #[must_use]
+    pub fn revoked(&self, node: usize, slot: usize) -> bool {
+        self.leases.iter().any(|l| l.covers(node, slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = LeasePlan::generate(8, 48, 5, 6, 17);
+        let b = LeasePlan::generate(8, 48, 5, 6, 17);
+        assert_eq!(a, b);
+        assert!(!a.leases.is_empty());
+    }
+
+    #[test]
+    fn windows_never_overlap_per_node() {
+        let plan = LeasePlan::generate(3, 64, 40, 8, 5);
+        for (i, a) in plan.leases.iter().enumerate() {
+            for b in &plan.leases[i + 1..] {
+                if a.node == b.node {
+                    assert!(
+                        a.restore_slot <= b.revoke_slot || b.restore_slot <= a.revoke_slot,
+                        "overlap: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn revocations_spare_slot_zero() {
+        let plan = LeasePlan::generate(4, 32, 20, 4, 9);
+        assert!(plan.leases.iter().all(|l| l.revoke_slot >= 1));
+        for k in 0..4 {
+            assert!(!plan.revoked(k, 0));
+        }
+    }
+
+    #[test]
+    fn covers_is_half_open() {
+        let l = NodeLease {
+            node: 2,
+            revoke_slot: 5,
+            restore_slot: 8,
+        };
+        assert!(!l.covers(2, 4));
+        assert!(l.covers(2, 5));
+        assert!(l.covers(2, 7));
+        assert!(!l.covers(2, 8));
+        assert!(!l.covers(1, 6));
+    }
+
+    #[test]
+    fn degenerate_clusters_get_empty_plans() {
+        assert!(LeasePlan::generate(0, 48, 5, 4, 1).leases.is_empty());
+        assert!(LeasePlan::generate(4, 1, 5, 4, 1).leases.is_empty());
+    }
+}

@@ -22,14 +22,16 @@
 
 pub mod energy;
 pub mod engine;
+pub mod lease;
 pub mod ledger;
 pub mod metrics;
 pub mod parallel;
 pub mod shard;
 
-pub use energy::{EnergySignal, PriceModel};
+pub use energy::{EnergySignal, PriceModel, SLOTS_PER_DAY};
 pub use engine::ReplayError;
 pub use engine::{ExecutionEngine, ExecutionReport, TaskEvent, TaskEventKind, TaskLifetime};
+pub use lease::{LeasePlan, NodeLease};
 pub use ledger::{CapacityLedger, LedgerError, Released};
 pub use metrics::ClusterMetrics;
 pub use parallel::{

@@ -125,6 +125,41 @@ pub enum EvalPipeline {
     Optimized,
 }
 
+/// Prediction-driven dual pre-heating (spot-market scenarios).
+///
+/// Algorithm 1 starts all dual prices at zero, so the first tasks of a
+/// burst buy capacity at trivially low prices even when a forecast says
+/// the burst will over-subscribe the cluster moments later. When a
+/// provider has a prediction signal — forecast arrival intensity and
+/// spot prices over a lookahead window — it can *pre-heat* the λ/φ
+/// grids: slots whose forecast demand exceeds capacity start at a
+/// price proportional to the forecast bid density, so early low-value
+/// arrivals no longer lock out the predicted high-value wave.
+///
+/// The forecast is computed deterministically from the scenario at
+/// scheduler construction (a moving-window aggregate of arriving work,
+/// bids, and memory), so it is a pure function of the inputs: sharded
+/// services pre-heat each shard identically regardless of worker count
+/// and the bit-determinism contract is preserved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreheatSpec {
+    /// Forecast window in slots: demand arriving within `lookahead` of
+    /// a slot contributes to that slot's forecast.
+    pub lookahead: usize,
+    /// Scale on the seeded prices (0 disables; 1 seeds saturated slots
+    /// at the full forecast bid density).
+    pub gain: f64,
+}
+
+impl Default for PreheatSpec {
+    fn default() -> Self {
+        PreheatSpec {
+            lookahead: 6,
+            gain: 0.5,
+        }
+    }
+}
+
 /// Full algorithm configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PdftspConfig {
@@ -183,6 +218,9 @@ pub struct PdftspConfig {
     /// [`KernelChoice::Auto`] honours the `PDFTSP_KERNEL` environment
     /// override and otherwise takes SIMD whenever the build carries it.
     pub kernel: KernelChoice,
+    /// Optional prediction-driven dual pre-heating (spot scenarios).
+    /// `None` (default) keeps Algorithm 1's zero-initialized duals.
+    pub preheat: Option<PreheatSpec>,
 }
 
 impl Default for PdftspConfig {
@@ -200,6 +238,7 @@ impl Default for PdftspConfig {
             pipeline: EvalPipeline::Optimized,
             parallel_vendor_min: 8,
             kernel: KernelChoice::Auto,
+            preheat: None,
         }
     }
 }
@@ -246,6 +285,15 @@ impl PdftspConfig {
     #[must_use]
     pub fn with_kernel(self, kernel: KernelChoice) -> Self {
         PdftspConfig { kernel, ..self }
+    }
+
+    /// Enables prediction-driven dual pre-heating.
+    #[must_use]
+    pub fn with_preheat(self, preheat: PreheatSpec) -> Self {
+        PdftspConfig {
+            preheat: Some(preheat),
+            ..self
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 //! [`crate::config::PdftspConfig::compute_unit`] so `b̄_il` is O(1)
 //! (Lemma 2's unit-scaling assumption).
 
-use crate::config::DualRule;
+use crate::config::{DualRule, PreheatSpec};
 use pdftsp_telemetry::{Event, Telemetry};
 use pdftsp_types::{NodeId, Scenario, Schedule, Slot, Task};
 
@@ -215,6 +215,70 @@ impl DualState {
         }
     }
 
+    /// Seeds the price grids from a forecast of arrival intensity over a
+    /// lookahead window (prediction-driven pre-heating; see
+    /// [`PreheatSpec`]).
+    ///
+    /// For every slot `t` the forecast aggregates the work, bids, and
+    /// memory of tasks *arriving* in `[t, t + lookahead)`. Where the
+    /// forecast work exceeds the window's compute capacity, `λ_kt` is
+    /// seeded at `gain · (forecast bid density) · (overload − 1)` on
+    /// every node; `φ_kt` analogously from the memory forecast. Slots
+    /// the forecast calls quiet keep Algorithm 1's zero start, so the
+    /// base analysis is untouched off-burst. Seeds only ever *raise* a
+    /// price, and the whole computation is a pure function of the
+    /// scenario — deterministic across shard layouts and worker counts.
+    pub fn preheat(&mut self, scenario: &Scenario, compute_unit: f64, spec: &PreheatSpec) {
+        let lookahead = spec.lookahead.max(1).min(self.horizon);
+        if spec.gain <= 0.0 || self.horizon == 0 {
+            return;
+        }
+        // Per-arrival-slot aggregates, in pricing units.
+        let mut work = vec![0.0f64; self.horizon];
+        let mut bids = vec![0.0f64; self.horizon];
+        let mut mem = vec![0.0f64; self.horizon];
+        for task in &scenario.tasks {
+            if task.arrival >= self.horizon {
+                continue;
+            }
+            work[task.arrival] += task.work as f64 / compute_unit;
+            bids[task.arrival] += task.bid;
+            mem[task.arrival] += task.memory_gb;
+        }
+        let cap_compute: f64 = self.compute_cap_units.iter().sum();
+        let cap_memory: f64 = self.adapter_cap.iter().sum();
+        for t in 0..self.horizon {
+            let end = (t + lookahead).min(self.horizon);
+            let window = (end - t) as f64;
+            let (mut w, mut b, mut m) = (0.0, 0.0, 0.0);
+            for s in t..end {
+                w += work[s];
+                b += bids[s];
+                m += mem[s];
+            }
+            let lambda_seed = if w > 0.0 && cap_compute > 0.0 {
+                let overload = w / (cap_compute * window);
+                spec.gain * (b / w) * (overload - 1.0).max(0.0)
+            } else {
+                0.0
+            };
+            let phi_seed = if m > 0.0 && cap_memory > 0.0 {
+                let overload = m / (cap_memory * window);
+                spec.gain * (b / m) * (overload - 1.0).max(0.0)
+            } else {
+                0.0
+            };
+            if lambda_seed <= 0.0 && phi_seed <= 0.0 {
+                continue;
+            }
+            for k in 0..self.nodes {
+                let i = k * self.horizon + t;
+                self.lambda[i] = self.lambda[i].max(lambda_seed);
+                self.phi[i] = self.phi[i].max(phi_seed);
+            }
+        }
+    }
+
     /// Accumulates `μ_i` (Eq. 11) for dual-objective instrumentation.
     pub fn add_mu(&mut self, mu: f64) {
         debug_assert!(mu >= 0.0);
@@ -365,6 +429,58 @@ mod tests {
         d.update_with_rule(&t, &s, 5.0, 9.0, 9.0, 1000.0, DualRule::Off);
         assert_eq!(d.lambda(0, 1), 0.0);
         assert_eq!(d.phi(0, 1), 0.0);
+    }
+
+    #[test]
+    fn preheat_seeds_only_forecast_overloaded_slots() {
+        // One node with 4 compute units per slot; a burst of tasks all
+        // arriving at slot 2 carrying far more work than a 2-slot
+        // window can host. Slots whose lookahead window sees the burst
+        // get a positive λ seed; slots past it stay zero.
+        let mut sc = scenario();
+        for i in 0..4 {
+            sc.tasks.push(
+                TaskBuilder::new(i, 2, 3)
+                    .dataset(8000)
+                    .bid(16.0)
+                    .memory_gb(10.0)
+                    .rates(vec![4000])
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let mut d = DualState::new(&sc, 1000.0);
+        d.preheat(
+            &sc,
+            1000.0,
+            &PreheatSpec {
+                lookahead: 2,
+                gain: 0.5,
+            },
+        );
+        // Window [2,4) sees 4·8 = 32 units vs 4·2 = 8 capacity.
+        assert!(d.lambda(0, 2) > 0.0, "burst slot must be pre-heated");
+        assert!(
+            d.lambda(0, 1) > 0.0,
+            "lookahead sees the burst one slot early"
+        );
+        assert_eq!(d.lambda(0, 0), 0.0, "slot 0's window [0,2) is quiet");
+        // Memory: 40 GB vs 78 GB per slot — under capacity, φ stays 0.
+        assert_eq!(d.phi(0, 2), 0.0);
+        // Seeded λ = gain · (b/w) · (overload − 1)
+        //          = 0.5 · (64/32) · (32/8 − 1) = 3.0.
+        assert!((d.lambda(0, 2) - 3.0).abs() < 1e-12, "{}", d.lambda(0, 2));
+        // Zero gain is a no-op.
+        let mut z = DualState::new(&sc, 1000.0);
+        z.preheat(
+            &sc,
+            1000.0,
+            &PreheatSpec {
+                lookahead: 2,
+                gain: 0.0,
+            },
+        );
+        assert_eq!(z.lambda(0, 2), 0.0);
     }
 
     #[test]

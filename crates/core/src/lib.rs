@@ -41,7 +41,9 @@ pub mod probe;
 pub mod scheduler;
 
 pub use analysis::{audit_guarantees, GuaranteeAudit};
-pub use config::{AlphaBeta, CapacityPolicy, DualRule, EvalPipeline, PdftspConfig, PricingRule};
+pub use config::{
+    AlphaBeta, CapacityPolicy, DualRule, EvalPipeline, PdftspConfig, PreheatSpec, PricingRule,
+};
 pub use dp::{
     find_schedule, find_schedule_on_grid, find_schedule_reference, DpBuffers, DpContext, DpResult,
     EvalScratch,

@@ -179,9 +179,16 @@ impl Pdftsp {
             } => (floor_alpha, floor_beta),
         };
         let kernel = config.kernel.resolve();
+        let mut duals = DualState::new(scenario, config.compute_unit);
+        if let Some(spec) = &config.preheat {
+            // Prediction-driven pre-heating: seed prices where the
+            // forecast says demand will outrun capacity. Pure function
+            // of the scenario, so sharded replicas agree bit-for-bit.
+            duals.preheat(scenario, config.compute_unit, spec);
+        }
         Pdftsp {
             config,
-            duals: DualState::new(scenario, config.compute_unit),
+            duals,
             ledger: CapacityLedger::new(scenario),
             alpha,
             beta,
@@ -604,6 +611,20 @@ impl Pdftsp {
             self.config.compute_unit,
             cand.energy,
         );
+        // Budget-capped bidders (spot market): a payment beyond the
+        // bidder's remaining budget makes the trade non-executable, so
+        // reject before any dual or ledger state is touched — exactly
+        // like a non-positive-surplus loser, the auction is left as if
+        // the bid never won. Payment uses pre-update duals, so the
+        // check is bid-independent for winners (truthfulness intact).
+        if let Some(budget) = task.budget {
+            if p > budget {
+                self.push_record(task, Some(&cand), 0.0, false, false);
+                let secs = self.finish_decide(task, t0, Some(Reason::NonPositiveSurplus));
+                return Decision::rejected(task.id, Rejection::BudgetExceeded, secs);
+            }
+        }
+
         let b_bar = cand.schedule.welfare_density(task, &scenario.cost);
         // welfare_density divides by raw samples; re-derive in pricing
         // units so b̄ matches the scaled arithmetic of Eqs. (7)-(8).

@@ -131,7 +131,10 @@ impl std::error::Error for RunError {}
 fn telemetry_reason(why: Rejection) -> Reason {
     match why {
         Rejection::NoFeasibleSchedule => Reason::NoFeasibleSchedule,
-        Rejection::NonPositiveSurplus => Reason::NonPositiveSurplus,
+        // Budget caps make the trade non-executable for the bidder —
+        // telemetry counts them with the surplus losers so the wire
+        // format (flight-recorder bytes, JSON names) stays fixed.
+        Rejection::NonPositiveSurplus | Rejection::BudgetExceeded => Reason::NonPositiveSurplus,
         Rejection::InsufficientCapacity => Reason::InsufficientCapacity,
     }
 }

@@ -118,7 +118,7 @@ impl FaultEvent {
 
     /// Within-slot application order: recoveries first (freed capacity is
     /// visible to same-slot arrivals), then degradations, then crashes.
-    fn order(&self) -> (Slot, u8, NodeId) {
+    pub(crate) fn order(&self) -> (Slot, u8, NodeId) {
         match *self {
             FaultEvent::NodeUp { node, slot } => (slot, 0, node),
             FaultEvent::Degrade { node, slot, .. } => (slot, 1, node),
@@ -489,6 +489,11 @@ pub(crate) fn handle_crash(
         remnant.work = task.work - done;
         remnant.dataset_samples = remnant.work;
         remnant.epochs = 1;
+        // Recovery is provider-absorbed: the original payment stands and
+        // the remnant auction's payment is never charged, so a budget
+        // cap must not veto the readmission (the bidder's cumulative
+        // spend does not change on recovery).
+        remnant.budget = None;
         let readmitted = if remnant.arrival <= remnant.deadline {
             match pdftsp.resubmit(&remnant, scenario, slot).outcome {
                 AuctionOutcome::Admitted { schedule, .. } => Some(schedule),

@@ -25,6 +25,10 @@
 //!   and ledger slices, epoch-batched admission with deterministic
 //!   routing, and an epoch-ordered two-phase commit against the global
 //!   fixed-point ledger (bit-identical for any worker count);
+//! * [`spot`] — spot-market runs: lease revocations mapped onto the
+//!   fault path, budget-capped bidders, and the
+//!   pdFTSP-vs-deadline-aware comparison (welfare, refund volume,
+//!   deadline-miss rate) behind `bench_spot`;
 //! * [`zones`] — multi-model data-center zones (one independent market
 //!   per pre-trained model, as the paper's Section 2.1 sketches);
 //! * [`report`] — figure tables with normalization and text/CSV rendering.
@@ -36,6 +40,7 @@ pub mod faults;
 pub mod parallel;
 pub mod report;
 pub mod service;
+pub mod spot;
 pub mod timeline;
 pub mod welfare;
 pub mod zones;
@@ -58,6 +63,7 @@ pub use service::{
     AuctionService, EpochReport, Observability, ServiceConfig, ServiceError, ServiceOutcome,
     ShardStats,
 };
+pub use spot::{lease_fault_plan, run_spot, spot_sweep, SpotComparison, SpotMetrics, SpotSweep};
 pub use timeline::{render_gantt, render_timeline, replay};
 pub use welfare::WelfareReport;
 pub use zones::{partition_zones, run_zoned, Zone, ZonedOutcome};

@@ -16,6 +16,11 @@ pub enum Rejection {
     /// `(k, t)` (Algorithm 1, line 12 — the Almost-Feasible → Feasible
     /// filter of Lemma 1).
     InsufficientCapacity,
+    /// The Eq. (14) payment would exceed the bidder's remaining budget:
+    /// a budget-capped bidder walks away rather than overspend, so the
+    /// trade is non-executable even though `F(il) > 0` (spot-market
+    /// scenarios; counted with the surplus rejections in telemetry).
+    BudgetExceeded,
 }
 
 /// The provider's response to one arriving bid.

@@ -11,6 +11,7 @@
 //! base_model_gb 1.26
 //! node <id> <gpu> <compute_capacity> <memory_gb>
 //! task <id> <arrival> <deadline> <dataset> <epochs> <memory_gb> <pp> <bid> <valuation> <energy_weight> <rates...>
+//! budget <task_id> <cap>     # optional; absent = uncapped bidder
 //! quotes <task_id> (<vendor> <price> <delay>)*
 //! cost <k> <t0..>            # one row per node, horizon prices
 //! ```
@@ -62,6 +63,13 @@ pub fn save(scenario: &Scenario) -> String {
             let _ = write!(out, " {r}");
         }
         out.push('\n');
+    }
+    // Budgets ride on their own tagged lines so the `task` record keeps
+    // its v1 field layout (absent line = uncapped bidder).
+    for t in &scenario.tasks {
+        if let Some(b) = t.budget {
+            let _ = writeln!(out, "budget {} {b:?}", t.id);
+        }
     }
     for (i, quotes) in scenario.quotes.iter().enumerate() {
         if quotes.is_empty() {
@@ -169,7 +177,17 @@ pub fn load(text: &str) -> Result<Scenario, TypesError> {
                     valuation: p(8)?,
                     energy_weight: p(9)?,
                     rates: rates?,
+                    budget: None,
                 });
+            }
+            "budget" => {
+                let task_id = next_f64("budget task id")? as usize;
+                let value = next_f64("budget value")?;
+                let task = tasks
+                    .iter_mut()
+                    .find(|t| t.id == task_id)
+                    .ok_or_else(|| bad(ln, "budget for unknown task"))?;
+                task.budget = Some(value);
             }
             "quotes" => {
                 let task_id = next_f64("quotes task id")? as usize;
@@ -291,6 +309,7 @@ mod tests {
                 .dataset(200)
                 .bid(6.0)
                 .needs_preprocessing(true)
+                .budget(4.75)
                 .rates(vec![100, 50])
                 .build()
                 .unwrap(),

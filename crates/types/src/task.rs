@@ -47,6 +47,11 @@ pub struct Task {
     pub rates: Vec<u64>,
     /// Multiplier applied to the scenario cost surface to obtain `e_ikt`.
     pub energy_weight: f64,
+    /// Optional spending cap: the bidder walks away rather than pay more
+    /// than this, so admission must reject any schedule whose Eq. (14)
+    /// payment would exceed it (spot-market budget-capped bidders;
+    /// `None` = uncapped, the paper's base setting).
+    pub budget: Option<f64>,
 }
 
 impl Task {
@@ -128,6 +133,7 @@ pub struct TaskBuilder {
     valuation: Option<f64>,
     rates: Vec<u64>,
     energy_weight: f64,
+    budget: Option<f64>,
 }
 
 impl TaskBuilder {
@@ -146,6 +152,7 @@ impl TaskBuilder {
             valuation: None,
             rates: Vec::new(),
             energy_weight: 1.0,
+            budget: None,
         }
     }
 
@@ -205,6 +212,13 @@ impl TaskBuilder {
         self
     }
 
+    /// Caps the bidder's total spend (spot-market budget constraint).
+    #[must_use]
+    pub fn budget(mut self, budget: f64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Validates invariants and produces the [`Task`].
     ///
     /// # Errors
@@ -239,6 +253,11 @@ impl TaskBuilder {
         if self.rates.is_empty() {
             return Err(TypesError::NonPositiveField { field: "rates" });
         }
+        if let Some(b) = self.budget {
+            if b.is_nan() || b <= 0.0 {
+                return Err(TypesError::NonPositiveField { field: "budget" });
+            }
+        }
         let work = self.dataset_samples * u64::from(self.epochs);
         Ok(Task {
             id: self.id,
@@ -253,6 +272,7 @@ impl TaskBuilder {
             valuation: self.valuation.unwrap_or(self.bid),
             rates: self.rates,
             energy_weight: self.energy_weight,
+            budget: self.budget,
         })
     }
 }
@@ -293,6 +313,14 @@ mod tests {
         assert!(base().memory_gb(0.0).build().is_err());
         assert!(base().bid(0.0).build().is_err());
         assert!(base().rates(vec![]).build().is_err());
+        assert!(base().budget(0.0).build().is_err());
+        assert!(base().budget(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn budget_defaults_to_none_and_round_trips() {
+        assert_eq!(base().build().unwrap().budget, None);
+        assert_eq!(base().budget(3.5).build().unwrap().budget, Some(3.5));
     }
 
     #[test]

@@ -17,13 +17,17 @@
 //! * [`marketplace`] — labor-vendor profiles and per-task quotes
 //!   `{q_in, h_in}`;
 //! * [`scenario`] — the end-to-end [`scenario::ScenarioBuilder`] plus the
-//!   named presets used by each figure's experiment.
+//!   named presets used by each figure's experiment;
+//! * [`spot`] — the spot-market scenario family: a seeded diurnal +
+//!   mean-reverting-jump price process re-pricing the cost grid,
+//!   budget-capped bidders, and revocable-lease generation.
 
 pub mod arrivals;
 pub mod deadlines;
 pub mod marketplace;
 pub mod sampling;
 pub mod scenario;
+pub mod spot;
 pub mod stats;
 pub mod tasks;
 
@@ -31,4 +35,5 @@ pub use arrivals::{ArrivalProcess, TraceKind};
 pub use deadlines::DeadlinePolicy;
 pub use marketplace::{Marketplace, VendorProfile};
 pub use scenario::{NodeMix, ScenarioBuilder};
+pub use spot::{SpotPriceProcess, SpotSpec};
 pub use tasks::TaskGenerator;

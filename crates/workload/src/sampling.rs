@@ -8,23 +8,32 @@ use rand::Rng;
 
 /// Samples a Poisson(λ) variate.
 ///
-/// Uses Knuth's product-of-uniforms method for λ ≤ 60 and a rounded
+/// Uses the log-sum form of Knuth's method for λ ≤ 60 and a rounded
 /// normal approximation `N(λ, λ)` (clamped at 0) above — the classic
 /// recipe; λ in this workspace is an arrival rate per slot, at most a few
 /// hundred, where the approximation error is negligible for scheduling
 /// purposes.
+///
+/// Knuth's textbook formulation multiplies uniforms until the product
+/// drops below `e^-λ`; at λ near the 60 cutoff that threshold is
+/// ≈ 8.8e-27 and the running product of ~60+ uniforms flirts with
+/// subnormal territory, losing precision exactly where the branch hands
+/// over to the normal approximation. The equivalent log-sum form —
+/// accumulate exponential inter-arrival times `-ln(u)` until they
+/// exceed λ — never leaves the well-conditioned range: the count of
+/// arrivals strictly inside `[0, λ)` is the Poisson variate.
 pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
     assert!(lambda >= 0.0, "lambda must be non-negative");
     if lambda == 0.0 {
         return 0;
     }
     if lambda <= 60.0 {
-        let l = (-lambda).exp();
         let mut k: u64 = 0;
-        let mut p = 1.0;
+        let mut acc = 0.0_f64;
         loop {
-            p *= rng.gen::<f64>();
-            if p <= l {
+            // -ln(u) ~ Exp(1); u == 0 gives +inf and terminates.
+            acc -= rng.gen::<f64>().ln();
+            if acc >= lambda {
                 return k;
             }
             k += 1;
@@ -97,6 +106,45 @@ mod tests {
         let (m, v) = mean_and_var(&xs);
         assert!((m - 80.0).abs() < 0.5, "mean {m}");
         assert!((v - 80.0).abs() < 4.0, "var {v}");
+    }
+
+    #[test]
+    fn poisson_is_continuous_across_the_branch_cutoff() {
+        // Mean and variance must agree on both sides of the λ = 60
+        // switch between the exact log-sum sampler and the normal
+        // approximation — a discontinuity here would warp arrival
+        // intensities right where bursty scenarios operate.
+        let sample = |lambda: f64, seed: u64| -> (f64, f64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..40_000)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .collect();
+            mean_and_var(&xs)
+        };
+        let (m_lo, v_lo) = sample(59.5, 101);
+        let (m_hi, v_hi) = sample(60.5, 103);
+        assert!((m_lo - 59.5).abs() < 0.25, "mean below cutoff {m_lo}");
+        assert!((m_hi - 60.5).abs() < 0.25, "mean above cutoff {m_hi}");
+        assert!((v_lo - 59.5).abs() < 2.5, "var below cutoff {v_lo}");
+        assert!((v_hi - 60.5).abs() < 2.5, "var above cutoff {v_hi}");
+        // The two estimates must straddle the cutoff smoothly: the gap
+        // between them is the 1.0 difference in λ plus sampling noise.
+        assert!(
+            (m_hi - m_lo - 1.0).abs() < 0.5,
+            "jump at cutoff: {m_lo} -> {m_hi}"
+        );
+    }
+
+    #[test]
+    fn poisson_near_cutoff_never_degenerates() {
+        // Regression guard for the underflow the product form risked:
+        // at λ = 60 the exact sampler must still produce a healthy
+        // spread, not collapse to 0 or saturate.
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..5_000).map(|_| poisson(&mut rng, 60.0)).collect();
+        assert!(xs.iter().any(|&x| x > 60));
+        assert!(xs.iter().any(|&x| x < 60));
+        assert!(xs.iter().all(|&x| x < 200));
     }
 
     #[test]

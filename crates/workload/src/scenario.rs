@@ -10,7 +10,7 @@ use crate::arrivals::ArrivalProcess;
 use crate::deadlines::DeadlinePolicy;
 use crate::marketplace::Marketplace;
 use crate::tasks::TaskGenerator;
-use pdftsp_cluster::energy::{EnergySignal, PriceModel};
+use pdftsp_cluster::energy::{EnergySignal, PriceModel, SLOTS_PER_DAY};
 use pdftsp_lora::calibration::CalibrationTable;
 use pdftsp_lora::paradigm::TuningParadigm;
 use pdftsp_lora::transformer::TransformerConfig;
@@ -101,6 +101,12 @@ pub struct ScenarioBuilder {
     /// The shared pre-trained model of this scenario (one per data-center
     /// "zone" in the paper's terminology).
     pub model: TransformerConfig,
+    /// Slots per diurnal energy-price cycle. Defaults to the paper's
+    /// [`SLOTS_PER_DAY`] (144 × 10-minute slots). Proportionally shrunk
+    /// experiment scales set this to their shrunk horizon so a "quick
+    /// day" still spans one full diurnal cycle (longer slots, same
+    /// shape) instead of truncating the cycle mid-way.
+    pub slots_per_day: usize,
     /// RNG seed; everything derives from it.
     pub seed: u64,
 }
@@ -119,6 +125,7 @@ impl Default for ScenarioBuilder {
             preprocessing_prob: 0.5,
             paradigm: TuningParadigm::Lora { rank: 8 },
             model: TransformerConfig::gpt2_medium(),
+            slots_per_day: SLOTS_PER_DAY,
             seed: 42,
         }
     }
@@ -167,6 +174,7 @@ impl ScenarioBuilder {
             base: self.energy_base,
             model: self.energy_model,
             node_power,
+            slots_per_day: self.slots_per_day.max(1),
         };
         let cost = signal.grid(self.horizon, &mut rng);
 
@@ -230,6 +238,7 @@ impl ScenarioBuilder {
             preprocessing_prob: 0.5,
             paradigm: TuningParadigm::Lora { rank: 8 },
             model: TransformerConfig::gpt2_medium(),
+            slots_per_day: SLOTS_PER_DAY,
             seed,
         }
     }

@@ -25,6 +25,9 @@ rm -f /tmp/pdftsp-faults-a.txt /tmp/pdftsp-faults-b.txt
 echo "==> bench_service smoke (sharded-service determinism, open-loop rates)"
 ./target/release/bench_service --smoke
 
+echo "==> bench_spot smoke (spot-market comparison + revocation determinism)"
+./target/release/bench_spot --smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -199,7 +199,8 @@ fn rejection_reasons_are_consistent_with_state() {
             match why {
                 Rejection::NoFeasibleSchedule
                 | Rejection::NonPositiveSurplus
-                | Rejection::InsufficientCapacity => {}
+                | Rejection::InsufficientCapacity
+                | Rejection::BudgetExceeded => {}
             }
             assert_eq!(d.payment(), 0.0);
         }

@@ -4,12 +4,14 @@
 //! must re-join the exact trajectory of an uninterrupted run.
 
 use pdftsp_cluster::set_thread_override;
+use pdftsp_core::{PdftspConfig, PreheatSpec};
 use pdftsp_sim::{
-    replay, AuctionService, FaultPlan, FaultSpec, Observability, ServiceConfig, ServiceOutcome,
+    lease_fault_plan, replay, AuctionService, FaultPlan, FaultSpec, Observability, ServiceConfig,
+    ServiceOutcome,
 };
 use pdftsp_telemetry::{chrome, Stage};
 use pdftsp_types::Scenario;
-use pdftsp_workload::ScenarioBuilder;
+use pdftsp_workload::{ScenarioBuilder, SpotSpec};
 
 fn faulted_case(workload_seed: u64) -> (Scenario, FaultPlan) {
     let scenario = ScenarioBuilder::smoke(workload_seed).build();
@@ -21,6 +23,27 @@ fn faulted_case(workload_seed: u64) -> (Scenario, FaultPlan) {
     };
     let plan = FaultPlan::generate(&scenario, &spec);
     (scenario, plan)
+}
+
+/// A revocation-heavy spot case: spot-priced grid, budget-capped
+/// bidders, and a lease storm mapped onto the fault path, plus the
+/// prediction pre-heat in the scheduler config.
+fn spot_case(workload_seed: u64) -> (Scenario, FaultPlan, PdftspConfig) {
+    let base = ScenarioBuilder::smoke(workload_seed).build();
+    let spec = SpotSpec {
+        leases: 12,
+        lease_len: 4,
+        seed: 33,
+        ..SpotSpec::default()
+    };
+    let scenario = spec.apply(&base);
+    let leases = spec.lease_plan(scenario.nodes.len(), scenario.horizon);
+    let plan = lease_fault_plan(&leases, scenario.horizon);
+    let scheduler = PdftspConfig::default().with_preheat(PreheatSpec {
+        lookahead: spec.lookahead,
+        gain: spec.gain,
+    });
+    (scenario, plan, scheduler)
 }
 
 fn service_cfg() -> ServiceConfig {
@@ -109,6 +132,59 @@ fn worker_count_and_pipelining_never_change_the_schedule() {
         // vacuously on a quiet schedule.
         assert!(disrupted > 0, "seed {wseed}: no disruptions exercised");
     }
+}
+
+/// The same contract for the spot-market family: revocation-heavy runs
+/// (lease storms through the crash path, spot-priced grids, budget caps,
+/// pre-heated duals) are byte-identical across {1, 2, 4 workers} ×
+/// {pipeline off, on}, and the run must abort someone so the Eq. (14)
+/// refund path is inside the fingerprint.
+#[test]
+fn spot_revocations_replay_identically_across_workers_and_pipelining() {
+    let mut any_aborted = false;
+    for wseed in [11u64, 23, 57] {
+        let (scenario, plan, scheduler) = spot_case(wseed);
+        assert!(
+            !plan.events.is_empty(),
+            "seed {wseed}: lease storm drew no revocations"
+        );
+        let mut baseline: Option<Vec<u64>> = None;
+        let mut disrupted = 0;
+        for workers in [1usize, 2, 4] {
+            for pipeline in [false, true] {
+                let cfg = ServiceConfig {
+                    pipeline,
+                    scheduler,
+                    ..service_cfg()
+                };
+                set_thread_override(Some(workers));
+                let out = AuctionService::run(&scenario, cfg, &plan);
+                set_thread_override(None);
+                let out = out.unwrap_or_else(|e| {
+                    panic!("seed {wseed}/{workers} workers/pipeline {pipeline}: {e}")
+                });
+                disrupted = out.disrupted;
+                any_aborted |= !out.aborted.is_empty();
+                let fp = fingerprint(&out);
+                match &baseline {
+                    None => baseline = Some(fp),
+                    Some(expected) => assert_eq!(
+                        expected, &fp,
+                        "seed {wseed}: spot outcome diverged at {workers} workers, \
+                         pipeline {pipeline}"
+                    ),
+                }
+            }
+        }
+        assert!(
+            disrupted > 0,
+            "seed {wseed}: no revocation disrupted anyone"
+        );
+    }
+    assert!(
+        any_aborted,
+        "no spot case aborted — refund path unexercised"
+    );
 }
 
 /// Kill-and-resume: drive a service halfway, drop it mid-run, rebuild

@@ -148,7 +148,8 @@ fn rejections_carry_the_decision_reason() {
         };
         let expected = match why {
             Rejection::NoFeasibleSchedule => Reason::NoFeasibleSchedule,
-            Rejection::NonPositiveSurplus => Reason::NonPositiveSurplus,
+            // Budget caps are counted with the surplus losers on the wire.
+            Rejection::NonPositiveSurplus | Rejection::BudgetExceeded => Reason::NonPositiveSurplus,
             Rejection::InsufficientCapacity => Reason::InsufficientCapacity,
         };
         let rejected = events
